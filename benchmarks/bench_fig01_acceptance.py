@@ -1,0 +1,52 @@
+"""Figure 1: acceptance probabilities p_u and p_a (Appendix A).
+
+(a) ``p_u`` vs the fan-out F — always above 0.6;
+(b) ``p_a`` vs the flood rate x at F = 4, against the coarse F/x bound.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import once, record
+
+from repro.analysis import (
+    accept_probability_attacked,
+    accept_probability_unattacked,
+)
+from repro.analysis.acceptance import coarse_bound_attacked
+from repro.util import Table
+
+N = 1000
+FAN_OUTS = list(range(1, 11))
+RATES = [8, 16, 32, 64, 128, 256]
+
+
+def test_fig01a_pu_vs_fanout(benchmark):
+    values = once(
+        benchmark,
+        lambda: [accept_probability_unattacked(N, f) for f in FAN_OUTS],
+    )
+    table = Table("Figure 1(a): p_u vs fan-out F (n=1000)", ["F", "p_u"])
+    for fan_out, p_u in zip(FAN_OUTS, values):
+        table.add_row(fan_out, p_u)
+    record("fig01a", table)
+    assert all(p > 0.6 for p in values), "paper: p_u > 0.6 for every F"
+
+
+def test_fig01b_pa_vs_rate(benchmark):
+    values = once(
+        benchmark,
+        lambda: [accept_probability_attacked(N, 4, x) for x in RATES],
+    )
+    table = Table(
+        "Figure 1(b): p_a vs attack rate x (n=1000, F=4)",
+        ["x", "p_a", "F/x bound"],
+    )
+    for x, p_a in zip(RATES, values):
+        table.add_row(x, p_a, coarse_bound_attacked(4, x))
+    record("fig01b", table)
+    for x, p_a in zip(RATES, values):
+        assert p_a < coarse_bound_attacked(4, x), "paper: p_a < F/x"
+    assert all(a > b for a, b in zip(values, values[1:])), "p_a decreasing in x"

@@ -1,0 +1,84 @@
+"""Figure 2: validation without DoS attacks (Section 7.1).
+
+(a) propagation time vs group size — O(log n);
+(b) propagation time vs crashed fraction — graceful degradation.
+Push and Pull slightly outperform Drum here (Drum's strict per-channel
+bounds discard messages its overall capacity could have handled).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import math
+
+from _common import once, record, runs, scaled
+
+from repro.sim import Scenario, monte_carlo
+from repro.util import Table
+
+PROTOCOLS = ("drum", "push", "pull")
+SIZES = [20, 40, 120, 350, 1000]
+CRASH_FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+
+
+def test_fig02a_scaling_with_n(benchmark):
+    sizes = [scaled(n) if n > 120 else n for n in SIZES]
+
+    def sweep():
+        out = {}
+        for protocol in PROTOCOLS:
+            out[protocol] = [
+                monte_carlo(
+                    Scenario(protocol=protocol, n=n), runs=runs(2), seed=10
+                ).mean_rounds()
+                for n in sizes
+            ]
+        return out
+
+    times = once(benchmark, sweep)
+    table = Table(
+        "Figure 2(a): propagation time vs n, failure-free (rounds to 99%)",
+        ["protocol"] + [f"n={n}" for n in sizes],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *times[protocol])
+    record("fig02a", table)
+
+    for protocol in PROTOCOLS:
+        series = times[protocol]
+        # Logarithmic growth: time/log(n) roughly constant.
+        ratios = [t / math.log(n) for t, n in zip(series, sizes)]
+        assert max(ratios) / min(ratios) < 2.2, (protocol, ratios)
+
+
+def test_fig02b_crash_failures(benchmark):
+    n = 120
+
+    def sweep():
+        out = {}
+        for protocol in PROTOCOLS:
+            out[protocol] = [
+                monte_carlo(
+                    Scenario(protocol=protocol, n=n, crashed_fraction=f),
+                    runs=runs(2),
+                    seed=11,
+                ).mean_rounds()
+                for f in CRASH_FRACTIONS
+            ]
+        return out
+
+    times = once(benchmark, sweep)
+    table = Table(
+        f"Figure 2(b): propagation time vs crashed fraction (n={n})",
+        ["protocol"] + [f"{f:.0%}" for f in CRASH_FRACTIONS],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *times[protocol])
+    record("fig02b", table)
+
+    for protocol in PROTOCOLS:
+        series = times[protocol]
+        # Graceful degradation: even 50 % crashes cost only a few rounds.
+        assert series[-1] - series[0] < 4.0, (protocol, series)

@@ -1,0 +1,124 @@
+"""Figure 3: targeted DoS attacks (Section 7.2).
+
+(a) propagation time vs attack rate x at α = 10 % — Drum flat, Push and
+    Pull linear;
+(b) propagation time vs attack extent α at x = 128 — all grow (B grows),
+    but Drum stays far ahead.
+Both panels at the paper's two group sizes (120 and 1000).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import once, record, runs, scaled
+
+from repro.adversary import AttackSpec
+from repro.metrics import dos_impact
+from repro.sim import Scenario, monte_carlo
+from repro.util import Table
+
+PROTOCOLS = ("drum", "push", "pull")
+RATES = [0, 16, 32, 64, 128]
+EXTENTS = [0.1, 0.2, 0.4, 0.6, 0.8]
+
+
+def _prop(protocol, n, attack, seed, divisor):
+    scenario = Scenario(
+        protocol=protocol,
+        n=n,
+        malicious_fraction=0.1,
+        attack=attack,
+        max_rounds=400,
+    )
+    return monte_carlo(scenario, runs=runs(divisor), seed=seed).mean_rounds()
+
+
+def _rate_sweep(n, divisor):
+    out = {}
+    for protocol in PROTOCOLS:
+        out[protocol] = [
+            _prop(
+                protocol,
+                n,
+                AttackSpec(alpha=0.1, x=float(x)) if x else None,
+                seed=30,
+                divisor=divisor,
+            )
+            for x in RATES
+        ]
+    return out
+
+
+def _extent_sweep(n, divisor):
+    out = {}
+    for protocol in PROTOCOLS:
+        out[protocol] = [
+            _prop(
+                protocol, n, AttackSpec(alpha=a, x=128.0), seed=31, divisor=divisor
+            )
+            for a in EXTENTS
+        ]
+    return out
+
+
+def test_fig03a_rate_sweep_n120(benchmark):
+    times = once(benchmark, lambda: _rate_sweep(120, 1))
+    table = Table(
+        "Figure 3(a): propagation time vs x (n=120, α=10%)",
+        ["protocol"] + [f"x={x}" for x in RATES],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *times[protocol])
+    record("fig03a_n120", table)
+
+    assert dos_impact("x", RATES, times["drum"]).is_resistant
+    assert dos_impact("x", RATES, times["push"]).degrades_linearly
+    assert dos_impact("x", RATES, times["pull"]).degrades_linearly
+    assert times["drum"][-1] < times["pull"][-1] < times["push"][-1]
+
+
+def test_fig03a_rate_sweep_n1000(benchmark):
+    n = scaled(1000)
+    times = once(benchmark, lambda: _rate_sweep(n, 2))
+    table = Table(
+        f"Figure 3(a): propagation time vs x (n={n}, α=10%)",
+        ["protocol"] + [f"x={x}" for x in RATES],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *times[protocol])
+    record("fig03a_n1000", table)
+    assert dos_impact("x", RATES, times["drum"]).is_resistant
+    assert times["drum"][-1] < times["push"][-1]
+
+
+def test_fig03b_extent_sweep_n120(benchmark):
+    times = once(benchmark, lambda: _extent_sweep(120, 1))
+    table = Table(
+        "Figure 3(b): propagation time vs α (n=120, x=128)",
+        ["protocol"] + [f"α={a:g}" for a in EXTENTS],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *times[protocol])
+    record("fig03b_n120", table)
+
+    for protocol in PROTOCOLS:
+        series = times[protocol]
+        assert series[-1] > series[0], protocol  # B grows with α
+    for i in range(len(EXTENTS)):
+        assert times["drum"][i] <= min(times["push"][i], times["pull"][i]) + 0.5
+
+
+def test_fig03b_extent_sweep_n1000(benchmark):
+    n = scaled(1000)
+    times = once(benchmark, lambda: _extent_sweep(n, 2))
+    table = Table(
+        f"Figure 3(b): propagation time vs α (n={n}, x=128)",
+        ["protocol"] + [f"α={a:g}" for a in EXTENTS],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *times[protocol])
+    record("fig03b_n1000", table)
+    for i in range(len(EXTENTS)):
+        assert times["drum"][i] <= min(times["push"][i], times["pull"][i]) + 0.5

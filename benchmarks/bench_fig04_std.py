@@ -1,0 +1,92 @@
+"""Figure 4: standard deviation of the propagation time (Section 7.2).
+
+For a fixed extent, Drum's STD is flat in the attack rate while Push's
+grows and Pull's explodes (the geometric source-escape time); the
+Appendix B closed form for Pull's escape STD is printed alongside.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import once, record, runs, scaled
+
+from repro.adversary import AttackSpec
+from repro.analysis import escape_time_std
+from repro.sim import Scenario, monte_carlo
+from repro.util import Table
+
+PROTOCOLS = ("drum", "push", "pull")
+RATES = [16, 32, 64, 128]
+EXTENTS = [0.1, 0.2, 0.4, 0.6, 0.8]
+
+
+def _std(protocol, n, attack, seed):
+    scenario = Scenario(
+        protocol=protocol,
+        n=n,
+        malicious_fraction=0.1,
+        attack=attack,
+        max_rounds=400,
+    )
+    return monte_carlo(scenario, runs=runs(2), seed=seed).std_rounds()
+
+
+def test_fig04a_std_vs_rate(benchmark):
+    n = scaled(1000)
+
+    def sweep():
+        return {
+            protocol: [
+                _std(protocol, n, AttackSpec(alpha=0.1, x=float(x)), seed=40)
+                for x in RATES
+            ]
+            for protocol in PROTOCOLS
+        }
+
+    stds = once(benchmark, sweep)
+    table = Table(
+        f"Figure 4(a): STD of propagation time vs x (n={n}, α=10%)",
+        ["protocol"] + [f"x={x}" for x in RATES],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *stds[protocol])
+    table.add_row(
+        "pull escape STD (Appendix B)",
+        *[escape_time_std(n, 4, x) for x in RATES],
+    )
+    record("fig04a", table)
+
+    # Paper at x=128: Drum ≈ 0.5, Push ≈ 2.9, Pull ≈ 9.3.
+    assert stds["drum"][-1] < 2.0
+    assert stds["pull"][-1] > 3 * stds["drum"][-1]
+    assert stds["pull"][-1] > stds["push"][-1]
+    # Drum's STD flat in x; Pull's grows.
+    assert stds["drum"][-1] - stds["drum"][0] < 1.5
+    assert stds["pull"][-1] > stds["pull"][0]
+
+
+def test_fig04b_std_vs_extent(benchmark):
+    n = scaled(1000)
+
+    def sweep():
+        return {
+            protocol: [
+                _std(protocol, n, AttackSpec(alpha=a, x=128.0), seed=41)
+                for a in EXTENTS
+            ]
+            for protocol in PROTOCOLS
+        }
+
+    stds = once(benchmark, sweep)
+    table = Table(
+        f"Figure 4(b): STD of propagation time vs α (n={n}, x=128)",
+        ["protocol"] + [f"α={a:g}" for a in EXTENTS],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *stds[protocol])
+    record("fig04b", table)
+    # Drum and Push remain predictable; Pull's STD stays the largest.
+    for i in range(len(EXTENTS)):
+        assert stds["pull"][i] >= stds["drum"][i]

@@ -1,0 +1,82 @@
+"""Figure 6: propagation to the non-attacked vs the attacked processes.
+
+Push reaches the non-attacked processes very fast but takes ages to
+penetrate the attacked set; Pull is slow everywhere (source escape);
+Drum is fast on both sides.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import once, record, runs, scaled
+
+from repro.adversary import AttackSpec
+from repro.sim import Scenario, monte_carlo
+from repro.util import Table
+
+PROTOCOLS = ("drum", "push", "pull")
+RATES = [16, 32, 64, 128]
+
+
+def _split_sweep(n):
+    out = {}
+    for protocol in PROTOCOLS:
+        to_non, to_att = [], []
+        for x in RATES:
+            # threshold=1.0 keeps runs alive until everyone has M, so
+            # the per-subset 99 % thresholds are observed, not censored.
+            scenario = Scenario(
+                protocol=protocol,
+                n=n,
+                malicious_fraction=0.1,
+                attack=AttackSpec(alpha=0.1, x=float(x)),
+                threshold=1.0,
+                max_rounds=400,
+            )
+            result = monte_carlo(scenario, runs=runs(2), seed=60)
+            to_non.append(
+                float(np.nanmean(
+                    result.rounds_to_subset_threshold("non_attacked", 0.99)
+                ))
+            )
+            to_att.append(
+                float(np.nanmean(
+                    result.rounds_to_subset_threshold("attacked", 0.99)
+                ))
+            )
+        out[protocol] = (to_non, to_att)
+    return out
+
+
+def test_fig06_subset_propagation(benchmark):
+    n = scaled(1000)
+    data = once(benchmark, lambda: _split_sweep(n))
+
+    table = Table(
+        f"Figure 6: rounds to 99% of each subset (n={n}, α=10%)",
+        ["protocol", "subset"] + [f"x={x}" for x in RATES],
+    )
+    for protocol in PROTOCOLS:
+        to_non, to_att = data[protocol]
+        table.add_row(protocol, "non-attacked", *to_non)
+        table.add_row(protocol, "attacked", *to_att)
+    record("fig06", table)
+
+    push_non, push_att = data["push"]
+    drum_non, drum_att = data["drum"]
+    pull_non, pull_att = data["pull"]
+    # Push: fast to the non-attacked, very slow to the attacked.
+    assert push_att[-1] > 2.5 * push_non[-1]
+    # Pull treats both subsets alike (random reply ports make the
+    # requester's attack status irrelevant); the whole protocol is
+    # slowed by the source escape instead.
+    assert abs(pull_att[-1] - pull_non[-1]) < 2.0
+    assert pull_non[-1] > 2 * drum_non[-1]
+    # Drum: both subsets fast, and far faster than the baselines'
+    # attacked side.
+    assert drum_att[-1] < 0.6 * min(push_att[-1], pull_att[-1])
+    assert drum_att[-1] < drum_non[-1] + 4

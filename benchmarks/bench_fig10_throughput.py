@@ -1,0 +1,96 @@
+"""Figure 10: received throughput under increasing attack strength.
+
+Streams from a single source at 40 msg/s on the full-protocol
+measurement platform with purge-after-10-rounds buffers: Drum's
+throughput stays at the send rate, Push degrades slightly, Pull
+collapses as its flooded source fails to export messages before they
+purge.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import once, record
+
+from repro.adversary import AttackSpec
+from repro.des import ClusterConfig, run_throughput_experiment
+from repro.util import Table
+
+PROTOCOLS = ("drum", "push", "pull")
+RATES = [0, 32, 64, 128]
+EXTENTS = [0.1, 0.2, 0.4, 0.6]
+N = 50
+
+BASE = ClusterConfig(
+    n=N,
+    malicious_fraction=0.1,
+    messages=1600,
+    send_rate=40.0,
+    round_duration_ms=1000.0,
+    max_sends_per_partner=60,
+)
+
+
+def _throughput(protocol, attack, seed):
+    config = BASE.with_(protocol=protocol, attack=attack)
+    result = run_throughput_experiment(config, seed=seed)
+    return result.throughput().mean_msgs_per_sec
+
+
+def test_fig10a_throughput_vs_rate(benchmark):
+    def sweep():
+        return {
+            protocol: [
+                _throughput(
+                    protocol,
+                    AttackSpec(alpha=0.1, x=float(x)) if x else None,
+                    seed=100,
+                )
+                for x in RATES
+            ]
+            for protocol in PROTOCOLS
+        }
+
+    rates = once(benchmark, sweep)
+    table = Table(
+        f"Figure 10(a): received throughput vs x (n={N}, α=10%, send 40/s)",
+        ["protocol"] + [f"x={x}" for x in RATES],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *rates[protocol])
+    record("fig10a", table)
+
+    # Drum unaffected by increasing x.
+    assert min(rates["drum"]) > 0.97 * rates["drum"][0]
+    # Pull decreases dramatically; Push at most slightly.
+    assert rates["pull"][-1] < 0.85 * rates["pull"][0]
+    assert rates["push"][-1] > 0.90 * rates["push"][0]
+    assert rates["pull"][-1] < rates["push"][-1] < rates["drum"][-1] + 0.5
+
+
+def test_fig10b_throughput_vs_extent(benchmark):
+    def sweep():
+        return {
+            protocol: [
+                _throughput(protocol, AttackSpec(alpha=a, x=128.0), seed=101)
+                for a in EXTENTS
+            ]
+            for protocol in PROTOCOLS
+        }
+
+    rates = once(benchmark, sweep)
+    table = Table(
+        f"Figure 10(b): received throughput vs α (n={N}, x=128, send 40/s)",
+        ["protocol"] + [f"α={a:g}" for a in EXTENTS],
+    )
+    for protocol in PROTOCOLS:
+        table.add_row(protocol, *rates[protocol])
+    record("fig10b", table)
+
+    # Pull drastically affected for every α > 0; Drum degrades gracefully.
+    assert rates["pull"][0] < 0.85 * 40.0
+    assert rates["drum"][0] > 0.95 * 40.0
+    for i in range(len(EXTENTS)):
+        assert rates["drum"][i] >= rates["pull"][i] - 0.5

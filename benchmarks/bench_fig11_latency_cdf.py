@@ -1,0 +1,112 @@
+"""Figure 11: CDF of per-process average delivery latency.
+
+Push delivers fastest to non-attacked processes but its attacked
+processes average several times longer; Pull is uniform but slow; Drum
+is nearly as fast as Push with a small attacked/non-attacked spread.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import once, record
+
+from repro.adversary import AttackSpec
+from repro.des import ClusterConfig, run_throughput_experiment
+from repro.metrics.latency import mean_latency_per_process
+from repro.util import Table
+
+PROTOCOLS = ("drum", "push", "pull")
+N = 50
+
+BASE = ClusterConfig(
+    n=N,
+    malicious_fraction=0.1,
+    messages=1000,
+    send_rate=40.0,
+    round_duration_ms=1000.0,
+    max_sends_per_partner=60,
+)
+
+
+def _latency_profile(protocol, alpha, seed):
+    config = BASE.with_(
+        protocol=protocol, attack=AttackSpec(alpha=alpha, x=128.0)
+    )
+    result = run_throughput_experiment(config, seed=seed)
+    means = mean_latency_per_process(result.latencies_by_process())
+    attacked = set(config.attacked_ids()) - {config.source}
+    att = [v for pid, v in means.items() if pid in attacked]
+    non = [v for pid, v in means.items() if pid not in attacked]
+    return {
+        "attacked_mean": float(np.mean(att)) if att else float("nan"),
+        "non_attacked_mean": float(np.mean(non)),
+        "overall_median": float(np.median(list(means.values()))),
+    }
+
+
+def _run_panel(alpha, seed):
+    return {p: _latency_profile(p, alpha, seed) for p in PROTOCOLS}
+
+
+def test_fig11a_latency_cdf_alpha10(benchmark):
+    profiles = once(benchmark, lambda: _run_panel(0.1, seed=110))
+    table = Table(
+        f"Figure 11(a): mean delivery latency by class (n={N}, α=10%, x=128) [ms]",
+        ["protocol", "attacked procs", "non-attacked procs", "ratio"],
+    )
+    for protocol in PROTOCOLS:
+        prof = profiles[protocol]
+        ratio = prof["attacked_mean"] / prof["non_attacked_mean"]
+        table.add_row(
+            protocol, prof["attacked_mean"], prof["non_attacked_mean"], ratio
+        )
+    record("fig11a", table)
+
+    push_ratio = profiles["push"]["attacked_mean"] / profiles["push"]["non_attacked_mean"]
+    drum_ratio = profiles["drum"]["attacked_mean"] / profiles["drum"]["non_attacked_mean"]
+    pull_ratio = profiles["pull"]["attacked_mean"] / profiles["pull"]["non_attacked_mean"]
+    # Push: attacked processes several times slower (paper: ~4x).
+    assert push_ratio > 2.0
+    # Drum: small variation between the classes.
+    assert drum_ratio < 2.0
+    # Pull: roughly uniform latency, but slow overall.
+    assert pull_ratio < 1.7
+    assert (
+        profiles["pull"]["non_attacked_mean"]
+        > profiles["drum"]["non_attacked_mean"]
+    )
+    # Drum delivers almost as fast as Push to the non-attacked...
+    assert (
+        profiles["drum"]["non_attacked_mean"]
+        < 2.0 * profiles["push"]["non_attacked_mean"]
+    )
+    # ...and much faster than Push to the attacked.
+    assert profiles["drum"]["attacked_mean"] < profiles["push"]["attacked_mean"]
+
+
+def test_fig11b_latency_cdf_alpha40(benchmark):
+    profiles = once(benchmark, lambda: _run_panel(0.4, seed=111))
+    table = Table(
+        f"Figure 11(b): mean delivery latency by class (n={N}, α=40%, x=128) [ms]",
+        ["protocol", "attacked procs", "non-attacked procs", "ratio"],
+    )
+    for protocol in PROTOCOLS:
+        prof = profiles[protocol]
+        ratio = prof["attacked_mean"] / prof["non_attacked_mean"]
+        table.add_row(
+            protocol, prof["attacked_mean"], prof["non_attacked_mean"], ratio
+        )
+    record("fig11b", table)
+
+    assert (
+        profiles["push"]["attacked_mean"]
+        > 1.5 * profiles["push"]["non_attacked_mean"]
+    )
+    assert (
+        profiles["drum"]["attacked_mean"]
+        < profiles["push"]["attacked_mean"]
+    )

@@ -1,0 +1,79 @@
+"""Figure 13: Appendix C analysis vs simulation, without DoS attacks.
+
+Coverage CDFs from the exact numerical recursion overlaid on the
+Monte-Carlo simulation, failure-free and with 10 % crashed processes.
+The ``refined`` analysis (exact without-replacement acceptance — an
+extension over the paper) is reported alongside the paper's formula.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import once, record, runs, scaled
+
+from repro.analysis import coverage_curve_no_attack
+from repro.sim import Scenario, monte_carlo
+from repro.util import Table
+
+ROUNDS = 12
+CHECKPOINTS = [2, 4, 6, 8, 10]
+
+
+def _panel(n, crashed_fraction, seed):
+    b = int(round(crashed_fraction * n))
+    out = {}
+    for protocol in ("drum", "push", "pull"):
+        analysis = coverage_curve_no_attack(
+            protocol, n, b, rounds=ROUNDS
+        ).coverage
+        refined = coverage_curve_no_attack(
+            protocol, n, b, rounds=ROUNDS, refined=True
+        ).coverage
+        sim = monte_carlo(
+            Scenario(
+                protocol=protocol, n=n, crashed_fraction=crashed_fraction,
+                threshold=1.0,
+            ),
+            runs=runs(1),
+            seed=seed,
+            horizon=ROUNDS,
+        ).coverage_by_round()
+        out[protocol] = (analysis, refined, sim)
+    return out
+
+
+def _check_and_record(name, title, panel):
+    table = Table(title, ["protocol", "series"] + [f"r={r}" for r in CHECKPOINTS])
+    for protocol, (analysis, refined, sim) in panel.items():
+        table.add_row(protocol, "analysis", *[analysis[r] for r in CHECKPOINTS])
+        table.add_row(protocol, "refined", *[refined[r] for r in CHECKPOINTS])
+        table.add_row(protocol, "simulation", *[sim[r] for r in CHECKPOINTS])
+    record(name, table)
+
+    for protocol, (analysis, refined, sim) in panel.items():
+        assert np.abs(analysis - sim).max() < 0.12, protocol
+        assert np.abs(refined - sim).max() <= np.abs(analysis - sim).max() + 0.01
+
+
+def test_fig13a_failure_free(benchmark):
+    n = scaled(1000)
+    panel = once(benchmark, lambda: _panel(n, 0.0, seed=130))
+    _check_and_record(
+        "fig13a",
+        f"Figure 13(a): analysis vs simulation, failure-free (n={n})",
+        panel,
+    )
+
+
+def test_fig13b_with_crashes(benchmark):
+    n = scaled(1000)
+    panel = once(benchmark, lambda: _panel(n, 0.1, seed=131))
+    _check_and_record(
+        "fig13b",
+        f"Figure 13(b): analysis vs simulation, 10% crashed (n={n})",
+        panel,
+    )

@@ -1,0 +1,81 @@
+"""Figure 14: Appendix C analysis vs simulation under DoS (six panels).
+
+The paper's grid: α = 10 % at x ∈ {32, 64, 128}, and x = 128 at
+α ∈ {40 %, 60 %, 80 %}, all at n = 120 with 10 % malicious members.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import once, record, runs
+
+from repro.adversary import AttackSpec
+from repro.analysis import coverage_curve_attack
+from repro.sim import Scenario, monte_carlo
+from repro.util import Table
+
+N = 120
+B = 12  # 10 % malicious
+PANELS = [
+    ("a", 0.1, 32),
+    ("b", 0.1, 64),
+    ("c", 0.1, 128),
+    ("d", 0.4, 128),
+    ("e", 0.6, 128),
+    ("f", 0.8, 128),
+]
+ROUNDS = 40
+CHECKPOINTS = [3, 6, 10, 16, 25, 40]
+
+
+def _panel(alpha, x, seed):
+    attack = AttackSpec(alpha=alpha, x=float(x))
+    out = {}
+    for protocol in ("drum", "push", "pull"):
+        analysis = coverage_curve_attack(
+            protocol, N, B, attack, rounds=ROUNDS, refined=True
+        ).coverage
+        sim = monte_carlo(
+            Scenario(
+                protocol=protocol, n=N, malicious_fraction=0.1,
+                attack=attack, threshold=1.0,
+            ),
+            runs=runs(1),
+            seed=seed,
+            horizon=ROUNDS,
+        ).coverage_by_round()
+        out[protocol] = (analysis, sim)
+    return out
+
+
+def test_fig14_analysis_vs_simulation_under_dos(benchmark):
+    def sweep():
+        return {
+            (label, alpha, x): _panel(alpha, x, seed=140 + i)
+            for i, (label, alpha, x) in enumerate(PANELS)
+        }
+
+    panels = once(benchmark, sweep)
+    table = Table(
+        f"Figure 14: analysis vs simulation under DoS (n={N})",
+        ["panel", "protocol", "series"] + [f"r={r}" for r in CHECKPOINTS],
+    )
+    worst = 0.0
+    for (label, alpha, x), panel in panels.items():
+        tag = f"({label}) α={alpha:g} x={x}"
+        for protocol, (analysis, sim) in panel.items():
+            table.add_row(
+                tag, protocol, "analysis", *[analysis[r] for r in CHECKPOINTS]
+            )
+            table.add_row(
+                tag, protocol, "simulation", *[sim[r] for r in CHECKPOINTS]
+            )
+            worst = max(worst, float(np.abs(analysis - sim).max()))
+    record("fig14", table)
+
+    # The analysis must track the simulation across all six panels.
+    assert worst < 0.12, f"worst analysis-vs-simulation gap {worst:.3f}"

@@ -1,0 +1,3 @@
+"""Benchmark collection configuration."""
+
+collect_ignore = ["_common.py"]

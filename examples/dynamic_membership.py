@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Dynamic membership (Section 10): joins, leaves, expulsion, forgery.
+
+Walks through the CA-based membership protocol layered on Drum:
+
+- processes join through the certification authority and learn the
+  group through CA-propagated join events;
+- a process logs out; another is expelled on suspicion of malbehaviour;
+- a malicious process tries to forge membership traffic with a
+  certificate from a rogue CA — every correct process rejects it;
+- certificates expire unless renewed, silently dropping a silent member;
+- the local failure detector stops gossip to an unresponsive peer
+  without ever gossiping suspicions.
+
+Run:  python examples/dynamic_membership.py
+"""
+
+from repro.crypto import CertificationAuthority, KeyPair
+from repro.membership import (
+    DynamicMembership,
+    ExpelEvent,
+    JoinEvent,
+    LeaveEvent,
+)
+
+
+def broadcast(event, services, now):
+    """Stand-in for Drum's multicast: deliver an event to every process."""
+    return {pid: svc.handle_event(event, now) for pid, svc in services.items()}
+
+
+def main() -> None:
+    ca = CertificationAuthority(validity_period=300.0)
+    keys = {pid: KeyPair(owner=pid) for pid in range(5)}
+    services = {}
+
+    print("== five processes join through the CA ==")
+    for pid in range(5):
+        service = DynamicMembership(pid, ca.public_key, failure_timeout=5.0)
+        cert = service.join(ca, keys[pid].public, now=0.0)
+        broadcast(JoinEvent(pid, cert), services, now=0.0)
+        services[pid] = service
+    print("process 0 sees members:", services[0].current_members(1.0))
+
+    print("\n== process 3 logs out ==")
+    cert3 = ca.current_certificate(3)
+    ca.revoke(3)
+    broadcast(LeaveEvent(3, cert3), services, now=2.0)
+    print("process 0 sees members:", services[0].current_members(2.0))
+
+    print("\n== the CA expels process 4 on suspicion of malbehaviour ==")
+    cert4 = ca.current_certificate(4)
+    ca.revoke(4)
+    broadcast(ExpelEvent(4, cert4), services, now=3.0)
+    print("process 0 sees members:", services[0].current_members(3.0))
+
+    print("\n== a malicious process forges a join with a rogue CA ==")
+    rogue = CertificationAuthority(validity_period=300.0)
+    fake = rogue.authorize_join(666, KeyPair(owner=666).public)
+    outcomes = broadcast(JoinEvent(666, fake), services, now=4.0)
+    print("acceptance by process:", outcomes)
+    print("process 0 sees members:", services[0].current_members(4.0))
+
+    print("\n== certificates expire unless renewed ==")
+    ca.advance_clock(250.0)
+    ca.renew(ca.current_certificate(1))  # process 1 renews; 2 goes silent
+    refreshed = ca.current_certificate(1)
+    for service in services.values():
+        service.install_certificate(refreshed, now=250.0)
+    print("process 0 at t=350:", services[0].current_members(350.0),
+          "(process 2 expired away)")
+
+    print("\n== the failure detector is strictly local ==")
+    fd = services[0].failure_detector
+    fd.heard_from(1, now=350.0)
+    fd.check(now=360.0)
+    print("process 0 suspects:", sorted(fd.suspected))
+    print("gossip candidates:", services[0].gossip_candidates(360.0))
+    print("membership unchanged:", services[0].current_members(360.0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: how badly does a targeted DoS attack hurt each protocol?
+
+Simulates Drum and the Push/Pull baselines propagating one multicast
+message through a 120-process group in which 10 % of the members are
+malicious and flood 10 % of the correct processes (including the
+source) with 128 fabricated messages per round — the paper's flagship
+scenario (Figure 3a at x = 128).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AttackSpec, Scenario, monte_carlo
+from repro.util import Table
+
+
+def main() -> None:
+    attack = AttackSpec(alpha=0.1, x=128)
+    table = Table(
+        "Propagation time to 99% of correct processes (n=120, 1000-run paper setting at 150 runs)",
+        ["protocol", "no attack [rounds]", "under attack [rounds]", "slowdown"],
+    )
+    for protocol in ("drum", "push", "pull"):
+        healthy = monte_carlo(
+            Scenario(protocol=protocol, n=120), runs=150, seed=1
+        ).mean_rounds()
+        attacked = monte_carlo(
+            Scenario(
+                protocol=protocol,
+                n=120,
+                malicious_fraction=0.1,
+                attack=attack,
+                max_rounds=400,
+            ),
+            runs=150,
+            seed=2,
+        ).mean_rounds()
+        table.add_row(protocol, healthy, attacked, f"{attacked / healthy:.1f}x")
+    print(table)
+    print()
+    print(
+        "Drum's propagation time barely moves under the attack, while the\n"
+        "push-only and pull-only baselines slow down by large factors —\n"
+        "the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

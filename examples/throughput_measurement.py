@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Throughput and latency under attack, Section 8 style.
+
+Runs the full-protocol measurement platform (push-offer handshake,
+unsynchronised rounds, purging, streams): one source sends a message
+stream at 40 msg/s while an attacker floods 10 % of the processes, and
+every correct receiver measures its received throughput and delivery
+latency — the Figure 10/11 experiment class, scaled to run in seconds.
+
+Run:  python examples/throughput_measurement.py
+"""
+
+import numpy as np
+
+from repro.adversary import AttackSpec
+from repro.des import ClusterConfig, run_throughput_experiment
+from repro.util import Table
+
+
+def main() -> None:
+    base = ClusterConfig(
+        n=30,
+        malicious_fraction=0.1,
+        messages=800,
+        send_rate=40.0,
+        round_duration_ms=500.0,
+        max_sends_per_partner=40,
+    )
+    table = Table(
+        "Received throughput and latency (source rate 40 msg/s, n=30, α=10%)",
+        ["protocol", "attack x", "throughput [msg/s]", "mean latency [ms]", "p99 latency [ms]"],
+    )
+    for protocol in ("drum", "push", "pull"):
+        for x in (0, 128):
+            attack = AttackSpec(alpha=0.1, x=float(x)) if x else None
+            config = base.with_(protocol=protocol, attack=attack)
+            result = run_throughput_experiment(config, seed=21)
+            throughput = result.throughput()
+            latencies = [
+                latency
+                for samples in result.latencies_by_process().values()
+                for latency in samples
+            ]
+            table.add_row(
+                protocol,
+                x,
+                throughput.mean_msgs_per_sec,
+                float(np.mean(latencies)),
+                float(np.percentile(latencies, 99)),
+            )
+    print(table)
+    print()
+    print(
+        "Drum keeps the full 40 msg/s under attack; Pull loses messages to\n"
+        "purging (its flooded source cannot export them in time) and Push's\n"
+        "attacked receivers fall behind — the Figure 10 result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The evaluation environment has no network access and no ``wheel``
+package, so PEP 660 editable installs (which build a wheel) fail.  This
+shim lets ``pip install -e . --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

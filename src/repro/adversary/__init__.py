@@ -1,0 +1,39 @@
+"""Attack models and adversary strategies.
+
+The paper's adversary focuses on a fraction ``α`` of the processes and
+sends each of them ``x`` fabricated messages per round, for a total
+strength ``B = x·α·n``.  This package expresses those attacks
+(:class:`~repro.adversary.attacks.AttackSpec`), injects them into the
+simulated network (:class:`~repro.adversary.attacker.RoundAttacker`),
+and enumerates the strategy sweeps of Sections 7.2–7.3
+(:mod:`repro.adversary.strategies`).
+"""
+
+from repro.adversary.attacks import AttackSpec, PortLoad
+from repro.adversary.attacker import RoundAttacker
+from repro.adversary.adaptive import (
+    AdaptiveAttacker,
+    FrontierAttacker,
+    RotatingAttacker,
+)
+from repro.adversary.snooping import SnoopingAttacker
+from repro.adversary.strategies import (
+    fixed_budget_sweep,
+    increasing_extent_sweep,
+    increasing_rate_sweep,
+    relative_budget_sweep,
+)
+
+__all__ = [
+    "AdaptiveAttacker",
+    "AttackSpec",
+    "FrontierAttacker",
+    "PortLoad",
+    "RotatingAttacker",
+    "RoundAttacker",
+    "SnoopingAttacker",
+    "fixed_budget_sweep",
+    "increasing_extent_sweep",
+    "increasing_rate_sweep",
+    "relative_budget_sweep",
+]

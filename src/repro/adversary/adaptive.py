@@ -1,0 +1,96 @@
+"""Adaptive adversaries — a beyond-the-paper ablation.
+
+The paper's adversary fixes its victim set in advance.  A natural
+escalation is an adversary that *re-targets every round*:
+
+- :class:`RotatingAttacker` re-draws a random victim set each round,
+  modelling an attacker cycling through the group to evade detection;
+- :class:`FrontierAttacker` is an omniscient worst case: it always
+  floods the correct processes that do not yet hold M (plus the source),
+  i.e., exactly the epidemic's frontier.
+
+Drum's design argument predicts adaptivity should not help much: an
+attacked process can still *send* (its push targets are its own random
+choices) and still *receive* (pull replies arrive on unpredictable
+ports), no matter how cleverly the victim set moves.  The
+``bench_adaptive_adversary`` benchmark quantifies this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.adversary.attacker import RoundAttacker
+from repro.adversary.attacks import AttackSpec
+from repro.core.config import ProtocolKind
+from repro.net.network import Network
+from repro.util.rng import SeedLike
+
+
+class AdaptiveAttacker(RoundAttacker):
+    """Base class: re-chooses victims before each round's flood.
+
+    ``candidates`` is the pool of attackable (correct, alive) processes;
+    ``budget_victims`` is how many the per-round budget covers (the same
+    ``α·n`` as the static attack, so comparisons are budget-fair).
+    """
+
+    def __init__(
+        self,
+        spec: AttackSpec,
+        kind: ProtocolKind,
+        candidates: Sequence[int],
+        network: Network,
+        *,
+        n: int,
+        seed: SeedLike = None,
+    ):
+        self.candidates = list(candidates)
+        self.budget_victims = max(1, spec.victim_count(n))
+        super().__init__(spec, kind, list(self.candidates), network, seed=seed)
+
+    def observe_round(self, holders: Dict[int, bool]) -> None:
+        """Called by the engine before each round's injection with the
+        current has-M state of every correct process."""
+        self.victims = self.choose_victims(holders)
+
+    def choose_victims(self, holders: Dict[int, bool]) -> List[int]:
+        raise NotImplementedError
+
+
+class RotatingAttacker(AdaptiveAttacker):
+    """Re-draws a uniformly random victim set every round."""
+
+    def choose_victims(self, holders: Dict[int, bool]) -> List[int]:
+        count = min(self.budget_victims, len(self.candidates))
+        idx = self._rng.choice(len(self.candidates), size=count, replace=False)
+        return [self.candidates[i] for i in idx]
+
+
+class FrontierAttacker(AdaptiveAttacker):
+    """Omnisciently floods the processes that do not yet hold M.
+
+    The source is always included (suppressing its sending matters even
+    after it is "covered"); remaining budget goes to uninfected
+    processes, topped up with random infected ones when the frontier is
+    smaller than the budget.
+    """
+
+    def __init__(self, *args, source: int = 0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.source = source
+
+    def choose_victims(self, holders: Dict[int, bool]) -> List[int]:
+        count = min(self.budget_victims, len(self.candidates))
+        frontier = [
+            pid for pid in self.candidates
+            if not holders.get(pid, False) and pid != self.source
+        ]
+        victims = [self.source] if self.source in self.candidates else []
+        self._rng.shuffle(frontier)
+        victims.extend(frontier[: count - len(victims)])
+        if len(victims) < count:
+            rest = [p for p in self.candidates if p not in set(victims)]
+            self._rng.shuffle(rest)
+            victims.extend(rest[: count - len(victims)])
+        return victims

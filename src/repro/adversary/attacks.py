@@ -1,0 +1,96 @@
+"""Attack specifications.
+
+An :class:`AttackSpec` is the paper's ``(α, x)`` pair: the adversary
+attacks a fraction ``α`` of the processes with ``x`` fabricated messages
+per round each.  How those ``x`` messages divide across a victim's ports
+depends on the protocol under attack:
+
+- Drum (and shared-bounds Drum): ``x/2`` to the push port, ``x/2`` to
+  the pull-request port;
+- Push: all ``x`` to the push port;
+- Pull: all ``x`` to the pull-request port;
+- no-random-ports Drum: ``x/2`` push, and the pull share split again —
+  ``x/4`` pull-request, ``x/4`` pull-reply (Section 9's model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ProtocolKind
+from repro.util import check_fraction, check_non_negative
+
+
+@dataclass(frozen=True)
+class PortLoad:
+    """Fabricated messages per round aimed at each port of one victim."""
+
+    push: float = 0.0
+    pull_request: float = 0.0
+    pull_reply: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.push + self.pull_request + self.pull_reply
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A DoS attack: rate ``x`` against a fraction ``α`` of processes.
+
+    ``alpha`` is a fraction of *all* ``n`` group members; the attacked
+    processes themselves are correct ones and always include the message
+    source (the paper's convention).  ``x`` may be fractional — fixed
+    budget sweeps produce non-integral per-round rates, which the
+    injector realises by randomised rounding.
+    """
+
+    alpha: float
+    x: float
+
+    def __post_init__(self) -> None:
+        check_fraction("alpha", self.alpha)
+        check_non_negative("x", self.x)
+
+    def total_strength(self, n: int) -> float:
+        """``B = x·α·n``, the adversary's total per-round send rate."""
+        return self.x * self.alpha * n
+
+    def relative_strength(self, n: int, fan_out: int) -> float:
+        """``c = B / (F·n)``: attack strength over total system capacity."""
+        return self.total_strength(n) / (fan_out * n)
+
+    @classmethod
+    def fixed_budget(cls, total_strength: float, alpha: float, n: int) -> "AttackSpec":
+        """The attack spending a fixed budget ``B`` over a fraction ``α``."""
+        check_non_negative("total_strength", total_strength)
+        check_fraction("alpha", alpha)
+        if n <= 0:
+            raise ValueError(f"n must be > 0, got {n}")
+        return cls(alpha=alpha, x=total_strength / (alpha * n))
+
+    @classmethod
+    def relative_budget(
+        cls, c: float, alpha: float, n: int, fan_out: int
+    ) -> "AttackSpec":
+        """The attack with strength ``c`` times total system capacity."""
+        return cls.fixed_budget(c * fan_out * n, alpha, n)
+
+    def victim_count(self, n: int) -> int:
+        """Number of attacked processes (``α·n``, rounded)."""
+        return int(round(self.alpha * n))
+
+    def port_load(self, kind: ProtocolKind) -> PortLoad:
+        """How ``x`` splits across one victim's ports for ``kind``."""
+        if kind is ProtocolKind.PUSH:
+            return PortLoad(push=self.x)
+        if kind is ProtocolKind.PULL:
+            return PortLoad(pull_request=self.x)
+        if kind is ProtocolKind.DRUM_NO_RANDOM_PORTS:
+            return PortLoad(
+                push=self.x / 2,
+                pull_request=self.x / 4,
+                pull_reply=self.x / 4,
+            )
+        # Drum and shared-bounds Drum.
+        return PortLoad(push=self.x / 2, pull_request=self.x / 2)

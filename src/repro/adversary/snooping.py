@@ -1,0 +1,109 @@
+"""A snooping adversary — why Drum *encrypts* its random ports.
+
+Section 4: "The random ports transmitted during the push and pull
+operations are encrypted (e.g., using the recipient's public key), in
+order to prevent an adversary from discovering them."
+
+This module makes that sentence testable.  The
+:class:`SnoopingAttacker` wiretaps every packet (the paper's model lets
+the adversary snoop), harvests any pull-request reply port it can read,
+and redirects its pull budget onto those harvested live ports instead of
+the well-known request port.  Two regimes:
+
+- **ports sealed** (Drum proper): the tap sees only
+  :class:`~repro.crypto.encryption.SealedEnvelope` objects — nothing to
+  harvest, the attack degenerates, Drum is unharmed;
+- **ports in cleartext** (the ablation — run the simulator without
+  distributing public keys): every advertised reply port is harvested
+  the moment it crosses the wire, and the attacker floods exactly the
+  ports where pull-replies are awaited, reproducing the
+  well-known-ports collapse even though the ports are random.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set, Tuple
+
+from repro.adversary.attacker import RoundAttacker
+from repro.adversary.attacks import AttackSpec
+from repro.core.config import ProtocolKind
+from repro.core.message import PullRequest
+from repro.net.address import Address
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.util.rng import SeedLike
+
+
+class SnoopingAttacker(RoundAttacker):
+    """Wiretaps the network and floods harvested reply ports."""
+
+    def __init__(
+        self,
+        spec: AttackSpec,
+        kind: ProtocolKind,
+        victims: Sequence[int],
+        network: Network,
+        *,
+        seed: SeedLike = None,
+        port_memory_rounds: int = 2,
+    ):
+        super().__init__(spec, kind, victims, network, seed=seed)
+        self._victim_set: Set[int] = set(victims)
+        #: Harvested (victim, port) with remaining useful rounds.
+        self._harvested: Dict[Tuple[int, int], int] = {}
+        self.port_memory_rounds = port_memory_rounds
+        self.harvested_total = 0
+        network.add_snooper(self._snoop)
+
+    # -- wiretap ------------------------------------------------------------
+
+    def _snoop(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not isinstance(payload, PullRequest):
+            return
+        if payload.sender not in self._victim_set:
+            return
+        # The tap reads what is on the wire.  A sealed envelope exposes
+        # nothing; a plain integer is a harvested live port.
+        if isinstance(payload.reply_port, int):
+            self._harvested[(payload.sender, payload.reply_port)] = (
+                self.port_memory_rounds
+            )
+            self.harvested_total += 1
+
+    # -- flooding --------------------------------------------------------------
+
+    def inject_round(self) -> int:
+        """Flood the push port normally; aim the pull budget at
+        harvested reply ports (falling back to the request port when
+        nothing has been harvested)."""
+        load = self.spec.port_load(self.kind)
+        injected = 0
+        from repro.net.address import PORT_PULL_REQUEST, PORT_PUSH_DATA
+
+        live = [key for key, ttl in self._harvested.items() if ttl > 0]
+        for victim in self.victims:
+            if load.push > 0:
+                count = self._sample_count(load.push)
+                if count:
+                    self.network.flood(Address(victim, PORT_PUSH_DATA), count)
+                    injected += count
+            if load.pull_request > 0:
+                victim_ports = [p for (v, p) in live if v == victim]
+                budget = self._sample_count(load.pull_request)
+                if victim_ports and budget:
+                    per_port = max(1, budget // len(victim_ports))
+                    for port in victim_ports:
+                        self.network.flood(Address(victim, port), per_port)
+                        injected += per_port
+                elif budget:
+                    self.network.flood(
+                        Address(victim, PORT_PULL_REQUEST), budget
+                    )
+                    injected += budget
+        for key in list(self._harvested):
+            self._harvested[key] -= 1
+            if self._harvested[key] <= 0:
+                del self._harvested[key]
+        self.injected_total += injected
+        return injected

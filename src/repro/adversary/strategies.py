@@ -1,0 +1,46 @@
+"""Adversary strategy sweeps (Sections 5, 7.2, 7.3).
+
+Three families of attacks parameterise the paper's evaluation:
+
+- *increasing rate*: fix the extent α, grow the per-victim rate x
+  (Figures 3a, 4a, 9a, 10a, 12);
+- *increasing extent*: fix x, grow α — total strength B grows too
+  (Figures 3b, 4b, 9b, 10b);
+- *fixed budget*: fix B and trade extent against rate, x = B/(α·n)
+  (Figures 7 and 8) — the sweep that reveals whether focusing the
+  attack on few processes pays off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.adversary.attacks import AttackSpec
+
+
+def increasing_rate_sweep(alpha: float, rates: Sequence[float]) -> List[AttackSpec]:
+    """Attacks with fixed extent ``alpha`` and growing rates ``x``."""
+    return [AttackSpec(alpha=alpha, x=float(x)) for x in rates]
+
+
+def increasing_extent_sweep(x: float, alphas: Sequence[float]) -> List[AttackSpec]:
+    """Attacks with fixed rate ``x`` and growing extents ``α``."""
+    return [AttackSpec(alpha=float(a), x=x) for a in alphas]
+
+
+def fixed_budget_sweep(
+    total_strength: float, alphas: Sequence[float], n: int
+) -> List[AttackSpec]:
+    """Attacks spending budget ``B`` spread over each extent in ``alphas``."""
+    return [
+        AttackSpec.fixed_budget(total_strength, float(a), n) for a in alphas
+    ]
+
+
+def relative_budget_sweep(
+    c: float, alphas: Sequence[float], n: int, fan_out: int
+) -> List[AttackSpec]:
+    """Fixed-budget sweep with strength given as ``c`` × system capacity."""
+    return [
+        AttackSpec.relative_budget(c, float(a), n, fan_out) for a in alphas
+    ]

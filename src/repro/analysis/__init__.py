@@ -1,0 +1,63 @@
+"""Closed-form and numerical analysis of the protocols under DoS.
+
+Reproduces the paper's mathematics:
+
+- :mod:`repro.analysis.acceptance` — Appendix A: the probabilities
+  ``p_u`` / ``p_a`` that a valid message is accepted by a non-attacked /
+  attacked process, and their properties (``p_u > 0.6``,
+  ``p_a < F/x``, the ``dp_a/dα`` bound of Lemma 7).
+- :mod:`repro.analysis.pull_source` — Appendix B: the probability ``p̃``
+  that M escapes the source in a round under Pull, and the geometric
+  escape-time distribution behind Pull's huge variance.
+- :mod:`repro.analysis.asymptotic` — Section 6: Drum's effective
+  fan-in/fan-out (Lemmas 1–2), Push's lower bound (Lemma 4 /
+  Corollary 1), and Pull's linear escape time (Lemma 6 / Corollary 2).
+- :mod:`repro.analysis.numerical` — Appendix C: the exact round-by-round
+  recursion for the expected number of processes holding M, with and
+  without DoS attacks, cross-validated against the simulators
+  (Figures 13–14).
+"""
+
+from repro.analysis.acceptance import (
+    accept_probability_attacked,
+    accept_probability_unattacked,
+    attacked_probability_derivative_x,
+)
+from repro.analysis.pull_source import (
+    escape_probability,
+    expected_escape_rounds,
+    escape_time_std,
+    probability_still_stuck,
+)
+from repro.analysis.asymptotic import (
+    drum_effective_degrees,
+    drum_propagation_upper_bound_rounds,
+    push_propagation_lower_bound,
+    pull_escape_lower_bound,
+)
+from repro.analysis.numerical import (
+    AnalysisCurves,
+    coverage_curve_attack,
+    coverage_curve_no_attack,
+    discard_probability,
+    discard_probability_attacked,
+)
+
+__all__ = [
+    "AnalysisCurves",
+    "accept_probability_attacked",
+    "accept_probability_unattacked",
+    "attacked_probability_derivative_x",
+    "coverage_curve_attack",
+    "coverage_curve_no_attack",
+    "discard_probability",
+    "discard_probability_attacked",
+    "drum_effective_degrees",
+    "drum_propagation_upper_bound_rounds",
+    "escape_probability",
+    "escape_time_std",
+    "expected_escape_rounds",
+    "probability_still_stuck",
+    "pull_escape_lower_bound",
+    "push_propagation_lower_bound",
+]

@@ -1,0 +1,103 @@
+"""Appendix A: per-message acceptance probabilities.
+
+A process accepts at most ``F`` messages per round on a channel.  Given
+that some correct process sent it a message, the number of *other* valid
+messages competing in the same round is ``Y - 1 ~ Binomial(n-2, q)``
+with ``q = F/(n-1)``; an attacked process additionally receives ``x``
+fabricated messages.  The acceptance probability of the tagged message
+is ``E[min(1, F/(Y + x))]``.
+
+The paper's headline facts, all reproduced here and checked by tests:
+
+- ``p_u > 0.6`` for every fan-out (Lemma 8 / Figure 1a);
+- ``p_a < F/x`` (the coarse bound behind every asymptotic result);
+- ``dp_a/dα < F/(αx)`` for fixed-budget attacks (Lemma 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.util import check_non_negative
+
+
+def _validate(n: int, fan_out: int) -> None:
+    if n < 3:
+        raise ValueError(f"n must be >= 3, got {n}")
+    if not 1 <= fan_out < n:
+        raise ValueError(f"fan_out must be in [1, n), got {fan_out}")
+
+
+def _competition_pmf(n: int, fan_out: int) -> np.ndarray:
+    """PMF of ``Y`` (total valid arrivals, including the tagged message).
+
+    ``Y`` ranges over 1..n-1; entry ``i`` of the returned array is
+    ``Pr(Y = i + 1)``.
+    """
+    q = fan_out / (n - 1)
+    y_minus_1 = np.arange(0, n - 1)
+    return stats.binom.pmf(y_minus_1, n - 2, q)
+
+
+def accept_probability_unattacked(n: int, fan_out: int) -> float:
+    """``p_u``: acceptance probability at a non-attacked process."""
+    _validate(n, fan_out)
+    pmf = _competition_pmf(n, fan_out)
+    y = np.arange(1, n)
+    accept = np.minimum(1.0, fan_out / y)
+    return float(np.sum(accept * pmf))
+
+
+def accept_probability_attacked(n: int, fan_out: int, x: float) -> float:
+    """``p_a``: acceptance probability at a process flooded with ``x``.
+
+    ``x`` is the number of fabricated messages landing on the same
+    channel per round.  ``x = 0`` reduces to ``p_u``.
+    """
+    _validate(n, fan_out)
+    check_non_negative("x", x)
+    pmf = _competition_pmf(n, fan_out)
+    y = np.arange(1, n)
+    accept = np.minimum(1.0, fan_out / (y + x))
+    return float(np.sum(accept * pmf))
+
+
+def attacked_probability_derivative_x(n: int, fan_out: int, x: float) -> float:
+    """``dp_a/dx``: always negative — more flood, less acceptance.
+
+    Only the flooded regime (``y + x > F``) contributes; the paper's
+    Appendix A computes the same sum for ``x >= F``, where every term is
+    flooded.
+    """
+    _validate(n, fan_out)
+    check_non_negative("x", x)
+    pmf = _competition_pmf(n, fan_out)
+    y = np.arange(1, n)
+    flooded = (y + x) > fan_out
+    terms = np.where(flooded, -fan_out / (y + x) ** 2, 0.0)
+    return float(np.sum(terms * pmf))
+
+
+def attacked_probability_derivative_alpha(
+    n: int, fan_out: int, total_strength: float, alpha: float
+) -> float:
+    """``dp_a/dα`` under a fixed budget ``B``: ``x = B/(αn)``.
+
+    Lemma 7 bounds this above by ``F/(αx)``; it is positive — widening
+    a fixed-budget attack *raises* each victim's acceptance probability
+    because each victim is hit more lightly.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    x = total_strength / (alpha * n)
+    dp_dx = attacked_probability_derivative_x(n, fan_out, x)
+    dx_dalpha = -total_strength / (alpha**2 * n)
+    return dp_dx * dx_dalpha
+
+
+def coarse_bound_attacked(fan_out: int, x: float) -> float:
+    """The paper's coarse bound ``p_a < F/x`` (for ``x > 0``)."""
+    if x <= 0:
+        raise ValueError(f"x must be > 0 for the F/x bound, got {x}")
+    return fan_out / x

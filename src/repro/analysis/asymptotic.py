@@ -1,0 +1,134 @@
+"""Section 6: asymptotic latency bounds.
+
+The paper's central qualitative claims, as computable functions:
+
+- **Drum** (Lemmas 1–2): the effective per-round fan-in/fan-out of every
+  process is bounded below by a constant independent of the attack rate
+  ``x``, so propagation time stays bounded; and for strong fixed-budget
+  attacks the adversary's best strategy is to spread over *all*
+  processes.
+- **Push** (Lemma 4 / Corollary 1): a lower bound on propagation time
+  that grows linearly in ``x`` — the attacked processes' intake shrinks
+  like ``F·α·p_a = O(1/x)``.
+- **Pull** (Lemma 6 / Corollary 2): the expected time for M to leave the
+  attacked source grows linearly in ``x``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.acceptance import (
+    accept_probability_attacked,
+    accept_probability_unattacked,
+)
+
+
+@dataclass(frozen=True)
+class EffectiveDegrees:
+    """Effective expected fan-in/out of attacked and non-attacked processes."""
+
+    attacked: float
+    unattacked: float
+
+
+def drum_effective_degrees(
+    n: int, fan_out: int, alpha: float, x: float
+) -> EffectiveDegrees:
+    """Equations (6)–(7): Drum's effective fan-in = fan-out per class.
+
+    ``O^a = I^a = F((α+1)/2 · p_a + (1-α)/2 · p_u)`` and
+    ``O^u = I^u = F(α/2 · p_a + (2-α)/2 · p_u)``.
+    """
+    if not 0 <= alpha <= 1:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    p_a = accept_probability_attacked(n, fan_out, x)
+    p_u = accept_probability_unattacked(n, fan_out)
+    attacked = fan_out * ((alpha + 1) / 2 * p_a + (1 - alpha) / 2 * p_u)
+    unattacked = fan_out * (alpha / 2 * p_a + (2 - alpha) / 2 * p_u)
+    return EffectiveDegrees(attacked=attacked, unattacked=unattacked)
+
+
+def drum_degree_lower_bound(n: int, fan_out: int, alpha: float) -> float:
+    """Lemma 1's x-independent floor on every Drum process's degree.
+
+    As ``x → ∞``, ``p_a → 0`` and the attacked processes' degree tends
+    to ``F·(1-α)/2·p_u`` — still a positive constant for ``α < 1``,
+    which is why Drum's propagation time cannot be driven up by rate
+    alone.
+    """
+    if not 0 <= alpha < 1:
+        raise ValueError(f"alpha must be in [0, 1) for the bound, got {alpha}")
+    p_u = accept_probability_unattacked(n, fan_out)
+    return fan_out * (1 - alpha) / 2 * p_u
+
+
+def drum_propagation_upper_bound_rounds(
+    n: int, fan_out: int, alpha: float
+) -> float:
+    """A constant (x-independent) upper bound on Drum's propagation time.
+
+    With every process's effective degree at least ``d`` (Lemma 1's
+    floor), an epidemic reaches n processes in ``O(log n / log(1 + d))``
+    rounds [Pittel'87, KSSV'00]; the constant here is indicative, the
+    point being its *independence of x*.
+    """
+    d = drum_degree_lower_bound(n, fan_out, alpha)
+    if d <= 0:
+        return float("inf")
+    return math.log(n) / math.log(1.0 + d) + 1.0
+
+
+def push_propagation_lower_bound(
+    n: int, fan_out: int, alpha: float, x: float
+) -> float:
+    """Lemma 4: rounds for Push to reach everyone, from below.
+
+    ``(ln n - ln((1-α)n + 1)) / ln(1 + F·α·p_a)`` — even if every
+    non-attacked process already has M, pushing it into the attacked set
+    takes this long.  Grows as Θ(x) (Corollary 1).
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    p_a = accept_probability_attacked(n, fan_out, x)
+    rate = fan_out * alpha * p_a
+    if rate <= 0:
+        return float("inf")
+    return (math.log(n) - math.log((1 - alpha) * n + 1)) / math.log(1 + rate)
+
+
+def pull_escape_lower_bound(n: int, fan_out: int, x: float) -> float:
+    """Lemma 6: expected rounds for M to leave the source, from below.
+
+    Over-estimates ``p̃`` by letting all ``n-1`` processes pull from the
+    source every round with per-request read probability below ``F/x``:
+    ``E[escape] > 1 / (1 - (1 - F/x)^{n-1})``.  Θ(x) for fixed n
+    (Corollary 2 via Lemma 5).
+    """
+    if x <= fan_out:
+        return 1.0
+    p_tilde_upper = 1.0 - (1.0 - fan_out / x) ** (n - 1)
+    return 1.0 / p_tilde_upper
+
+
+def lemma3_log_bound(a: float) -> bool:
+    """Lemma 3: ``1/ln(1 + 1/a) < a + 1`` for all ``a > 0``."""
+    if a <= 0:
+        raise ValueError(f"a must be > 0, got {a}")
+    return 1.0 / math.log(1.0 + 1.0 / a) < a + 1.0
+
+
+def lemma5_theta_x(x: float, fan_out: int, b: int) -> float:
+    """Lemma 5's quantity ``x^b / (x^b - (x-F)^b)``, computed stably.
+
+    Sandwiched between ``(x-F)/(bF)`` and ``x/(bF) + 1``; Θ(x) for
+    fixed b.  Evaluated in log-space so large exponents do not overflow.
+    """
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    if x <= fan_out:
+        raise ValueError(f"x must exceed fan_out, got x={x}, F={fan_out}")
+    # x^b / (x^b - (x-F)^b) = 1 / (1 - r^b), r = 1 - F/x
+    ratio_pow = math.exp(b * math.log(1.0 - fan_out / x))
+    return 1.0 / (1.0 - ratio_pow)

@@ -1,0 +1,482 @@
+"""Appendix C: exact round-by-round numerical analysis.
+
+Computes the full probability distribution of the number of correct
+processes holding M at the start of each round, for Push, Pull, and
+Drum, with and without a DoS attack — the curves the paper overlays on
+its simulations in Figures 13 and 14 and finds "virtually identical".
+
+Model (the paper's):
+
+- the tagged message competes with ``Y - 1`` other valid arrivals on a
+  channel, where ``Y - 1 ~ Binomial(n - b - 2, q·(1-ε))`` with
+  ``q = |view|/(n-1)`` (link loss thins the binomial exactly);
+- an attacked channel additionally receives ``X̂ ~ Binomial(x_port,
+  1-ε)`` fabricated messages;
+- per-(sender, target, round) success probabilities ``p_push`` /
+  ``p_pull`` compose into the probability ``q*`` that *no* holder
+  infects a given process this round, and the number of new holders per
+  class is binomial — iterated over rounds as an exact recursion on the
+  joint distribution of (non-attacked holders, attacked holders).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.adversary.attacks import AttackSpec
+from repro.core.config import ProtocolConfig, ProtocolKind
+
+#: Probability mass below which a state is dropped from the recursion.
+_MASS_TOL = 1e-12
+
+
+def _truncated_binom(n: int, p: float, tol: float = 1e-10) -> Tuple[int, np.ndarray]:
+    """Support offset and pmf of Binomial(n, p), truncated to mass > tol."""
+    if n <= 0 or p <= 0.0:
+        return 0, np.ones(1)
+    ks = np.arange(n + 1)
+    pmf = stats.binom.pmf(ks, n, p)
+    keep = np.flatnonzero(pmf > tol)
+    if len(keep) == 0:
+        return int(np.argmax(pmf)), np.ones(1)
+    lo, hi = keep[0], keep[-1]
+    window = pmf[lo : hi + 1]
+    return int(lo), window / window.sum()
+
+
+def _push_miss_table(
+    n: int,
+    b: int,
+    view: int,
+    f_in: int,
+    loss: float,
+    x_port: float,
+    max_holders: int,
+) -> np.ndarray:
+    """Exact ``q_push(i)``: P(no holder's push is accepted | i holders).
+
+    Refines the paper's independent-holder approximation
+    ``(1 - p_push)^i``: when several holders push to the same flooded
+    channel, the accepted subset is drawn *without replacement*, so
+
+        P(none of k holder arrivals accepted | total load t)
+            = C(t - k, F) / C(t, F)
+
+    which is strictly smaller than ``((t - F)/t)^k``.  The table is
+    indexed by the holder count ``i``; arrival counts are binomial with
+    truncated supports, so the whole table costs well under a second
+    even at n = 1000.
+    """
+    alive = n - b
+    s = (view / (n - 1)) * (1.0 - loss)
+    x_int = int(round(x_port))
+    x_off, x_pmf = _truncated_binom(x_int, 1.0 - loss)
+    table = np.ones(max_holders + 1)
+    for i in range(1, max_holders + 1):
+        k_off, k_pmf = _truncated_binom(i, s)
+        o_off, o_pmf = _truncated_binom(max(0, alive - 1 - i), s)
+        k_vals = k_off + np.arange(len(k_pmf))
+        o_vals = o_off + np.arange(len(o_pmf))
+        x_vals = x_off + np.arange(len(x_pmf))
+        total = (
+            k_vals[:, None, None] + o_vals[None, :, None] + x_vals[None, None, :]
+        ).astype(float)
+        k_grid = k_vals[:, None, None].astype(float)
+        # P(no holder arrival accepted) = Π_{j<k} (t - F - j)/(t - j);
+        # zero when k > t - F (some holder arrival must be accepted),
+        # and one when k = 0.
+        miss = np.ones_like(total)
+        max_k = int(k_vals[-1])
+        run = np.ones_like(total)
+        for j in range(max_k):
+            factor = np.clip((total - f_in - j), 0.0, None) / np.maximum(
+                total - j, 1.0
+            )
+            run = run * factor
+            miss = np.where(k_grid == j + 1, run, miss)
+        miss = np.where(k_grid == 0, 1.0, miss)
+        table[i] = float(
+            np.einsum("k,o,x,kox->", k_pmf, o_pmf, x_pmf, miss)
+        )
+    return table
+
+
+def discard_probability(
+    n: int, b: int, view_size: int, f_in: int, loss: float
+) -> float:
+    """``d``: probability a delivered valid message is discarded (no attack).
+
+    The channel accepts ``f_in`` messages per round; the tagged message
+    is discarded with probability ``(Y - f_in)/Y`` when ``Y > f_in``.
+    """
+    if view_size == 0:
+        return 0.0
+    alive = n - b
+    if alive < 3:
+        return 0.0
+    q = view_size / (n - 1)
+    y_other = np.arange(0, alive - 1)  # Y - 1
+    pmf = stats.binom.pmf(y_other, alive - 2, q * (1.0 - loss))
+    y = y_other + 1
+    discard = np.where(y > f_in, (y - f_in) / y, 0.0)
+    return float(np.sum(discard * pmf))
+
+
+def discard_probability_attacked(
+    n: int, b: int, view_size: int, f_in: int, loss: float, x_port: float
+) -> float:
+    """``d^a``: discard probability at a process flooded with ``x_port``."""
+    if view_size == 0:
+        return 0.0
+    alive = n - b
+    if alive < 3:
+        return 0.0
+    x_int = int(round(x_port))
+    if x_int == 0:
+        return discard_probability(n, b, view_size, f_in, loss)
+    q = view_size / (n - 1)
+    y_other = np.arange(0, alive - 1)
+    pmf_y = stats.binom.pmf(y_other, alive - 2, q * (1.0 - loss))
+    x_hat = np.arange(0, x_int + 1)
+    pmf_x = stats.binom.pmf(x_hat, x_int, 1.0 - loss)
+    y = (y_other + 1)[:, None]
+    total = y + x_hat[None, :]
+    discard = np.maximum(0.0, (total - f_in) / total)
+    return float(pmf_y @ discard @ pmf_x)
+
+
+@dataclass(frozen=True)
+class _LinkProbs:
+    """Per-(sender, target, round) success probabilities by class."""
+
+    push_u: float
+    push_a: float
+    pull_u: float
+    pull_a: float
+
+
+def _link_probabilities(
+    kind: ProtocolKind,
+    n: int,
+    b: int,
+    fan_out: int,
+    loss: float,
+    attack: Optional[AttackSpec],
+) -> _LinkProbs:
+    cfg = ProtocolConfig(kind=kind, fan_out=fan_out)
+    vp, vq = cfg.view_push_size, cfg.view_pull_size
+    fp, fq = cfg.push_in_bound, cfg.pull_in_bound
+    load = attack.port_load(kind) if attack is not None else None
+
+    def _push(x_port: float) -> float:
+        if vp == 0:
+            return 0.0
+        d = (
+            discard_probability_attacked(n, b, vp, fp, loss, x_port)
+            if x_port > 0
+            else discard_probability(n, b, vp, fp, loss)
+        )
+        return (vp / (n - 1)) * (1.0 - loss) * (1.0 - d)
+
+    def _pull(x_port: float) -> float:
+        if vq == 0:
+            return 0.0
+        d = (
+            discard_probability_attacked(n, b, vq, fq, loss, x_port)
+            if x_port > 0
+            else discard_probability(n, b, vq, fq, loss)
+        )
+        return (vq / (n - 1)) * (1.0 - loss) ** 2 * (1.0 - d)
+
+    return _LinkProbs(
+        push_u=_push(0.0),
+        push_a=_push(load.push if load else 0.0),
+        pull_u=_pull(0.0),
+        pull_a=_pull(load.pull_request if load else 0.0),
+    )
+
+
+@dataclass
+class AnalysisCurves:
+    """Expected coverage per round, total and split by attack class.
+
+    ``completion`` (when tracked) holds, per round, the *probability*
+    that the coverage target has been reached — the full distribution of
+    the propagation time, not just its expectation.
+    """
+
+    kind: ProtocolKind
+    coverage: np.ndarray
+    coverage_attacked: Optional[np.ndarray] = None
+    coverage_unattacked: Optional[np.ndarray] = None
+    completion: Optional[np.ndarray] = None
+    completion_fraction: Optional[float] = None
+
+    def expected_rounds_to_completion(self) -> float:
+        """E[rounds to the tracked coverage fraction] = Σ (1 - CDF).
+
+        Requires the curve to have been computed with
+        ``track_completion``; the horizon tail contributes its censored
+        mass at the final round.
+        """
+        if self.completion is None:
+            raise ValueError(
+                "curve was computed without track_completion"
+            )
+        survival = 1.0 - self.completion
+        return float(survival[:-1].sum())
+
+    def rounds_to_fraction(self, fraction: float) -> float:
+        """First round at which expected coverage reaches ``fraction``.
+
+        Interpolates linearly between rounds; ``nan`` if never reached
+        within the computed horizon.
+        """
+        cov = self.coverage
+        idx = np.argmax(cov >= fraction)
+        if cov[idx] < fraction:
+            return float("nan")
+        if idx == 0:
+            return 0.0
+        prev, cur = cov[idx - 1], cov[idx]
+        return float(idx - 1 + (fraction - prev) / (cur - prev))
+
+
+def coverage_curve_no_attack(
+    kind: ProtocolKind,
+    n: int,
+    b: int = 0,
+    *,
+    fan_out: int = 4,
+    loss: float = 0.01,
+    rounds: int = 30,
+    refined: bool = False,
+    track_completion: Optional[float] = None,
+) -> AnalysisCurves:
+    """Expected coverage per round without an attack (Figure 13).
+
+    ``b`` counts inactive group members — crashed or adversary-silenced
+    — which neither send nor receive.  ``refined=True`` replaces the
+    paper's independent-holder approximation of push acceptance with the
+    exact without-replacement computation (see :func:`_push_miss_table`),
+    which tracks the object-level simulation even more closely.
+    ``track_completion=0.99`` additionally records, per round, the exact
+    probability that 99 % coverage has been reached — the propagation
+    time's distribution rather than just the coverage expectation.
+    """
+    kind = ProtocolKind(kind)
+    cfg = ProtocolConfig(kind=kind, fan_out=fan_out)
+    probs = _link_probabilities(kind, n, b, fan_out, loss, None)
+    alive = n - b
+
+    holders = np.arange(alive + 1)
+    if kind.uses_push:
+        if refined:
+            push_miss = _push_miss_table(
+                n, b, cfg.view_push_size, cfg.push_in_bound, loss, 0.0, alive
+            )
+        else:
+            push_miss = (1.0 - probs.push_u) ** holders
+    else:
+        push_miss = np.ones(alive + 1)
+    if kind.uses_pull:
+        if refined:
+            # The requester sends exactly |view_pull| requests, so the
+            # miss probability saturates with the holder fraction rather
+            # than decaying per holder.
+            succ = probs.pull_u * (n - 1) / cfg.view_pull_size
+            pull_miss = np.clip(
+                1.0 - holders * succ / (n - 1), 0.0, 1.0
+            ) ** cfg.view_pull_size
+        else:
+            pull_miss = (1.0 - probs.pull_u) ** holders
+    else:
+        pull_miss = np.ones(alive + 1)
+    infect_by_holders = 1.0 - push_miss * pull_miss
+
+    dist = np.zeros(alive + 1)
+    dist[1] = 1.0
+    coverage = [1.0 / alive]
+    j_all = np.arange(alive + 1)
+    target = (
+        max(1, math.ceil(track_completion * alive - 1e-9))
+        if track_completion is not None
+        else None
+    )
+    completion = (
+        [float(dist[target:].sum())] if target is not None else None
+    )
+    for _ in range(rounds):
+        new_dist = np.zeros(alive + 1)
+        support = np.flatnonzero(dist > _MASS_TOL)
+        for i in support:
+            remaining = alive - i
+            pmf = stats.binom.pmf(
+                np.arange(remaining + 1), remaining, infect_by_holders[i]
+            )
+            new_dist[i : alive + 1] += dist[i] * pmf
+        dist = new_dist
+        coverage.append(float(dist @ j_all) / alive)
+        if completion is not None:
+            completion.append(float(dist[target:].sum()))
+    return AnalysisCurves(
+        kind=kind,
+        coverage=np.asarray(coverage),
+        completion=np.asarray(completion) if completion is not None else None,
+        completion_fraction=track_completion,
+    )
+
+
+def coverage_curve_attack(
+    kind: ProtocolKind,
+    n: int,
+    b: int,
+    attack: AttackSpec,
+    *,
+    fan_out: int = 4,
+    loss: float = 0.01,
+    rounds: int = 30,
+    refined: bool = False,
+    track_completion: Optional[float] = None,
+) -> AnalysisCurves:
+    """Expected coverage per round under a DoS attack (Figure 14).
+
+    Tracks the exact joint distribution of (non-attacked holders,
+    attacked holders); the source is attacked, as in the paper.
+    ``refined=True`` uses the exact without-replacement push acceptance
+    (see :func:`_push_miss_table`) instead of the paper's
+    independent-holder product.
+    """
+    kind = ProtocolKind(kind)
+    if kind not in (ProtocolKind.DRUM, ProtocolKind.PUSH, ProtocolKind.PULL):
+        raise ValueError(
+            f"Appendix C covers Drum, Push, and Pull; got {kind}"
+        )
+    probs = _link_probabilities(kind, n, b, fan_out, loss, attack)
+    num_attacked = attack.victim_count(n)
+    alive = n - b
+    n_a = num_attacked
+    n_u = alive - num_attacked
+    if n_a < 1:
+        raise ValueError("the attack must target at least the source")
+
+    push_miss_u = push_miss_a = None
+    pull_refined = None
+    if refined:
+        cfg = ProtocolConfig(kind=kind, fan_out=fan_out)
+        load = attack.port_load(kind)
+        if kind.uses_push:
+            push_miss_u = _push_miss_table(
+                n, b, cfg.view_push_size, cfg.push_in_bound, loss, 0.0, alive
+            )
+            push_miss_a = _push_miss_table(
+                n,
+                b,
+                cfg.view_push_size,
+                cfg.push_in_bound,
+                loss,
+                load.push,
+                alive,
+            )
+        if kind.uses_pull:
+            v = cfg.view_pull_size
+            pull_refined = (
+                probs.pull_u * (n - 1) / v,
+                probs.pull_a * (n - 1) / v,
+                v,
+            )
+
+    # Joint distribution over (i_u, i_a); the source starts alone.
+    dist = np.zeros((n_u + 1, n_a + 1))
+    dist[0, 1] = 1.0
+
+    ju = np.arange(n_u + 1)
+    ja = np.arange(n_a + 1)
+    cov_total, cov_a, cov_u = [], [], []
+    target = (
+        max(1, math.ceil(track_completion * alive - 1e-9))
+        if track_completion is not None
+        else None
+    )
+    completion: Optional[list] = [] if target is not None else None
+    total_holders = ju[:, None] + ja[None, :]
+
+    def _record() -> None:
+        mass_u = dist.sum(axis=1)
+        mass_a = dist.sum(axis=0)
+        e_u = float(mass_u @ ju)
+        e_a = float(mass_a @ ja)
+        cov_u.append(e_u / n_u if n_u else 1.0)
+        cov_a.append(e_a / n_a)
+        cov_total.append((e_u + e_a) / alive)
+        if completion is not None:
+            completion.append(float(dist[total_holders >= target].sum()))
+
+    _record()
+    for _ in range(rounds):
+        new_dist = np.zeros_like(dist)
+        idx_u, idx_a = np.nonzero(dist > _MASS_TOL)
+        for i_u, i_a in zip(idx_u, idx_a):
+            mass = dist[i_u, i_a]
+            q_u, q_a = _miss_probabilities(
+                kind, probs, i_u, i_a, push_miss_u, push_miss_a, pull_refined, n
+            )
+            rem_u = n_u - i_u
+            rem_a = n_a - i_a
+            pmf_u = stats.binom.pmf(np.arange(rem_u + 1), rem_u, 1.0 - q_u)
+            pmf_a = stats.binom.pmf(np.arange(rem_a + 1), rem_a, 1.0 - q_a)
+            new_dist[i_u:, i_a:] += mass * np.outer(pmf_u, pmf_a)
+        dist = new_dist
+        _record()
+
+    return AnalysisCurves(
+        kind=kind,
+        coverage=np.asarray(cov_total),
+        coverage_attacked=np.asarray(cov_a),
+        coverage_unattacked=np.asarray(cov_u),
+        completion=np.asarray(completion) if completion is not None else None,
+        completion_fraction=track_completion,
+    )
+
+
+def _miss_probabilities(
+    kind: ProtocolKind,
+    probs: _LinkProbs,
+    i_u: int,
+    i_a: int,
+    push_miss_u: Optional[np.ndarray] = None,
+    push_miss_a: Optional[np.ndarray] = None,
+    pull_refined: Optional[Tuple[float, float, int]] = None,
+    n: Optional[int] = None,
+) -> Tuple[float, float]:
+    """``(q_u*, q_a*)``: probability that a given non-attacked / attacked
+    process is *not* infected this round, given holder counts.
+
+    With the refined tables/terms absent, this is exactly the paper's
+    Appendix C formula; with them, push acceptance is computed without
+    replacement and the pull miss reflects the requester's fixed
+    fan-out.
+    """
+    holders = i_u + i_a
+    if push_miss_u is not None:
+        push_u = float(push_miss_u[holders])
+        push_a = float(push_miss_a[holders])
+    else:
+        push_u = (1.0 - probs.push_u) ** holders
+        push_a = (1.0 - probs.push_a) ** holders
+    if kind is ProtocolKind.PUSH:
+        return (push_u, push_a)
+    if pull_refined is not None:
+        succ_u, succ_a, v = pull_refined
+        hit = (i_u * succ_u + i_a * succ_a) / (n - 1)
+        pull_term = max(0.0, 1.0 - hit) ** v
+    else:
+        pull_term = (1.0 - probs.pull_u) ** i_u * (1.0 - probs.pull_a) ** i_a
+    if kind is ProtocolKind.PULL:
+        return (pull_term, pull_term)
+    return (push_u * pull_term, push_a * pull_term)

@@ -1,0 +1,218 @@
+"""Command-line interface for running Drum experiments.
+
+Installed as ``python -m repro`` (see :mod:`repro.__main__`).  Three
+subcommands mirror the library's three evaluation stacks::
+
+    # Round-based Monte-Carlo simulation (the paper's Section 7 setup)
+    python -m repro simulate --protocol drum --n 120 --alpha 0.1 -x 128
+
+    # Closed-form / numerical analysis (Appendices A-C)
+    python -m repro analyze --protocol push --n 120 --alpha 0.1 -x 128
+
+    # Full-protocol measurement (Section 8): stream throughput/latency
+    python -m repro measure --protocol pull --n 50 --alpha 0.1 -x 128
+
+Each subcommand prints a compact table; ``--json`` emits
+machine-readable results instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adversary import AttackSpec
+from repro.analysis import (
+    accept_probability_attacked,
+    accept_probability_unattacked,
+    coverage_curve_attack,
+    coverage_curve_no_attack,
+    escape_time_std,
+    expected_escape_rounds,
+)
+from repro.core.config import ProtocolKind
+from repro.des import ClusterConfig, run_throughput_experiment
+from repro.sim import Scenario, monte_carlo
+from repro.util import Table
+
+PROTOCOL_CHOICES = [kind.value for kind in ProtocolKind]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocol", default="drum", choices=PROTOCOL_CHOICES,
+        help="protocol to evaluate (default: drum)",
+    )
+    parser.add_argument("--n", type=int, default=120, help="group size")
+    parser.add_argument(
+        "--malicious", type=float, default=0.1,
+        help="fraction of group members controlled by the adversary",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=0.0,
+        help="fraction of processes under attack (0 = no attack)",
+    )
+    parser.add_argument(
+        "-x", "--rate", type=float, default=0.0,
+        help="fabricated messages per victim per round",
+    )
+    parser.add_argument("--fan-out", type=int, default=4)
+    parser.add_argument("--loss", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+
+
+def _attack(args) -> Optional[AttackSpec]:
+    if args.alpha > 0 and args.rate > 0:
+        return AttackSpec(alpha=args.alpha, x=args.rate)
+    if args.alpha > 0 or args.rate > 0:
+        raise SystemExit("an attack needs both --alpha and -x/--rate")
+    return None
+
+
+def _emit(args, title: str, payload: dict) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2, default=float))
+        return
+    table = Table(title, list(payload.keys()))
+    table.add_row(*payload.values())
+    print(table)
+
+
+def cmd_simulate(args) -> int:
+    attack = _attack(args)
+    scenario = Scenario(
+        protocol=args.protocol,
+        n=args.n,
+        fan_out=args.fan_out,
+        loss=args.loss,
+        malicious_fraction=args.malicious if attack else 0.0,
+        attack=attack,
+        max_rounds=args.max_rounds,
+    )
+    result = monte_carlo(scenario, runs=args.runs, seed=args.seed)
+    _emit(
+        args,
+        f"Simulation: {scenario.describe()} ({args.runs} runs)",
+        {
+            "mean rounds to 99%": result.mean_rounds(),
+            "std": result.std_rounds(),
+            "censored runs": result.censored_runs(),
+        },
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    attack = _attack(args)
+    b = int(round(args.malicious * args.n)) if attack else 0
+    if attack is None:
+        curves = coverage_curve_no_attack(
+            args.protocol, args.n, b, fan_out=args.fan_out,
+            loss=args.loss, rounds=args.rounds, refined=args.refined,
+        )
+    else:
+        curves = coverage_curve_attack(
+            args.protocol, args.n, b, attack, fan_out=args.fan_out,
+            loss=args.loss, rounds=args.rounds, refined=args.refined,
+        )
+    payload = {
+        "rounds to 99% (expected coverage)": curves.rounds_to_fraction(0.99),
+        "p_u": accept_probability_unattacked(args.n, args.fan_out),
+    }
+    if attack is not None:
+        payload["p_a"] = accept_probability_attacked(
+            args.n, args.fan_out, attack.x
+        )
+        if ProtocolKind(args.protocol) is ProtocolKind.PULL:
+            payload["expected source escape rounds"] = expected_escape_rounds(
+                args.n, args.fan_out, attack.x
+            )
+            payload["escape std"] = escape_time_std(
+                args.n, args.fan_out, attack.x
+            )
+    _emit(args, f"Analysis: {args.protocol}, n={args.n}", payload)
+    return 0
+
+
+def cmd_measure(args) -> int:
+    attack = _attack(args)
+    config = ClusterConfig(
+        protocol=args.protocol,
+        n=args.n,
+        malicious_fraction=args.malicious if attack else 0.0,
+        attack=attack,
+        fan_out=args.fan_out,
+        loss=args.loss,
+        messages=args.messages,
+        send_rate=args.send_rate,
+        round_duration_ms=args.round_ms,
+    )
+    result = run_throughput_experiment(config, seed=args.seed)
+    throughput = result.throughput()
+    latencies = [
+        latency
+        for samples in result.latencies_by_process().values()
+        for latency in samples
+    ]
+    _emit(
+        args,
+        f"Measurement: {args.protocol}, n={args.n}, "
+        f"{args.messages} msgs @ {args.send_rate:g}/s",
+        {
+            "received throughput [msg/s]": throughput.mean_msgs_per_sec,
+            "delivery ratio": result.delivery_ratio(),
+            "mean latency [ms]": float(np.mean(latencies)) if latencies else float("nan"),
+            "p99 latency [ms]": float(np.percentile(latencies, 99)) if latencies else float("nan"),
+        },
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Drum (DSN 2004) reproduction: simulate, analyze, measure.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="round-based Monte-Carlo simulation")
+    _add_common(p_sim)
+    p_sim.add_argument("--runs", type=int, default=100)
+    p_sim.add_argument("--max-rounds", type=int, default=400)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_ana = sub.add_parser("analyze", help="closed-form / numerical analysis")
+    _add_common(p_ana)
+    p_ana.add_argument("--rounds", type=int, default=60)
+    p_ana.add_argument(
+        "--refined", action="store_true",
+        help="use the exact (beyond-paper) acceptance computation",
+    )
+    p_ana.set_defaults(func=cmd_analyze)
+
+    p_meas = sub.add_parser("measure", help="full-protocol stream measurement")
+    _add_common(p_meas)
+    p_meas.add_argument("--messages", type=int, default=400)
+    p_meas.add_argument("--send-rate", type=float, default=40.0)
+    p_meas.add_argument("--round-ms", type=float, default=1000.0)
+    p_meas.set_defaults(func=cmd_measure)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

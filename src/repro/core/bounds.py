@@ -1,0 +1,94 @@
+"""Per-round resource accounting.
+
+Drum bounds, separately, how many messages it accepts per round on each
+channel: an attack that floods one channel exhausts only that channel's
+quota.  The Section 9 "shared bounds" ablation replaces the separate
+quotas with one joint quota over the control channels, which is exactly
+the configuration this class can also express — and the experiments show
+it collapses under attack.
+
+:class:`ResourceBounds` is used by the full node (:mod:`repro.des`);
+the round-based simulator expresses the same semantics through
+:class:`~repro.net.channel.BoundedChannel` drain bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+
+class ResourceBounds:
+    """Tracks per-channel acceptance quotas within one round."""
+
+    def __init__(
+        self,
+        bounds: Mapping[str, int],
+        *,
+        shared_channels: Iterable[str] = (),
+        shared_bound: Optional[int] = None,
+    ):
+        """``bounds`` maps channel name -> per-round quota.
+
+        Channels listed in ``shared_channels`` ignore their individual
+        quota and draw from the single ``shared_bound`` pool instead.
+        """
+        for name, bound in bounds.items():
+            if bound < 0:
+                raise ValueError(f"bound for {name!r} must be >= 0, got {bound}")
+        shared = set(shared_channels)
+        unknown = shared - set(bounds)
+        if unknown:
+            raise ValueError(f"shared channels not in bounds: {sorted(unknown)}")
+        if shared and shared_bound is None:
+            raise ValueError("shared_channels given without shared_bound")
+        self._bounds = dict(bounds)
+        self._shared = shared
+        self._shared_bound = shared_bound
+        self._used: Dict[str, int] = {name: 0 for name in bounds}
+        self._shared_used = 0
+        self.rejected: Dict[str, int] = {name: 0 for name in bounds}
+
+    def bound_for(self, channel: str) -> Optional[int]:
+        """The effective quota of ``channel`` (None = draws from shared)."""
+        if channel in self._shared:
+            return self._shared_bound
+        return self._bounds[channel]
+
+    def try_consume(self, channel: str, amount: int = 1) -> bool:
+        """Consume quota for ``amount`` messages on ``channel``.
+
+        Returns False (and records the rejection) when the quota is
+        exhausted; the caller then discards the message, which is how an
+        attack flooding a channel starves it.
+        """
+        if channel not in self._bounds:
+            raise KeyError(f"unknown channel {channel!r}")
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        if channel in self._shared:
+            if self._shared_used + amount > self._shared_bound:
+                self.rejected[channel] += amount
+                return False
+            self._shared_used += amount
+            return True
+        if self._used[channel] + amount > self._bounds[channel]:
+            self.rejected[channel] += amount
+            return False
+        self._used[channel] += amount
+        return True
+
+    def remaining(self, channel: str) -> int:
+        """Quota left on ``channel`` this round."""
+        if channel in self._shared:
+            return self._shared_bound - self._shared_used
+        return self._bounds[channel] - self._used[channel]
+
+    def used(self, channel: str) -> int:
+        """Quota consumed on ``channel`` this round."""
+        return self._used[channel] if channel not in self._shared else self._shared_used
+
+    def reset(self) -> None:
+        """Start a new round: all quotas refill (rejection stats persist)."""
+        for name in self._used:
+            self._used[name] = 0
+        self._shared_used = 0

@@ -1,0 +1,118 @@
+"""The per-process data-message buffer.
+
+Messages live in the buffer for :attr:`ProtocolConfig.purge_rounds`
+local rounds and are then discarded; a round tick also increments every
+buffered message's hop counter (the measurement device of Section 8.1).
+Selection for gossip is uniformly random over the messages the peer is
+missing, truncated to the per-partner send budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.message import DataMessage, Digest
+from repro.util import check_positive, derive_rng
+from repro.util.rng import SeedLike
+
+MessageId = Tuple[int, int]
+
+
+class MessageBuffer:
+    """Bounded-age store of data messages."""
+
+    def __init__(
+        self,
+        purge_rounds: int = 10,
+        *,
+        seed: SeedLike = None,
+    ):
+        check_positive("purge_rounds", purge_rounds)
+        self.purge_rounds = purge_rounds
+        self._messages: Dict[MessageId, DataMessage] = {}
+        self._age: Dict[MessageId, int] = {}
+        self._rng = derive_rng(seed)
+        self.purged_total = 0
+        # The digest is requested once per gossip partner per round but
+        # contents change only on add/purge; cache it between mutations.
+        self._digest_cache: Optional[Digest] = None
+        # Per-message lifetime overrides (see :meth:`add`).
+        self._ttl_override: Dict[MessageId, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __contains__(self, msg_id: MessageId) -> bool:
+        return msg_id in self._messages
+
+    def get(self, msg_id: MessageId) -> Optional[DataMessage]:
+        """The buffered message with ``msg_id``, if present."""
+        return self._messages.get(msg_id)
+
+    def add(self, message: DataMessage, *, ttl: Optional[int] = None) -> bool:
+        """Store a message; returns False when it was already buffered.
+
+        ``ttl`` overrides the buffer-wide ``purge_rounds`` for this one
+        message — used by experiments that track a single long-lived
+        message through normally purging buffers.
+        """
+        if message.msg_id in self._messages:
+            return False
+        if ttl is not None and ttl < 1:
+            raise ValueError(f"ttl must be >= 1, got {ttl}")
+        self._messages[message.msg_id] = message
+        self._age[message.msg_id] = 0
+        if ttl is not None:
+            self._ttl_override[message.msg_id] = ttl
+        self._digest_cache = None
+        return True
+
+    def digest(self) -> Digest:
+        """Digest of everything currently buffered."""
+        if self._digest_cache is None:
+            self._digest_cache = Digest.of(self._messages.keys())
+        return self._digest_cache
+
+    def messages_missing_from(
+        self, digest: Digest, limit: Optional[int] = None
+    ) -> List[DataMessage]:
+        """A random subset of buffered messages absent from ``digest``.
+
+        When more than ``limit`` qualify, a uniformly random
+        ``limit``-sized subset is returned (Drum "chooses a random subset"
+        and sends "at most `max_sends_per_partner` randomly chosen" new
+        messages per partner).
+        """
+        missing = [m for mid, m in self._messages.items() if mid not in digest]
+        if limit is not None and len(missing) > limit:
+            idx = self._rng.choice(len(missing), size=limit, replace=False)
+            missing = [missing[i] for i in idx]
+        return missing
+
+    def tick_round(self) -> List[MessageId]:
+        """Age all messages one round; purge and return the expired ids."""
+        expired: List[MessageId] = []
+        for mid in list(self._age):
+            self._age[mid] += 1
+            lifetime = self._ttl_override.get(mid, self.purge_rounds)
+            if self._age[mid] >= lifetime:
+                expired.append(mid)
+                del self._age[mid]
+                self._ttl_override.pop(mid, None)
+                old = self._messages.pop(mid)
+                del old
+        self.purged_total += len(expired)
+        if expired:
+            self._digest_cache = None
+        # Hop counters on surviving messages advance with the local round.
+        for mid in self._messages:
+            self._messages[mid] = self._messages[mid].aged()
+        return expired
+
+    def all_messages(self) -> List[DataMessage]:
+        """Every buffered message (insertion order)."""
+        return list(self._messages.values())
+
+    def age_of(self, msg_id: MessageId) -> Optional[int]:
+        """Rounds since ``msg_id`` entered the buffer, if buffered."""
+        return self._age.get(msg_id)

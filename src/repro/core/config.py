@@ -1,0 +1,162 @@
+"""Protocol configuration.
+
+One :class:`ProtocolConfig` object describes everything that
+distinguishes Drum from Push from Pull from the Section 9 ablation
+variants: how the fan-out is split between the two operations, what the
+per-channel acceptance bounds are and whether they are shared, and
+whether reply/data ports are randomised.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.util import check_positive
+
+
+class ProtocolKind(str, enum.Enum):
+    """The five protocols evaluated in the paper."""
+
+    DRUM = "drum"
+    PUSH = "push"
+    PULL = "pull"
+    #: Section 9 ablation: pull-replies go to an attackable well-known port.
+    DRUM_NO_RANDOM_PORTS = "drum-no-random-ports"
+    #: Section 9 ablation: one joint acceptance bound for control channels.
+    DRUM_SHARED_BOUNDS = "drum-shared-bounds"
+
+    def is_drum_family(self) -> bool:
+        """True for Drum and both of its ablation variants."""
+        return self in (
+            ProtocolKind.DRUM,
+            ProtocolKind.DRUM_NO_RANDOM_PORTS,
+            ProtocolKind.DRUM_SHARED_BOUNDS,
+        )
+
+    @property
+    def uses_push(self) -> bool:
+        return self is not ProtocolKind.PULL
+
+    @property
+    def uses_pull(self) -> bool:
+        return self is not ProtocolKind.PUSH
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunable parameters of a gossip protocol instance.
+
+    ``fan_out`` is the paper's ``F``.  Drum splits it evenly: push and
+    pull views of ``F/2`` each, and per-channel acceptance bounds of
+    ``F/2``; Push and Pull put everything on their single operation.
+    """
+
+    kind: ProtocolKind = ProtocolKind.DRUM
+    fan_out: int = 4
+    #: Rounds a data message stays buffered before being purged
+    #: (the Section 8 experiments purge after 10 rounds).
+    purge_rounds: int = 10
+    #: Maximum new data messages sent to one partner per round
+    #: (80 in the Section 8 experiments).
+    max_sends_per_partner: int = 80
+    #: Rounds a random reply port stays open before its listener dies.
+    random_port_lifetime: int = 2
+    #: Nominal round duration in milliseconds (the DES and runtime jitter it).
+    round_duration_ms: float = 1000.0
+    #: Fractional random jitter applied to each round's duration.
+    round_jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("fan_out", self.fan_out)
+        check_positive("purge_rounds", self.purge_rounds)
+        check_positive("max_sends_per_partner", self.max_sends_per_partner)
+        check_positive("random_port_lifetime", self.random_port_lifetime)
+        check_positive("round_duration_ms", self.round_duration_ms)
+        if not 0.0 <= self.round_jitter < 1.0:
+            raise ValueError(
+                f"round_jitter must be in [0, 1), got {self.round_jitter}"
+            )
+        if self.kind.is_drum_family() and self.fan_out % 2 != 0:
+            raise ValueError(
+                "Drum divides the fan-out evenly between push and pull; "
+                f"fan_out must be even, got {self.fan_out}"
+            )
+
+    # -- derived view sizes and bounds ------------------------------------
+
+    @property
+    def view_push_size(self) -> int:
+        """``|view_push|``: push targets chosen per round."""
+        if not self.kind.uses_push:
+            return 0
+        return self.fan_out // 2 if self.kind.is_drum_family() else self.fan_out
+
+    @property
+    def view_pull_size(self) -> int:
+        """``|view_pull|``: pull-request targets chosen per round."""
+        if not self.kind.uses_pull:
+            return 0
+        return self.fan_out // 2 if self.kind.is_drum_family() else self.fan_out
+
+    @property
+    def push_in_bound(self) -> int:
+        """Max push (data/offer) messages accepted per round."""
+        return self.view_push_size
+
+    @property
+    def pull_in_bound(self) -> int:
+        """Max pull-requests accepted per round."""
+        return self.view_pull_size
+
+    @property
+    def shared_in_bound(self) -> Optional[int]:
+        """Joint control-message bound for the shared-bounds variant.
+
+        The pool covers the three control channels — push-offers,
+        pull-requests, and push-replies — and equals the *sum* of the
+        bounds Drum would give them separately (``F/2`` each), so the
+        variant is not starved in the absence of an attack; under attack
+        the flood on the well-known ports drains the joint quota that
+        push-replies (arriving on unattackable random ports) needed.
+        """
+        if self.kind is ProtocolKind.DRUM_SHARED_BOUNDS:
+            return 3 * self.fan_out // 2
+        return None
+
+    @property
+    def uses_random_ports(self) -> bool:
+        """Whether reply/data ports are randomised and encrypted."""
+        return self.kind is not ProtocolKind.DRUM_NO_RANDOM_PORTS
+
+    # -- factories ---------------------------------------------------------
+
+    @classmethod
+    def drum(cls, fan_out: int = 4, **kwargs) -> "ProtocolConfig":
+        """Drum with the paper's defaults."""
+        return cls(kind=ProtocolKind.DRUM, fan_out=fan_out, **kwargs)
+
+    @classmethod
+    def push(cls, fan_out: int = 4, **kwargs) -> "ProtocolConfig":
+        """Push-only baseline."""
+        return cls(kind=ProtocolKind.PUSH, fan_out=fan_out, **kwargs)
+
+    @classmethod
+    def pull(cls, fan_out: int = 4, **kwargs) -> "ProtocolConfig":
+        """Pull-only baseline."""
+        return cls(kind=ProtocolKind.PULL, fan_out=fan_out, **kwargs)
+
+    @classmethod
+    def drum_no_random_ports(cls, fan_out: int = 4, **kwargs) -> "ProtocolConfig":
+        """Section 9 variant: pull-replies on a well-known port."""
+        return cls(kind=ProtocolKind.DRUM_NO_RANDOM_PORTS, fan_out=fan_out, **kwargs)
+
+    @classmethod
+    def drum_shared_bounds(cls, fan_out: int = 4, **kwargs) -> "ProtocolConfig":
+        """Section 9 variant: joint bound on control channels."""
+        return cls(kind=ProtocolKind.DRUM_SHARED_BOUNDS, fan_out=fan_out, **kwargs)
+
+    def with_(self, **changes) -> "ProtocolConfig":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)

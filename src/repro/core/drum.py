@@ -1,0 +1,39 @@
+"""Drum: the DoS-resistant protocol (push + pull, separate bounds, random ports)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.protocol import GossipProcess
+from repro.net.network import Network
+from repro.util.rng import SeedLike
+
+
+class DrumProcess(GossipProcess):
+    """A Drum process for the exact round simulator.
+
+    Drum splits the fan-out between push and pull, bounds each channel's
+    per-round acceptance separately, and awaits pull-replies on
+    per-round random encrypted ports — the combination that makes a
+    targeted flood unable to stop it from either sending (push targets
+    are unpredictable) or receiving (pull-reply ports are unpredictable).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        members: Sequence[int],
+        network: Network,
+        *,
+        config: ProtocolConfig = None,
+        seed: SeedLike = None,
+        has_message: bool = False,
+    ):
+        if config is None:
+            config = ProtocolConfig.drum()
+        if config.kind is not ProtocolKind.DRUM:
+            raise ValueError(f"DrumProcess requires a drum config, got {config.kind}")
+        super().__init__(
+            pid, config, members, network, seed=seed, has_message=has_message
+        )

@@ -1,0 +1,151 @@
+"""Protocol message types.
+
+The round-based simulator exchanges :class:`PushData`, :class:`PullRequest`
+and :class:`PullReply`; the full node in :mod:`repro.des` additionally
+uses the push-offer handshake (:class:`PushOffer` / :class:`PushReply`)
+so that data is only transmitted when the target is actually missing it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.crypto.certificates import Certificate
+from repro.crypto.encryption import SealedEnvelope
+from repro.crypto.signatures import Signature
+
+_msg_ids = itertools.count()
+
+
+def fresh_message_id(source: int) -> Tuple[int, int]:
+    """Mint a globally unique (source, serial) message id."""
+    return (source, next(_msg_ids))
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """An application multicast message.
+
+    ``round_counter`` implements the paper's hop-count latency
+    measurement: the source logs 0 and ships the message with counter 1;
+    every receiver logs the counter it sees, and every process increments
+    the counters of all buffered messages once per local round.
+    """
+
+    msg_id: Tuple[int, int]
+    source: int
+    payload: object
+    round_counter: int = 0
+    signature: Optional[Signature] = None
+    certificate: Optional[Certificate] = None
+
+    def aged(self) -> "DataMessage":
+        """Copy with the round counter incremented (one round elapsed)."""
+        return DataMessage(
+            msg_id=self.msg_id,
+            source=self.source,
+            payload=self.payload,
+            round_counter=self.round_counter + 1,
+            signature=self.signature,
+            certificate=self.certificate,
+        )
+
+    def signed_body(self) -> tuple:
+        """The tuple a source signature covers (counter excluded: it mutates)."""
+        return (self.msg_id, self.source, self.payload)
+
+    def wire_size(self) -> int:
+        """Rough wire size in bytes (the paper uses 50-byte payloads)."""
+        payload_len = len(self.payload) if hasattr(self.payload, "__len__") else 8
+        return 32 + payload_len
+
+
+@dataclass(frozen=True)
+class Digest:
+    """A summary of the message ids a process currently buffers."""
+
+    message_ids: FrozenSet[Tuple[int, int]]
+
+    @classmethod
+    def of(cls, ids) -> "Digest":
+        return cls(message_ids=frozenset(ids))
+
+    def __contains__(self, msg_id: Tuple[int, int]) -> bool:
+        return msg_id in self.message_ids
+
+    def __len__(self) -> int:
+        return len(self.message_ids)
+
+    def missing_from(self, ids) -> FrozenSet[Tuple[int, int]]:
+        """Ids in ``ids`` that this digest does not cover."""
+        return frozenset(i for i in ids if i not in self.message_ids)
+
+    def wire_size(self) -> int:
+        return 16 + 8 * len(self.message_ids)
+
+
+@dataclass(frozen=True)
+class PushOffer:
+    """Step 1 of the push handshake: 'I have data; reply with a digest'.
+
+    ``reply_port`` is the sender's randomly chosen port for the
+    push-reply, sealed under the target's public key.
+    """
+
+    sender: int
+    reply_port: SealedEnvelope
+
+    def wire_size(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class PushReply:
+    """Step 2: the target's digest plus its sealed random data port."""
+
+    sender: int
+    digest: Digest
+    data_port: SealedEnvelope
+
+    def wire_size(self) -> int:
+        return 24 + self.digest.wire_size()
+
+
+@dataclass(frozen=True)
+class PushData:
+    """Step 3 (or the whole push in the round simulator): data messages."""
+
+    sender: int
+    messages: Tuple[DataMessage, ...]
+
+    def wire_size(self) -> int:
+        return 16 + sum(m.wire_size() for m in self.messages)
+
+
+@dataclass(frozen=True)
+class PullRequest:
+    """A digest of what the requester has, plus where to send the reply.
+
+    ``reply_port`` is sealed for the target when random ports are in use;
+    the no-random-ports ablation sends a plain well-known port number.
+    """
+
+    sender: int
+    digest: Digest
+    reply_port: object  # SealedEnvelope or plain int for the ablation
+
+    def wire_size(self) -> int:
+        return 24 + self.digest.wire_size()
+
+
+@dataclass(frozen=True)
+class PullReply:
+    """Messages the replier has that were missing from the digest."""
+
+    sender: int
+    messages: Tuple[DataMessage, ...]
+
+    def wire_size(self) -> int:
+        return 16 + sum(m.wire_size() for m in self.messages)

@@ -1,0 +1,63 @@
+"""Random-port management.
+
+Drum awaits push-replies, pull-replies, and push data on ports chosen
+uniformly at random per round and advertised only inside encrypted
+envelopes.  A listener on a random port dies after a few rounds
+(``random_port_lifetime``), so even a port an adversary somehow learned
+goes stale quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.net.address import RANDOM_PORT_BASE
+from repro.util import check_positive, derive_rng
+from repro.util.rng import SeedLike
+
+#: Size of the random-port space a process draws from.  The paper's goal
+#: is only that the attacker "has no way of predicting these choices";
+#: 2^14 ports makes blind flooding of the whole space cost ~16k times the
+#: targeted-rate budget.
+RANDOM_PORT_SPACE = 1 << 14
+
+
+class RandomPortAllocator:
+    """Allocates and expires random listening ports for one process."""
+
+    def __init__(self, lifetime_rounds: int = 2, *, seed: SeedLike = None):
+        check_positive("lifetime_rounds", lifetime_rounds)
+        self.lifetime_rounds = lifetime_rounds
+        self._rng = derive_rng(seed)
+        self._open: Dict[int, int] = {}  # port -> rounds remaining
+
+    def allocate(self) -> int:
+        """Open a fresh random port and return its number."""
+        while True:
+            port = RANDOM_PORT_BASE + int(self._rng.integers(0, RANDOM_PORT_SPACE))
+            if port not in self._open:
+                self._open[port] = self.lifetime_rounds
+                return port
+
+    def is_open(self, port: int) -> bool:
+        """True while a listener is live on ``port``."""
+        return port in self._open
+
+    def release(self, port: int) -> None:
+        """Close ``port`` immediately (e.g. handshake completed)."""
+        self._open.pop(port, None)
+
+    def tick_round(self) -> List[int]:
+        """Age listeners one round; returns the ports that just expired."""
+        expired = []
+        for port in list(self._open):
+            self._open[port] -= 1
+            if self._open[port] <= 0:
+                expired.append(port)
+                del self._open[port]
+        return expired
+
+    @property
+    def open_ports(self) -> Set[int]:
+        """The currently live random ports."""
+        return set(self._open)

@@ -1,0 +1,273 @@
+"""Object-level round protocol (the exact simulator's node).
+
+This implements, faithfully at the level of individual packets and
+ports, the round semantics the paper's MATLAB simulations use:
+
+- every round each process draws its push/pull views and gossips
+  regardless of whether it holds the tracked message ``M``;
+- push is modelled without the offer handshake (as in the paper's
+  simulations — the full handshake lives in :mod:`repro.des`);
+- a pull-request advertises a reply port, random and sealed by default,
+  well-known in the no-random-ports ablation;
+- each channel accepts a bounded, uniformly random subset of what
+  arrived and the remainder is discarded at round end;
+- pull-replies are sent and received within the same round (the paper
+  assumes delivery latency below half a round).
+
+The engine in :mod:`repro.sim.engine` drives the phases in lockstep:
+``begin_round`` → ``send_phase`` → (adversary floods) →
+``receive_phase`` → ``reply_phase`` → ``end_round``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.message import (
+    DataMessage,
+    Digest,
+    PullReply,
+    PullRequest,
+    PushData,
+)
+from repro.core.ports import RandomPortAllocator
+from repro.crypto.encryption import SealedEnvelope, open_envelope, seal
+from repro.crypto.keys import KeyPair
+from repro.net.address import (
+    PORT_PULL_REPLY,
+    PORT_PULL_REQUEST,
+    PORT_PUSH_DATA,
+    Address,
+)
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.util import derive_rng
+from repro.util.rng import SeedLike
+from repro.core.views import select_disjoint_views
+
+
+class GossipProcess:
+    """One correct process in the exact round-based simulation."""
+
+    def __init__(
+        self,
+        pid: int,
+        config: ProtocolConfig,
+        members: Sequence[int],
+        network: Network,
+        *,
+        seed: SeedLike = None,
+        has_message: bool = False,
+    ):
+        self.pid = pid
+        self.config = config
+        self.members = list(members)
+        self.network = network
+        self.rng = derive_rng(seed)
+        self.keys = KeyPair(owner=pid)
+        self.peer_keys: Dict[int, object] = {}
+
+        #: Whether this process currently holds the tracked message M.
+        self.has_message = has_message
+        #: Snapshot of ``has_message`` at the top of the round; gossip
+        #: content reflects the round-start state, matching the paper's
+        #: synchronous analysis.
+        self._had_message = has_message
+        #: Round number at which M was delivered (0 for the source).
+        self.delivery_round: Optional[int] = 0 if has_message else None
+        #: How M arrived: "source", "push", or "pull".
+        self.delivery_path: Optional[str] = "source" if has_message else None
+
+        self.round = 0
+        self._ports = RandomPortAllocator(
+            config.random_port_lifetime, seed=self.rng
+        )
+        self._view_push: List[int] = []
+        self._view_pull: List[int] = []
+        self._pending_reply_ports: List[int] = []
+
+        network.register_node(pid)
+        if config.kind.uses_push:
+            network.open_port(Address(pid, PORT_PUSH_DATA))
+        if config.kind.uses_pull:
+            network.open_port(Address(pid, PORT_PULL_REQUEST))
+            if not config.uses_random_ports:
+                network.open_port(Address(pid, PORT_PULL_REPLY))
+
+    # -- key distribution --------------------------------------------------
+
+    def learn_keys(self, keys: Dict[int, object]) -> None:
+        """Install the public keys of the other group members."""
+        self.peer_keys = dict(keys)
+
+    # -- round phases --------------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Snapshot state and draw this round's views."""
+        self._had_message = self.has_message
+        views = select_disjoint_views(
+            self.members,
+            self.pid,
+            [self.config.view_push_size, self.config.view_pull_size],
+            self.rng,
+        )
+        self._view_push, self._view_pull = views
+
+    def send_phase(self) -> None:
+        """Send push data to view_push and pull-requests to view_pull."""
+        self._send_push_phase()
+        self._send_pull_phase()
+
+    def _send_push_phase(self) -> None:
+        for target in self._view_push:
+            payload = PushData(
+                sender=self.pid,
+                messages=(self._tracked_message(),) if self._had_message else (),
+            )
+            self.network.send(
+                Packet(
+                    dst=Address(target, PORT_PUSH_DATA),
+                    payload=payload,
+                    sender=Address(self.pid, PORT_PUSH_DATA),
+                )
+            )
+
+    def _send_pull_phase(self) -> None:
+        for target in self._view_pull:
+            reply_port = self._advertise_reply_port(target)
+            payload = PullRequest(
+                sender=self.pid,
+                digest=self._digest(),
+                reply_port=reply_port,
+            )
+            self.network.send(
+                Packet(
+                    dst=Address(target, PORT_PULL_REQUEST),
+                    payload=payload,
+                    sender=Address(self.pid, PORT_PULL_REQUEST),
+                )
+            )
+
+    def receive_phase(self) -> None:
+        """Drain bounded channels: ingest pushes, answer pull-requests."""
+        if self.config.kind.uses_push:
+            accepted = self._drain(PORT_PUSH_DATA, self.config.push_in_bound)
+            for packet in accepted:
+                self._ingest_push(packet.payload)
+        if self.config.kind.uses_pull:
+            accepted = self._drain(PORT_PULL_REQUEST, self.config.pull_in_bound)
+            for packet in accepted:
+                self._answer_pull_request(packet.payload)
+
+    def reply_phase(self) -> None:
+        """Read the pull-replies that arrived on this round's reply ports."""
+        if not self.config.kind.uses_pull:
+            return
+        if self.config.uses_random_ports:
+            for port in self._pending_reply_ports:
+                addr = Address(self.pid, port)
+                if not self.network.is_open(addr):
+                    continue
+                # Each reply port awaits a single reply, but its channel
+                # is still bounded: if an adversary *does* learn the port
+                # (e.g. the snooping ablation against cleartext ports),
+                # its flood competes for these slots.  Under Drum proper
+                # at most one reply arrives, so the bound never binds.
+                accepted = self.network.channel(addr).drain(
+                    self.config.pull_in_bound
+                )
+                for packet in accepted:
+                    self._ingest_pull_reply(packet.payload)
+        else:
+            accepted = self._drain(PORT_PULL_REPLY, self.config.pull_in_bound)
+            for packet in accepted:
+                self._ingest_pull_reply(packet.payload)
+        self._pending_reply_ports = []
+
+    def data_phase(self) -> None:
+        """Hook for protocols whose data arrives after the reply phase.
+
+        The base protocols deliver everything by the reply phase; the
+        shared-bounds variant's push handshake delivers data here.
+        """
+
+    def end_round(self) -> None:
+        """Expire random-port listeners and advance the local round."""
+        for port in self._ports.tick_round():
+            self.network.close_port(Address(self.pid, port))
+        self.round += 1
+
+    # -- helpers -----------------------------------------------------------
+
+    def _tracked_message(self) -> DataMessage:
+        return DataMessage(msg_id=(0, 0), source=0, payload=b"M")
+
+    def _digest(self) -> Digest:
+        return Digest.of([(0, 0)]) if self._had_message else Digest.of([])
+
+    def _advertise_reply_port(self, target: int) -> object:
+        """Choose and (by default) seal the port awaiting the pull-reply."""
+        if not self.config.uses_random_ports:
+            self._pending_reply_ports.append(PORT_PULL_REPLY)
+            return PORT_PULL_REPLY
+        port = self._ports.allocate()
+        self.network.open_port(Address(self.pid, port))
+        self._pending_reply_ports.append(port)
+        target_key = self.peer_keys.get(target)
+        if target_key is not None:
+            return seal(target_key, port)
+        return port
+
+    def _drain(self, port: int, bound: Optional[int]) -> List[Packet]:
+        addr = Address(self.pid, port)
+        if not self.network.is_open(addr):
+            return []
+        return self.network.channel(addr).drain(bound)
+
+    def _ingest_push(self, payload: PushData) -> None:
+        if not isinstance(payload, PushData):
+            return  # junk on the push port: fails sanity checks
+        for message in payload.messages:
+            self._deliver(message, via="push")
+
+    def _answer_pull_request(self, payload: PullRequest) -> None:
+        if not isinstance(payload, PullRequest):
+            return
+        reply_port = payload.reply_port
+        if isinstance(reply_port, SealedEnvelope):
+            try:
+                reply_port = open_envelope(self.keys.private, reply_port)
+            except Exception:
+                return  # not sealed for us: drop
+        if not isinstance(reply_port, int):
+            return
+        missing = (
+            (self._tracked_message(),)
+            if self._had_message and (0, 0) not in payload.digest
+            else ()
+        )
+        # A reply is sent even when we have nothing new: real processes
+        # always have *other* traffic, and the reply itself loads the
+        # requester's reply channel in the no-random-ports ablation.
+        self.network.send(
+            Packet(
+                dst=Address(payload.sender, reply_port),
+                payload=PullReply(sender=self.pid, messages=missing),
+                sender=Address(self.pid, PORT_PULL_REQUEST),
+            )
+        )
+
+    def _ingest_pull_reply(self, payload: PullReply) -> None:
+        if not isinstance(payload, PullReply):
+            return
+        for message in payload.messages:
+            self._deliver(message, via="pull")
+
+    def _deliver(self, message: DataMessage, via: str) -> None:
+        if message.msg_id != (0, 0):
+            return
+        if not self.has_message:
+            self.has_message = True
+            self.delivery_round = self.round + 1
+            self.delivery_path = via

@@ -1,0 +1,37 @@
+"""Pull: the pull-only baseline protocol."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.protocol import GossipProcess
+from repro.net.network import Network
+from repro.util.rng import SeedLike
+
+
+class PullProcess(GossipProcess):
+    """A pull-only process: full fan-out on the pull operation.
+
+    Its weakness under attack: the *source's* pull-request channel is
+    flooded, so M struggles to leave the source — the paper shows the
+    escape time grows linearly with the attack rate (Lemma 6).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        members: Sequence[int],
+        network: Network,
+        *,
+        config: ProtocolConfig = None,
+        seed: SeedLike = None,
+        has_message: bool = False,
+    ):
+        if config is None:
+            config = ProtocolConfig.pull()
+        if config.kind is not ProtocolKind.PULL:
+            raise ValueError(f"PullProcess requires a pull config, got {config.kind}")
+        super().__init__(
+            pid, config, members, network, seed=seed, has_message=has_message
+        )

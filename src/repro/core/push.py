@@ -1,0 +1,38 @@
+"""Push: the push-only baseline protocol."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.protocol import GossipProcess
+from repro.net.network import Network
+from repro.util.rng import SeedLike
+
+
+class PushProcess(GossipProcess):
+    """A push-only process: full fan-out on the push operation.
+
+    Implemented with the same acceptance bound and round discipline as
+    Drum so that comparisons isolate the push/pull combination itself
+    (Section 5).  Its weakness under attack: a flooded push channel is
+    the *only* way an attacked process can receive data.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        members: Sequence[int],
+        network: Network,
+        *,
+        config: ProtocolConfig = None,
+        seed: SeedLike = None,
+        has_message: bool = False,
+    ):
+        if config is None:
+            config = ProtocolConfig.push()
+        if config.kind is not ProtocolKind.PUSH:
+            raise ValueError(f"PushProcess requires a push config, got {config.kind}")
+        super().__init__(
+            pid, config, members, network, seed=seed, has_message=has_message
+        )

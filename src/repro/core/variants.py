@@ -1,0 +1,238 @@
+"""Section 9 ablation variants of Drum.
+
+Two deliberately weakened Drums, used to measure how much each
+DoS-mitigation technique contributes:
+
+- :class:`DrumNoRandomPortsProcess` — pull-replies arrive on a
+  well-known (hence attackable) port.  The adversary model splits the
+  pull share of its budget between the pull-request and pull-reply
+  ports (Figure 12a).
+- :class:`DrumSharedBoundsProcess` — one joint acceptance quota over
+  the *control* channels: push-offers, pull-requests, and push-replies
+  (Figure 12b).  This variant runs the full push-offer handshake,
+  because that is where sharing hurts: the fabricated flood on the
+  well-known ports drains the quota that valid push-replies — arriving
+  on unattackable random ports — needed, so an attacked process loses
+  its ability to *send* via push even though no attacker packet ever
+  reaches a random port.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.message import PushData, PushOffer, PushReply
+from repro.core.protocol import GossipProcess
+from repro.crypto.encryption import SealedEnvelope, open_envelope, seal
+from repro.net.address import (
+    PORT_PULL_REQUEST,
+    PORT_PUSH_DATA,
+    PORT_PUSH_OFFER,
+    Address,
+)
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.util.rng import SeedLike
+
+
+class DrumNoRandomPortsProcess(GossipProcess):
+    """Drum with pull-replies on a well-known port (Fig 12a)."""
+
+    def __init__(
+        self,
+        pid: int,
+        members: Sequence[int],
+        network: Network,
+        *,
+        config: ProtocolConfig = None,
+        seed: SeedLike = None,
+        has_message: bool = False,
+    ):
+        if config is None:
+            config = ProtocolConfig.drum_no_random_ports()
+        if config.kind is not ProtocolKind.DRUM_NO_RANDOM_PORTS:
+            raise ValueError(
+                f"DrumNoRandomPortsProcess requires a no-random-ports config, "
+                f"got {config.kind}"
+            )
+        super().__init__(
+            pid, config, members, network, seed=seed, has_message=has_message
+        )
+
+
+class DrumSharedBoundsProcess(GossipProcess):
+    """Drum with one joint control-message quota (Fig 12b).
+
+    Push runs the full offer handshake within a round:
+
+    1. send ``PushOffer`` (with a sealed random reply port) to each push
+       target; the offer lands on the target's well-known offer port;
+    2. the target accepts offers and pull-requests from the shared
+       quota, answering accepted offers with a ``PushReply`` (digest +
+       sealed random data port);
+    3. the offerer reads push-replies from whatever quota the flood has
+       left, and sends data the digest was missing to the data port;
+    4. data ports are drained in the engine's data phase.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        members: Sequence[int],
+        network: Network,
+        *,
+        config: ProtocolConfig = None,
+        seed: SeedLike = None,
+        has_message: bool = False,
+    ):
+        if config is None:
+            config = ProtocolConfig.drum_shared_bounds()
+        if config.kind is not ProtocolKind.DRUM_SHARED_BOUNDS:
+            raise ValueError(
+                f"DrumSharedBoundsProcess requires a shared-bounds config, "
+                f"got {config.kind}"
+            )
+        super().__init__(
+            pid, config, members, network, seed=seed, has_message=has_message
+        )
+        # Push uses the offer handshake: listen for offers, not raw data.
+        network.close_port(Address(pid, PORT_PUSH_DATA))
+        network.open_port(Address(pid, PORT_PUSH_OFFER))
+        self._offer_reply_ports: List[int] = []
+        self._data_ports: List[int] = []
+        self._quota_left = 0
+
+    # -- send -----------------------------------------------------------------
+
+    def _send_push_phase(self) -> None:
+        for target in self._view_push:
+            port = self._ports.allocate()
+            self.network.open_port(Address(self.pid, port))
+            self._offer_reply_ports.append(port)
+            target_key = self.peer_keys.get(target)
+            sealed = seal(target_key, port) if target_key is not None else port
+            self.network.send(
+                Packet(
+                    dst=Address(target, PORT_PUSH_OFFER),
+                    payload=PushOffer(sender=self.pid, reply_port=sealed),
+                    sender=Address(self.pid, PORT_PUSH_OFFER),
+                )
+            )
+
+    # -- receive ----------------------------------------------------------------
+
+    def receive_phase(self) -> None:
+        """Drain offers and pull-requests from the joint quota."""
+        offer_channel = self.network.channel(Address(self.pid, PORT_PUSH_OFFER))
+        pull_channel = self.network.channel(Address(self.pid, PORT_PULL_REQUEST))
+        offers_total = len(offer_channel)
+        pulls_total = len(pull_channel)
+        # Push-replies arrive interleaved with the flood over the course
+        # of a real round, so they compete for the quota on equal terms.
+        # One reply per offer sent is the (tight) upper bound on how many
+        # will arrive; the quota is split uniformly over all control
+        # arrivals by iterated hypergeometric draws.
+        replies_expected = len(self._view_push)
+        total = offers_total + pulls_total + replies_expected
+        quota = self.config.shared_in_bound
+        if total <= quota:
+            offer_slots, pull_slots = offers_total, pulls_total
+            self._quota_left = replies_expected
+        else:
+            offer_slots = int(
+                self.rng.hypergeometric(
+                    offers_total, pulls_total + replies_expected, quota
+                )
+            )
+            remaining = quota - offer_slots
+            if remaining > 0 and pulls_total:
+                pull_slots = int(
+                    self.rng.hypergeometric(
+                        pulls_total, replies_expected, remaining
+                    )
+                )
+            else:
+                pull_slots = 0
+            self._quota_left = remaining - pull_slots
+        for packet in offer_channel.drain(offer_slots):
+            self._answer_push_offer(packet.payload)
+        for packet in pull_channel.drain(pull_slots):
+            self._answer_pull_request(packet.payload)
+
+    def _answer_push_offer(self, offer: PushOffer) -> None:
+        if not isinstance(offer, PushOffer):
+            return
+        reply_port = offer.reply_port
+        if isinstance(reply_port, SealedEnvelope):
+            try:
+                reply_port = open_envelope(self.keys.private, reply_port)
+            except Exception:
+                return
+        if not isinstance(reply_port, int):
+            return
+        data_port = self._ports.allocate()
+        self.network.open_port(Address(self.pid, data_port))
+        self._data_ports.append(data_port)
+        offerer_key = self.peer_keys.get(offer.sender)
+        sealed = (
+            seal(offerer_key, data_port) if offerer_key is not None else data_port
+        )
+        self.network.send(
+            Packet(
+                dst=Address(offer.sender, reply_port),
+                payload=PushReply(
+                    sender=self.pid, digest=self._digest(), data_port=sealed
+                ),
+                sender=Address(self.pid, PORT_PUSH_OFFER),
+            )
+        )
+
+    # -- replies --------------------------------------------------------------
+
+    def reply_phase(self) -> None:
+        """Read push-replies from the leftover quota, then pull-replies."""
+        arrivals = []
+        for port in self._offer_reply_ports:
+            addr = Address(self.pid, port)
+            if self.network.is_open(addr):
+                arrivals.extend(self.network.channel(addr).drain(None))
+        self._offer_reply_ports = []
+        if arrivals and self._quota_left > 0:
+            order = self.rng.permutation(len(arrivals))
+            for i in order[: self._quota_left]:
+                self._handle_push_reply(arrivals[i].payload)
+        super().reply_phase()
+
+    def _handle_push_reply(self, reply: PushReply) -> None:
+        if not isinstance(reply, PushReply):
+            return
+        data_port = reply.data_port
+        if isinstance(data_port, SealedEnvelope):
+            try:
+                data_port = open_envelope(self.keys.private, data_port)
+            except Exception:
+                return
+        if not isinstance(data_port, int):
+            return
+        if self._had_message and (0, 0) not in reply.digest:
+            self.network.send(
+                Packet(
+                    dst=Address(reply.sender, data_port),
+                    payload=PushData(
+                        sender=self.pid, messages=(self._tracked_message(),)
+                    ),
+                    sender=Address(self.pid, PORT_PUSH_OFFER),
+                )
+            )
+
+    # -- data -------------------------------------------------------------------
+
+    def data_phase(self) -> None:
+        """Ingest push data that arrived on this round's data ports."""
+        for port in self._data_ports:
+            addr = Address(self.pid, port)
+            if self.network.is_open(addr):
+                for packet in self.network.channel(addr).drain(None):
+                    self._ingest_push(packet.payload)
+        self._data_ports = []

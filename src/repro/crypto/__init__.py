@@ -1,0 +1,33 @@
+"""Simulated public-key infrastructure.
+
+The paper assumes standard cryptographic machinery: message sources are
+authenticated with digital signatures, the random ports exchanged during
+push/pull are encrypted under the recipient's public key, and a
+certification authority (CA) vouches for group members.  Reproducing DoS
+behaviour does not require real cryptographic hardness — only the
+*properties* (unforgeability, opacity) — so this package provides a
+deterministic in-process PKI that enforces those properties structurally:
+signatures cannot be produced without the private key object, and sealed
+envelopes cannot be opened without it.
+"""
+
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.signatures import Signature, sign, verify
+from repro.crypto.encryption import SealedEnvelope, open_envelope, seal
+from repro.crypto.certificates import Certificate, CertificateError
+from repro.crypto.ca import CertificationAuthority
+
+__all__ = [
+    "Certificate",
+    "CertificateError",
+    "CertificationAuthority",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "SealedEnvelope",
+    "Signature",
+    "open_envelope",
+    "seal",
+    "sign",
+    "verify",
+]

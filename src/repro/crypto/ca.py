@@ -1,0 +1,128 @@
+"""The certification authority (Section 10).
+
+A single in-process CA that authorises joins, issues and renews
+timestamped certificates, revokes them on log-out or suspicion of
+malbehaviour, and hands newcomers an initial membership list.  The paper
+notes that distributed Byzantine-fault-tolerant CA implementations exist
+(COCA et al.); the CA's interface here is what Drum's membership layer
+needs, and its internals are deliberately simple.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+from repro.crypto.certificates import Certificate, CertificateError
+from repro.crypto.keys import KeyPair, PublicKey
+from repro.crypto.signatures import sign
+
+
+class CertificationAuthority:
+    """Issues, renews, and revokes membership certificates."""
+
+    def __init__(self, *, validity_period: float = 600.0, initial_view_size: Optional[int] = None):
+        if validity_period <= 0:
+            raise ValueError(f"validity_period must be > 0, got {validity_period}")
+        self._keys = KeyPair(owner=-1)
+        self.validity_period = float(validity_period)
+        self.initial_view_size = initial_view_size
+        self._serials = itertools.count(1)
+        self._members: Dict[int, Certificate] = {}
+        self._revoked: Set[int] = set()  # revoked serial numbers
+        self._clock = 0.0
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The CA's public key, known to every process."""
+        return self._keys.public
+
+    def advance_clock(self, now: float) -> None:
+        """Move the CA's clock forward (it never goes back)."""
+        if now < self._clock:
+            raise ValueError(
+                f"CA clock cannot go backwards: {now} < {self._clock}"
+            )
+        self._clock = float(now)
+
+    @property
+    def now(self) -> float:
+        """The CA's current time."""
+        return self._clock
+
+    # -- membership ------------------------------------------------------
+
+    def authorize_join(self, subject: int, subject_key: PublicKey) -> Certificate:
+        """Admit ``subject``: mint a fresh certificate for it."""
+        if subject in self._members and not self.is_revoked(self._members[subject]):
+            raise CertificateError(f"process {subject} is already a member")
+        cert = self._issue(subject, subject_key)
+        self._members[subject] = cert
+        return cert
+
+    def renew(self, old: Certificate) -> Certificate:
+        """Replace a still-honoured certificate with a fresh one."""
+        if self.is_revoked(old):
+            raise CertificateError(
+                f"certificate serial {old.serial} was revoked; cannot renew"
+            )
+        if self._members.get(old.subject) is not old and (
+            self._members.get(old.subject, None) is None
+            or self._members[old.subject].serial != old.serial
+        ):
+            raise CertificateError(
+                f"certificate serial {old.serial} is not the current one "
+                f"for process {old.subject}"
+            )
+        cert = self._issue(old.subject, old.subject_key)
+        self._members[old.subject] = cert
+        return cert
+
+    def revoke(self, subject: int) -> Optional[Certificate]:
+        """Revoke ``subject``'s certificate (log-out or expulsion)."""
+        cert = self._members.pop(subject, None)
+        if cert is not None:
+            self._revoked.add(cert.serial)
+        return cert
+
+    def is_revoked(self, cert: Certificate) -> bool:
+        """True when ``cert`` appears on the revocation list."""
+        return cert.serial in self._revoked
+
+    def is_member(self, subject: int) -> bool:
+        """True when ``subject`` currently holds an unexpired certificate."""
+        cert = self._members.get(subject)
+        return cert is not None and cert.is_valid_at(self._clock, self.public_key)
+
+    def current_certificate(self, subject: int) -> Optional[Certificate]:
+        """The live certificate for ``subject``, if any."""
+        return self._members.get(subject)
+
+    def initial_view(self, exclude: int) -> List[int]:
+        """Membership list handed to a newcomer (possibly truncated)."""
+        members = sorted(m for m in self._members if m != exclude)
+        if self.initial_view_size is not None:
+            members = members[: self.initial_view_size]
+        return members
+
+    # -- internals ---------------------------------------------------------
+
+    def _issue(self, subject: int, subject_key: PublicKey) -> Certificate:
+        serial = next(self._serials)
+        body = (
+            subject,
+            subject_key.fingerprint,
+            self._clock,
+            self._clock + self.validity_period,
+            serial,
+        )
+        return Certificate(
+            subject=subject,
+            subject_key=subject_key,
+            issued_at=self._clock,
+            expires_at=self._clock + self.validity_period,
+            serial=serial,
+            signature=sign(self._keys.private, body),
+        )

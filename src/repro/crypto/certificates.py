@@ -1,0 +1,57 @@
+"""Membership certificates (Section 10).
+
+The CA grants each group member a timestamped certificate that expires
+and can be revoked.  Processes attach certificates to messages so peers
+with incomplete membership databases can authenticate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey
+from repro.crypto.signatures import Signature, verify
+
+
+class CertificateError(Exception):
+    """Raised for malformed or unusable certificates."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A CA-signed statement that ``subject`` is a group member.
+
+    ``issued_at`` / ``expires_at`` are in the CA's clock domain (rounds
+    or seconds — the protocol only compares them).  The signature covers
+    the (subject, key, validity window, serial) tuple.
+    """
+
+    subject: int
+    subject_key: PublicKey
+    issued_at: float
+    expires_at: float
+    serial: int
+    signature: Signature
+
+    def __post_init__(self) -> None:
+        if self.expires_at <= self.issued_at:
+            raise CertificateError(
+                f"certificate for {self.subject} expires at {self.expires_at} "
+                f"before issuance at {self.issued_at}"
+            )
+
+    def signed_body(self) -> tuple:
+        """The tuple the CA's signature covers."""
+        return (
+            self.subject,
+            self.subject_key.fingerprint,
+            self.issued_at,
+            self.expires_at,
+            self.serial,
+        )
+
+    def is_valid_at(self, now: float, ca_key: PublicKey) -> bool:
+        """True when the certificate verifies and is within its window."""
+        if not self.issued_at <= now < self.expires_at:
+            return False
+        return verify(ca_key, self.signed_body(), self.signature)

@@ -1,0 +1,52 @@
+"""Simulated public-key encryption for random-port advertisements.
+
+Drum transmits the randomly chosen reply/data ports inside messages.  To
+stop an adversary from reading them off the wire and flooding them, the
+ports are encrypted under the recipient's public key.  ``seal`` wraps a
+value so that only the holder of the matching :class:`PrivateKey` object
+can ``open_envelope`` it — snooping adversaries in the simulations hold
+only public keys and thus learn nothing about live random ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.keys import PrivateKey, PublicKey
+
+
+class DecryptionError(Exception):
+    """Raised when an envelope is opened with the wrong private key."""
+
+
+@dataclass(frozen=True)
+class SealedEnvelope:
+    """A value encrypted for one recipient.
+
+    The plaintext is stored in a private field; well-behaved code only
+    reaches it through :func:`open_envelope`, which demands the matching
+    private key.  Adversary code in this library never touches the field
+    (enforced by tests), mirroring semantic security.
+    """
+
+    recipient: PublicKey
+    _plaintext: Any = field(repr=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<sealed for {self.recipient.owner}>"
+
+
+def seal(recipient: PublicKey, value: Any) -> SealedEnvelope:
+    """Encrypt ``value`` for ``recipient``."""
+    return SealedEnvelope(recipient=recipient, _plaintext=value)
+
+
+def open_envelope(private: PrivateKey, envelope: SealedEnvelope) -> Any:
+    """Decrypt ``envelope``; raises ``DecryptionError`` on a key mismatch."""
+    if not private.matches(envelope.recipient):
+        raise DecryptionError(
+            f"key of node {private.owner} cannot open an envelope sealed "
+            f"for node {envelope.recipient.owner}"
+        )
+    return envelope._plaintext

@@ -1,0 +1,59 @@
+"""Simulated asymmetric key pairs.
+
+A key pair is a shared random secret split across two wrapper objects.
+Holding the :class:`PrivateKey` *object* is the only way to sign or
+decrypt — there is no byte-level attack surface to model, which is the
+right level of abstraction for protocol-layer DoS experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+
+_key_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """The shareable half of a key pair."""
+
+    owner: int
+    fingerprint: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"pub:{self.owner}:{self.fingerprint[:8]}"
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """The secret half; possession of this object *is* the secret."""
+
+    owner: int
+    fingerprint: str
+    _secret: int = field(repr=False)
+
+    def matches(self, public: PublicKey) -> bool:
+        """True when this private key corresponds to ``public``."""
+        return (
+            self.owner == public.owner and self.fingerprint == public.fingerprint
+        )
+
+
+class KeyPair:
+    """A freshly generated (public, private) pair for ``owner``."""
+
+    def __init__(self, owner: int):
+        serial = next(_key_counter)
+        secret = hash((owner, serial, "repro-keypair")) & 0x7FFFFFFFFFFFFFFF
+        fingerprint = hashlib.sha256(
+            f"{owner}:{serial}:{secret}".encode()
+        ).hexdigest()
+        self.public = PublicKey(owner=owner, fingerprint=fingerprint)
+        self.private = PrivateKey(owner=owner, fingerprint=fingerprint, _secret=secret)
+
+    @property
+    def owner(self) -> int:
+        """The node id this pair belongs to."""
+        return self.public.owner

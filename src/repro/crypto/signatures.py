@@ -1,0 +1,68 @@
+"""Simulated digital signatures.
+
+``sign`` binds a payload digest to the signer's key; ``verify`` checks
+that binding against a public key.  Unforgeability is enforced
+structurally: ``sign`` registers each issued binding in a module-private
+registry keyed by (fingerprint, digest), and ``verify`` accepts only
+registered bindings.  An adversary who fabricates a ``Signature`` object
+therefore fails verification, matching the paper's assumption that
+"data messages' sources can be identified using standard cryptographic
+techniques" while keeping simulations free of real crypto cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.crypto.keys import PrivateKey, PublicKey
+
+# Registry of issued bindings: (key fingerprint, payload digest) -> binding.
+_issued: Dict[Tuple[str, str], str] = {}
+
+
+def _digest(payload: object) -> str:
+    try:
+        blob = pickle.dumps(payload)
+    except Exception as exc:
+        raise TypeError(f"payload is not signable: {exc}") from exc
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over one payload by one key."""
+
+    signer: int
+    key_fingerprint: str
+    payload_digest: str
+    binding: str
+
+
+def sign(private: PrivateKey, payload: object) -> Signature:
+    """Sign ``payload`` with ``private``."""
+    digest = _digest(payload)
+    binding = hashlib.sha256(
+        f"{private.fingerprint}:{private._secret}:{digest}".encode()
+    ).hexdigest()
+    _issued[(private.fingerprint, digest)] = binding
+    return Signature(
+        signer=private.owner,
+        key_fingerprint=private.fingerprint,
+        payload_digest=digest,
+        binding=binding,
+    )
+
+
+def verify(public: PublicKey, payload: object, signature: Signature) -> bool:
+    """True iff ``signature`` was really issued over ``payload`` by ``public``."""
+    if signature.signer != public.owner:
+        return False
+    if signature.key_fingerprint != public.fingerprint:
+        return False
+    digest = _digest(payload)
+    if signature.payload_digest != digest:
+        return False
+    return _issued.get((public.fingerprint, digest)) == signature.binding

@@ -1,0 +1,45 @@
+"""Discrete-event measurement platform (the paper's Section 8 testbed).
+
+The paper's measurements ran a multithreaded Java implementation on a
+50-machine Emulab LAN.  This package reproduces that experiment class on
+a deterministic discrete-event engine with virtual milliseconds: the
+*full* protocol executes — push-offer/push-reply/data handshake,
+digests, unsynchronised jittered rounds, sealed random ports, per-round
+resource quotas, buffer purging, per-partner send limits — with
+multi-message streams, real attackers, and throughput/latency
+measurement.  The same node logic also runs under real threads over
+in-memory or UDP transports (:mod:`repro.runtime`).
+
+Key entry points:
+
+- :class:`~repro.des.cluster.ClusterConfig` /
+  :func:`~repro.des.cluster.run_throughput_experiment` — Figure 10/11
+  style stream experiments;
+- :func:`~repro.des.cluster.run_single_message_experiment` — Figure 9
+  style hop-count propagation measurements;
+- :class:`~repro.des.node.GossipNode` — the protocol node itself.
+"""
+
+from repro.des.engine import EventLoop
+from repro.des.environment import Environment, SimEnvironment
+from repro.des.node import GossipNode
+from repro.des.attacker import AttackerProcess
+from repro.des.measurement import DeliveryRecord, MeasurementResult
+from repro.des.cluster import (
+    ClusterConfig,
+    run_single_message_experiment,
+    run_throughput_experiment,
+)
+
+__all__ = [
+    "AttackerProcess",
+    "ClusterConfig",
+    "DeliveryRecord",
+    "Environment",
+    "EventLoop",
+    "GossipNode",
+    "MeasurementResult",
+    "SimEnvironment",
+    "run_single_message_experiment",
+    "run_throughput_experiment",
+]

@@ -1,0 +1,255 @@
+"""Dynamic membership over Drum, end to end (Section 10).
+
+Integrates :class:`~repro.membership.dynamic.DynamicMembership` with the
+full-protocol node: membership events (join / leave / expel) are
+disseminated *as multicast payloads over the gossip protocol itself*,
+exactly as the paper prescribes — "the dynamic membership protocol
+operates using Drum's multicast protocol as its transport layer", so it
+inherits Drum's DoS-resistance.
+
+:class:`MemberNode` wraps a :class:`~repro.des.node.GossipNode` with a
+membership service: delivered membership events update the local
+database (after certificate validation), and each round's gossip views
+are drawn from the *currently certified, responsive* members.
+
+:class:`ChurnExperiment` drives a cluster through joins and leaves while
+multicasting data, measuring how reliably messages reach the membership
+that should have them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.crypto.ca import CertificationAuthority
+from repro.des.environment import SimEnvironment
+from repro.des.node import GossipNode
+from repro.membership.dynamic import DynamicMembership
+from repro.membership.events import JoinEvent, LeaveEvent, MembershipEvent
+from repro.util import SeedSequenceFactory
+from repro.util.rng import SeedLike
+
+
+class MemberNode:
+    """A gossip node whose membership view is CA-certified and dynamic."""
+
+    def __init__(
+        self,
+        env: SimEnvironment,
+        pid: int,
+        config: ProtocolConfig,
+        ca: CertificationAuthority,
+        *,
+        seed: SeedLike = None,
+        on_deliver=None,
+    ):
+        self.env = env
+        self.pid = pid
+        self.ca = ca
+        self._app_deliver = on_deliver
+        self.node = GossipNode(
+            env, pid, config, members=[],
+            seed=seed, on_deliver=self._deliver,
+        )
+        self.membership = DynamicMembership(
+            pid,
+            ca.public_key,
+            failure_timeout=config.round_duration_ms * 10 / 1000.0,
+        )
+        self.certificate = None
+        self.events_applied = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def join_group(self) -> JoinEvent:
+        """Obtain a certificate and the initial view; returns the join
+        event the admitting member should multicast."""
+        self.ca.advance_clock(max(self.ca.now, self.env.now() / 1000.0))
+        self.certificate = self.membership.join(
+            self.ca, self.node.keys.public, now=self.env.now() / 1000.0
+        )
+        self._refresh_views()
+        return JoinEvent(self.pid, self.certificate)
+
+    def leave_group(self) -> Optional[LeaveEvent]:
+        """Log out: revoke at the CA and stop gossiping."""
+        cert = self.ca.revoke(self.pid)
+        self.node.stop()
+        if cert is None:
+            return None
+        return LeaveEvent(self.pid, cert)
+
+    def start(self) -> None:
+        self.node.start()
+
+    def stop(self) -> None:
+        self.node.stop()
+
+    # -- membership plumbing ----------------------------------------------------
+
+    def _deliver(self, pid: int, message, now: float) -> None:
+        payload = message.payload
+        if isinstance(payload, MembershipEvent):
+            if self.membership.handle_event(payload, now / 1000.0):
+                self.events_applied += 1
+                self._refresh_views()
+            return
+        if self._app_deliver is not None:
+            self._app_deliver(pid, message, now)
+
+    def _refresh_views(self) -> None:
+        """Point the gossip node at the current certified membership."""
+        members = self.membership.gossip_candidates(self.env.now() / 1000.0)
+        self.node.members = sorted(set(members) | {self.pid})
+
+    def learn_peer_key(self, pid: int, key) -> None:
+        self.node.peer_keys[pid] = key
+
+    def multicast(self, payload: object):
+        """Multicast arbitrary payload (data or a membership event)."""
+        self._refresh_views()
+        return self.node.multicast(payload)
+
+    def known_members(self) -> List[int]:
+        return self.membership.current_members(self.env.now() / 1000.0)
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of a churn experiment."""
+
+    joined: List[int]
+    left: List[int]
+    #: pid -> message ids delivered to the application.
+    delivered: Dict[int, Set[Tuple[int, int]]]
+    #: Membership events applied per node.
+    events_applied: Dict[int, int]
+    final_membership: Dict[int, List[int]]
+
+    def coverage(self, msg_id: Tuple[int, int], members: List[int]) -> float:
+        """Fraction of ``members`` that delivered ``msg_id``."""
+        if not members:
+            return 1.0
+        got = sum(1 for pid in members if msg_id in self.delivered.get(pid, set()))
+        return got / len(members)
+
+
+class ChurnExperiment:
+    """A gossip group under churn: joins and leaves during a data stream."""
+
+    def __init__(
+        self,
+        *,
+        protocol: ProtocolKind = ProtocolKind.DRUM,
+        initial_size: int = 10,
+        round_duration_ms: float = 100.0,
+        loss: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        if initial_size < 2:
+            raise ValueError(f"initial_size must be >= 2, got {initial_size}")
+        self._seeds = SeedSequenceFactory(seed)
+        self.env = SimEnvironment(
+            loss=loss, latency_range_ms=(0.5, 1.5), seed=self._seeds.next_seed()
+        )
+        self.config = ProtocolConfig(
+            kind=protocol, round_duration_ms=round_duration_ms
+        )
+        self.ca = CertificationAuthority(validity_period=3600.0)
+        self.nodes: Dict[int, MemberNode] = {}
+        self.delivered: Dict[int, Set[Tuple[int, int]]] = {}
+        self.joined: List[int] = []
+        self.left: List[int] = []
+        self._next_pid = 0
+        for _ in range(initial_size):
+            self.add_member(announce=False)
+        # Bootstrap: everyone knows the initial membership and keys.
+        for node in self.nodes.values():
+            cert_map = {
+                pid: self.ca.current_certificate(pid)
+                for pid in self.nodes
+                if pid != node.pid
+            }
+            for pid, cert in cert_map.items():
+                if cert is not None:
+                    node.membership.install_certificate(cert, now=0.0)
+            node._refresh_views()
+        self._share_keys()
+
+    # -- membership operations ----------------------------------------------------
+
+    def add_member(self, announce: bool = True) -> int:
+        """A new process joins through the CA."""
+        pid = self._next_pid
+        self._next_pid += 1
+        member = MemberNode(
+            self.env,
+            pid,
+            self.config,
+            self.ca,
+            seed=self._seeds.next_seed(),
+            on_deliver=self._on_data,
+        )
+        event = member.join_group()
+        self.nodes[pid] = member
+        self.delivered[pid] = set()
+        self.joined.append(pid)
+        member.start()
+        self._share_keys()
+        if announce and len(self.nodes) > 1:
+            # An existing member multicasts the CA's log-in message.
+            sponsor = next(p for p in self.nodes if p != pid)
+            self.nodes[sponsor].multicast(event)
+        return pid
+
+    def remove_member(self, pid: int) -> None:
+        """``pid`` logs out; a remaining member spreads the leave event."""
+        member = self.nodes.pop(pid)
+        event = member.leave_group()
+        self.left.append(pid)
+        if event is not None and self.nodes:
+            sponsor = next(iter(self.nodes))
+            self.nodes[sponsor].multicast(event)
+
+    # -- experiment drive --------------------------------------------------------------
+
+    def multicast(self, source: int, payload: object) -> Tuple[int, int]:
+        message = self.nodes[source].multicast(payload)
+        self.delivered[source].add(message.msg_id)
+        return message.msg_id
+
+    def run_for(self, rounds: float) -> None:
+        """Advance virtual time by ``rounds`` gossip rounds."""
+        self.env.loop.run_until(
+            self.env.now() + rounds * self.config.round_duration_ms
+        )
+
+    def result(self) -> ChurnResult:
+        return ChurnResult(
+            joined=list(self.joined),
+            left=list(self.left),
+            delivered={pid: set(ids) for pid, ids in self.delivered.items()},
+            events_applied={
+                pid: node.events_applied for pid, node in self.nodes.items()
+            },
+            final_membership={
+                pid: node.known_members() for pid, node in self.nodes.items()
+            },
+        )
+
+    def stop(self) -> None:
+        for node in self.nodes.values():
+            node.stop()
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _on_data(self, pid: int, message, now: float) -> None:
+        self.delivered.setdefault(pid, set()).add(message.msg_id)
+
+    def _share_keys(self) -> None:
+        """Distribute public keys (stand-in for key material in certs)."""
+        keys = {pid: node.node.keys.public for pid, node in self.nodes.items()}
+        for node in self.nodes.values():
+            node.node.learn_keys(keys)

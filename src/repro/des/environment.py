@@ -1,0 +1,126 @@
+"""The node's runtime environment abstraction.
+
+:class:`~repro.des.node.GossipNode` is written against this small
+interface — a clock, a timer facility, and a datagram service — so the
+identical node logic runs on the deterministic discrete-event engine
+(:class:`SimEnvironment`) and under real threads and sockets
+(:class:`repro.runtime.env.RealTimeEnvironment`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.des.engine import EventLoop
+from repro.net.address import Address
+from repro.util import check_probability, derive_rng
+from repro.util.rng import SeedLike
+
+Handler = Callable[[Address, object], None]
+
+
+class Environment(ABC):
+    """Clock + timers + datagrams, as seen by one or more nodes."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in milliseconds."""
+
+    @abstractmethod
+    def schedule(self, delay_ms: float, fn: Callable[[], None]) -> object:
+        """Run ``fn`` after ``delay_ms``; returns a cancellable handle."""
+
+    @abstractmethod
+    def cancel(self, handle: object) -> None:
+        """Cancel a scheduled callback."""
+
+    @abstractmethod
+    def bind(self, addr: Address, handler: Handler) -> None:
+        """Receive datagrams addressed to ``addr``."""
+
+    @abstractmethod
+    def unbind(self, addr: Address) -> None:
+        """Stop receiving on ``addr``."""
+
+    @abstractmethod
+    def send(self, src: Address, dst: Address, payload: object) -> None:
+        """Send one datagram (may be lost; closed ports swallow silently)."""
+
+    @property
+    @abstractmethod
+    def rng(self) -> np.random.Generator:
+        """Source of randomness for protocol decisions."""
+
+
+class SimEnvironment(Environment):
+    """Deterministic environment over an :class:`EventLoop`.
+
+    Datagrams experience i.i.d. Bernoulli loss and a uniform delivery
+    latency — the paper's LAN model (latency well under half a round).
+    """
+
+    def __init__(
+        self,
+        loop: Optional[EventLoop] = None,
+        *,
+        loss: float = 0.0,
+        latency_range_ms: Tuple[float, float] = (0.5, 2.0),
+        seed: SeedLike = None,
+    ):
+        check_probability("loss", loss)
+        lo, hi = latency_range_ms
+        if not 0 <= lo <= hi:
+            raise ValueError(
+                f"latency_range_ms must satisfy 0 <= lo <= hi, got {latency_range_ms}"
+            )
+        self.loop = loop if loop is not None else EventLoop()
+        self.loss = float(loss)
+        self.latency_range_ms = (float(lo), float(hi))
+        self._rng = derive_rng(seed)
+        self._handlers: Dict[Address, Handler] = {}
+        self.sent = 0
+        self.lost = 0
+        self.dead_lettered = 0
+
+    def now(self) -> float:
+        return self.loop.now
+
+    def schedule(self, delay_ms: float, fn: Callable[[], None]) -> object:
+        return self.loop.schedule(delay_ms, fn)
+
+    def cancel(self, handle: object) -> None:
+        handle.cancel()
+
+    def bind(self, addr: Address, handler: Handler) -> None:
+        self._handlers[addr] = handler
+
+    def unbind(self, addr: Address) -> None:
+        self._handlers.pop(addr, None)
+
+    def is_bound(self, addr: Address) -> bool:
+        """True while some node listens on ``addr``."""
+        return addr in self._handlers
+
+    def send(self, src: Address, dst: Address, payload: object) -> None:
+        self.sent += 1
+        if self.loss and self._rng.random() < self.loss:
+            self.lost += 1
+            return
+        lo, hi = self.latency_range_ms
+        latency = lo if hi == lo else float(self._rng.uniform(lo, hi))
+
+        def _deliver() -> None:
+            handler = self._handlers.get(dst)
+            if handler is None:
+                self.dead_lettered += 1
+                return
+            handler(src, payload)
+
+        self.loop.schedule(latency, _deliver)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng

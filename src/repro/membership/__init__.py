@@ -1,0 +1,33 @@
+"""Group membership services.
+
+The analyses and simulations assume a static group
+(:class:`~repro.membership.static.StaticMembership`).  Section 10
+sketches a dynamic membership protocol for Drum, implemented here:
+
+- a CA (:class:`~repro.crypto.ca.CertificationAuthority`) authorises
+  joins, issues expiring certificates, and revokes them on log-out or
+  expulsion;
+- membership events (join / leave / expel) carry the CA-issued
+  certificate and are disseminated *over Drum's multicast itself*, so
+  the membership layer inherits Drum's DoS-resistance;
+- processes piggyback their certificates on data messages so peers with
+  incomplete membership databases can authenticate them;
+- a local failure detector stops a process from gossiping with
+  unresponsive partners without ever gossiping suspicions (a malicious
+  process therefore cannot talk anyone *else* out of a membership).
+"""
+
+from repro.membership.static import StaticMembership
+from repro.membership.events import ExpelEvent, JoinEvent, LeaveEvent, MembershipEvent
+from repro.membership.failure_detector import FailureDetector
+from repro.membership.dynamic import DynamicMembership
+
+__all__ = [
+    "DynamicMembership",
+    "ExpelEvent",
+    "FailureDetector",
+    "JoinEvent",
+    "LeaveEvent",
+    "MembershipEvent",
+    "StaticMembership",
+]

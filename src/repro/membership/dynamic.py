@@ -1,0 +1,171 @@
+"""The Section 10 dynamic membership protocol.
+
+One :class:`DynamicMembership` instance runs at each process, layered on
+top of the multicast protocol (events arrive through
+:meth:`handle_event`, exactly as Drum would deliver them).  It maintains
+the local membership database as a map of validated certificates:
+
+- join/leave/expel events mutate the database only after their
+  certificate checks out against the CA's public key — fabricated
+  membership traffic is discarded;
+- certificates expire, so a member that stops renewing drops out of
+  everyone's view without any message at all;
+- messages from unknown members are unusable until a certificate is
+  seen; processes therefore piggyback their certificate on outgoing
+  data messages periodically (and always, right after joining);
+- the local :class:`~repro.membership.failure_detector.FailureDetector`
+  removes unresponsive peers from the *gossip view* without touching
+  their membership status.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.crypto.ca import CertificationAuthority
+from repro.crypto.certificates import Certificate
+from repro.crypto.keys import PublicKey
+from repro.membership.events import (
+    ExpelEvent,
+    JoinEvent,
+    LeaveEvent,
+    MembershipEvent,
+)
+from repro.membership.failure_detector import FailureDetector
+
+
+class DynamicMembership:
+    """One process's view of a dynamic group."""
+
+    def __init__(
+        self,
+        pid: int,
+        ca_key: PublicKey,
+        *,
+        failure_timeout: float = 10.0,
+        piggyback_interval: float = 30.0,
+        recently_joined_window: float = 5.0,
+    ):
+        self.pid = pid
+        self.ca_key = ca_key
+        self.failure_detector = FailureDetector(failure_timeout)
+        self.piggyback_interval = float(piggyback_interval)
+        self.recently_joined_window = float(recently_joined_window)
+        self._certs: Dict[int, Certificate] = {}
+        self._own_cert: Optional[Certificate] = None
+        self._joined_at: Optional[float] = None
+        self._last_piggyback: float = float("-inf")
+        self.rejected_events = 0
+
+    # -- bootstrap ----------------------------------------------------------
+
+    def join(
+        self, ca: CertificationAuthority, own_key: PublicKey, now: float
+    ) -> Certificate:
+        """Join the group: obtain a certificate and the initial view."""
+        cert = ca.authorize_join(self.pid, own_key)
+        self._own_cert = cert
+        self._joined_at = now
+        for member in ca.initial_view(exclude=self.pid):
+            member_cert = ca.current_certificate(member)
+            if member_cert is not None:
+                self._certs[member] = member_cert
+        return cert
+
+    def install_certificate(self, cert: Certificate, now: float) -> bool:
+        """Learn a peer's certificate (e.g. piggybacked on a data message)."""
+        if not cert.is_valid_at(now, self.ca_key):
+            self.rejected_events += 1
+            return False
+        current = self._certs.get(cert.subject)
+        if current is not None and current.serial >= cert.serial:
+            return False  # already have it (or something newer)
+        self._certs[cert.subject] = cert
+        return True
+
+    # -- event handling -------------------------------------------------------
+
+    def handle_event(self, event: MembershipEvent, now: float) -> bool:
+        """Apply a join/leave/expel delivered by the multicast layer.
+
+        Returns False (and counts a rejection) when the event's
+        certificate does not verify — the defence against fabricated
+        membership traffic.
+        """
+        if isinstance(event, JoinEvent):
+            if not event.certificate.is_valid_at(now, self.ca_key):
+                self.rejected_events += 1
+                return False
+            self._certs[event.subject] = event.certificate
+            return True
+        if isinstance(event, (LeaveEvent, ExpelEvent)):
+            # The certificate authenticates the event even though it has
+            # been revoked at the CA: its signature must still verify
+            # and it must match what we know of the subject.
+            known = self._certs.get(event.subject)
+            if known is not None and known.serial != event.certificate.serial:
+                self.rejected_events += 1
+                return False
+            body_ok = event.certificate.is_valid_at(
+                min(now, event.certificate.expires_at - 1e-9), self.ca_key
+            )
+            if not body_ok:
+                self.rejected_events += 1
+                return False
+            self._certs.pop(event.subject, None)
+            return True
+        self.rejected_events += 1
+        return False
+
+    # -- views ------------------------------------------------------------------
+
+    def current_members(self, now: float) -> List[int]:
+        """Members with unexpired certificates (self excluded)."""
+        self._expire(now)
+        return sorted(self._certs)
+
+    def gossip_candidates(self, now: float) -> List[int]:
+        """Members the process is willing to gossip with right now:
+        certified *and* not suspected by the failure detector."""
+        return self.failure_detector.responsive_subset(self.current_members(now))
+
+    def knows(self, pid: int, now: float) -> bool:
+        """True when ``pid``'s messages can currently be authenticated."""
+        cert = self._certs.get(pid)
+        return cert is not None and cert.is_valid_at(now, self.ca_key)
+
+    # -- piggybacking --------------------------------------------------------------
+
+    def should_piggyback_certificate(self, now: float) -> bool:
+        """Whether the next outgoing message should carry our certificate.
+
+        True shortly after joining (peers may not know us yet) and
+        periodically thereafter (peers with incomplete databases catch
+        up).
+        """
+        if self._own_cert is None:
+            return False
+        recently_joined = (
+            self._joined_at is not None
+            and now - self._joined_at <= self.recently_joined_window
+        )
+        due = now - self._last_piggyback >= self.piggyback_interval
+        return recently_joined or due
+
+    def certificate_to_piggyback(self, now: float) -> Optional[Certificate]:
+        """The certificate to attach, marking the piggyback as done."""
+        if not self.should_piggyback_certificate(now):
+            return None
+        self._last_piggyback = now
+        return self._own_cert
+
+    # -- internals ------------------------------------------------------------------
+
+    def _expire(self, now: float) -> None:
+        expired = [
+            pid
+            for pid, cert in self._certs.items()
+            if not cert.is_valid_at(now, self.ca_key)
+        ]
+        for pid in expired:
+            del self._certs[pid]

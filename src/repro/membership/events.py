@@ -1,0 +1,43 @@
+"""Membership change events, disseminated over the multicast layer.
+
+Every event carries the CA-issued (or CA-revoked) certificate, so a
+malicious process cannot fabricate group-management traffic: a receiver
+validates the certificate against the CA's public key before mutating
+its local membership database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.certificates import Certificate
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """Base class: something happened to ``subject``'s membership."""
+
+    subject: int
+    certificate: Certificate
+
+    def __post_init__(self) -> None:
+        if self.certificate.subject != self.subject:
+            raise ValueError(
+                f"certificate subject {self.certificate.subject} does not "
+                f"match event subject {self.subject}"
+            )
+
+
+@dataclass(frozen=True)
+class JoinEvent(MembershipEvent):
+    """``subject`` joined: the CA propagates its freshly issued certificate."""
+
+
+@dataclass(frozen=True)
+class LeaveEvent(MembershipEvent):
+    """``subject`` logged out: its certificate (now revoked) identifies it."""
+
+
+@dataclass(frozen=True)
+class ExpelEvent(MembershipEvent):
+    """The CA expelled ``subject`` on suspicion of malbehaviour."""

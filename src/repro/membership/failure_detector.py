@@ -1,0 +1,59 @@
+"""Local failure detection.
+
+Section 10: "From time to time, each process tests the responsiveness of
+the other processes it communicates with.  If a failure is detected, the
+process stops communicating with the failed process, but does not
+propagate this information to other processes."
+
+The detector is deliberately *local only*: unlike gossiped failure
+detectors, no process can be removed from someone else's view on the
+basis of third-party claims, which closes the membership-poisoning
+channel a Byzantine process would otherwise exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+class FailureDetector:
+    """Timeout-based responsiveness tracking for one process."""
+
+    def __init__(self, timeout: float, *, probe_interval: float = 1.0):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if probe_interval <= 0:
+            raise ValueError(f"probe_interval must be > 0, got {probe_interval}")
+        self.timeout = float(timeout)
+        self.probe_interval = float(probe_interval)
+        self._last_heard: Dict[int, float] = {}
+        self._suspected: Set[int] = set()
+
+    def heard_from(self, peer: int, now: float) -> None:
+        """Record any inbound traffic from ``peer`` (implicit heartbeat)."""
+        self._last_heard[peer] = now
+        # Responsiveness rehabilitates a suspect — the failure was
+        # transient (a perturbation, in the paper's terms).
+        self._suspected.discard(peer)
+
+    def check(self, now: float) -> List[int]:
+        """Mark peers silent beyond the timeout; returns new suspects."""
+        newly = []
+        for peer, last in self._last_heard.items():
+            if peer not in self._suspected and now - last > self.timeout:
+                self._suspected.add(peer)
+                newly.append(peer)
+        return sorted(newly)
+
+    def is_suspected(self, peer: int) -> bool:
+        """True when ``peer`` is currently considered unresponsive."""
+        return peer in self._suspected
+
+    def responsive_subset(self, peers: List[int]) -> List[int]:
+        """Filter ``peers`` down to those not suspected — the set a Drum
+        process draws its gossip views from."""
+        return [p for p in peers if p not in self._suspected]
+
+    @property
+    def suspected(self) -> Set[int]:
+        return set(self._suspected)

@@ -1,0 +1,34 @@
+"""Static membership: the fixed group of the analyses and simulations."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class StaticMembership:
+    """A fixed, fully known group.
+
+    Every process holds the complete list (the paper's simulation
+    assumption); views are drawn from :func:`repro.core.views.select_view`
+    against this list.
+    """
+
+    def __init__(self, members: Iterable[int]):
+        unique = sorted(set(members))
+        if len(unique) < 2:
+            raise ValueError("a group needs at least two members")
+        self._members: List[int] = unique
+
+    def members(self) -> List[int]:
+        """All group members, ascending."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in set(self._members)
+
+    def others(self, pid: int) -> List[int]:
+        """Everyone except ``pid``."""
+        return [m for m in self._members if m != pid]

@@ -1,0 +1,49 @@
+"""CDF construction.
+
+Two kinds of CDFs appear in the paper:
+
+- *coverage CDFs* (Figures 5, 13, 14): the average fraction of correct
+  processes holding M as a function of the round number;
+- *latency CDFs* (Figure 11): for each latency ``l``, the fraction of
+  processes whose *average* delivery latency is at most ``l``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.results import MonteCarloResult
+
+
+def coverage_cdf(result: MonteCarloResult, max_round: int = None) -> np.ndarray:
+    """Mean coverage per round, optionally truncated/padded to ``max_round``."""
+    curve = result.coverage_by_round()
+    if max_round is None:
+        return curve
+    if len(curve) >= max_round + 1:
+        return curve[: max_round + 1]
+    pad = np.full(max_round + 1 - len(curve), curve[-1])
+    return np.concatenate([curve, pad])
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``: returns (sorted values, fractions).
+
+    ``fractions[i]`` is the fraction of samples ≤ ``sorted[i]`` — the
+    exact construction of Figure 11's per-process latency CDFs.
+    """
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from no samples")
+    fractions = np.arange(1, arr.size + 1) / arr.size
+    return arr, fractions
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples ≤ threshold."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot evaluate a CDF over no samples")
+    return float(np.mean(arr <= threshold))

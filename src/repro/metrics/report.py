@@ -1,0 +1,85 @@
+"""Experiment series export.
+
+Benchmarks and user studies produce (parameter, series) sweeps; this
+module serialises them to JSON and CSV so results can be archived,
+diffed against the paper, or plotted by external tooling without this
+library growing a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+
+@dataclass
+class SeriesReport:
+    """One figure-like sweep: an x-axis and named series over it."""
+
+    name: str
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    metadata: Dict[str, Union[str, float, int]] = field(default_factory=dict)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        """Attach one named series; it must align with the x-axis."""
+        values = [float(v) for v in values]
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points; "
+                f"x-axis has {len(self.x_values)}"
+            )
+        self.series[label] = values
+
+    # -- serialisation ----------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "x_label": self.x_label,
+                "x_values": self.x_values,
+                "series": self.series,
+                "metadata": self.metadata,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SeriesReport":
+        data = json.loads(text)
+        report = cls(
+            name=data["name"],
+            x_label=data["x_label"],
+            x_values=[float(v) for v in data["x_values"]],
+            metadata=data.get("metadata", {}),
+        )
+        for label, values in data.get("series", {}).items():
+            report.add_series(label, values)
+        return report
+
+    def save_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def save_csv(self, path: Union[str, Path]) -> Path:
+        """Write a wide CSV: x column followed by one column per series."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        labels = sorted(self.series)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([self.x_label] + labels)
+            for i, x in enumerate(self.x_values):
+                writer.writerow([x] + [self.series[label][i] for label in labels])
+        return path
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "SeriesReport":
+        return cls.from_json(Path(path).read_text())

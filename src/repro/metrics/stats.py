@@ -1,0 +1,78 @@
+"""Run statistics and trend fits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of one experiment point across runs."""
+
+    mean: float
+    std: float
+    sem: float
+    count: int
+    censored: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.count})"
+
+
+def summarize_runs(values: Sequence[float]) -> SeriesStats:
+    """Mean/std/sem of per-run values; NaNs count as censored."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty series")
+    censored = int(np.isnan(arr).sum())
+    clean = arr[~np.isnan(arr)]
+    if clean.size == 0:
+        return SeriesStats(
+            mean=float("nan"), std=float("nan"), sem=float("nan"),
+            count=0, censored=censored,
+        )
+    return SeriesStats(
+        mean=float(clean.mean()),
+        std=float(clean.std()),
+        sem=float(clean.std() / np.sqrt(clean.size)),
+        count=int(clean.size),
+        censored=censored,
+    )
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares line through (x, y): returns (slope, intercept, r²).
+
+    Used to *verify* the asymptotic claims: Push's and Pull's
+    propagation times grow linearly in the attack rate (r² near 1,
+    positive slope), while Drum's slope is statistically flat.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ValueError("linear_fit needs two equal-length series of >= 2 points")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    predicted = slope * xs + intercept
+    ss_res = float(np.sum((ys - predicted) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / mean — a scale-free flatness measure.
+
+    Drum's propagation time under an increasing-rate attack has a small
+    relative spread; Push's and Pull's grow without bound.
+    """
+    arr = np.asarray(values, dtype=float)
+    clean = arr[~np.isnan(arr)]
+    if clean.size == 0:
+        return float("nan")
+    mean = clean.mean()
+    if mean == 0:
+        return 0.0
+    return float((clean.max() - clean.min()) / mean)

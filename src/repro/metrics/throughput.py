@@ -1,0 +1,72 @@
+"""Received-throughput metrics (Figure 10).
+
+The paper's throughput experiments send a 10,000-message stream at
+40 msg/s and measure the average rate at which each correct process
+*delivers* messages, ignoring the first and last 5 % of each
+experiment's duration (warm-up and cool-down).  Purged messages that
+never reached a process show up as received throughput below the send
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ThroughputSummary:
+    """Received throughput across the correct processes."""
+
+    mean_msgs_per_sec: float
+    min_msgs_per_sec: float
+    max_msgs_per_sec: float
+    per_process: Dict[int, float]
+
+    def degradation_vs(self, send_rate: float) -> float:
+        """Fraction of the send rate lost on average (0 = none lost)."""
+        if send_rate <= 0:
+            raise ValueError(f"send_rate must be > 0, got {send_rate}")
+        return max(0.0, 1.0 - self.mean_msgs_per_sec / send_rate)
+
+
+def received_throughput(
+    delivery_times_ms: Mapping[int, Sequence[float]],
+    experiment_start_ms: float,
+    experiment_end_ms: float,
+    *,
+    trim_fraction: float = 0.05,
+) -> ThroughputSummary:
+    """Per-process received throughput with warm-up/cool-down trimming.
+
+    ``delivery_times_ms[pid]`` are the absolute delivery timestamps at
+    process ``pid``.  Deliveries within the first and last
+    ``trim_fraction`` of the experiment window are ignored, and the rate
+    is computed over the trimmed window, as in Section 8.2.
+    """
+    if experiment_end_ms <= experiment_start_ms:
+        raise ValueError("experiment_end_ms must exceed experiment_start_ms")
+    if not 0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+    duration = experiment_end_ms - experiment_start_ms
+    lo = experiment_start_ms + trim_fraction * duration
+    hi = experiment_end_ms - trim_fraction * duration
+    window_sec = (hi - lo) / 1000.0
+
+    per_process: Dict[int, float] = {}
+    for pid, times in delivery_times_ms.items():
+        arr = np.asarray(times, dtype=float)
+        in_window = int(np.sum((arr >= lo) & (arr <= hi)))
+        per_process[pid] = in_window / window_sec
+
+    if not per_process:
+        raise ValueError("no receivers to compute throughput over")
+    rates = np.array(list(per_process.values()))
+    return ThroughputSummary(
+        mean_msgs_per_sec=float(rates.mean()),
+        min_msgs_per_sec=float(rates.min()),
+        max_msgs_per_sec=float(rates.max()),
+        per_process=per_process,
+    )

@@ -1,0 +1,131 @@
+"""Per-port, per-round bounded inboxes.
+
+Drum's central defensive mechanism is *bounded random acceptance*: a
+process reads at most ``bound`` messages from each port per round, chosen
+uniformly at random among everything that arrived, and discards the rest
+when the round ends.  Because rounds are locally timed and randomly
+jittered, an attacker cannot aim traffic at the start of a round, so a
+fabricated message is as likely to be discarded as a valid one — which is
+exactly what makes the acceptance probability of a valid message
+``min(1, bound / arrivals)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.packet import Packet
+from repro.util import check_non_negative, derive_rng
+from repro.util.rng import SeedLike
+
+
+class BoundedChannel:
+    """One port's inbox for the current round.
+
+    ``persistent=True`` builds the *ablated* channel the paper warns
+    against: unread messages survive the round boundary instead of being
+    discarded.  Under a flood, stale fabricated backlog then accumulates
+    without bound and the acceptance probability of fresh valid traffic
+    collapses toward zero — the behaviour
+    ``tests/test_net_channel.py::TestRoundEndDiscardAblation`` verifies.
+    """
+
+    def __init__(
+        self, port: int, *, seed: SeedLike = None, persistent: bool = False
+    ):
+        self.port = port
+        self.persistent = persistent
+        self._arrivals: List[Packet] = []
+        self._fabricated_arrivals = 0
+        self._rng = derive_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._arrivals) + self._fabricated_arrivals
+
+    @property
+    def valid_arrivals(self) -> int:
+        """Number of non-fabricated packets waiting."""
+        return len(self._arrivals)
+
+    @property
+    def fabricated_arrivals(self) -> int:
+        """Number of fabricated packets waiting (attack traffic)."""
+        return self._fabricated_arrivals
+
+    def deliver(self, packet: Packet) -> None:
+        """Enqueue one arriving packet."""
+        if packet.fabricated:
+            # Fabricated packets carry no protocol-relevant payload; we
+            # count them instead of storing objects, which keeps large
+            # attacks (x in the thousands) cheap to simulate.
+            self._fabricated_arrivals += 1
+        else:
+            self._arrivals.append(packet)
+
+    def inject_fabricated(self, count: int) -> None:
+        """Enqueue ``count`` fabricated packets in one call."""
+        check_non_negative("count", count)
+        self._fabricated_arrivals += count
+
+    def drain(self, bound: Optional[int]) -> List[Packet]:
+        """Read up to ``bound`` packets; the remainder is discarded
+        (or, on a persistent channel, left queued for later rounds).
+
+        Returns the *valid* packets among the accepted subset (fabricated
+        ones are read too — consuming acceptance slots — but carry nothing
+        for the protocol).  ``bound=None`` means unbounded.
+        """
+        total = len(self)
+        if total == 0:
+            self._clear_read()
+            return []
+        if bound is None or total <= bound:
+            accepted = list(self._arrivals)
+            self._clear_read()
+            return accepted
+        # Choose a uniformly random bound-sized subset of all arrivals.
+        # The number of *valid* packets in that subset is hypergeometric;
+        # then pick which valid packets uniformly.
+        valid = len(self._arrivals)
+        accepted_valid = int(
+            self._rng.hypergeometric(valid, total - valid, bound)
+        ) if valid else 0
+        if accepted_valid == 0:
+            result: List[Packet] = []
+        elif accepted_valid == valid:
+            result = list(self._arrivals)
+        else:
+            idx = self._rng.choice(valid, size=accepted_valid, replace=False)
+            result = [self._arrivals[i] for i in sorted(idx)]
+        if self.persistent:
+            # Ablation: the unread remainder stays queued.
+            accepted_fabricated = bound - accepted_valid
+            kept = set(id(p) for p in result)
+            self._arrivals = [p for p in self._arrivals if id(p) not in kept]
+            self._fabricated_arrivals -= accepted_fabricated
+        else:
+            self._reset()
+        return result
+
+    def end_round(self) -> int:
+        """Discard everything unread; returns how many were dropped.
+
+        On a persistent (ablated) channel this is a no-op returning 0 —
+        the backlog survives, which is exactly the vulnerability.
+        """
+        if self.persistent:
+            return 0
+        dropped = len(self)
+        self._reset()
+        return dropped
+
+    def _clear_read(self) -> None:
+        if not self.persistent:
+            self._reset()
+        else:
+            self._arrivals = []
+            self._fabricated_arrivals = 0
+
+    def _reset(self) -> None:
+        self._arrivals = []
+        self._fabricated_arrivals = 0

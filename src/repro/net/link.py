@@ -1,0 +1,47 @@
+"""Link-loss model.
+
+The paper assumes a constant, link-independent loss probability (0.01 in
+all simulations).  ``LossModel`` captures that and exposes both scalar
+and vectorised sampling so the object-level and numpy engines share one
+definition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_probability, derive_rng
+from repro.util.rng import SeedLike
+
+
+class LossModel:
+    """I.i.d. Bernoulli loss, identical for every link."""
+
+    def __init__(self, loss_probability: float = 0.0, *, seed: SeedLike = None):
+        check_probability("loss_probability", loss_probability)
+        self.loss_probability = float(loss_probability)
+        self._rng = derive_rng(seed)
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the internal generator (used when replaying runs)."""
+        self._rng = derive_rng(seed)
+
+    def delivered(self) -> bool:
+        """Sample one transmission: True when the packet survives."""
+        if self.loss_probability == 0.0:
+            return True
+        return bool(self._rng.random() >= self.loss_probability)
+
+    def surviving_count(self, sent: int) -> int:
+        """Sample how many of ``sent`` independent packets survive."""
+        if sent < 0:
+            raise ValueError(f"sent must be >= 0, got {sent}")
+        if self.loss_probability == 0.0 or sent == 0:
+            return sent
+        return int(self._rng.binomial(sent, 1.0 - self.loss_probability))
+
+    def survival_mask(self, count: int) -> np.ndarray:
+        """Boolean mask of length ``count``: True where packets survive."""
+        if self.loss_probability == 0.0:
+            return np.ones(count, dtype=bool)
+        return self._rng.random(count) >= self.loss_probability

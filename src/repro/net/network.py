@@ -1,0 +1,118 @@
+"""The round-based simulated network fabric.
+
+A :class:`Network` owns, for every node, the set of currently open ports
+and a :class:`~repro.net.channel.BoundedChannel` per open port.  Sending
+applies link loss; packets addressed to closed ports (e.g. an attacker
+guessing at a random port that is no longer live) vanish silently, as
+they would on a real host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.net.address import Address
+from repro.net.channel import BoundedChannel
+from repro.net.link import LossModel
+from repro.net.packet import Packet
+from repro.util import SeedSequenceFactory
+from repro.util.rng import SeedLike
+
+
+class Network:
+    """Lossy datagram fabric for the object-level round simulator."""
+
+    def __init__(self, loss: Optional[LossModel] = None, *, seed: SeedLike = None):
+        self._seeds = SeedSequenceFactory(seed)
+        self.loss = loss if loss is not None else LossModel(0.0, seed=self._seeds.next_seed())
+        self._channels: Dict[int, Dict[int, BoundedChannel]] = {}
+        self.sent_packets = 0
+        self.lost_packets = 0
+        self.dead_lettered = 0
+        # Passive wiretaps (the paper's snooping adversary): each is
+        # called with every packet in transit.  What a tap can *learn*
+        # is limited by what the payload exposes — sealed envelopes
+        # keep random ports opaque even to a tap on every link.
+        self._snoopers = []
+
+    def add_snooper(self, snooper) -> None:
+        """Register a passive wiretap called with every sent packet."""
+        self._snoopers.append(snooper)
+
+    # -- port management ------------------------------------------------
+
+    def register_node(self, node: int) -> None:
+        """Create the port table for ``node`` (idempotent)."""
+        self._channels.setdefault(node, {})
+
+    def open_port(self, addr: Address) -> BoundedChannel:
+        """Open ``addr`` for reception and return its channel."""
+        ports = self._channels.setdefault(addr.node, {})
+        if addr.port not in ports:
+            ports[addr.port] = BoundedChannel(addr.port, seed=self._seeds.next_seed())
+        return ports[addr.port]
+
+    def close_port(self, addr: Address) -> None:
+        """Close ``addr``; anything queued there is dropped."""
+        ports = self._channels.get(addr.node)
+        if ports is not None:
+            ports.pop(addr.port, None)
+
+    def is_open(self, addr: Address) -> bool:
+        """True when ``addr`` currently accepts packets."""
+        return addr.port in self._channels.get(addr.node, {})
+
+    def channel(self, addr: Address) -> BoundedChannel:
+        """Return the channel behind an open port."""
+        try:
+            return self._channels[addr.node][addr.port]
+        except KeyError:
+            raise KeyError(f"port {addr} is not open") from None
+
+    def open_ports(self, node: int) -> List[int]:
+        """All ports currently open on ``node``."""
+        return sorted(self._channels.get(node, {}))
+
+    # -- traffic ---------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit one packet; returns True when it was enqueued."""
+        self.sent_packets += 1
+        for snooper in self._snoopers:
+            snooper(packet)
+        if not self.loss.delivered():
+            self.lost_packets += 1
+            return False
+        ports = self._channels.get(packet.dst.node)
+        if ports is None or packet.dst.port not in ports:
+            self.dead_lettered += 1
+            return False
+        ports[packet.dst.port].deliver(packet)
+        return True
+
+    def flood(self, dst: Address, count: int) -> int:
+        """Inject ``count`` fabricated packets at ``dst`` (attack traffic).
+
+        Loss applies to attack traffic like any other; returns how many
+        packets actually reached the channel.
+        """
+        self.sent_packets += count
+        survivors = self.loss.surviving_count(count)
+        self.lost_packets += count - survivors
+        ports = self._channels.get(dst.node)
+        if ports is None or dst.port not in ports:
+            self.dead_lettered += survivors
+            return 0
+        ports[dst.port].inject_fabricated(survivors)
+        return survivors
+
+    def end_round(self, nodes: Optional[Iterable[int]] = None) -> int:
+        """Discard unread backlog on every channel; returns total dropped."""
+        dropped = 0
+        targets = self._channels if nodes is None else {
+            n: self._channels.get(n, {}) for n in nodes
+        }
+        for ports in targets.values():
+            for channel in ports.values():
+                dropped += channel.end_round()
+        return dropped

@@ -1,0 +1,23 @@
+"""Real-time threaded runtime.
+
+Runs the *same* :class:`~repro.des.node.GossipNode` logic as the
+discrete-event platform, but against wall-clock timers and a concurrent
+datagram transport (in-memory loopback by default, UDP/localhost
+optionally).  This demonstrates that the node implementation is a real,
+thread-safe protocol stack rather than a simulation artifact, and
+provides the live-cluster example.
+
+The repro note for this paper flags that CPython's GIL caps the
+*throughput* such a runtime can push, so quantitative Section 8 numbers
+come from :mod:`repro.des`; this package is about running the protocol
+for real, at friendly scales.
+"""
+
+from repro.runtime.env import RealTimeEnvironment
+from repro.runtime.cluster import LiveCluster, LiveClusterConfig
+
+__all__ = [
+    "LiveCluster",
+    "LiveClusterConfig",
+    "RealTimeEnvironment",
+]

@@ -1,0 +1,261 @@
+"""A live, threaded gossip cluster in one process.
+
+Builds ``n`` concurrently running :class:`~repro.des.node.GossipNode`
+instances over a shared transport, optionally with a live attacker
+thread, and collects delivery records exactly like the discrete-event
+cluster.  Round durations default to a fraction of a second so a demo
+completes in seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.adversary.attacks import AttackSpec, PortLoad
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.des.attacker import FabricatedPayload
+from repro.des.measurement import DeliveryRecord, MeasurementResult
+from repro.des.node import GossipNode
+from repro.net.address import (
+    PORT_PULL_REPLY,
+    PORT_PULL_REQUEST,
+    PORT_PUSH_OFFER,
+    Address,
+)
+from repro.net.link import LossModel
+from repro.net.transport import InMemoryTransport, Transport
+from repro.runtime.env import RealTimeEnvironment
+from repro.util import SeedSequenceFactory
+from repro.util.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class LiveClusterConfig:
+    """Configuration for a threaded live cluster."""
+
+    protocol: Union[ProtocolKind, str] = ProtocolKind.DRUM
+    n: int = 8
+    malicious_fraction: float = 0.0
+    attack: Optional[AttackSpec] = None
+    fan_out: int = 4
+    loss: float = 0.0
+    round_duration_ms: float = 200.0
+    round_jitter: float = 0.1
+    purge_rounds: int = 20
+    max_sends_per_partner: int = 80
+
+    def __post_init__(self) -> None:
+        if isinstance(self.protocol, str):
+            object.__setattr__(self, "protocol", ProtocolKind(self.protocol))
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+
+    @property
+    def num_malicious(self) -> int:
+        return int(round(self.malicious_fraction * self.n))
+
+    @property
+    def num_correct(self) -> int:
+        return self.n - self.num_malicious
+
+    def correct_ids(self) -> List[int]:
+        return list(range(self.num_correct))
+
+    def attacked_ids(self) -> List[int]:
+        if self.attack is None:
+            return []
+        return list(range(self.attack.victim_count(self.n)))
+
+    def protocol_config(self) -> ProtocolConfig:
+        return ProtocolConfig(
+            kind=self.protocol,
+            fan_out=self.fan_out,
+            purge_rounds=self.purge_rounds,
+            max_sends_per_partner=self.max_sends_per_partner,
+            round_duration_ms=self.round_duration_ms,
+            round_jitter=self.round_jitter,
+        )
+
+    def with_(self, **changes) -> "LiveClusterConfig":
+        return replace(self, **changes)
+
+
+class LiveCluster:
+    """Threaded cluster lifecycle: build → start → multicast → stop."""
+
+    def __init__(
+        self,
+        config: LiveClusterConfig,
+        *,
+        transport: Optional[Transport] = None,
+        seed: SeedLike = None,
+    ):
+        self.config = config
+        seeds = SeedSequenceFactory(seed)
+        if transport is None:
+            transport = InMemoryTransport(
+                LossModel(config.loss, seed=seeds.next_seed())
+            )
+        self.transport = transport
+        self._lock = threading.RLock()
+        self._delivery_lock = threading.Lock()
+        self.deliveries: List[DeliveryRecord] = []
+        self.created_at: Dict[Tuple[int, int], float] = {}
+        self._started_at: Optional[float] = None
+
+        proto_cfg = config.protocol_config()
+        members = list(range(config.n))
+        self.envs: Dict[int, RealTimeEnvironment] = {}
+        self.nodes: Dict[int, GossipNode] = {}
+        for pid in config.correct_ids():
+            env = RealTimeEnvironment(
+                transport, seed=seeds.next_seed(), lock=self._lock
+            )
+            self.envs[pid] = env
+            self.nodes[pid] = GossipNode(
+                env,
+                pid,
+                proto_cfg,
+                members,
+                seed=seeds.next_seed(),
+                on_deliver=self._record,
+            )
+        keys = {pid: node.keys.public for pid, node in self.nodes.items()}
+        for node in self.nodes.values():
+            node.learn_keys(keys)
+
+        self._attacker_thread: Optional[threading.Thread] = None
+        self._attacker_stop = threading.Event()
+
+    # -- delivery log -----------------------------------------------------------
+
+    def _record(self, pid: int, message, now_ms: float) -> None:
+        wall = time.monotonic() * 1000.0
+        with self._delivery_lock:
+            created = self.created_at.get(message.msg_id)
+            if created is None:
+                return
+            self.deliveries.append(
+                DeliveryRecord(
+                    receiver=pid,
+                    msg_id=message.msg_id,
+                    delivered_at_ms=wall,
+                    latency_ms=wall - created,
+                    round_counter=message.round_counter,
+                )
+            )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        self._started_at = time.monotonic() * 1000.0
+        for node in self.nodes.values():
+            node.start()
+        if self.config.attack is not None:
+            self._attacker_stop.clear()
+            self._attacker_thread = threading.Thread(
+                target=self._attack_loop, daemon=True
+            )
+            self._attacker_thread.start()
+
+    def stop(self) -> None:
+        self._attacker_stop.set()
+        if self._attacker_thread is not None:
+            self._attacker_thread.join(timeout=2.0)
+            self._attacker_thread = None
+        for node in self.nodes.values():
+            node.stop()
+        for env in self.envs.values():
+            env.close()
+        self.transport.close()
+
+    def _attack_loop(self) -> None:
+        """Flood victims at the configured rate from a real thread."""
+        spec = self.config.attack
+        load: PortLoad = spec.port_load(self.config.protocol)
+        victims = self.config.attacked_ids()
+        bursts_per_round = 4
+        burst_sleep = self.config.round_duration_ms / bursts_per_round / 1000.0
+        nonce = 0
+        pairs = [
+            (PORT_PUSH_OFFER, load.push / bursts_per_round),
+            (PORT_PULL_REQUEST, load.pull_request / bursts_per_round),
+            (PORT_PULL_REPLY, load.pull_reply / bursts_per_round),
+        ]
+        src = Address(10**6, 0)  # a node id outside the group
+        while not self._attacker_stop.wait(burst_sleep):
+            for victim in victims:
+                for port, per_burst in pairs:
+                    count = int(per_burst)
+                    if per_burst - count > 0 and (nonce % 7) / 7.0 < per_burst - count:
+                        count += 1
+                    for _ in range(count):
+                        nonce += 1
+                        self.transport.send(
+                            src,
+                            Address(victim, port),
+                            FabricatedPayload(nonce=nonce),
+                        )
+
+    # -- application API -----------------------------------------------------------------
+
+    def multicast(self, source: int, payload: object) -> Tuple[int, int]:
+        """Multicast ``payload`` from ``source`` and track deliveries."""
+        wall = time.monotonic() * 1000.0
+        with self._lock:
+            msg = self.nodes[source].multicast(payload)
+        with self._delivery_lock:
+            self.created_at[msg.msg_id] = wall
+            self.deliveries.append(
+                DeliveryRecord(
+                    receiver=source,
+                    msg_id=msg.msg_id,
+                    delivered_at_ms=wall,
+                    latency_ms=0.0,
+                    round_counter=0,
+                )
+            )
+        return msg.msg_id
+
+    def await_delivery(
+        self,
+        msg_id: Tuple[int, int],
+        *,
+        fraction: float = 1.0,
+        timeout_s: float = 30.0,
+    ) -> bool:
+        """Block until ``fraction`` of correct processes delivered ``msg_id``."""
+        receivers = set(self.config.correct_ids())
+        needed = max(1, int(fraction * len(receivers)))
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._delivery_lock:
+                got = {
+                    r.receiver
+                    for r in self.deliveries
+                    if r.msg_id == msg_id and r.receiver in receivers
+                }
+            if len(got) >= needed:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def result(self, send_rate: float, messages_sent: int) -> MeasurementResult:
+        """Package the delivery log as a :class:`MeasurementResult`."""
+        if self._started_at is None:
+            raise RuntimeError("cluster was never started")
+        return MeasurementResult(
+            protocol=self.config.protocol.value,
+            n=self.config.n,
+            correct_receivers=[
+                pid for pid in self.config.correct_ids() if pid != 0
+            ],
+            send_rate=send_rate,
+            messages_sent=messages_sent,
+            experiment_start_ms=self._started_at,
+            experiment_end_ms=time.monotonic() * 1000.0,
+            deliveries=list(self.deliveries),
+        )

@@ -1,0 +1,92 @@
+"""Wall-clock implementation of the node environment.
+
+Timers are ``threading.Timer`` instances; datagrams ride a
+:class:`~repro.net.transport.Transport` (in-memory loopback or UDP).  A
+single re-entrant lock serialises node callbacks so the protocol logic
+— written for the single-threaded discrete-event engine — runs safely
+when timers and transport receivers fire concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.des.environment import Environment, Handler
+from repro.net.address import Address
+from repro.net.transport import Transport
+from repro.util import derive_rng
+from repro.util.rng import SeedLike
+
+
+class RealTimeEnvironment(Environment):
+    """One node's view of wall-clock time and a shared transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        seed: SeedLike = None,
+        lock: Optional[threading.RLock] = None,
+    ):
+        self.transport = transport
+        self._rng = derive_rng(seed)
+        self._origin = time.monotonic()
+        # Nodes sharing a transport may share a lock so that all
+        # callback execution is serialised across the cluster; each node
+        # may also have its own.
+        self._lock = lock if lock is not None else threading.RLock()
+        self._timers = set()
+        self._closed = False
+
+    def now(self) -> float:
+        return (time.monotonic() - self._origin) * 1000.0
+
+    def schedule(self, delay_ms: float, fn: Callable[[], None]) -> object:
+        def _fire() -> None:
+            self._timers.discard(timer)
+            if self._closed:
+                return
+            with self._lock:
+                if not self._closed:
+                    fn()
+
+        timer = threading.Timer(delay_ms / 1000.0, _fire)
+        timer.daemon = True
+        self._timers.add(timer)
+        timer.start()
+        return timer
+
+    def cancel(self, handle: object) -> None:
+        handle.cancel()
+        self._timers.discard(handle)
+
+    def bind(self, addr: Address, handler: Handler) -> None:
+        def _locked(src: Address, payload: object) -> None:
+            if self._closed:
+                return
+            with self._lock:
+                if not self._closed:
+                    handler(src, payload)
+
+        self.transport.bind(addr, _locked)
+
+    def unbind(self, addr: Address) -> None:
+        self.transport.unbind(addr)
+
+    def send(self, src: Address, dst: Address, payload: object) -> None:
+        self.transport.send(src, dst, payload)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def close(self) -> None:
+        """Cancel all outstanding timers and refuse further callbacks."""
+        self._closed = True
+        for timer in list(self._timers):
+            timer.cancel()
+        self._timers.clear()

@@ -1,0 +1,36 @@
+"""Round-synchronised simulation of the gossip protocols.
+
+Two engines share one :class:`~repro.sim.scenario.Scenario` description:
+
+- :mod:`repro.sim.engine` — the *exact* object-level engine: real
+  packets, ports, channels, sealed envelopes.  Used by tests and small
+  studies; every mechanism in :mod:`repro.core` actually executes.
+- :mod:`repro.sim.fast` — the numpy Monte-Carlo engine: identical round
+  semantics expressed as vectorised sampling, stacking all runs of an
+  experiment into array operations.  Used by the benchmark harness,
+  where the paper averages 1000 runs per data point.
+
+:func:`repro.sim.runner.monte_carlo` dispatches between them and
+aggregates :class:`~repro.sim.results.MonteCarloResult` statistics.
+"""
+
+from repro.sim.scenario import Scenario
+from repro.sim.results import MonteCarloResult, RunResult
+from repro.sim.engine import RoundSimulator, run_exact
+from repro.sim.fast import run_fast
+from repro.sim.runner import default_runs, monte_carlo
+from repro.sim.sweeps import budget_sweep, extent_sweep, rate_sweep
+
+__all__ = [
+    "MonteCarloResult",
+    "RoundSimulator",
+    "RunResult",
+    "Scenario",
+    "budget_sweep",
+    "default_runs",
+    "extent_sweep",
+    "monte_carlo",
+    "rate_sweep",
+    "run_exact",
+    "run_fast",
+]

@@ -1,0 +1,193 @@
+"""The exact object-level round simulator.
+
+Runs real :class:`~repro.core.protocol.GossipProcess` instances over a
+:class:`~repro.net.network.Network`: every packet, port, sealed envelope,
+and bounded channel actually exists.  This engine is the semantic
+reference — the vectorised engine in :mod:`repro.sim.fast` is validated
+against it — and the right tool for small-n studies and tests.
+
+Round structure (synchronised across processes, as in the paper's
+simulations):
+
+1. every process snapshots its state and draws views;
+2. every process sends push data and pull-requests;
+3. the adversary floods the victims' well-known ports;
+4. every process drains its bounded channels, ingesting pushes and
+   answering pull-requests (replies land within the same round);
+5. every process reads its pull-reply ports;
+6. leftover channel backlog is discarded and rounds advance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.adversary.attacker import RoundAttacker
+from repro.core import PROCESS_CLASSES
+from repro.core.protocol import GossipProcess
+from repro.net.link import LossModel
+from repro.net.network import Network
+from repro.sim.results import RunResult
+from repro.sim.scenario import Scenario
+from repro.util import SeedSequenceFactory
+from repro.util.rng import SeedLike
+
+
+class RoundSimulator:
+    """Drives one run of a scenario with real protocol objects."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        seed: SeedLike = None,
+        attacker_cls: Optional[type] = None,
+        attacker_factory=None,
+        distribute_keys: bool = True,
+    ):
+        """``attacker_cls`` overrides the static :class:`RoundAttacker`
+        with an adaptive one (see :mod:`repro.adversary.adaptive`); it is
+        constructed with the scenario's attack spec and the full set of
+        alive correct processes as candidates.  ``attacker_factory``
+        gives full control: called as ``factory(scenario, network,
+        seed)`` and must return a :class:`RoundAttacker`-compatible
+        object.  ``distribute_keys=False`` runs the *unencrypted-ports*
+        ablation: processes advertise their random reply ports in
+        cleartext, which a snooping adversary can harvest."""
+        self.scenario = scenario
+        seeds = SeedSequenceFactory(seed)
+        self._rng = np.random.default_rng(seeds.next_seed())
+        self._perturbed = set(scenario.perturbed_ids())
+        self.network = Network(
+            LossModel(scenario.loss, seed=seeds.next_seed()),
+            seed=seeds.next_seed(),
+        )
+        config = scenario.protocol_config()
+        process_cls = PROCESS_CLASSES[scenario.protocol]
+        members = list(range(scenario.n))
+
+        # Malicious and crashed nodes exist as addresses with no open
+        # ports: gossip sent to them is silently wasted.
+        for pid in scenario.malicious_ids() + scenario.crashed_ids():
+            self.network.register_node(pid)
+
+        self.processes: Dict[int, GossipProcess] = {}
+        for pid in scenario.alive_correct_ids():
+            self.processes[pid] = process_cls(
+                pid,
+                members,
+                self.network,
+                config=config,
+                seed=seeds.next_seed(),
+                has_message=(pid == scenario.source),
+            )
+        if distribute_keys:
+            keys = {pid: p.keys.public for pid, p in self.processes.items()}
+            for process in self.processes.values():
+                process.learn_keys(keys)
+
+        self.attacker: Optional[RoundAttacker] = None
+        if scenario.attack is not None:
+            if attacker_factory is not None:
+                self.attacker = attacker_factory(
+                    scenario, self.network, seeds.next_seed()
+                )
+            elif attacker_cls is not None:
+                self.attacker = attacker_cls(
+                    scenario.attack,
+                    scenario.protocol,
+                    scenario.alive_correct_ids(),
+                    self.network,
+                    n=scenario.n,
+                    seed=seeds.next_seed(),
+                )
+            else:
+                self.attacker = RoundAttacker(
+                    scenario.attack,
+                    scenario.protocol,
+                    scenario.attacked_ids(),
+                    self.network,
+                    seed=seeds.next_seed(),
+                )
+
+    def holders(self) -> int:
+        """Alive correct processes currently holding M."""
+        return sum(p.has_message for p in self.processes.values())
+
+    def step_round(self) -> None:
+        """Execute one synchronised gossip round.
+
+        Perturbed processes sleep through a round with the scenario's
+        perturbation probability: they take part in no phase, and
+        whatever arrived for them is discarded at round end like any
+        other unread backlog.
+        """
+        procs = [
+            p
+            for p in self.processes.values()
+            if p.pid not in self._perturbed
+            or self._rng.random() >= self.scenario.perturbation_prob
+        ]
+        for p in procs:
+            p.begin_round()
+        for p in procs:
+            p.send_phase()
+        if self.attacker is not None:
+            observe = getattr(self.attacker, "observe_round", None)
+            if observe is not None:
+                observe(
+                    {pid: p.has_message for pid, p in self.processes.items()}
+                )
+            self.attacker.inject_round()
+        for p in procs:
+            p.receive_phase()
+        for p in procs:
+            p.reply_phase()
+        for p in procs:
+            p.data_phase()
+        # Drum discards all unread messages at round end.
+        self.network.end_round()
+        for p in procs:
+            p.end_round()
+
+    def run(self) -> RunResult:
+        """Run until the coverage threshold is met or max_rounds elapse."""
+        scenario = self.scenario
+        attacked = set(scenario.attacked_ids())
+        target = scenario.threshold_count()
+
+        counts: List[int] = [self.holders()]
+        counts_attacked = [
+            sum(self.processes[pid].has_message for pid in attacked)
+        ]
+        counts_non = [counts[0] - counts_attacked[0]]
+
+        while counts[-1] < target and len(counts) <= scenario.max_rounds:
+            self.step_round()
+            total = self.holders()
+            in_attacked = sum(
+                self.processes[pid].has_message for pid in attacked
+            )
+            counts.append(total)
+            counts_attacked.append(in_attacked)
+            counts_non.append(total - in_attacked)
+
+        deliveries = np.full(scenario.num_alive_correct, np.nan)
+        for pid, process in self.processes.items():
+            if process.delivery_round is not None:
+                deliveries[pid] = process.delivery_round
+
+        return RunResult(
+            scenario=scenario,
+            counts=np.asarray(counts, dtype=np.int32),
+            counts_attacked=np.asarray(counts_attacked, dtype=np.int32),
+            counts_non_attacked=np.asarray(counts_non, dtype=np.int32),
+            delivery_rounds=deliveries,
+        )
+
+
+def run_exact(scenario: Scenario, *, seed: SeedLike = None) -> RunResult:
+    """Convenience wrapper: build a :class:`RoundSimulator` and run it."""
+    return RoundSimulator(scenario, seed=seed).run()

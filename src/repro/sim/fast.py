@@ -1,0 +1,331 @@
+"""Vectorised Monte-Carlo engine.
+
+Implements the same round semantics as :mod:`repro.sim.engine` but
+stacks all runs of an experiment into numpy array operations, making the
+paper's 1000-runs-per-point sweeps tractable in Python.
+
+Equivalence notes (validated by tests against the exact engine and the
+Appendix C numerical analysis):
+
+- View draws are exact F-subsets without replacement (duplicate rows are
+  resampled), targets uniform over the other ``n - 1`` members.
+- Channel acceptance is exact at the margin: the number of M-carrying
+  messages accepted on a flooded channel is hypergeometric over the mix
+  of valid and fabricated arrivals, which is precisely the distribution
+  induced by "read a uniformly random bound-sized subset".
+- Pull-request acceptance events at *different* targets are sampled
+  independently with the exact marginal probability ``min(1, bound /
+  arrivals)``; the negative correlation between two requesters accepted
+  at the *same* flooded target is neglected.  The paper's own Appendix C
+  analysis makes the same independence approximation (its ``q*``
+  products), and Figures 13–14 show it is indistinguishable from the
+  object-level simulation.
+- Fabricated traffic is thinned by link loss, as in Appendix C, and
+  fractional per-port rates are realised by randomised rounding so fixed
+  budget sweeps inject exactly ``B`` messages per round in expectation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adversary.attacks import PortLoad
+from repro.core.config import ProtocolKind
+from repro.sim.results import MonteCarloResult
+from repro.sim.scenario import Scenario
+from repro.util import derive_rng
+from repro.util.rng import SeedLike
+
+
+def _draw_views(
+    rng: np.random.Generator, runs: int, senders: np.ndarray, n: int, v: int
+) -> np.ndarray:
+    """(runs, S, v) gossip targets: uniform, self-free, distinct per row."""
+    targets = rng.integers(0, n - 1, size=(runs, len(senders), v))
+    # Skip the sender's own id so targets are uniform over the others.
+    targets += targets >= senders[None, :, None]
+    if v > 1:
+        while True:
+            ordered = np.sort(targets, axis=2)
+            dup_rows = (ordered[:, :, 1:] == ordered[:, :, :-1]).any(axis=2)
+            if not dup_rows.any():
+                break
+            redraw = rng.integers(0, n - 1, size=(int(dup_rows.sum()), v))
+            sender_of_row = np.broadcast_to(
+                senders[None, :], dup_rows.shape
+            )[dup_rows]
+            redraw += redraw >= sender_of_row[:, None]
+            targets[dup_rows] = redraw
+    return targets
+
+
+def _bincount(run_ix: np.ndarray, targets: np.ndarray, runs: int, n: int) -> np.ndarray:
+    """Per-(run, target) arrival counts from flat index arrays."""
+    flat = run_ix * n + targets
+    return np.bincount(flat, minlength=runs * n).reshape(runs, n)
+
+
+def _fabricated_counts(
+    rng: np.random.Generator,
+    rate: float,
+    shape: tuple,
+    loss: float,
+) -> np.ndarray:
+    """Loss-thinned fabricated arrivals at ``rate`` per victim per round."""
+    if rate <= 0:
+        return np.zeros(shape, dtype=np.int64)
+    base = int(rate)
+    frac = rate - base
+    counts = np.full(shape, base, dtype=np.int64)
+    if frac > 0:
+        counts += rng.random(shape) < frac
+    if loss > 0:
+        counts = rng.binomial(counts, 1.0 - loss)
+    return counts
+
+
+def _accept_any(
+    rng: np.random.Generator,
+    m_arrivals: np.ndarray,
+    total_arrivals: np.ndarray,
+    bound: int,
+) -> np.ndarray:
+    """Whether ≥1 M-carrying message survives bounded random acceptance.
+
+    Exact: the accepted subset is uniform over all arrivals, so the
+    number of accepted M-messages is hypergeometric.
+    """
+    got = np.zeros(m_arrivals.shape, dtype=bool)
+    under = total_arrivals <= bound
+    got[under] = m_arrivals[under] >= 1
+    over = ~under & (m_arrivals > 0)
+    if over.any():
+        accepted = rng.hypergeometric(
+            m_arrivals[over], total_arrivals[over] - m_arrivals[over], bound
+        )
+        got[over] = accepted >= 1
+    return got
+
+
+def run_fast(
+    scenario: Scenario,
+    runs: int,
+    *,
+    seed: SeedLike = None,
+    horizon: Optional[int] = None,
+) -> MonteCarloResult:
+    """Simulate ``runs`` independent runs of ``scenario``.
+
+    ``horizon`` forces simulating exactly that many rounds regardless of
+    the coverage threshold — used by the CDF experiments, which plot
+    coverage growth past 99 %.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    rng = derive_rng(seed)
+    n = scenario.n
+    cfg = scenario.protocol_config()
+    kind = scenario.protocol
+    loss = scenario.loss
+
+    num_alive = scenario.num_alive_correct
+    num_attacked = scenario.num_attacked
+    # The deterministic scenario layout puts alive correct processes at
+    # the lowest ids; the engine relies on that contiguity.
+    senders = np.arange(num_alive)
+    alive_mask = np.zeros(n, dtype=bool)
+    alive_mask[:num_alive] = True
+
+    v_push = cfg.view_push_size
+    v_pull = cfg.view_pull_size
+    shared_bound = cfg.shared_in_bound
+    if v_push + v_pull > n - 1:
+        raise ValueError(
+            f"group of {n} is too small for a combined fan-out of "
+            f"{v_push + v_pull} distinct targets"
+        )
+
+    if scenario.attack is not None:
+        load = scenario.attack.port_load(kind)
+    else:
+        load = PortLoad()
+
+    num_perturbed = scenario.num_perturbed
+    perturb_lo = num_alive - num_perturbed
+    perturb_prob = scenario.perturbation_prob
+
+    has = np.zeros((runs, n), dtype=bool)
+    has[:, scenario.source] = True
+
+    target = scenario.threshold_count()
+    max_rounds = horizon if horizon is not None else scenario.max_rounds
+
+    cur_total = np.ones(runs, dtype=np.int32)
+    cur_attacked = np.ones(runs, dtype=np.int32)  # the source is attacked
+    if num_attacked == 0:
+        cur_attacked = np.zeros(runs, dtype=np.int32)
+    hist_total: List[np.ndarray] = [cur_total.copy()]
+    hist_attacked: List[np.ndarray] = [cur_attacked.copy()]
+
+    active = np.ones(runs, dtype=bool)
+    if horizon is None:
+        active &= cur_total < target
+
+    for _ in range(max_rounds):
+        if not active.any():
+            break
+        act = np.flatnonzero(active)
+        r_count = len(act)
+        has_start = has[act]
+        new_has = has_start.copy()
+
+        views = _draw_views(rng, r_count, senders, n, v_push + v_pull)
+        t_push = views[:, :, :v_push]
+        t_pull = views[:, :, v_push:]
+
+        # Perturbed processes sleep through a round with probability
+        # perturbation_prob: no sending, no accepting, no replying.
+        awake = np.ones((r_count, n), dtype=bool)
+        if num_perturbed and perturb_prob > 0:
+            awake[:, perturb_lo:num_alive] = (
+                rng.random((r_count, num_perturbed)) >= perturb_prob
+            )
+        sender_awake = awake[:, :num_alive, None]
+
+        # ---- gather per-target channel loads -------------------------------
+        push_valid = push_m = fab_push = None
+        if v_push:
+            sent = (rng.random(t_push.shape) >= loss) & sender_awake
+            run_ix = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_push.shape
+            )
+            push_valid = _bincount(
+                run_ix[sent], t_push[sent], r_count, n
+            )
+            holder = sent & has_start[:, :num_alive, None]
+            push_m = _bincount(run_ix[holder], t_push[holder], r_count, n)
+            fab_push = np.zeros((r_count, n), dtype=np.int64)
+            if load.push > 0 and num_attacked:
+                fab_push[:, :num_attacked] = _fabricated_counts(
+                    rng, load.push, (r_count, num_attacked), loss
+                )
+
+        req_valid = fab_req = req_sent = None
+        if v_pull:
+            req_sent = (rng.random(t_pull.shape) >= loss) & sender_awake
+            run_ix_q = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_pull.shape
+            )
+            req_valid = _bincount(
+                run_ix_q[req_sent], t_pull[req_sent], r_count, n
+            )
+            fab_req = np.zeros((r_count, n), dtype=np.int64)
+            if load.pull_request > 0 and num_attacked:
+                fab_req[:, :num_attacked] = _fabricated_counts(
+                    rng, load.pull_request, (r_count, num_attacked), loss
+                )
+
+        # ---- shared-bounds variant: joint control-message pool ---------------
+        # The pool at each node holds push-offer arrivals, pull-request
+        # arrivals, the fabricated flood on both well-known ports, and
+        # the node's own incoming push-replies (one per offer it sent).
+        # Every control message independently wins one of the
+        # ``shared_bound`` slots with the pool's marginal probability.
+        p_pool = None
+        if shared_bound is not None:
+            pool = (push_valid + fab_push + req_valid + fab_req).astype(float)
+            pool[:, :num_alive] += v_push
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_pool = np.where(
+                    pool > 0, np.minimum(1.0, shared_bound / pool), 1.0
+                )
+            p_pool = p_pool * alive_mask[None, :] * awake
+
+        # ---- push reception --------------------------------------------------
+        if v_push and shared_bound is None:
+            total = push_valid + fab_push
+            got_push = _accept_any(rng, push_m, total, cfg.push_in_bound)
+            got_push &= alive_mask[None, :] & awake
+            new_has |= got_push
+        elif v_push:
+            # Offer handshake: the offer must win the target's pool, the
+            # push-reply must win the sender's pool, and each of offer /
+            # reply / data crosses one lossy link.
+            run_ix = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_push.shape
+            )
+            offer_ok = (rng.random(t_push.shape) >= loss) & sender_awake
+            offer_acc = offer_ok & (
+                rng.random(t_push.shape) < p_pool[run_ix, t_push]
+            )
+            reply_acc = (
+                offer_acc
+                & (rng.random(t_push.shape) >= loss)
+                & (rng.random(t_push.shape) < p_pool[:, :num_alive, None])
+            )
+            data_ok = reply_acc & (rng.random(t_push.shape) >= loss)
+            m_data = data_ok & has_start[:, :num_alive, None]
+            arrivals = _bincount(run_ix[m_data], t_push[m_data], r_count, n)
+            got_push = (arrivals >= 1) & alive_mask[None, :] & awake
+            new_has |= got_push
+
+        # ---- pull: request acceptance and replies -----------------------------
+        if v_pull:
+            if shared_bound is not None:
+                accept_prob = p_pool * awake
+            else:
+                denom = req_valid + fab_req
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    accept_prob = np.where(
+                        denom > 0,
+                        np.minimum(1.0, cfg.pull_in_bound / denom),
+                        1.0,
+                    )
+                accept_prob = accept_prob * alive_mask[None, :] * awake
+
+            run_ix_q = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_pull.shape
+            )
+            accepted = req_sent & (
+                rng.random(t_pull.shape) < accept_prob[run_ix_q, t_pull]
+            )
+            reply_ok = accepted & (rng.random(t_pull.shape) >= loss)
+            m_reply = reply_ok & has_start[run_ix_q, t_pull]
+
+            if cfg.uses_random_ports:
+                got_pull = m_reply.any(axis=2)
+            else:
+                # Well-known reply port: bounded and attacked (Fig 12a).
+                replies = reply_ok.sum(axis=2)
+                m_replies = m_reply.sum(axis=2)
+                fab_reply = np.zeros((r_count, num_alive), dtype=np.int64)
+                if load.pull_reply > 0 and num_attacked:
+                    fab_reply[:, :num_attacked] = _fabricated_counts(
+                        rng, load.pull_reply, (r_count, num_attacked), loss
+                    )
+                got_pull = _accept_any(
+                    rng, m_replies, replies + fab_reply, cfg.pull_in_bound
+                )
+            new_has[:, :num_alive] |= got_pull
+
+        has[act] = new_has
+        cur_total[act] = new_has[:, :num_alive].sum(axis=1, dtype=np.int32)
+        cur_attacked[act] = new_has[:, :num_attacked].sum(
+            axis=1, dtype=np.int32
+        )
+        hist_total.append(cur_total.copy())
+        hist_attacked.append(cur_attacked.copy())
+
+        if horizon is None:
+            active[act] = cur_total[act] < target
+
+    counts = np.stack(hist_total, axis=1)
+    counts_attacked = np.stack(hist_attacked, axis=1)
+    return MonteCarloResult(
+        scenario=scenario,
+        counts=counts,
+        counts_attacked=counts_attacked,
+        counts_non_attacked=counts - counts_attacked,
+    )

@@ -1,0 +1,159 @@
+"""Result containers for simulation experiments.
+
+Both engines produce, per run, the number of alive correct processes
+holding M at the *beginning* of each round (``counts[0] == 1``: only the
+source).  Every metric in the paper's simulation figures derives from
+these trajectories plus the attacked/non-attacked split:
+
+- propagation time to a coverage threshold (Figures 2, 3, 7, 8, 9, 12);
+- its standard deviation across runs (Figure 4);
+- the per-round CDF of coverage (Figures 5, 13, 14);
+- per-subset propagation (attacked vs non-attacked, Figure 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.scenario import Scenario
+
+
+def rounds_to_count(trajectory: np.ndarray, target: int) -> float:
+    """First round index at which ``trajectory`` reaches ``target``.
+
+    Returns ``nan`` when the trajectory never gets there (a censored
+    run).  ``trajectory`` must be non-decreasing.
+    """
+    reached = trajectory >= target
+    if not reached.any():
+        return float("nan")
+    return float(np.argmax(reached))
+
+
+@dataclass
+class RunResult:
+    """One simulation run's trajectory."""
+
+    scenario: Scenario
+    #: Holders of M among alive correct processes at the start of each round.
+    counts: np.ndarray
+    #: Holders within the attacked subset (includes the source).
+    counts_attacked: np.ndarray
+    #: Holders within the non-attacked alive correct subset.
+    counts_non_attacked: np.ndarray
+    #: Per-process delivery round (nan where M never arrived), indexed by
+    #: process id over the alive correct processes.  Only the exact
+    #: engine fills this in.
+    delivery_rounds: Optional[np.ndarray] = None
+
+    def rounds_to_threshold(self) -> float:
+        """Rounds until the scenario's coverage threshold was met."""
+        return rounds_to_count(self.counts, self.scenario.threshold_count())
+
+    def final_coverage(self) -> float:
+        """Fraction of alive correct processes that ever got M."""
+        return float(self.counts[-1]) / self.scenario.num_alive_correct
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregated trajectories of many independent runs."""
+
+    scenario: Scenario
+    #: (runs, rounds+1) holder counts; rows padded with their final value.
+    counts: np.ndarray
+    counts_attacked: np.ndarray
+    counts_non_attacked: np.ndarray
+
+    @property
+    def runs(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def rounds_simulated(self) -> int:
+        return self.counts.shape[1] - 1
+
+    # -- propagation time ---------------------------------------------------
+
+    def rounds_to_threshold(self) -> np.ndarray:
+        """Per-run rounds to the coverage threshold (nan when censored)."""
+        target = self.scenario.threshold_count()
+        return self._per_run_rounds(self.counts, target)
+
+    def rounds_to_subset_threshold(
+        self, subset: str, fraction: Optional[float] = None
+    ) -> np.ndarray:
+        """Per-run rounds for the attacked / non-attacked subset alone.
+
+        The subset threshold applies ``fraction`` (default: the
+        scenario's coverage fraction) to the subset size — Figure 6
+        plots propagation "to the attacked processes" and "to the
+        non-attacked processes".  Note the simulation stops at the
+        scenario's *global* threshold; to measure a subset fraction
+        higher than the global trajectory guarantees, run the scenario
+        with ``threshold=1.0``.
+        """
+        if subset == "attacked":
+            trajectories = self.counts_attacked
+            size = self.scenario.num_attacked
+        elif subset == "non_attacked":
+            trajectories = self.counts_non_attacked
+            size = self.scenario.num_alive_correct - self.scenario.num_attacked
+        else:
+            raise ValueError(f"unknown subset {subset!r}")
+        if size == 0:
+            return np.zeros(self.runs)
+        if fraction is None:
+            fraction = self.scenario.threshold
+        target = max(1, math.ceil(fraction * size - 1e-9))
+        return self._per_run_rounds(trajectories, target)
+
+    def mean_rounds(self) -> float:
+        """Mean propagation time; censored runs count as max_rounds."""
+        return float(np.nanmean(self._censored(self.rounds_to_threshold())))
+
+    def std_rounds(self) -> float:
+        """Std of the propagation time across runs."""
+        return float(np.nanstd(self._censored(self.rounds_to_threshold())))
+
+    def censored_runs(self) -> int:
+        """Runs that never reached the threshold within max_rounds."""
+        return int(np.isnan(self.rounds_to_threshold()).sum())
+
+    # -- coverage CDFs --------------------------------------------------------
+
+    def coverage_by_round(self) -> np.ndarray:
+        """Mean fraction of alive correct processes holding M per round."""
+        return self.counts.mean(axis=0) / self.scenario.num_alive_correct
+
+    def subset_coverage_by_round(self, subset: str) -> np.ndarray:
+        """Mean per-round coverage within one subset."""
+        if subset == "attacked":
+            size = self.scenario.num_attacked
+            data = self.counts_attacked
+        elif subset == "non_attacked":
+            size = self.scenario.num_alive_correct - self.scenario.num_attacked
+            data = self.counts_non_attacked
+        else:
+            raise ValueError(f"unknown subset {subset!r}")
+        if size == 0:
+            return np.ones(self.counts.shape[1])
+        return data.mean(axis=0) / size
+
+    # -- internals -------------------------------------------------------------
+
+    def _per_run_rounds(self, trajectories: np.ndarray, target: int) -> np.ndarray:
+        reached = trajectories >= target
+        ever = reached.any(axis=1)
+        first = np.argmax(reached, axis=1).astype(float)
+        first[~ever] = np.nan
+        return first
+
+    def _censored(self, rounds: np.ndarray) -> np.ndarray:
+        out = rounds.copy()
+        out[np.isnan(out)] = self.scenario.max_rounds
+        return out

@@ -1,0 +1,181 @@
+"""Experiment scenarios.
+
+A :class:`Scenario` pins down everything a simulation run needs: group
+size and composition (correct / malicious / crashed), the protocol and
+its fan-out, the link-loss rate, and the DoS attack (if any).  Process
+ids are laid out deterministically — the layout is immaterial because
+the protocols treat members symmetrically:
+
+- id 0 is the source of the tracked message M (always attacked when
+  there is an attack, per the paper);
+- the highest ``b`` ids are the malicious group members;
+- crashed processes occupy the ids just below the malicious block;
+- the attacked set is the lowest ``α·n`` ids (all correct and alive).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional, Union
+
+from repro.adversary.attacks import AttackSpec
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.util import check_fraction, check_probability
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One simulated configuration of group, protocol, and attack."""
+
+    protocol: Union[ProtocolKind, str] = ProtocolKind.DRUM
+    n: int = 120
+    fan_out: int = 4
+    loss: float = 0.01
+    #: Fraction of the n group members controlled by the adversary.
+    #: They never send valid messages (gossip sent to them is wasted);
+    #: the paper's attack simulations use 10 %.
+    malicious_fraction: float = 0.0
+    #: Fraction of the n group members that crashed before M was created
+    #: (Fig 2b).  The source never crashes; crashes are undetected.
+    crashed_fraction: float = 0.0
+    #: Fraction of alive correct processes subject to *perturbations*
+    #: (Section 2's other DoS form): in any round, a perturbed process
+    #: is unresponsive — neither sending nor accepting — with
+    #: probability :attr:`perturbation_prob`.
+    perturbed_fraction: float = 0.0
+    perturbation_prob: float = 0.0
+    attack: Optional[AttackSpec] = None
+    #: Fraction of correct live processes that must hold M (0.99 in the
+    #: paper's simulations; 1.0 reproduces the closed-form analyses).
+    threshold: float = 0.99
+    max_rounds: int = 500
+
+    def __post_init__(self) -> None:
+        if isinstance(self.protocol, str):
+            object.__setattr__(self, "protocol", ProtocolKind(self.protocol))
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        if self.fan_out < 1:
+            raise ValueError(f"fan_out must be >= 1, got {self.fan_out}")
+        check_probability("loss", self.loss)
+        check_fraction("malicious_fraction", self.malicious_fraction, allow_zero=True)
+        check_fraction("crashed_fraction", self.crashed_fraction, allow_zero=True)
+        check_fraction("perturbed_fraction", self.perturbed_fraction, allow_zero=True)
+        check_probability("perturbation_prob", self.perturbation_prob)
+        check_fraction("threshold", self.threshold)
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.num_malicious + self.num_crashed >= self.n:
+            raise ValueError("no correct live processes left in the group")
+        if self.attack is not None:
+            victims = self.attack.victim_count(self.n)
+            if victims < 1:
+                raise ValueError(
+                    f"attack extent α={self.attack.alpha} targets no process "
+                    f"in a group of {self.n}"
+                )
+            if victims > self.num_alive_correct:
+                raise ValueError(
+                    f"attack targets {victims} processes but only "
+                    f"{self.num_alive_correct} are correct and alive"
+                )
+        if self.num_perturbed:
+            if self.num_attacked + self.num_perturbed > self.num_alive_correct - 1:
+                raise ValueError(
+                    "attacked and perturbed sets overlap: "
+                    f"{self.num_attacked} attacked + {self.num_perturbed} "
+                    f"perturbed exceed the {self.num_alive_correct} alive "
+                    "correct processes (minus the unperturbed source)"
+                )
+
+    # -- group composition -------------------------------------------------
+
+    @property
+    def num_malicious(self) -> int:
+        """``b``: group members controlled by the adversary."""
+        return int(round(self.malicious_fraction * self.n))
+
+    @property
+    def num_crashed(self) -> int:
+        return int(round(self.crashed_fraction * self.n))
+
+    @property
+    def num_correct(self) -> int:
+        """Correct group members (crashed ones included — they are not faulty
+        by choice, but they cannot receive M, so thresholds use
+        :attr:`num_alive_correct`)."""
+        return self.n - self.num_malicious
+
+    @property
+    def num_alive_correct(self) -> int:
+        """Correct processes that are up: the threshold denominator."""
+        return self.n - self.num_malicious - self.num_crashed
+
+    @property
+    def num_attacked(self) -> int:
+        return self.attack.victim_count(self.n) if self.attack else 0
+
+    @property
+    def num_perturbed(self) -> int:
+        return int(round(self.perturbed_fraction * self.num_alive_correct))
+
+    @property
+    def source(self) -> int:
+        """Process id of M's source."""
+        return 0
+
+    def malicious_ids(self) -> List[int]:
+        return list(range(self.n - self.num_malicious, self.n))
+
+    def crashed_ids(self) -> List[int]:
+        hi = self.n - self.num_malicious
+        return list(range(hi - self.num_crashed, hi))
+
+    def attacked_ids(self) -> List[int]:
+        """The attacked processes — lowest ids, so the source is included."""
+        return list(range(self.num_attacked))
+
+    def alive_correct_ids(self) -> List[int]:
+        return list(range(self.num_alive_correct))
+
+    def perturbed_ids(self) -> List[int]:
+        """Perturbed processes — the highest alive correct ids, so the
+        set is disjoint from the (lowest-id) attacked set and excludes
+        the source."""
+        hi = self.num_alive_correct
+        return list(range(hi - self.num_perturbed, hi))
+
+    def threshold_count(self) -> int:
+        """How many alive correct processes must hold M."""
+        return max(1, math.ceil(self.threshold * self.num_alive_correct - 1e-9))
+
+    # -- derived config ------------------------------------------------------
+
+    def protocol_config(self) -> ProtocolConfig:
+        """The :class:`ProtocolConfig` this scenario runs."""
+        return ProtocolConfig(kind=self.protocol, fan_out=self.fan_out)
+
+    def with_(self, **changes) -> "Scenario":
+        """Copy with ``changes`` applied (validation re-runs)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human description, used in logs and benchmark output."""
+        parts = [
+            f"{self.protocol.value}",
+            f"n={self.n}",
+            f"F={self.fan_out}",
+            f"loss={self.loss}",
+        ]
+        if self.num_malicious:
+            parts.append(f"malicious={self.num_malicious}")
+        if self.num_crashed:
+            parts.append(f"crashed={self.num_crashed}")
+        if self.num_perturbed:
+            parts.append(
+                f"perturbed={self.num_perturbed}@p={self.perturbation_prob:g}"
+            )
+        if self.attack:
+            parts.append(f"attack(α={self.attack.alpha:g}, x={self.attack.x:g})")
+        return " ".join(parts)

@@ -1,0 +1,159 @@
+"""One-call experiment sweeps.
+
+The paper's evaluation is built from three sweep shapes (rate, extent,
+fixed budget).  These helpers run a sweep across protocols and return a
+:class:`~repro.metrics.report.SeriesReport` ready to print, save, or
+diff — the same machinery the benchmark harness uses, packaged for
+interactive use::
+
+    from repro.sim.sweeps import rate_sweep
+
+    report = rate_sweep(
+        ["drum", "push", "pull"], rates=[0, 32, 64, 128],
+        n=120, alpha=0.1, runs=200, seed=1,
+    )
+    print(report.to_json())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.adversary.attacks import AttackSpec
+from repro.core.config import ProtocolKind
+from repro.metrics.report import SeriesReport
+from repro.sim.runner import monte_carlo
+from repro.sim.scenario import Scenario
+from repro.util import spawn_seeds
+from repro.util.rng import SeedLike
+
+ProtocolName = Union[str, ProtocolKind]
+
+
+def _mean_rounds(
+    protocol: ProtocolName,
+    n: int,
+    attack: Optional[AttackSpec],
+    *,
+    malicious_fraction: float,
+    runs: Optional[int],
+    seed,
+    max_rounds: int,
+) -> float:
+    scenario = Scenario(
+        protocol=protocol,
+        n=n,
+        malicious_fraction=malicious_fraction if attack else 0.0,
+        attack=attack,
+        max_rounds=max_rounds,
+    )
+    return monte_carlo(scenario, runs=runs, seed=seed).mean_rounds()
+
+
+def rate_sweep(
+    protocols: Sequence[ProtocolName],
+    rates: Sequence[float],
+    *,
+    n: int = 120,
+    alpha: float = 0.1,
+    malicious_fraction: float = 0.1,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+) -> SeriesReport:
+    """Propagation time vs the per-victim attack rate ``x`` (Figure 3a)."""
+    report = SeriesReport(
+        name="rate_sweep",
+        x_label="x (fabricated msgs/victim/round)",
+        x_values=[float(x) for x in rates],
+        metadata={"n": n, "alpha": alpha},
+    )
+    seeds = spawn_seeds(seed, len(protocols))
+    for protocol, proto_seed in zip(protocols, seeds):
+        times = [
+            _mean_rounds(
+                protocol,
+                n,
+                AttackSpec(alpha=alpha, x=float(x)) if x > 0 else None,
+                malicious_fraction=malicious_fraction,
+                runs=runs,
+                seed=proto_seed,
+                max_rounds=max_rounds,
+            )
+            for x in rates
+        ]
+        report.add_series(str(ProtocolKind(protocol).value), times)
+    return report
+
+
+def extent_sweep(
+    protocols: Sequence[ProtocolName],
+    alphas: Sequence[float],
+    *,
+    x: float = 128.0,
+    n: int = 120,
+    malicious_fraction: float = 0.1,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+) -> SeriesReport:
+    """Propagation time vs the attack extent ``α`` (Figure 3b)."""
+    report = SeriesReport(
+        name="extent_sweep",
+        x_label="alpha (fraction of processes attacked)",
+        x_values=[float(a) for a in alphas],
+        metadata={"n": n, "x": x},
+    )
+    seeds = spawn_seeds(seed, len(protocols))
+    for protocol, proto_seed in zip(protocols, seeds):
+        times = [
+            _mean_rounds(
+                protocol,
+                n,
+                AttackSpec(alpha=float(a), x=x),
+                malicious_fraction=malicious_fraction,
+                runs=runs,
+                seed=proto_seed,
+                max_rounds=max_rounds,
+            )
+            for a in alphas
+        ]
+        report.add_series(str(ProtocolKind(protocol).value), times)
+    return report
+
+
+def budget_sweep(
+    protocols: Sequence[ProtocolName],
+    alphas: Sequence[float],
+    *,
+    budget_per_process: float = 7.2,
+    n: int = 120,
+    malicious_fraction: float = 0.1,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+) -> SeriesReport:
+    """Fixed-budget strategy sweep: ``B = budget_per_process · n``
+    split over each extent in ``alphas`` (Figures 7–8)."""
+    report = SeriesReport(
+        name="budget_sweep",
+        x_label="alpha (fraction of processes attacked)",
+        x_values=[float(a) for a in alphas],
+        metadata={"n": n, "budget_per_process": budget_per_process},
+    )
+    seeds = spawn_seeds(seed, len(protocols))
+    for protocol, proto_seed in zip(protocols, seeds):
+        times = [
+            _mean_rounds(
+                protocol,
+                n,
+                AttackSpec.fixed_budget(budget_per_process * n, float(a), n),
+                malicious_fraction=malicious_fraction,
+                runs=runs,
+                seed=proto_seed,
+                max_rounds=max_rounds,
+            )
+            for a in alphas
+        ]
+        report.add_series(str(ProtocolKind(protocol).value), times)
+    return report

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG plumbing, validation, and table rendering."""
+
+from repro.util.rng import SeedSequenceFactory, derive_rng, spawn_seeds
+from repro.util.tables import Table
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "Table",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_rng",
+    "spawn_seeds",
+]

@@ -1,0 +1,31 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def check_positive(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: Real) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_fraction(name: str, value: Real, *, allow_zero: bool = False) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in (0, 1] (or [0, 1])."""
+    low_ok = value >= 0 if allow_zero else value > 0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value!r}")

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.sim import Scenario
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that sample."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_scenario():
+    """A fast no-attack scenario for engine tests."""
+    return Scenario(protocol="drum", n=30, loss=0.01)
+
+
+@pytest.fixture
+def attacked_scenario():
+    """A fast attacked scenario: 10 % malicious, α = 10 %, x = 64."""
+    return Scenario(
+        protocol="drum",
+        n=60,
+        malicious_fraction=0.1,
+        attack=AttackSpec(alpha=0.1, x=64),
+    )

@@ -1,0 +1,118 @@
+"""Tests for the snooping adversary — the value of encrypted ports."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.adversary.snooping import SnoopingAttacker
+from repro.core import ProtocolKind
+from repro.core.message import Digest, PullRequest
+from repro.crypto import KeyPair, seal
+from repro.net import Address, LossModel, Network, Packet, PORT_PULL_REQUEST
+from repro.sim import RoundSimulator, Scenario
+from repro.util import spawn_seeds
+
+
+def _attacker(network, victims=(0,), x=64):
+    return SnoopingAttacker(
+        AttackSpec(alpha=0.5, x=x),
+        ProtocolKind.DRUM,
+        list(victims),
+        network,
+        seed=1,
+    )
+
+
+class TestWiretap:
+    def test_cleartext_ports_are_harvested(self):
+        net = Network(LossModel(0.0), seed=0)
+        net.open_port(Address(1, PORT_PULL_REQUEST))
+        attacker = _attacker(net, victims=(0,))
+        request = PullRequest(sender=0, digest=Digest.of([]), reply_port=7777)
+        net.send(Packet(dst=Address(1, PORT_PULL_REQUEST), payload=request))
+        assert attacker.harvested_total == 1
+
+    def test_sealed_ports_expose_nothing(self):
+        net = Network(LossModel(0.0), seed=0)
+        net.open_port(Address(1, PORT_PULL_REQUEST))
+        attacker = _attacker(net, victims=(0,))
+        key = KeyPair(owner=1).public
+        request = PullRequest(
+            sender=0, digest=Digest.of([]), reply_port=seal(key, 7777)
+        )
+        net.send(Packet(dst=Address(1, PORT_PULL_REQUEST), payload=request))
+        assert attacker.harvested_total == 0
+
+    def test_non_victim_traffic_ignored(self):
+        net = Network(LossModel(0.0), seed=0)
+        net.open_port(Address(1, PORT_PULL_REQUEST))
+        attacker = _attacker(net, victims=(5,))
+        request = PullRequest(sender=0, digest=Digest.of([]), reply_port=7777)
+        net.send(Packet(dst=Address(1, PORT_PULL_REQUEST), payload=request))
+        assert attacker.harvested_total == 0
+
+    def test_harvested_ports_get_flooded(self):
+        net = Network(LossModel(0.0), seed=0)
+        net.open_port(Address(1, PORT_PULL_REQUEST))
+        net.open_port(Address(0, 7777))  # the victim's live reply port
+        attacker = _attacker(net, victims=(0,), x=20)
+        request = PullRequest(sender=0, digest=Digest.of([]), reply_port=7777)
+        net.send(Packet(dst=Address(1, PORT_PULL_REQUEST), payload=request))
+        attacker.inject_round()
+        assert net.channel(Address(0, 7777)).fabricated_arrivals >= 10
+
+    def test_harvest_expires(self):
+        net = Network(LossModel(0.0), seed=0)
+        net.open_port(Address(1, PORT_PULL_REQUEST))
+        attacker = _attacker(net, victims=(0,), x=20)
+        request = PullRequest(sender=0, digest=Digest.of([]), reply_port=7777)
+        net.send(Packet(dst=Address(1, PORT_PULL_REQUEST), payload=request))
+        for _ in range(attacker.port_memory_rounds + 1):
+            attacker.inject_round()
+        assert not attacker._harvested
+
+
+class TestEncryptionMatters:
+    """End-to-end: Drum with sealed ports shrugs the snooper off; with
+    cleartext ports the same snooper degrades it."""
+
+    def _mean_rounds(self, distribute_keys, x, seeds):
+        scenario = Scenario(
+            protocol="drum", n=40, malicious_fraction=0.1,
+            attack=AttackSpec(alpha=0.1, x=float(x)), max_rounds=300,
+        )
+
+        def factory(scn, network, seed):
+            return SnoopingAttacker(
+                scn.attack, scn.protocol, scn.attacked_ids(), network,
+                seed=seed,
+            )
+
+        times = []
+        for seed in seeds:
+            sim = RoundSimulator(
+                scenario, seed=seed,
+                attacker_factory=factory,
+                distribute_keys=distribute_keys,
+            )
+            rounds = sim.run().rounds_to_threshold()
+            times.append(rounds if not np.isnan(rounds) else 300)
+        return float(np.mean(times))
+
+    def test_sealed_ports_resist_snooper(self):
+        seeds = spawn_seeds(11, 30)
+        low = self._mean_rounds(True, 32, seeds)
+        high = self._mean_rounds(True, 256, seeds)
+        assert high < low + 2.5, (low, high)
+
+    def test_cleartext_ports_fall_to_snooper(self):
+        seeds = spawn_seeds(13, 30)
+        low = self._mean_rounds(False, 32, seeds)
+        high = self._mean_rounds(False, 256, seeds)
+        assert high > low + 2.5, (low, high)
+
+    def test_encryption_beats_cleartext_under_heavy_snooping(self):
+        seeds = spawn_seeds(17, 30)
+        sealed = self._mean_rounds(True, 256, seeds)
+        cleartext = self._mean_rounds(False, 256, seeds)
+        assert sealed < cleartext

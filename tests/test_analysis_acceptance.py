@@ -1,0 +1,92 @@
+"""Tests for Appendix A: acceptance probabilities and their paper facts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accept_probability_attacked,
+    accept_probability_unattacked,
+    attacked_probability_derivative_x,
+)
+from repro.analysis.acceptance import (
+    attacked_probability_derivative_alpha,
+    coarse_bound_attacked,
+)
+
+
+class TestUnattacked:
+    @pytest.mark.parametrize("fan_out", range(1, 11))
+    def test_pu_above_0_6_paper_fact(self, fan_out):
+        """Figure 1(a): p_u > 0.6 for every fan-out."""
+        assert accept_probability_unattacked(1000, fan_out) > 0.6
+
+    def test_pu_is_probability(self):
+        p = accept_probability_unattacked(500, 4)
+        assert 0 <= p <= 1
+
+    def test_pu_value_reference(self):
+        # p_u(n=1000, F=4) ≈ 0.805, stable reference for regression.
+        assert accept_probability_unattacked(1000, 4) == pytest.approx(0.805, abs=0.005)
+
+    def test_small_n_validation(self):
+        with pytest.raises(ValueError):
+            accept_probability_unattacked(2, 1)
+        with pytest.raises(ValueError):
+            accept_probability_unattacked(10, 10)
+
+
+class TestAttacked:
+    def test_reduces_to_pu_without_flood(self):
+        assert accept_probability_attacked(300, 4, 0) == pytest.approx(
+            accept_probability_unattacked(300, 4)
+        )
+
+    @pytest.mark.parametrize("x", [8, 32, 128, 512])
+    def test_coarse_bound_paper_fact(self, x):
+        """p_a < F/x — the bound every asymptotic result leans on."""
+        p_a = accept_probability_attacked(1000, 4, x)
+        assert p_a < coarse_bound_attacked(4, x)
+
+    def test_monotone_decreasing_in_x(self):
+        values = [accept_probability_attacked(500, 4, x) for x in (0, 4, 16, 64, 256)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ValueError):
+            accept_probability_attacked(500, 4, -1)
+
+
+class TestDerivatives:
+    def test_derivative_in_x_negative(self):
+        assert attacked_probability_derivative_x(500, 4, 64) < 0
+
+    def test_derivative_matches_finite_difference(self):
+        x = 64.0
+        h = 0.5
+        numeric = (
+            accept_probability_attacked(500, 4, x + h)
+            - accept_probability_attacked(500, 4, x - h)
+        ) / (2 * h)
+        analytic = attacked_probability_derivative_x(500, 4, x)
+        assert analytic == pytest.approx(numeric, rel=0.05)
+
+    def test_lemma7_bound(self):
+        """dp_a/dα < F/(αx) for fixed-budget attacks (Lemma 7)."""
+        n, fan_out, budget = 500, 4, 7.2 * 500
+        for alpha in (0.1, 0.3, 0.6, 0.9):
+            x = budget / (alpha * n)
+            deriv = attacked_probability_derivative_alpha(n, fan_out, budget, alpha)
+            assert deriv < fan_out / (alpha * x)
+
+    def test_derivative_alpha_positive(self):
+        """Spreading a fixed budget softens each victim's flood."""
+        deriv = attacked_probability_derivative_alpha(500, 4, 7.2 * 500, 0.3)
+        assert deriv > 0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            attacked_probability_derivative_alpha(500, 4, 100, 0.0)
+
+    def test_coarse_bound_zero_x_rejected(self):
+        with pytest.raises(ValueError):
+            coarse_bound_attacked(4, 0)

@@ -1,0 +1,111 @@
+"""Tests for the Section 6 asymptotic results (Lemmas 1–6, Corollaries 1–2)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    drum_effective_degrees,
+    drum_propagation_upper_bound_rounds,
+    pull_escape_lower_bound,
+    push_propagation_lower_bound,
+)
+from repro.analysis.asymptotic import (
+    drum_degree_lower_bound,
+    lemma3_log_bound,
+    lemma5_theta_x,
+)
+
+
+class TestLemma1DrumBounded:
+    def test_degrees_bounded_below_in_x(self):
+        """Drum's effective degree has an x-independent floor (Lemma 1)."""
+        floor = drum_degree_lower_bound(1000, 4, alpha=0.1)
+        assert floor > 0
+        for x in (32, 128, 1024, 8192):
+            degrees = drum_effective_degrees(1000, 4, alpha=0.1, x=x)
+            assert degrees.attacked > floor * 0.99
+            assert degrees.unattacked > floor * 0.99
+
+    def test_upper_bound_independent_of_x(self):
+        bound = drum_propagation_upper_bound_rounds(1000, 4, alpha=0.1)
+        assert math.isfinite(bound)
+
+    def test_alpha_one_gives_infinite_bound(self):
+        with pytest.raises(ValueError):
+            drum_degree_lower_bound(1000, 4, alpha=1.0)
+
+    def test_unattacked_degree_exceeds_attacked(self):
+        degrees = drum_effective_degrees(1000, 4, alpha=0.3, x=128)
+        assert degrees.unattacked > degrees.attacked
+
+
+class TestLemma2SpreadingWins:
+    def test_degrees_decrease_with_alpha_under_fixed_budget(self):
+        """For strong fixed-budget attacks, widening the attack hurts
+        every process — the adversary's best strategy is α = max."""
+        n, fan_out, c = 500, 4, 10.0
+        budget = c * fan_out * n
+        degrees = []
+        for alpha in (0.1, 0.3, 0.5, 0.7, 0.9):
+            x = budget / (alpha * n)
+            degrees.append(drum_effective_degrees(n, fan_out, alpha, x))
+        attacked = [d.attacked for d in degrees]
+        unattacked = [d.unattacked for d in degrees]
+        assert all(a > b for a, b in zip(attacked, attacked[1:]))
+        assert all(a > b for a, b in zip(unattacked, unattacked[1:]))
+
+
+class TestPushLowerBound:
+    def test_grows_roughly_linearly_in_x(self):
+        """Corollary 1: Push's bound grows at least linearly with x."""
+        bounds = [
+            push_propagation_lower_bound(1000, 4, 0.1, x) for x in (64, 128, 256)
+        ]
+        assert bounds[1] / bounds[0] == pytest.approx(2.0, rel=0.25)
+        assert bounds[2] / bounds[1] == pytest.approx(2.0, rel=0.25)
+
+    def test_positive(self):
+        assert push_propagation_lower_bound(1000, 4, 0.1, 128) > 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            push_propagation_lower_bound(1000, 4, 0.0, 128)
+
+
+class TestPullLowerBound:
+    def test_grows_linearly_in_x(self):
+        """Corollary 2 via Lemma 6."""
+        b1 = pull_escape_lower_bound(50, 4, 1000)
+        b2 = pull_escape_lower_bound(50, 4, 2000)
+        assert b2 / b1 == pytest.approx(2.0, rel=0.2)
+
+    def test_trivial_when_flood_below_slots(self):
+        assert pull_escape_lower_bound(50, 4, 2) == 1.0
+
+
+class TestHelperLemmas:
+    @pytest.mark.parametrize("a", [0.01, 0.5, 1, 10, 1000])
+    def test_lemma3(self, a):
+        assert lemma3_log_bound(a)
+
+    def test_lemma3_validation(self):
+        with pytest.raises(ValueError):
+            lemma3_log_bound(0)
+
+    def test_lemma5_sandwich(self):
+        """(x-F)/(bF) <= x^b/(x^b-(x-F)^b) <= x/(bF)+1."""
+        x, fan_out, b = 200.0, 4, 49
+        value = lemma5_theta_x(x, fan_out, b)
+        assert (x - fan_out) / (b * fan_out) <= value <= x / (b * fan_out) + 1
+
+    def test_lemma5_linear_in_x(self):
+        v1 = lemma5_theta_x(1000, 4, 99)
+        v2 = lemma5_theta_x(2000, 4, 99)
+        assert v2 / v1 == pytest.approx(2.0, rel=0.1)
+
+    def test_lemma5_validation(self):
+        with pytest.raises(ValueError):
+            lemma5_theta_x(2, 4, 5)
+        with pytest.raises(ValueError):
+            lemma5_theta_x(100, 4, 0)

@@ -1,0 +1,71 @@
+"""Tests for the propagation-time distribution from the Appendix C
+recursion (the ``track_completion`` extension)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.analysis import coverage_curve_attack, coverage_curve_no_attack
+from repro.sim import Scenario, monte_carlo
+
+
+class TestCompletionTracking:
+    def test_completion_is_monotone_cdf(self):
+        curves = coverage_curve_no_attack(
+            "drum", 60, rounds=20, track_completion=0.99
+        )
+        assert curves.completion is not None
+        assert (np.diff(curves.completion) >= -1e-12).all()
+        assert 0 <= curves.completion[0] <= curves.completion[-1] <= 1 + 1e-9
+
+    def test_completion_reaches_one(self):
+        curves = coverage_curve_no_attack(
+            "push", 60, rounds=30, track_completion=0.99
+        )
+        assert curves.completion[-1] > 0.999
+
+    def test_expected_rounds_requires_tracking(self):
+        curves = coverage_curve_no_attack("drum", 60, rounds=5)
+        with pytest.raises(ValueError):
+            curves.expected_rounds_to_completion()
+
+    def test_expected_rounds_matches_simulation(self):
+        """The analytic E[rounds to 99%] should match Monte-Carlo."""
+        curves = coverage_curve_no_attack(
+            "drum", 60, rounds=30, track_completion=0.99, refined=True
+        )
+        analytic = curves.expected_rounds_to_completion()
+        sim = monte_carlo(
+            Scenario(protocol="drum", n=60), runs=600, seed=21
+        ).mean_rounds()
+        assert analytic == pytest.approx(sim, abs=0.7)
+
+    def test_attack_curve_completion(self):
+        attack = AttackSpec(alpha=0.1, x=64)
+        curves = coverage_curve_attack(
+            "pull", 60, 6, attack, rounds=60,
+            track_completion=0.99, refined=True,
+        )
+        assert (np.diff(curves.completion) >= -1e-12).all()
+        analytic = curves.expected_rounds_to_completion()
+        sim = monte_carlo(
+            Scenario(
+                protocol="pull", n=60, malicious_fraction=0.1,
+                attack=attack, max_rounds=300,
+            ),
+            runs=600, seed=22,
+        ).mean_rounds()
+        assert analytic == pytest.approx(sim, rel=0.25)
+
+    def test_completion_slower_under_attack(self):
+        attack = AttackSpec(alpha=0.1, x=64)
+        clean = coverage_curve_no_attack(
+            "push", 60, 6, rounds=40, track_completion=0.99
+        )
+        attacked = coverage_curve_attack(
+            "push", 60, 6, attack, rounds=40, track_completion=0.99
+        )
+        assert (
+            attacked.expected_rounds_to_completion()
+            > clean.expected_rounds_to_completion()
+        )

@@ -1,0 +1,97 @@
+"""Tests for the numerical-analysis internals (truncated pmfs, tables)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.numerical import (
+    _miss_probabilities,
+    _push_miss_table,
+    _truncated_binom,
+)
+from repro.core.config import ProtocolKind
+
+
+class TestTruncatedBinom:
+    def test_degenerate_cases(self):
+        offset, pmf = _truncated_binom(0, 0.5)
+        assert offset == 0 and list(pmf) == [1.0]
+        offset, pmf = _truncated_binom(10, 0.0)
+        assert offset == 0 and list(pmf) == [1.0]
+
+    def test_normalised(self):
+        _, pmf = _truncated_binom(100, 0.03)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_support_matches_distribution(self):
+        offset, pmf = _truncated_binom(50, 0.2)
+        ks = offset + np.arange(len(pmf))
+        full = stats.binom.pmf(ks, 50, 0.2)
+        # Renormalised window tracks the true pmf closely.
+        assert np.abs(pmf - full / full.sum()).max() < 1e-9
+
+    def test_mean_preserved(self):
+        offset, pmf = _truncated_binom(200, 0.1)
+        ks = offset + np.arange(len(pmf))
+        assert float(pmf @ ks) == pytest.approx(20.0, abs=0.1)
+
+
+class TestPushMissTable:
+    def test_zero_holders_never_infect(self):
+        table = _push_miss_table(60, 0, 2, 2, 0.01, 0.0, 20)
+        assert table[0] == 1.0
+
+    def test_monotone_decreasing_in_holders(self):
+        table = _push_miss_table(60, 0, 2, 2, 0.01, 0.0, 30)
+        assert (np.diff(table) <= 1e-12).all()
+
+    def test_attack_raises_miss_probability(self):
+        clean = _push_miss_table(60, 0, 2, 2, 0.01, 0.0, 10)
+        flooded = _push_miss_table(60, 0, 2, 2, 0.01, 64.0, 10)
+        assert (flooded[1:] > clean[1:]).all()
+
+    def test_single_holder_matches_marginal(self):
+        """With one holder, the table equals 1 - p_push exactly."""
+        from repro.analysis.numerical import _link_probabilities
+
+        probs = _link_probabilities(ProtocolKind.PUSH, 60, 0, 4, 0.01, None)
+        table = _push_miss_table(60, 0, 4, 4, 0.01, 0.0, 2)
+        assert table[1] == pytest.approx(1.0 - probs.push_u, abs=5e-4)
+
+    def test_tighter_than_independence_for_many_holders(self):
+        """Without replacement beats the (1-p)^i product: smaller miss."""
+        from repro.analysis.numerical import _link_probabilities
+
+        probs = _link_probabilities(ProtocolKind.PUSH, 60, 0, 4, 0.01, None)
+        table = _push_miss_table(60, 0, 4, 4, 0.01, 0.0, 40)
+        product = (1.0 - probs.push_u) ** np.arange(41)
+        assert (table[5:] <= product[5:] + 1e-9).all()
+
+
+class TestMissProbabilities:
+    def test_push_only_ignores_pull(self):
+        from repro.analysis.numerical import _link_probabilities
+
+        probs = _link_probabilities(ProtocolKind.PUSH, 60, 0, 4, 0.01, None)
+        q_u, q_a = _miss_probabilities(ProtocolKind.PUSH, probs, 3, 2)
+        assert q_u == pytest.approx((1 - probs.push_u) ** 5)
+        assert q_a == pytest.approx((1 - probs.push_a) ** 5)
+
+    def test_pull_symmetric_between_classes(self):
+        from repro.analysis.numerical import _link_probabilities
+        from repro.adversary import AttackSpec
+
+        probs = _link_probabilities(
+            ProtocolKind.PULL, 60, 6, 4, 0.01, AttackSpec(alpha=0.1, x=32)
+        )
+        q_u, q_a = _miss_probabilities(ProtocolKind.PULL, probs, 4, 2)
+        assert q_u == q_a
+
+    def test_drum_composes_both(self):
+        from repro.analysis.numerical import _link_probabilities
+
+        probs = _link_probabilities(ProtocolKind.DRUM, 60, 0, 4, 0.01, None)
+        q_u, _ = _miss_probabilities(ProtocolKind.DRUM, probs, 2, 0)
+        push_only = (1 - probs.push_u) ** 2
+        pull_only = (1 - probs.pull_u) ** 2
+        assert q_u == pytest.approx(push_only * pull_only)

@@ -1,0 +1,140 @@
+"""Tests for Appendix C: the numerical coverage recursion."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.analysis import (
+    coverage_curve_attack,
+    coverage_curve_no_attack,
+    discard_probability,
+    discard_probability_attacked,
+)
+from repro.sim import Scenario, monte_carlo
+
+
+class TestDiscardProbabilities:
+    def test_zero_view_never_discards(self):
+        assert discard_probability(100, 0, 0, 4, 0.01) == 0.0
+
+    def test_probability_range(self):
+        d = discard_probability(120, 0, 4, 4, 0.01)
+        assert 0 <= d < 1
+
+    def test_attack_increases_discard(self):
+        base = discard_probability(120, 0, 2, 2, 0.01)
+        attacked = discard_probability_attacked(120, 0, 2, 2, 0.01, 64)
+        assert attacked > base
+
+    def test_attacked_reduces_to_base_at_zero(self):
+        base = discard_probability(120, 0, 2, 2, 0.01)
+        assert discard_probability_attacked(120, 0, 2, 2, 0.01, 0) == pytest.approx(base)
+
+    def test_heavier_flood_more_discard(self):
+        d64 = discard_probability_attacked(120, 0, 2, 2, 0.01, 64)
+        d128 = discard_probability_attacked(120, 0, 2, 2, 0.01, 128)
+        assert d128 > d64
+
+    def test_discard_close_to_one_under_huge_flood(self):
+        assert discard_probability_attacked(120, 0, 2, 2, 0.01, 5000) > 0.99
+
+
+class TestNoAttackCurves:
+    def test_monotone_and_bounded(self):
+        curves = coverage_curve_no_attack("drum", 120, rounds=15)
+        assert (np.diff(curves.coverage) >= -1e-12).all()
+        assert curves.coverage[0] == pytest.approx(1 / 120)
+        assert curves.coverage[-1] <= 1.0 + 1e-9
+
+    def test_reaches_everyone(self):
+        curves = coverage_curve_no_attack("push", 120, rounds=25)
+        assert curves.coverage[-1] > 0.999
+
+    def test_rounds_to_fraction_interpolates(self):
+        curves = coverage_curve_no_attack("drum", 120, rounds=20)
+        r50 = curves.rounds_to_fraction(0.5)
+        r99 = curves.rounds_to_fraction(0.99)
+        assert 0 < r50 < r99
+
+    def test_rounds_to_fraction_nan_when_unreached(self):
+        curves = coverage_curve_no_attack("drum", 120, rounds=1)
+        assert np.isnan(curves.rounds_to_fraction(0.99))
+
+    def test_crashes_slow_propagation(self):
+        healthy = coverage_curve_no_attack("drum", 120, 0, rounds=20)
+        crashed = coverage_curve_no_attack("drum", 120, 24, rounds=20)
+        assert crashed.rounds_to_fraction(0.99) > healthy.rounds_to_fraction(0.99)
+
+    def test_matches_simulation_shape(self):
+        """Figure 13: analysis within a few points of the simulation."""
+        curves = coverage_curve_no_attack("drum", 120, rounds=12, refined=True)
+        sim = monte_carlo(
+            Scenario(protocol="drum", n=120, threshold=1.0),
+            runs=400, seed=3, horizon=12,
+        )
+        err = np.abs(curves.coverage - sim.coverage_by_round()).max()
+        assert err < 0.06
+
+
+class TestAttackCurves:
+    def test_split_curves_present(self):
+        curves = coverage_curve_attack(
+            "drum", 120, 12, AttackSpec(alpha=0.1, x=64), rounds=20
+        )
+        assert curves.coverage_attacked is not None
+        assert curves.coverage_unattacked is not None
+
+    def test_source_counted_attacked(self):
+        curves = coverage_curve_attack(
+            "drum", 120, 12, AttackSpec(alpha=0.1, x=64), rounds=5
+        )
+        assert curves.coverage_attacked[0] == pytest.approx(1 / 12)
+        assert curves.coverage_unattacked[0] == 0.0
+
+    def test_push_slower_with_stronger_attack(self):
+        weak = coverage_curve_attack(
+            "push", 120, 12, AttackSpec(alpha=0.1, x=32), rounds=60
+        )
+        strong = coverage_curve_attack(
+            "push", 120, 12, AttackSpec(alpha=0.1, x=128), rounds=60
+        )
+        assert strong.rounds_to_fraction(0.99) > weak.rounds_to_fraction(0.99)
+
+    def test_drum_flat_with_stronger_attack(self):
+        weak = coverage_curve_attack(
+            "drum", 120, 12, AttackSpec(alpha=0.1, x=32), rounds=40
+        )
+        strong = coverage_curve_attack(
+            "drum", 120, 12, AttackSpec(alpha=0.1, x=128), rounds=40
+        )
+        assert strong.rounds_to_fraction(0.99) == pytest.approx(
+            weak.rounds_to_fraction(0.99), abs=1.5
+        )
+
+    def test_matches_simulation_under_attack(self):
+        """Figure 14: refined analysis tracks the simulator closely."""
+        attack = AttackSpec(alpha=0.1, x=64)
+        curves = coverage_curve_attack(
+            "pull", 120, 12, attack, rounds=30, refined=True
+        )
+        sim = monte_carlo(
+            Scenario(
+                protocol="pull", n=120, malicious_fraction=0.1,
+                attack=attack, threshold=1.0,
+            ),
+            runs=400, seed=5, horizon=30,
+        )
+        err = np.abs(curves.coverage - sim.coverage_by_round()).max()
+        assert err < 0.07
+
+    def test_unsupported_variant_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_curve_attack(
+                "drum-shared-bounds", 120, 12, AttackSpec(alpha=0.1, x=64)
+            )
+
+    def test_attack_must_reach_source(self):
+        with pytest.raises(ValueError):
+            coverage_curve_attack(
+                "drum", 120, 12, AttackSpec(alpha=0.001, x=64)
+            )

@@ -1,0 +1,71 @@
+"""Tests for Appendix B: the Pull source-escape analysis.
+
+The paper reports concrete numbers for F = 4, x = 128, n = 1000:
+escape-time STD ≈ 8.17 rounds, and still-stuck probabilities of
+0.54 / 0.30 / 0.16 after 5 / 10 / 15 rounds.  These are regression-locked
+here.
+"""
+
+import pytest
+
+from repro.analysis import (
+    escape_probability,
+    escape_time_std,
+    expected_escape_rounds,
+    probability_still_stuck,
+)
+
+
+class TestEscapeProbability:
+    def test_is_probability(self):
+        p = escape_probability(1000, 4, 128)
+        assert 0 < p < 1
+
+    def test_no_attack_escape_is_nearly_certain(self):
+        assert escape_probability(1000, 4, 0) > 0.95
+
+    def test_monotone_decreasing_in_x(self):
+        values = [escape_probability(200, 4, x) for x in (0, 8, 32, 128)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_small_flood_below_slots(self):
+        # x < F: some requests are certainly read when load is light.
+        assert escape_probability(100, 4, 2) > escape_probability(100, 4, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            escape_probability(2, 1, 0)
+        with pytest.raises(ValueError):
+            escape_probability(100, 4, -1)
+
+
+class TestPaperNumbers:
+    def test_std_matches_paper(self):
+        """The paper: STD ≈ 8.17 rounds for F=4, x=128, n=1000."""
+        assert escape_time_std(1000, 4, 128) == pytest.approx(8.17, abs=0.15)
+
+    @pytest.mark.parametrize(
+        "rounds,expected", [(5, 0.54), (10, 0.30), (15, 0.16)]
+    )
+    def test_still_stuck_matches_paper(self, rounds, expected):
+        assert probability_still_stuck(1000, 4, 128, rounds) == pytest.approx(
+            expected, abs=0.02
+        )
+
+    def test_expected_escape_rounds_inverse(self):
+        p = escape_probability(1000, 4, 128)
+        assert expected_escape_rounds(1000, 4, 128) == pytest.approx(1 / p)
+
+
+class TestLinearGrowth:
+    def test_escape_time_roughly_linear_in_x(self):
+        """Corollary 2's mechanism: expected escape time ~ Θ(x)."""
+        t64 = expected_escape_rounds(1000, 4, 64)
+        t128 = expected_escape_rounds(1000, 4, 128)
+        t256 = expected_escape_rounds(1000, 4, 256)
+        assert t128 / t64 == pytest.approx(2.0, rel=0.2)
+        assert t256 / t128 == pytest.approx(2.0, rel=0.2)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            probability_still_stuck(100, 4, 8, -1)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main([
+            "simulate", "--protocol", "drum", "--n", "60",
+            "--runs", "20", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean rounds" in out
+
+    def test_with_attack(self, capsys):
+        code = main([
+            "simulate", "--protocol", "push", "--n", "60",
+            "--alpha", "0.1", "-x", "32", "--runs", "20", "--seed", "2",
+        ])
+        assert code == 0
+        assert "Simulation" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        main([
+            "simulate", "--n", "60", "--runs", "10", "--seed", "3", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert "mean rounds to 99%" in payload
+
+    def test_half_specified_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--alpha", "0.1", "--runs", "5"])
+
+
+class TestAnalyze:
+    def test_no_attack(self, capsys):
+        code = main(["analyze", "--protocol", "drum", "--n", "120"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p_u" in out
+
+    def test_pull_attack_shows_escape(self, capsys):
+        main([
+            "analyze", "--protocol", "pull", "--n", "120",
+            "--alpha", "0.1", "-x", "128", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert "expected source escape rounds" in payload
+        assert payload["p_a"] < payload["p_u"]
+
+    def test_refined_flag(self, capsys):
+        code = main([
+            "analyze", "--protocol", "drum", "--n", "120",
+            "--alpha", "0.1", "-x", "64", "--refined", "--rounds", "30",
+        ])
+        assert code == 0
+
+
+class TestMeasure:
+    def test_small_stream(self, capsys):
+        code = main([
+            "measure", "--protocol", "drum", "--n", "10",
+            "--messages", "40", "--send-rate", "20",
+            "--round-ms", "200", "--seed", "4", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["received throughput [msg/s]"] > 0
+        assert 0 < payload["delivery ratio"] <= 1.0
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--protocol", "carrier-pigeon"])

@@ -1,0 +1,97 @@
+"""Tests for repro.core.bounds — separate vs shared quotas."""
+
+import pytest
+
+from repro.core import ResourceBounds
+
+
+class TestSeparateBounds:
+    def test_consume_within_bound(self):
+        bounds = ResourceBounds({"a": 2, "b": 1})
+        assert bounds.try_consume("a")
+        assert bounds.try_consume("a")
+        assert not bounds.try_consume("a")
+
+    def test_channels_independent(self):
+        """The heart of Drum's defence: exhausting one channel's quota
+        leaves the other channel untouched."""
+        bounds = ResourceBounds({"push": 2, "pull": 2})
+        for _ in range(10):
+            bounds.try_consume("push")
+        assert bounds.remaining("push") == 0
+        assert bounds.remaining("pull") == 2
+        assert bounds.try_consume("pull")
+
+    def test_reset_refills(self):
+        bounds = ResourceBounds({"a": 1})
+        bounds.try_consume("a")
+        bounds.reset()
+        assert bounds.try_consume("a")
+
+    def test_rejected_stats_persist_across_reset(self):
+        bounds = ResourceBounds({"a": 1})
+        bounds.try_consume("a")
+        bounds.try_consume("a")
+        bounds.reset()
+        assert bounds.rejected["a"] == 1
+
+    def test_unknown_channel(self):
+        bounds = ResourceBounds({"a": 1})
+        with pytest.raises(KeyError):
+            bounds.try_consume("zzz")
+
+    def test_multi_amount(self):
+        bounds = ResourceBounds({"a": 5})
+        assert bounds.try_consume("a", 3)
+        assert not bounds.try_consume("a", 3)
+        assert bounds.try_consume("a", 2)
+
+    def test_invalid_amount(self):
+        bounds = ResourceBounds({"a": 1})
+        with pytest.raises(ValueError):
+            bounds.try_consume("a", 0)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceBounds({"a": -1})
+
+
+class TestSharedBounds:
+    def _shared(self):
+        return ResourceBounds(
+            {"offer": 2, "request": 2, "reply": 2, "data": 10},
+            shared_channels=("offer", "request", "reply"),
+            shared_bound=6,
+        )
+
+    def test_shared_pool_drains_across_channels(self):
+        """The Section 9 failure mode: flooding 'request' starves 'reply'."""
+        bounds = self._shared()
+        for _ in range(6):
+            assert bounds.try_consume("request")
+        assert not bounds.try_consume("reply")
+        assert not bounds.try_consume("offer")
+
+    def test_non_shared_channel_unaffected(self):
+        bounds = self._shared()
+        for _ in range(6):
+            bounds.try_consume("request")
+        assert bounds.try_consume("data")
+
+    def test_bound_for(self):
+        bounds = self._shared()
+        assert bounds.bound_for("offer") == 6
+        assert bounds.bound_for("data") == 10
+
+    def test_remaining_shared(self):
+        bounds = self._shared()
+        bounds.try_consume("offer")
+        assert bounds.remaining("reply") == 5
+
+    def test_shared_without_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceBounds({"a": 1}, shared_channels=("a",))
+
+    def test_unknown_shared_channel_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceBounds({"a": 1}, shared_channels=("b",), shared_bound=2)

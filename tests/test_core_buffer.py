@@ -1,0 +1,110 @@
+"""Tests for repro.core.buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataMessage, Digest, MessageBuffer
+
+
+def _msg(i, source=0):
+    return DataMessage(msg_id=(source, i), source=source, payload=b"p")
+
+
+class TestMessageBuffer:
+    def test_add_and_contains(self):
+        buf = MessageBuffer(purge_rounds=5, seed=0)
+        assert buf.add(_msg(1))
+        assert (0, 1) in buf
+        assert len(buf) == 1
+
+    def test_duplicate_add_refused(self):
+        buf = MessageBuffer(purge_rounds=5, seed=0)
+        buf.add(_msg(1))
+        assert not buf.add(_msg(1))
+        assert len(buf) == 1
+
+    def test_purge_after_lifetime(self):
+        buf = MessageBuffer(purge_rounds=3, seed=0)
+        buf.add(_msg(1))
+        for _ in range(2):
+            assert buf.tick_round() == []
+        expired = buf.tick_round()
+        assert expired == [(0, 1)]
+        assert len(buf) == 0
+        assert buf.purged_total == 1
+
+    def test_tick_ages_round_counters(self):
+        buf = MessageBuffer(purge_rounds=10, seed=0)
+        buf.add(_msg(1))
+        buf.tick_round()
+        buf.tick_round()
+        assert buf.get((0, 1)).round_counter == 2
+
+    def test_age_of(self):
+        buf = MessageBuffer(purge_rounds=10, seed=0)
+        buf.add(_msg(1))
+        buf.tick_round()
+        assert buf.age_of((0, 1)) == 1
+        assert buf.age_of((9, 9)) is None
+
+    def test_digest_covers_contents(self):
+        buf = MessageBuffer(purge_rounds=5, seed=0)
+        buf.add(_msg(1))
+        buf.add(_msg(2))
+        digest = buf.digest()
+        assert (0, 1) in digest and (0, 2) in digest
+
+    def test_missing_from_digest(self):
+        buf = MessageBuffer(purge_rounds=5, seed=0)
+        for i in range(4):
+            buf.add(_msg(i))
+        peer_digest = Digest.of([(0, 0), (0, 1)])
+        missing = buf.messages_missing_from(peer_digest)
+        assert {m.msg_id for m in missing} == {(0, 2), (0, 3)}
+
+    def test_missing_respects_limit(self):
+        buf = MessageBuffer(purge_rounds=5, seed=0)
+        for i in range(20):
+            buf.add(_msg(i))
+        missing = buf.messages_missing_from(Digest.of([]), limit=5)
+        assert len(missing) == 5
+
+    def test_limit_selection_is_random(self):
+        picks = set()
+        for seed in range(30):
+            buf = MessageBuffer(purge_rounds=5, seed=seed)
+            for i in range(20):
+                buf.add(_msg(i))
+            chosen = buf.messages_missing_from(Digest.of([]), limit=1)
+            picks.add(chosen[0].msg_id)
+        assert len(picks) > 3
+
+    def test_invalid_purge_rounds(self):
+        with pytest.raises(ValueError):
+            MessageBuffer(purge_rounds=0)
+
+    @given(
+        adds=st.lists(st.integers(min_value=0, max_value=30), max_size=25),
+        ticks=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_buffer_never_holds_expired_messages(self, adds, ticks):
+        """Invariant: everything buffered is younger than purge_rounds."""
+        buf = MessageBuffer(purge_rounds=4, seed=1)
+        for i in adds:
+            buf.add(_msg(i))
+        for _ in range(ticks):
+            buf.tick_round()
+        for message in buf.all_messages():
+            assert buf.age_of(message.msg_id) < 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_digest_matches_contents_exactly(self, ids):
+        buf = MessageBuffer(purge_rounds=5, seed=2)
+        for i in ids:
+            buf.add(_msg(i))
+        digest = buf.digest()
+        assert set(digest.message_ids) == {m.msg_id for m in buf.all_messages()}
+        assert len(buf.messages_missing_from(digest)) == 0

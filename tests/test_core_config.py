@@ -1,0 +1,75 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core import ProtocolConfig, ProtocolKind
+
+
+class TestProtocolKind:
+    def test_drum_family(self):
+        assert ProtocolKind.DRUM.is_drum_family()
+        assert ProtocolKind.DRUM_NO_RANDOM_PORTS.is_drum_family()
+        assert ProtocolKind.DRUM_SHARED_BOUNDS.is_drum_family()
+        assert not ProtocolKind.PUSH.is_drum_family()
+
+    def test_operations(self):
+        assert ProtocolKind.DRUM.uses_push and ProtocolKind.DRUM.uses_pull
+        assert ProtocolKind.PUSH.uses_push and not ProtocolKind.PUSH.uses_pull
+        assert not ProtocolKind.PULL.uses_push and ProtocolKind.PULL.uses_pull
+
+    def test_string_roundtrip(self):
+        assert ProtocolKind("drum") is ProtocolKind.DRUM
+        assert ProtocolKind("drum-shared-bounds") is ProtocolKind.DRUM_SHARED_BOUNDS
+
+
+class TestProtocolConfig:
+    def test_drum_splits_fan_out(self):
+        cfg = ProtocolConfig.drum(fan_out=4)
+        assert cfg.view_push_size == 2
+        assert cfg.view_pull_size == 2
+        assert cfg.push_in_bound == 2
+        assert cfg.pull_in_bound == 2
+
+    def test_push_full_fan_out(self):
+        cfg = ProtocolConfig.push(fan_out=4)
+        assert cfg.view_push_size == 4
+        assert cfg.view_pull_size == 0
+        assert cfg.push_in_bound == 4
+
+    def test_pull_full_fan_out(self):
+        cfg = ProtocolConfig.pull(fan_out=4)
+        assert cfg.view_pull_size == 4
+        assert cfg.view_push_size == 0
+
+    def test_drum_odd_fan_out_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig.drum(fan_out=3)
+
+    def test_push_odd_fan_out_allowed(self):
+        assert ProtocolConfig.push(fan_out=3).view_push_size == 3
+
+    def test_shared_bound_only_on_variant(self):
+        assert ProtocolConfig.drum().shared_in_bound is None
+        cfg = ProtocolConfig.drum_shared_bounds(fan_out=4)
+        assert cfg.shared_in_bound == 6  # sum of the three control bounds
+
+    def test_random_ports_flag(self):
+        assert ProtocolConfig.drum().uses_random_ports
+        assert not ProtocolConfig.drum_no_random_ports().uses_random_ports
+
+    def test_with_copies(self):
+        cfg = ProtocolConfig.drum()
+        other = cfg.with_(fan_out=8)
+        assert other.fan_out == 8
+        assert cfg.fan_out == 4
+
+    @pytest.mark.parametrize("field,value", [
+        ("fan_out", 0),
+        ("purge_rounds", 0),
+        ("max_sends_per_partner", 0),
+        ("round_duration_ms", 0),
+        ("round_jitter", 1.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ProtocolConfig(**{field: value})

@@ -1,0 +1,49 @@
+"""Tests for repro.core.ports."""
+
+import pytest
+
+from repro.core import RandomPortAllocator
+from repro.net.address import RANDOM_PORT_BASE
+
+
+class TestRandomPortAllocator:
+    def test_allocated_ports_in_random_region(self):
+        alloc = RandomPortAllocator(lifetime_rounds=2, seed=0)
+        for _ in range(50):
+            assert alloc.allocate() >= RANDOM_PORT_BASE
+
+    def test_allocated_ports_distinct_while_open(self):
+        alloc = RandomPortAllocator(lifetime_rounds=10, seed=0)
+        ports = [alloc.allocate() for _ in range(100)]
+        assert len(set(ports)) == 100
+
+    def test_expiry_after_lifetime(self):
+        alloc = RandomPortAllocator(lifetime_rounds=2, seed=0)
+        port = alloc.allocate()
+        assert alloc.tick_round() == []
+        assert alloc.tick_round() == [port]
+        assert not alloc.is_open(port)
+
+    def test_release_immediately(self):
+        alloc = RandomPortAllocator(lifetime_rounds=5, seed=0)
+        port = alloc.allocate()
+        alloc.release(port)
+        assert not alloc.is_open(port)
+
+    def test_unpredictability_across_allocators(self):
+        """Two allocators with different seeds should rarely collide —
+        the property the adversary is up against."""
+        a = RandomPortAllocator(lifetime_rounds=10, seed=1)
+        b = RandomPortAllocator(lifetime_rounds=10, seed=2)
+        ports_a = {a.allocate() for _ in range(50)}
+        ports_b = {b.allocate() for _ in range(50)}
+        assert len(ports_a & ports_b) <= 2
+
+    def test_open_ports_property(self):
+        alloc = RandomPortAllocator(lifetime_rounds=3, seed=0)
+        p1, p2 = alloc.allocate(), alloc.allocate()
+        assert alloc.open_ports == {p1, p2}
+
+    def test_invalid_lifetime(self):
+        with pytest.raises(ValueError):
+            RandomPortAllocator(lifetime_rounds=0)

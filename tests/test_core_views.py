@@ -1,0 +1,78 @@
+"""Tests for repro.core.views."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.views import select_disjoint_views, select_view
+
+
+class TestSelectView:
+    def test_excludes_self(self):
+        for seed in range(20):
+            view = select_view(list(range(10)), 3, 4, np.random.default_rng(seed))
+            assert 3 not in view
+
+    def test_size(self):
+        view = select_view(list(range(50)), 0, 4, np.random.default_rng(0))
+        assert len(view) == 4
+
+    def test_distinct(self):
+        for seed in range(20):
+            view = select_view(list(range(8)), 0, 5, np.random.default_rng(seed))
+            assert len(set(view)) == len(view)
+
+    def test_small_group_returns_everyone(self):
+        view = select_view([0, 1, 2], 0, 10, np.random.default_rng(0))
+        assert sorted(view) == [1, 2]
+
+    def test_uniformity(self):
+        counts = np.zeros(10)
+        rng = np.random.default_rng(1)
+        for _ in range(5000):
+            for member in select_view(list(range(11)), 10, 2, rng):
+                counts[member] += 1
+        expected = 5000 * 2 / 10
+        assert (np.abs(counts - expected) < 0.15 * expected).all()
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        size=st.integers(min_value=0, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_view_properties(self, n, size, seed):
+        members = list(range(n))
+        view = select_view(members, 0, size, np.random.default_rng(seed))
+        assert len(view) == min(size, n - 1)
+        assert 0 not in view
+        assert len(set(view)) == len(view)
+        assert set(view) <= set(members)
+
+
+class TestSelectDisjointViews:
+    def test_disjointness(self):
+        for seed in range(30):
+            push, pull = select_disjoint_views(
+                list(range(20)), 0, [2, 2], np.random.default_rng(seed)
+            )
+            assert not set(push) & set(pull)
+
+    def test_sizes(self):
+        push, pull = select_disjoint_views(
+            list(range(20)), 0, [3, 1], np.random.default_rng(0)
+        )
+        assert len(push) == 3 and len(pull) == 1
+
+    def test_small_group_falls_back(self):
+        views = select_disjoint_views([0, 1, 2], 0, [2, 2], np.random.default_rng(0))
+        assert len(views) == 2  # possibly overlapping, but produced
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_excludes_self_everywhere(self, seed):
+        views = select_disjoint_views(
+            list(range(12)), 5, [2, 2], np.random.default_rng(seed)
+        )
+        for view in views:
+            assert 5 not in view

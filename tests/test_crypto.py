@@ -1,0 +1,184 @@
+"""Tests for the simulated PKI: keys, signatures, envelopes, certificates, CA."""
+
+import pytest
+
+from repro.crypto import (
+    Certificate,
+    CertificateError,
+    CertificationAuthority,
+    KeyPair,
+    open_envelope,
+    seal,
+    sign,
+    verify,
+)
+from repro.crypto.encryption import DecryptionError
+from repro.crypto.signatures import Signature
+
+
+class TestKeys:
+    def test_pair_matches(self):
+        pair = KeyPair(owner=3)
+        assert pair.private.matches(pair.public)
+        assert pair.owner == 3
+
+    def test_distinct_pairs_do_not_match(self):
+        a, b = KeyPair(owner=1), KeyPair(owner=2)
+        assert not a.private.matches(b.public)
+
+    def test_same_owner_fresh_keys_differ(self):
+        a, b = KeyPair(owner=1), KeyPair(owner=1)
+        assert a.public.fingerprint != b.public.fingerprint
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        pair = KeyPair(owner=1)
+        sig = sign(pair.private, ("msg", 42))
+        assert verify(pair.public, ("msg", 42), sig)
+
+    def test_wrong_payload_fails(self):
+        pair = KeyPair(owner=1)
+        sig = sign(pair.private, "payload")
+        assert not verify(pair.public, "tampered", sig)
+
+    def test_wrong_key_fails(self):
+        a, b = KeyPair(owner=1), KeyPair(owner=2)
+        sig = sign(a.private, "payload")
+        assert not verify(b.public, "payload", sig)
+
+    def test_forged_signature_object_fails(self):
+        """An adversary cannot mint a verifying signature without the key."""
+        pair = KeyPair(owner=1)
+        import hashlib
+        import pickle
+
+        digest = hashlib.sha256(pickle.dumps("payload")).hexdigest()
+        forged = Signature(
+            signer=1,
+            key_fingerprint=pair.public.fingerprint,
+            payload_digest=digest,
+            binding="f" * 64,
+        )
+        assert not verify(pair.public, "payload", forged)
+
+    def test_unsignable_payload_raises(self):
+        pair = KeyPair(owner=1)
+        with pytest.raises(TypeError):
+            sign(pair.private, lambda: None)
+
+
+class TestEnvelopes:
+    def test_seal_open_roundtrip(self):
+        pair = KeyPair(owner=1)
+        env = seal(pair.public, 9999)
+        assert open_envelope(pair.private, env) == 9999
+
+    def test_wrong_key_cannot_open(self):
+        a, b = KeyPair(owner=1), KeyPair(owner=2)
+        env = seal(a.public, 1234)
+        with pytest.raises(DecryptionError):
+            open_envelope(b.private, env)
+
+    def test_repr_does_not_leak_plaintext(self):
+        pair = KeyPair(owner=1)
+        env = seal(pair.public, 54321)
+        assert "54321" not in repr(env)
+        assert "54321" not in str(env)
+
+
+class TestCertificates:
+    def _ca(self, **kwargs):
+        return CertificationAuthority(validity_period=100.0, **kwargs)
+
+    def test_issue_and_validate(self):
+        ca = self._ca()
+        pair = KeyPair(owner=5)
+        cert = ca.authorize_join(5, pair.public)
+        assert cert.is_valid_at(50.0, ca.public_key)
+
+    def test_expiry(self):
+        ca = self._ca()
+        cert = ca.authorize_join(5, KeyPair(owner=5).public)
+        assert not cert.is_valid_at(100.0, ca.public_key)
+
+    def test_not_valid_before_issue(self):
+        ca = self._ca()
+        ca.advance_clock(10.0)
+        cert = ca.authorize_join(5, KeyPair(owner=5).public)
+        assert not cert.is_valid_at(5.0, ca.public_key)
+
+    def test_wrong_ca_key_fails(self):
+        ca, other = self._ca(), self._ca()
+        cert = ca.authorize_join(5, KeyPair(owner=5).public)
+        assert not cert.is_valid_at(50.0, other.public_key)
+
+    def test_invalid_window_rejected(self):
+        pair = KeyPair(owner=1)
+        ca = self._ca()
+        good = ca.authorize_join(1, pair.public)
+        with pytest.raises(CertificateError):
+            Certificate(
+                subject=1,
+                subject_key=pair.public,
+                issued_at=10.0,
+                expires_at=5.0,
+                serial=99,
+                signature=good.signature,
+            )
+
+
+class TestCertificationAuthority:
+    def test_double_join_rejected(self):
+        ca = CertificationAuthority(validity_period=100)
+        ca.authorize_join(1, KeyPair(owner=1).public)
+        with pytest.raises(CertificateError):
+            ca.authorize_join(1, KeyPair(owner=1).public)
+
+    def test_revoke_allows_rejoin(self):
+        ca = CertificationAuthority(validity_period=100)
+        cert = ca.authorize_join(1, KeyPair(owner=1).public)
+        ca.revoke(1)
+        assert ca.is_revoked(cert)
+        ca.authorize_join(1, KeyPair(owner=1).public)  # no error
+
+    def test_renew_issues_fresh_window(self):
+        ca = CertificationAuthority(validity_period=100)
+        cert = ca.authorize_join(1, KeyPair(owner=1).public)
+        ca.advance_clock(90.0)
+        renewed = ca.renew(cert)
+        assert renewed.expires_at == pytest.approx(190.0)
+        assert renewed.serial != cert.serial
+
+    def test_renew_revoked_rejected(self):
+        ca = CertificationAuthority(validity_period=100)
+        cert = ca.authorize_join(1, KeyPair(owner=1).public)
+        ca.revoke(1)
+        with pytest.raises(CertificateError):
+            ca.renew(cert)
+
+    def test_membership_reflects_expiry(self):
+        ca = CertificationAuthority(validity_period=100)
+        ca.authorize_join(1, KeyPair(owner=1).public)
+        assert ca.is_member(1)
+        ca.advance_clock(150.0)
+        assert not ca.is_member(1)
+
+    def test_initial_view_excludes_newcomer(self):
+        ca = CertificationAuthority(validity_period=100)
+        for pid in range(5):
+            ca.authorize_join(pid, KeyPair(owner=pid).public)
+        assert 3 not in ca.initial_view(exclude=3)
+        assert len(ca.initial_view(exclude=3)) == 4
+
+    def test_initial_view_truncation(self):
+        ca = CertificationAuthority(validity_period=100, initial_view_size=2)
+        for pid in range(5):
+            ca.authorize_join(pid, KeyPair(owner=pid).public)
+        assert len(ca.initial_view(exclude=0)) == 2
+
+    def test_clock_cannot_go_backwards(self):
+        ca = CertificationAuthority(validity_period=100)
+        ca.advance_clock(10.0)
+        with pytest.raises(ValueError):
+            ca.advance_clock(5.0)

@@ -1,0 +1,71 @@
+"""Property-based tests for the simulated PKI (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import KeyPair, open_envelope, seal, sign, verify
+from repro.crypto.encryption import DecryptionError
+
+payloads = st.one_of(
+    st.binary(max_size=64),
+    st.text(max_size=40),
+    st.integers(),
+    st.tuples(st.integers(), st.text(max_size=10)),
+    st.lists(st.integers(), max_size=8),
+)
+
+
+class TestSignatureProperties:
+    @given(payload=payloads, owner=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_sign_verify_roundtrip(self, payload, owner):
+        pair = KeyPair(owner=owner)
+        assert verify(pair.public, payload, sign(pair.private, payload))
+
+    @given(
+        payload=payloads,
+        tampered=payloads,
+        owner=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tampered_payload_fails(self, payload, tampered, owner):
+        if payload == tampered:
+            return
+        pair = KeyPair(owner=owner)
+        signature = sign(pair.private, payload)
+        assert not verify(pair.public, tampered, signature)
+
+    @given(payload=payloads)
+    @settings(max_examples=30, deadline=None)
+    def test_cross_key_verification_fails(self, payload):
+        signer, other = KeyPair(owner=1), KeyPair(owner=1)
+        signature = sign(signer.private, payload)
+        # Same owner id, different key material: must not verify.
+        assert not verify(other.public, payload, signature)
+
+
+class TestEnvelopeProperties:
+    @given(value=payloads, owner=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_seal_open_roundtrip(self, value, owner):
+        pair = KeyPair(owner=owner)
+        assert open_envelope(pair.private, seal(pair.public, value)) == value
+
+    @given(value=payloads)
+    @settings(max_examples=40, deadline=None)
+    def test_wrong_key_always_rejected(self, value):
+        a, b = KeyPair(owner=1), KeyPair(owner=2)
+        envelope = seal(a.public, value)
+        try:
+            open_envelope(b.private, envelope)
+            assert False, "wrong key opened the envelope"
+        except DecryptionError:
+            pass
+
+    @given(value=st.integers(min_value=1024, max_value=1 << 20))
+    @settings(max_examples=40, deadline=None)
+    def test_port_values_never_leak_in_repr(self, value):
+        pair = KeyPair(owner=0)
+        envelope = seal(pair.public, value)
+        assert str(value) not in repr(envelope)
+        assert str(value) not in str(envelope)

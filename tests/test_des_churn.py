@@ -1,0 +1,134 @@
+"""Tests for dynamic membership running over the multicast layer."""
+
+import pytest
+
+from repro.des.churn import ChurnExperiment
+
+
+def _experiment(**kwargs):
+    defaults = dict(initial_size=6, round_duration_ms=50.0, seed=1)
+    defaults.update(kwargs)
+    return ChurnExperiment(**defaults)
+
+
+class TestBootstrap:
+    def test_initial_membership_complete(self):
+        exp = _experiment()
+        try:
+            for pid, node in exp.nodes.items():
+                known = set(node.known_members()) | {pid}
+                assert known == set(exp.nodes)
+        finally:
+            exp.stop()
+
+    def test_initial_multicast_reaches_everyone(self):
+        exp = _experiment()
+        try:
+            mid = exp.multicast(0, b"hello")
+            exp.run_for(20)
+            result = exp.result()
+            assert result.coverage(mid, list(exp.nodes)) == 1.0
+        finally:
+            exp.stop()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnExperiment(initial_size=1)
+
+
+class TestJoins:
+    def test_join_event_spreads_via_multicast(self):
+        exp = _experiment()
+        try:
+            exp.run_for(3)
+            newcomer = exp.add_member()
+            exp.run_for(25)
+            # Every old member learned about the newcomer through gossip.
+            learned = [
+                pid
+                for pid, node in exp.nodes.items()
+                if pid != newcomer and newcomer in node.known_members()
+            ]
+            assert len(learned) == len(exp.nodes) - 1
+        finally:
+            exp.stop()
+
+    def test_newcomer_receives_multicasts(self):
+        exp = _experiment()
+        try:
+            exp.run_for(3)
+            newcomer = exp.add_member()
+            exp.run_for(10)
+            mid = exp.multicast(0, b"post-join")
+            exp.run_for(25)
+            assert mid in exp.result().delivered[newcomer]
+        finally:
+            exp.stop()
+
+    def test_newcomer_can_multicast(self):
+        exp = _experiment()
+        try:
+            exp.run_for(3)
+            newcomer = exp.add_member()
+            exp.run_for(10)
+            mid = exp.multicast(newcomer, b"from-newcomer")
+            exp.run_for(25)
+            others = [p for p in exp.nodes if p != newcomer]
+            assert exp.result().coverage(mid, others) == 1.0
+        finally:
+            exp.stop()
+
+
+class TestLeaves:
+    def test_leave_event_removes_from_views(self):
+        exp = _experiment()
+        try:
+            exp.run_for(3)
+            leaver = 2
+            exp.remove_member(leaver)
+            exp.run_for(25)
+            for pid, node in exp.nodes.items():
+                assert leaver not in node.known_members(), pid
+        finally:
+            exp.stop()
+
+    def test_multicast_survives_churn(self):
+        """Joins and leaves mid-stream do not break dissemination."""
+        exp = _experiment(initial_size=8)
+        try:
+            exp.run_for(3)
+            exp.remove_member(3)
+            newcomer = exp.add_member()
+            exp.run_for(10)
+            mid = exp.multicast(0, b"amid-churn")
+            exp.run_for(30)
+            members = list(exp.nodes)
+            assert exp.result().coverage(mid, members) == 1.0
+        finally:
+            exp.stop()
+
+    def test_left_node_stops_gossiping(self):
+        exp = _experiment()
+        try:
+            exp.run_for(3)
+            leaver_node = exp.nodes[1]
+            exp.remove_member(1)
+            rounds_at_leave = leaver_node.node.round_no
+            exp.run_for(10)
+            assert leaver_node.node.round_no == rounds_at_leave
+        finally:
+            exp.stop()
+
+
+class TestEventsApplied:
+    def test_event_counters_track_changes(self):
+        exp = _experiment()
+        try:
+            exp.run_for(3)
+            exp.add_member()
+            exp.run_for(25)
+            result = exp.result()
+            appliers = [c for pid, c in result.events_applied.items() if c > 0]
+            assert len(appliers) >= len(exp.nodes) - 2
+        finally:
+            exp.stop()

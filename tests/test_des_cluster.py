@@ -1,0 +1,109 @@
+"""Tests for the discrete-event cluster experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.des import (
+    ClusterConfig,
+    run_single_message_experiment,
+    run_throughput_experiment,
+)
+
+
+class TestClusterConfig:
+    def test_layout(self):
+        cfg = ClusterConfig(n=50, malicious_fraction=0.1)
+        assert cfg.num_malicious == 5
+        assert cfg.num_correct == 45
+        assert len(cfg.receiver_ids()) == 44
+        assert cfg.source not in cfg.receiver_ids()
+
+    def test_attacked_include_source(self):
+        cfg = ClusterConfig(
+            n=50, malicious_fraction=0.1, attack=AttackSpec(alpha=0.1, x=8)
+        )
+        assert cfg.source in cfg.attacked_ids()
+        assert len(cfg.attacked_ids()) == 5
+
+    def test_attack_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(
+                n=10, malicious_fraction=0.5, attack=AttackSpec(alpha=0.9, x=8)
+            )
+
+    def test_string_protocol(self):
+        from repro.core import ProtocolKind
+
+        assert ClusterConfig(protocol="pull").protocol is ProtocolKind.PULL
+
+
+class TestThroughputExperiment:
+    def _small(self, **kwargs):
+        defaults = dict(
+            n=12,
+            malicious_fraction=0.0,
+            messages=60,
+            send_rate=20.0,
+            round_duration_ms=200.0,
+        )
+        defaults.update(kwargs)
+        return ClusterConfig(**defaults)
+
+    def test_no_attack_full_throughput(self):
+        result = run_throughput_experiment(self._small(), seed=1)
+        tp = result.throughput()
+        assert tp.mean_msgs_per_sec == pytest.approx(20.0, rel=0.08)
+        assert result.delivery_ratio() > 0.95
+
+    def test_latency_cdf_shape(self):
+        result = run_throughput_experiment(self._small(), seed=2)
+        values, fracs = result.mean_latency_cdf()
+        assert fracs[-1] == pytest.approx(1.0)
+        assert (np.diff(values) >= 0).all()
+
+    def test_latencies_positive(self):
+        result = run_throughput_experiment(self._small(), seed=3)
+        for samples in result.latencies_by_process().values():
+            assert all(latency >= 0 for latency in samples)
+
+    def test_attack_on_pull_reduces_throughput(self):
+        # A tight per-partner send budget makes the source's export
+        # bandwidth the bottleneck, so the flooded pull-request port
+        # visibly loses messages to purging (the Figure 10 mechanism).
+        base = self._small(protocol="pull", messages=200, max_sends_per_partner=8)
+        attacked = base.with_(
+            malicious_fraction=1.0 / 12, attack=AttackSpec(alpha=1.5 / 12, x=256)
+        )
+        healthy = run_throughput_experiment(base, seed=4).throughput()
+        hurt = run_throughput_experiment(attacked, seed=4).throughput()
+        assert hurt.mean_msgs_per_sec < 0.8 * healthy.mean_msgs_per_sec
+
+
+class TestSingleMessageExperiment:
+    def test_propagation_rounds_reasonable(self):
+        cfg = ClusterConfig(
+            n=12, malicious_fraction=0.0, round_duration_ms=100.0,
+            background_rate=0.2,
+        )
+        rounds = run_single_message_experiment(cfg, runs=3, seed=5)
+        assert rounds.shape == (3,)
+        assert (rounds >= 1).all()
+        assert (rounds <= 12).all()
+
+    def test_runs_validated(self):
+        with pytest.raises(ValueError):
+            run_single_message_experiment(ClusterConfig(n=8), runs=0)
+
+    def test_attack_slows_push(self):
+        base = ClusterConfig(
+            protocol="push", n=12, malicious_fraction=0.0,
+            round_duration_ms=100.0, background_rate=0.2,
+        )
+        attacked = base.with_(attack=AttackSpec(alpha=0.25, x=256))
+        healthy = run_single_message_experiment(base, runs=3, seed=6).mean()
+        hurt = run_single_message_experiment(
+            attacked, runs=3, seed=6, horizon_rounds=60
+        )
+        hurt_mean = np.nanmean(hurt)
+        assert np.isnan(hurt_mean) or hurt_mean > healthy

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script imports and exposes a main().
+
+The examples are part of the public deliverable; these tests catch API
+drift that would break them without executing their full (multi-minute)
+workloads.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert {
+            "quickstart",
+            "targeted_attack_study",
+            "adversary_strategies",
+            "throughput_measurement",
+            "live_cluster",
+            "dynamic_membership",
+            "analysis_vs_simulation",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_example_imports_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None)), path.stem
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_example_has_docstring(self, path):
+        module = _load(path)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+    def test_dynamic_membership_example_runs_fully(self, capsys):
+        """The membership example is fast enough to execute outright."""
+        module = _load(EXAMPLES_DIR / "dynamic_membership.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "forges a join" in out
+        assert "{0: False" in out  # the forgery was rejected everywhere

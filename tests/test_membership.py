@@ -1,0 +1,179 @@
+"""Tests for static and dynamic membership (Section 10)."""
+
+import pytest
+
+from repro.crypto import CertificationAuthority, KeyPair
+from repro.membership import (
+    DynamicMembership,
+    ExpelEvent,
+    FailureDetector,
+    JoinEvent,
+    LeaveEvent,
+    StaticMembership,
+)
+
+
+class TestStaticMembership:
+    def test_members_sorted_unique(self):
+        group = StaticMembership([3, 1, 2, 2])
+        assert group.members() == [1, 2, 3]
+        assert len(group) == 3
+
+    def test_others_excludes_self(self):
+        group = StaticMembership(range(5))
+        assert 2 not in group.others(2)
+        assert len(group.others(2)) == 4
+
+    def test_contains(self):
+        group = StaticMembership([1, 2])
+        assert 1 in group and 9 not in group
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            StaticMembership([1])
+
+
+class TestFailureDetector:
+    def test_suspects_after_timeout(self):
+        fd = FailureDetector(timeout=5.0)
+        fd.heard_from(1, now=0.0)
+        assert fd.check(now=4.0) == []
+        assert fd.check(now=6.0) == [1]
+        assert fd.is_suspected(1)
+
+    def test_rehabilitation(self):
+        fd = FailureDetector(timeout=5.0)
+        fd.heard_from(1, now=0.0)
+        fd.check(now=10.0)
+        fd.heard_from(1, now=11.0)
+        assert not fd.is_suspected(1)
+
+    def test_responsive_subset(self):
+        fd = FailureDetector(timeout=5.0)
+        fd.heard_from(1, now=0.0)
+        fd.heard_from(2, now=0.0)
+        fd.heard_from(2, now=9.0)
+        fd.check(now=10.0)
+        assert fd.responsive_subset([1, 2, 3]) == [2, 3]
+
+    def test_no_double_reporting(self):
+        fd = FailureDetector(timeout=1.0)
+        fd.heard_from(1, now=0.0)
+        assert fd.check(now=5.0) == [1]
+        assert fd.check(now=6.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureDetector(timeout=0)
+
+
+class TestDynamicMembership:
+    def _setup(self, n=4):
+        ca = CertificationAuthority(validity_period=100.0)
+        keys = {pid: KeyPair(owner=pid) for pid in range(n)}
+        services = {}
+        for pid in range(n):
+            service = DynamicMembership(pid, ca.public_key)
+            cert = service.join(ca, keys[pid].public, now=0.0)
+            # The CA propagates each log-in over the multicast layer.
+            for earlier in services.values():
+                earlier.handle_event(JoinEvent(pid, cert), now=0.0)
+            services[pid] = service
+        return ca, keys, services
+
+    def test_join_learns_existing_members(self):
+        ca, keys, services = self._setup()
+        # The last process to join saw everyone before it.
+        assert services[3].current_members(1.0) == [0, 1, 2]
+
+    def test_join_event_propagates(self):
+        ca, keys, services = self._setup()
+        new_key = KeyPair(owner=9)
+        newcomer = DynamicMembership(9, ca.public_key)
+        cert = newcomer.join(ca, new_key.public, now=1.0)
+        # Deliver the join event to an old member over "multicast".
+        assert services[0].handle_event(JoinEvent(9, cert), now=1.0)
+        assert 9 in services[0].current_members(2.0)
+
+    def test_leave_event_removes(self):
+        ca, keys, services = self._setup()
+        cert = ca.current_certificate(2)
+        ca.revoke(2)
+        assert services[0].handle_event(LeaveEvent(2, cert), now=1.0)
+        assert 2 not in services[0].current_members(2.0)
+
+    def test_expel_event_removes(self):
+        ca, keys, services = self._setup()
+        cert = ca.current_certificate(1)
+        ca.revoke(1)
+        assert services[0].handle_event(ExpelEvent(1, cert), now=1.0)
+        assert 1 not in services[0].current_members(2.0)
+
+    def test_fabricated_join_rejected(self):
+        """A malicious process cannot fabricate membership traffic."""
+        ca, keys, services = self._setup()
+        rogue_ca = CertificationAuthority(validity_period=100.0)
+        fake_cert = rogue_ca.authorize_join(66, KeyPair(owner=66).public)
+        assert not services[0].handle_event(JoinEvent(66, fake_cert), now=1.0)
+        assert services[0].rejected_events == 1
+        assert 66 not in services[0].current_members(2.0)
+
+    def test_mismatched_leave_rejected(self):
+        ca, keys, services = self._setup()
+        # A leave naming member 1 but carrying member 2's certificate
+        # serial must not remove member 1.
+        cert1 = ca.current_certificate(1)
+        rogue = CertificationAuthority(validity_period=100.0)
+        forged = rogue.authorize_join(1, KeyPair(owner=1).public)
+        assert not services[0].handle_event(LeaveEvent(1, forged), now=1.0)
+        assert 1 in services[0].current_members(2.0)
+
+    def test_expiry_drops_members(self):
+        ca, keys, services = self._setup()
+        assert 1 in services[0].current_members(50.0)
+        assert 1 not in services[0].current_members(150.0)
+
+    def test_gossip_candidates_respect_failure_detector(self):
+        ca, keys, services = self._setup()
+        service = services[0]
+        service.failure_detector.heard_from(1, now=0.0)
+        service.failure_detector.check(now=100000.0 / 1000)
+        # peer 1 suspected; still a member, but not gossiped with.
+        service.failure_detector.check(now=20.0)
+        assert 1 in service.current_members(20.0)
+        assert 1 not in service.gossip_candidates(20.0)
+
+    def test_certificate_piggybacking_after_join(self):
+        ca, keys, services = self._setup()
+        service = services[0]
+        assert service.should_piggyback_certificate(now=1.0)
+        cert = service.certificate_to_piggyback(now=1.0)
+        assert cert is not None and cert.subject == 0
+
+    def test_piggyback_interval(self):
+        ca, keys, services = self._setup()
+        service = services[0]
+        service.certificate_to_piggyback(now=6.0)
+        # Within the interval and past the recently-joined window: no.
+        assert not service.should_piggyback_certificate(now=10.0)
+        assert service.should_piggyback_certificate(now=40.0)
+
+    def test_install_certificate_from_piggyback(self):
+        ca, keys, services = self._setup()
+        late = DynamicMembership(7, ca.public_key)
+        cert7 = late.join(ca, KeyPair(owner=7).public, now=1.0)
+        # Process 0 has never heard of 7; a piggybacked certificate fixes it.
+        assert not services[0].knows(7, 1.0)
+        assert services[0].install_certificate(cert7, now=1.0)
+        assert services[0].knows(7, 2.0)
+
+    def test_install_stale_certificate_ignored(self):
+        ca, keys, services = self._setup()
+        cert = ca.current_certificate(1)
+        assert not services[0].install_certificate(cert, now=1.0)  # known already
+
+    def test_install_expired_certificate_rejected(self):
+        ca, keys, services = self._setup()
+        cert = ca.current_certificate(1)
+        stranger = DynamicMembership(8, ca.public_key)
+        assert not stranger.install_certificate(cert, now=500.0)

@@ -1,0 +1,76 @@
+"""Property-based tests for membership components (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import CertificationAuthority, KeyPair
+from repro.membership import DynamicMembership, FailureDetector, JoinEvent
+
+
+class TestFailureDetectorProperties:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),   # peer id
+                st.floats(min_value=0, max_value=100),   # time heard
+            ),
+            max_size=30,
+        ),
+        check_at=st.floats(min_value=0, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_suspected_iff_silent_past_timeout(self, events, check_at):
+        fd = FailureDetector(timeout=10.0)
+        last_heard = {}
+        for peer, when in sorted(events, key=lambda e: e[1]):
+            fd.heard_from(peer, when)
+            last_heard[peer] = when
+        fd.check(check_at)
+        for peer, when in last_heard.items():
+            expected = check_at - when > 10.0
+            assert fd.is_suspected(peer) == expected, (peer, when, check_at)
+
+    @given(peers=st.lists(st.integers(min_value=0, max_value=20), max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_responsive_subset_is_subset(self, peers):
+        fd = FailureDetector(timeout=1.0)
+        for peer in peers[: len(peers) // 2]:
+            fd.heard_from(peer, 0.0)
+        fd.check(100.0)
+        subset = fd.responsive_subset(peers)
+        assert set(subset) <= set(peers)
+        assert not any(fd.is_suspected(p) for p in subset)
+
+
+class TestMembershipProperties:
+    @given(
+        joiners=st.lists(
+            st.integers(min_value=1, max_value=50),
+            min_size=1, max_size=10, unique=True,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_membership_reflects_exactly_the_joined(self, joiners):
+        ca = CertificationAuthority(validity_period=1000.0)
+        observer = DynamicMembership(0, ca.public_key)
+        observer.join(ca, KeyPair(owner=0).public, now=0.0)
+        for pid in joiners:
+            service = DynamicMembership(pid, ca.public_key)
+            cert = service.join(ca, KeyPair(owner=pid).public, now=0.0)
+            observer.handle_event(JoinEvent(pid, cert), now=0.0)
+        assert observer.current_members(1.0) == sorted(joiners)
+
+    @given(now=st.floats(min_value=0, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_no_expired_member_ever_listed(self, now):
+        ca = CertificationAuthority(validity_period=100.0)
+        observer = DynamicMembership(0, ca.public_key)
+        observer.join(ca, KeyPair(owner=0).public, now=0.0)
+        service = DynamicMembership(1, ca.public_key)
+        cert = service.join(ca, KeyPair(owner=1).public, now=0.0)
+        observer.handle_event(JoinEvent(1, cert), now=0.0)
+        members = observer.current_members(now)
+        if now < 100.0:
+            assert members == [1]
+        else:
+            assert members == []

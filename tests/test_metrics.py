@@ -1,0 +1,175 @@
+"""Tests for the metrics package."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    DoSImpactReport,
+    LatencySummary,
+    adversary_best_extent,
+    coverage_cdf,
+    dos_impact,
+    empirical_cdf,
+    linear_fit,
+    received_throughput,
+    summarize_latencies,
+    summarize_runs,
+)
+from repro.metrics.cdf import cdf_at
+from repro.metrics.latency import (
+    mean_latency_per_process,
+    propagation_round_percentile,
+)
+from repro.metrics.stats import relative_spread
+from repro.sim import Scenario, monte_carlo
+
+
+class TestSummarizeRuns:
+    def test_basic_stats(self):
+        stats = summarize_runs([2, 4, 6])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.count == 3
+        assert stats.censored == 0
+
+    def test_nan_counts_as_censored(self):
+        stats = summarize_runs([1.0, float("nan"), 3.0])
+        assert stats.censored == 1
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_all_censored(self):
+        stats = summarize_runs([float("nan")])
+        assert stats.count == 0 and stats.censored == 1
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        slope, intercept, r2 = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_flat_series(self):
+        slope, _, _ = linear_fit([0, 1, 2], [5, 5, 5])
+        assert slope == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+    def test_relative_spread(self):
+        assert relative_spread([10, 10, 10]) == 0.0
+        assert relative_spread([5, 10, 15]) == pytest.approx(1.0)
+
+
+class TestCdf:
+    def test_empirical_cdf(self):
+        values, fracs = empirical_cdf([3, 1, 2])
+        assert list(values) == [1, 2, 3]
+        assert list(fracs) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_coverage_cdf_padding(self):
+        result = monte_carlo(Scenario(protocol="drum", n=30), runs=10, seed=1)
+        curve = coverage_cdf(result, max_round=40)
+        assert len(curve) == 41
+        assert curve[-1] == curve[-2]  # padded with the final value
+
+
+class TestLatency:
+    def test_summary_from_samples(self):
+        summary = LatencySummary.from_samples([10, 20, 30])
+        assert summary.mean_ms == pytest.approx(20)
+        assert summary.median_ms == pytest.approx(20)
+        assert summary.samples == 3
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+
+    def test_summarize_latencies_skips_empty(self):
+        out = summarize_latencies({1: [5.0], 2: []})
+        assert 1 in out and 2 not in out
+
+    def test_mean_latency_per_process(self):
+        means = mean_latency_per_process({1: [10, 20], 2: [30]})
+        assert means == {1: 15.0, 2: 30.0}
+
+    def test_propagation_percentile(self):
+        logged = [0, 1, 1, 2, 2, 2, 3, 3, 5, 9]
+        assert propagation_round_percentile(logged, 0.5) == 2
+        assert propagation_round_percentile(logged, 1.0) == 9
+
+    def test_propagation_percentile_censoring(self):
+        logged = [1, 2, float("nan")]
+        assert np.isnan(propagation_round_percentile(logged, 1.0))
+        assert propagation_round_percentile(logged, 0.5) == 2
+
+    def test_propagation_percentile_validation(self):
+        with pytest.raises(ValueError):
+            propagation_round_percentile([1], 0.0)
+        with pytest.raises(ValueError):
+            propagation_round_percentile([], 0.5)
+
+
+class TestThroughput:
+    def test_rate_computation(self):
+        # 10 deliveries over a 10 s window, trimmed 5 % each side.
+        times = {1: list(np.linspace(1000, 10500, 10))}
+        summary = received_throughput(times, 0.0, 11000.0)
+        assert summary.mean_msgs_per_sec == pytest.approx(10 / 9.9, rel=0.15)
+
+    def test_trimming_excludes_edges(self):
+        times = {1: [10.0, 5000.0, 9990.0]}
+        summary = received_throughput(times, 0.0, 10000.0, trim_fraction=0.05)
+        assert summary.per_process[1] == pytest.approx(1 / 9.0)
+
+    def test_degradation(self):
+        times = {1: list(np.linspace(500, 9500, 20))}
+        summary = received_throughput(times, 0.0, 10000.0)
+        assert 0 <= summary.degradation_vs(40.0) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            received_throughput({}, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            received_throughput({1: []}, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            received_throughput({1: []}, 0.0, 10.0, trim_fraction=0.6)
+
+
+class TestDosImpact:
+    def test_linear_degradation_detected(self):
+        report = dos_impact("x", [0, 32, 64, 128], [5, 12, 20, 37])
+        assert report.degrades_linearly
+        assert not report.is_resistant
+
+    def test_flat_series_is_resistant(self):
+        report = dos_impact("x", [0, 32, 64, 128], [5.0, 5.2, 5.4, 5.3])
+        assert report.is_resistant
+        assert not report.degrades_linearly
+
+    def test_describe_mentions_parameter(self):
+        report = dos_impact("x", [1, 2], [1, 2])
+        assert "x-sweep" in report.describe()
+
+    def test_adversary_best_extent(self):
+        # Push-like: focusing (small α) hurts most.
+        assert adversary_best_extent([0.1, 0.5, 0.9], [30, 12, 8]) == 0.1
+        # Drum-like: spreading (large α) hurts most.
+        assert adversary_best_extent([0.1, 0.5, 0.9], [6, 7, 9]) == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dos_impact("x", [1], [1])
+        with pytest.raises(ValueError):
+            adversary_best_extent([], [])

@@ -1,0 +1,52 @@
+"""Tests for repro.metrics.report."""
+
+import csv
+
+import pytest
+
+from repro.metrics.report import SeriesReport
+
+
+def _sample():
+    report = SeriesReport(
+        name="fig3a", x_label="x", x_values=[0, 32, 64],
+        metadata={"n": 120, "alpha": 0.1},
+    )
+    report.add_series("drum", [5.0, 6.1, 6.2])
+    report.add_series("push", [5.1, 9.0, 14.2])
+    return report
+
+
+class TestSeriesReport:
+    def test_misaligned_series_rejected(self):
+        report = SeriesReport(name="t", x_label="x", x_values=[1, 2])
+        with pytest.raises(ValueError):
+            report.add_series("bad", [1.0])
+
+    def test_json_roundtrip(self):
+        report = _sample()
+        clone = SeriesReport.from_json(report.to_json())
+        assert clone.name == report.name
+        assert clone.series == report.series
+        assert clone.metadata == {"n": 120, "alpha": 0.1}
+
+    def test_save_and_load_json(self, tmp_path):
+        report = _sample()
+        path = report.save_json(tmp_path / "out" / "fig3a.json")
+        assert path.exists()
+        loaded = SeriesReport.load_json(path)
+        assert loaded.x_values == [0.0, 32.0, 64.0]
+
+    def test_csv_layout(self, tmp_path):
+        report = _sample()
+        path = report.save_csv(tmp_path / "fig3a.csv")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "drum", "push"]
+        assert rows[1] == ["0", "5.0", "5.1"]
+        assert len(rows) == 4
+
+    def test_float_coercion(self):
+        report = SeriesReport(name="t", x_label="x", x_values=[1])
+        report.add_series("s", [3])
+        assert isinstance(report.series["s"][0], float)

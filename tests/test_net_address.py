@@ -1,0 +1,51 @@
+"""Tests for repro.net.address."""
+
+import pytest
+
+from repro.net import (
+    PORT_PULL_REPLY,
+    PORT_PULL_REQUEST,
+    PORT_PUSH_DATA,
+    PORT_PUSH_OFFER,
+    RANDOM_PORT_BASE,
+    Address,
+)
+
+
+class TestWellKnownPorts:
+    def test_distinct(self):
+        ports = {PORT_PUSH_OFFER, PORT_PUSH_DATA, PORT_PULL_REQUEST, PORT_PULL_REPLY}
+        assert len(ports) == 4
+
+    def test_below_random_region(self):
+        for port in (PORT_PUSH_OFFER, PORT_PUSH_DATA, PORT_PULL_REQUEST, PORT_PULL_REPLY):
+            assert port < RANDOM_PORT_BASE
+
+
+class TestAddress:
+    def test_equality_and_hash(self):
+        assert Address(1, 2) == Address(1, 2)
+        assert hash(Address(1, 2)) == hash(Address(1, 2))
+        assert Address(1, 2) != Address(1, 3)
+
+    def test_is_well_known(self):
+        assert Address(0, PORT_PUSH_OFFER).is_well_known()
+        assert not Address(0, RANDOM_PORT_BASE).is_well_known()
+
+    def test_with_port(self):
+        addr = Address(5, 1)
+        moved = addr.with_port(9000)
+        assert moved.node == 5 and moved.port == 9000
+        assert addr.port == 1  # original unchanged
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            Address(-1, 0)
+
+    def test_negative_port_rejected(self):
+        with pytest.raises(ValueError):
+            Address(0, -1)
+
+    def test_ordering(self):
+        assert Address(0, 5) < Address(1, 0)
+        assert Address(1, 0) < Address(1, 3)

@@ -1,0 +1,184 @@
+"""Tests for repro.net.channel — bounded random acceptance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Address, BoundedChannel, Packet
+
+
+def _packet(i):
+    return Packet(dst=Address(0, 1), payload=f"m{i}")
+
+
+class TestBoundedChannel:
+    def test_under_bound_accepts_all(self):
+        ch = BoundedChannel(1, seed=0)
+        for i in range(3):
+            ch.deliver(_packet(i))
+        accepted = ch.drain(5)
+        assert len(accepted) == 3
+
+    def test_drain_clears_channel(self):
+        ch = BoundedChannel(1, seed=0)
+        ch.deliver(_packet(0))
+        ch.drain(None)
+        assert len(ch) == 0
+
+    def test_over_bound_accepts_bound(self):
+        ch = BoundedChannel(1, seed=0)
+        for i in range(10):
+            ch.deliver(_packet(i))
+        accepted = ch.drain(4)
+        assert len(accepted) == 4
+
+    def test_unbounded_drain(self):
+        ch = BoundedChannel(1, seed=0)
+        for i in range(10):
+            ch.deliver(_packet(i))
+        assert len(ch.drain(None)) == 10
+
+    def test_fabricated_consume_slots(self):
+        """With heavy fabricated flooding, valid acceptance is rare."""
+        got_valid = 0
+        ch = BoundedChannel(1, seed=42)
+        for _ in range(300):
+            ch.deliver(_packet(0))
+            ch.inject_fabricated(99)
+            got_valid += len(ch.drain(1))
+        # Marginal acceptance probability is 1/100.
+        assert 0 < got_valid < 15
+
+    def test_fabricated_only_returns_nothing(self):
+        ch = BoundedChannel(1, seed=0)
+        ch.inject_fabricated(50)
+        assert ch.drain(4) == []
+
+    def test_end_round_discards(self):
+        ch = BoundedChannel(1, seed=0)
+        ch.deliver(_packet(0))
+        ch.inject_fabricated(2)
+        assert ch.end_round() == 3
+        assert len(ch) == 0
+
+    def test_zero_bound_accepts_nothing(self):
+        ch = BoundedChannel(1, seed=0)
+        for i in range(5):
+            ch.deliver(_packet(i))
+        assert ch.drain(0) == []
+
+    def test_counts(self):
+        ch = BoundedChannel(1, seed=0)
+        ch.deliver(_packet(0))
+        ch.inject_fabricated(3)
+        assert ch.valid_arrivals == 1
+        assert ch.fabricated_arrivals == 3
+        assert len(ch) == 4
+
+    def test_negative_fabricated_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedChannel(1).inject_fabricated(-1)
+
+    @given(
+        valid=st.integers(min_value=0, max_value=30),
+        fabricated=st.integers(min_value=0, max_value=200),
+        bound=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accepted_count_never_exceeds_bound_or_valid(self, valid, fabricated, bound):
+        ch = BoundedChannel(1, seed=valid * 1000 + fabricated)
+        for i in range(valid):
+            ch.deliver(_packet(i))
+        ch.inject_fabricated(fabricated)
+        accepted = ch.drain(bound)
+        assert len(accepted) <= min(bound, valid)
+        # Everything accepted really was delivered valid traffic.
+        assert all(not p.fabricated for p in accepted)
+
+    @given(valid=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_no_fabricated_under_bound_accepts_everything(self, valid):
+        ch = BoundedChannel(1, seed=valid)
+        for i in range(valid):
+            ch.deliver(_packet(i))
+        assert len(ch.drain(valid)) == valid
+
+    def test_persistent_flag_default_off(self):
+        assert not BoundedChannel(1).persistent
+
+    def test_acceptance_is_unbiased(self):
+        """Each of N valid packets should be accepted equally often."""
+        counts = np.zeros(6)
+        for trial in range(2000):
+            ch = BoundedChannel(1, seed=trial)
+            for i in range(6):
+                ch.deliver(_packet(i))
+            for packet in ch.drain(2):
+                counts[int(packet.payload[1:])] += 1
+        expected = 2000 * 2 / 6
+        assert (np.abs(counts - expected) < 0.2 * expected).all()
+
+
+class TestRoundEndDiscardAblation:
+    """Why Drum discards unread messages at round end (Section 4).
+
+    With a persistent inbox, an attacker's unread backlog accumulates
+    across rounds, so the acceptance probability of fresh valid traffic
+    collapses; with Drum's per-round discard it stays constant.
+    """
+
+    def _run_rounds(self, persistent, rounds=30, flood=50, bound=4):
+        channel = BoundedChannel(1, seed=7, persistent=persistent)
+        accepted_last_10 = 0
+        for r in range(rounds):
+            channel.deliver(_packet(r))  # one fresh valid message
+            channel.inject_fabricated(flood)
+            got = channel.drain(bound)
+            if r >= rounds - 10:
+                accepted_last_10 += len(got)
+            channel.end_round()
+        return accepted_last_10, len(channel)
+
+    def test_persistent_backlog_grows_without_bound(self):
+        _, backlog = self._run_rounds(persistent=True)
+        # 30 rounds x 51 arrivals, only 4 read per round.
+        assert backlog > 1000
+
+    def test_discarding_keeps_backlog_empty(self):
+        _, backlog = self._run_rounds(persistent=False)
+        assert backlog == 0
+
+    def test_deliveries_go_stale_without_discard(self):
+        """What a message loses by queueing: a persistent inbox delivers
+        ever-staler messages (unbounded latency), while per-round
+        discarding delivers only the current round's traffic."""
+
+        def mean_age_at_acceptance(persistent):
+            ages = []
+            for trial in range(20):
+                channel = BoundedChannel(1, seed=trial, persistent=persistent)
+                for r in range(40):
+                    channel.deliver(_packet(r))
+                    channel.inject_fabricated(50)
+                    for packet in channel.drain(4):
+                        ages.append(r - int(packet.payload[1:]))
+                    channel.end_round()
+            return sum(ages) / max(1, len(ages))
+
+        fresh = mean_age_at_acceptance(False)
+        stale = mean_age_at_acceptance(True)
+        assert fresh == 0.0  # discard: anything accepted is this round's
+        assert stale > 5.0  # persistence: acceptance lags many rounds
+
+    def test_persistent_drain_all_clears_read(self):
+        channel = BoundedChannel(1, seed=0, persistent=True)
+        channel.deliver(_packet(0))
+        assert len(channel.drain(5)) == 1
+        assert len(channel) == 0
+
+    def test_persistent_end_round_is_noop(self):
+        channel = BoundedChannel(1, seed=0, persistent=True)
+        channel.inject_fabricated(10)
+        assert channel.end_round() == 0
+        assert len(channel) == 10

@@ -1,0 +1,51 @@
+"""Tests for repro.net.link."""
+
+import numpy as np
+import pytest
+
+from repro.net import LossModel
+
+
+class TestLossModel:
+    def test_zero_loss_always_delivers(self):
+        model = LossModel(0.0, seed=1)
+        assert all(model.delivered() for _ in range(100))
+
+    def test_full_loss_never_delivers(self):
+        model = LossModel(1.0, seed=1)
+        assert not any(model.delivered() for _ in range(100))
+
+    def test_loss_rate_statistical(self):
+        model = LossModel(0.3, seed=7)
+        delivered = sum(model.delivered() for _ in range(20000))
+        assert 0.66 < delivered / 20000 < 0.74
+
+    def test_surviving_count_bounds(self):
+        model = LossModel(0.5, seed=3)
+        for _ in range(50):
+            survivors = model.surviving_count(40)
+            assert 0 <= survivors <= 40
+
+    def test_surviving_count_zero_loss(self):
+        assert LossModel(0.0).surviving_count(17) == 17
+
+    def test_surviving_count_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LossModel(0.1, seed=1).surviving_count(-1)
+
+    def test_survival_mask_shape_and_rate(self):
+        model = LossModel(0.2, seed=5)
+        mask = model.survival_mask(50000)
+        assert mask.shape == (50000,)
+        assert 0.77 < mask.mean() < 0.83
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LossModel(1.5)
+
+    def test_reseed_reproduces(self):
+        model = LossModel(0.5, seed=1)
+        first = [model.delivered() for _ in range(20)]
+        model.reseed(1)
+        second = [model.delivered() for _ in range(20)]
+        assert first == second

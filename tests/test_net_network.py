@@ -1,0 +1,106 @@
+"""Tests for repro.net.network."""
+
+import pytest
+
+from repro.net import Address, LossModel, Network, Packet
+
+
+def _make():
+    return Network(LossModel(0.0), seed=1)
+
+
+class TestPortManagement:
+    def test_open_and_check(self):
+        net = _make()
+        addr = Address(0, 3)
+        net.open_port(addr)
+        assert net.is_open(addr)
+
+    def test_close(self):
+        net = _make()
+        addr = Address(0, 3)
+        net.open_port(addr)
+        net.close_port(addr)
+        assert not net.is_open(addr)
+
+    def test_open_is_idempotent(self):
+        net = _make()
+        addr = Address(0, 3)
+        ch1 = net.open_port(addr)
+        ch1.deliver(Packet(dst=addr, payload="x"))
+        ch2 = net.open_port(addr)
+        assert ch2 is ch1  # reopening must not lose queued packets
+
+    def test_channel_unknown_port_raises(self):
+        net = _make()
+        with pytest.raises(KeyError):
+            net.channel(Address(0, 9))
+
+    def test_open_ports_listing(self):
+        net = _make()
+        net.open_port(Address(0, 2))
+        net.open_port(Address(0, 1))
+        assert net.open_ports(0) == [1, 2]
+
+
+class TestTraffic:
+    def test_send_to_open_port(self):
+        net = _make()
+        addr = Address(1, 2)
+        net.open_port(addr)
+        assert net.send(Packet(dst=addr, payload="hello"))
+        assert net.channel(addr).valid_arrivals == 1
+
+    def test_send_to_closed_port_dead_letters(self):
+        net = _make()
+        net.register_node(1)
+        assert not net.send(Packet(dst=Address(1, 2), payload="x"))
+        assert net.dead_lettered == 1
+
+    def test_loss_drops(self):
+        net = Network(LossModel(1.0, seed=0), seed=1)
+        addr = Address(0, 1)
+        net.open_port(addr)
+        assert not net.send(Packet(dst=addr, payload="x"))
+        assert net.lost_packets == 1
+
+    def test_flood_counts_fabricated(self):
+        net = _make()
+        addr = Address(0, 1)
+        net.open_port(addr)
+        delivered = net.flood(addr, 25)
+        assert delivered == 25
+        assert net.channel(addr).fabricated_arrivals == 25
+
+    def test_flood_respects_loss(self):
+        net = Network(LossModel(0.5, seed=3), seed=1)
+        addr = Address(0, 1)
+        net.open_port(addr)
+        delivered = net.flood(addr, 10000)
+        assert 4500 < delivered < 5500
+
+    def test_flood_closed_port_is_wasted(self):
+        net = _make()
+        net.register_node(2)
+        assert net.flood(Address(2, 7), 10) == 0
+
+    def test_end_round_discards_everything(self):
+        net = _make()
+        a, b = Address(0, 1), Address(1, 1)
+        net.open_port(a)
+        net.open_port(b)
+        net.send(Packet(dst=a, payload="x"))
+        net.flood(b, 5)
+        assert net.end_round() == 6
+        assert net.channel(a).valid_arrivals == 0
+
+    def test_end_round_subset(self):
+        net = _make()
+        a, b = Address(0, 1), Address(1, 1)
+        net.open_port(a)
+        net.open_port(b)
+        net.send(Packet(dst=a, payload="x"))
+        net.send(Packet(dst=b, payload="y"))
+        dropped = net.end_round(nodes=[0])
+        assert dropped == 1
+        assert net.channel(b).valid_arrivals == 1

@@ -1,0 +1,107 @@
+"""Tests for repro.net.transport: in-memory and UDP datagram services."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net import Address, InMemoryTransport, LossModel, UdpTransport
+
+
+class TestInMemoryTransport:
+    def test_roundtrip(self):
+        transport = InMemoryTransport()
+        received = []
+        transport.bind(Address(1, 2), lambda src, payload: received.append((src, payload)))
+        transport.send(Address(0, 1), Address(1, 2), "hello")
+        assert received == [(Address(0, 1), "hello")]
+
+    def test_unbound_address_drops(self):
+        transport = InMemoryTransport()
+        transport.send(Address(0, 1), Address(9, 9), "x")
+        assert transport.dropped == 1
+
+    def test_unbind_stops_delivery(self):
+        transport = InMemoryTransport()
+        received = []
+        addr = Address(1, 2)
+        transport.bind(addr, lambda s, p: received.append(p))
+        transport.unbind(addr)
+        transport.send(Address(0, 1), addr, "x")
+        assert received == []
+
+    def test_loss_model_applies(self):
+        transport = InMemoryTransport(LossModel(1.0, seed=0))
+        received = []
+        transport.bind(Address(1, 2), lambda s, p: received.append(p))
+        for _ in range(20):
+            transport.send(Address(0, 1), Address(1, 2), "x")
+        assert received == []
+
+    def test_concurrent_sends(self):
+        transport = InMemoryTransport()
+        received = []
+        lock = threading.Lock()
+
+        def handler(src, payload):
+            with lock:
+                received.append(payload)
+
+        transport.bind(Address(1, 2), handler)
+
+        def sender(k):
+            for i in range(100):
+                transport.send(Address(0, 1), Address(1, 2), (k, i))
+
+        threads = [threading.Thread(target=sender, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(received) == 400
+
+
+class TestUdpTransport:
+    def test_roundtrip_localhost(self):
+        transport = UdpTransport(base_port=23000, ports_per_node=16)
+        received = []
+        event = threading.Event()
+
+        def handler(src, payload):
+            received.append((src, payload))
+            event.set()
+
+        transport.bind(Address(1, 2), handler)
+        time.sleep(0.05)
+        transport.send(Address(0, 1), Address(1, 2), {"k": "v"})
+        assert event.wait(timeout=2.0), "datagram never arrived"
+        transport.close()
+        assert received[0] == (Address(0, 1), {"k": "v"})
+
+    def test_send_to_unbound_is_silent(self):
+        transport = UdpTransport(base_port=23400, ports_per_node=16)
+        transport.send(Address(0, 1), Address(3, 2), "nobody-home")
+        transport.close()
+
+    def test_port_mapping_disjoint_across_nodes(self):
+        transport = UdpTransport(base_port=23800, ports_per_node=16)
+        try:
+            ports = {
+                transport._udp_port(Address(node, port))
+                for node in range(3)
+                for port in range(4)
+            }
+            assert len(ports) == 12
+        finally:
+            transport.close()
+
+    def test_random_ports_map_into_budget(self):
+        from repro.net.address import RANDOM_PORT_BASE
+
+        transport = UdpTransport(base_port=24200, ports_per_node=16)
+        try:
+            for rp in (RANDOM_PORT_BASE, RANDOM_PORT_BASE + 123, RANDOM_PORT_BASE + 99999):
+                udp = transport._udp_port(Address(2, rp))
+                assert 24200 + 2 * 16 <= udp < 24200 + 3 * 16
+        finally:
+            transport.close()

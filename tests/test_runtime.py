@@ -1,0 +1,96 @@
+"""Tests for the threaded real-time runtime."""
+
+import time
+
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.net import Address, InMemoryTransport
+from repro.runtime import LiveCluster, LiveClusterConfig, RealTimeEnvironment
+
+
+class TestRealTimeEnvironment:
+    def test_now_advances(self):
+        env = RealTimeEnvironment(InMemoryTransport())
+        t0 = env.now()
+        time.sleep(0.02)
+        assert env.now() > t0
+
+    def test_schedule_fires(self):
+        env = RealTimeEnvironment(InMemoryTransport())
+        fired = []
+        env.schedule(10, lambda: fired.append(1))
+        time.sleep(0.1)
+        assert fired == [1]
+        env.close()
+
+    def test_cancel_prevents_firing(self):
+        env = RealTimeEnvironment(InMemoryTransport())
+        fired = []
+        handle = env.schedule(30, lambda: fired.append(1))
+        env.cancel(handle)
+        time.sleep(0.08)
+        assert fired == []
+        env.close()
+
+    def test_close_stops_pending_timers(self):
+        env = RealTimeEnvironment(InMemoryTransport())
+        fired = []
+        env.schedule(30, lambda: fired.append(1))
+        env.close()
+        time.sleep(0.08)
+        assert fired == []
+
+    def test_send_receive_through_transport(self):
+        transport = InMemoryTransport()
+        env = RealTimeEnvironment(transport)
+        received = []
+        env.bind(Address(1, 2), lambda s, p: received.append(p))
+        env.send(Address(0, 1), Address(1, 2), "ping")
+        assert received == ["ping"]
+        env.close()
+
+
+class TestLiveCluster:
+    def test_multicast_delivers_to_all(self):
+        cfg = LiveClusterConfig(protocol="drum", n=6, round_duration_ms=80.0)
+        cluster = LiveCluster(cfg, seed=1)
+        cluster.start()
+        try:
+            mid = cluster.multicast(0, b"hello")
+            assert cluster.await_delivery(mid, fraction=1.0, timeout_s=10)
+        finally:
+            cluster.stop()
+
+    def test_under_attack_drum_still_delivers(self):
+        cfg = LiveClusterConfig(
+            protocol="drum",
+            n=6,
+            round_duration_ms=80.0,
+            attack=AttackSpec(alpha=0.34, x=60),
+        )
+        cluster = LiveCluster(cfg, seed=2)
+        cluster.start()
+        try:
+            mid = cluster.multicast(0, b"attacked")
+            assert cluster.await_delivery(mid, fraction=1.0, timeout_s=15)
+        finally:
+            cluster.stop()
+
+    def test_result_packaging(self):
+        cfg = LiveClusterConfig(protocol="drum", n=4, round_duration_ms=60.0)
+        cluster = LiveCluster(cfg, seed=3)
+        cluster.start()
+        try:
+            mid = cluster.multicast(0, b"x")
+            cluster.await_delivery(mid, fraction=1.0, timeout_s=10)
+        finally:
+            cluster.stop()
+        result = cluster.result(send_rate=1.0, messages_sent=1)
+        assert result.n == 4
+        assert result.deliveries
+
+    def test_unstarted_result_rejected(self):
+        cluster = LiveCluster(LiveClusterConfig(n=4), seed=4)
+        with pytest.raises(RuntimeError):
+            cluster.result(send_rate=1.0, messages_sent=0)

@@ -1,0 +1,157 @@
+"""Tests for the exact and vectorised simulation engines, including
+cross-validation between the two."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.sim import RoundSimulator, Scenario, monte_carlo, run_exact, run_fast
+
+
+class TestExactEngine:
+    def test_full_coverage_no_attack(self):
+        result = run_exact(Scenario(protocol="drum", n=30, loss=0.0), seed=1)
+        assert result.final_coverage() == 1.0
+        assert result.counts[0] == 1
+
+    def test_counts_monotone(self):
+        result = run_exact(Scenario(protocol="drum", n=30), seed=2)
+        assert (np.diff(result.counts) >= 0).all()
+
+    def test_attacked_plus_non_attacked_equals_total(self):
+        scenario = Scenario(
+            protocol="drum", n=40, malicious_fraction=0.1,
+            attack=AttackSpec(alpha=0.1, x=32),
+        )
+        result = run_exact(scenario, seed=3)
+        assert (
+            result.counts_attacked + result.counts_non_attacked == result.counts
+        ).all()
+
+    def test_delivery_rounds_recorded(self):
+        result = run_exact(Scenario(protocol="drum", n=20, loss=0.0), seed=4)
+        assert result.delivery_rounds is not None
+        assert result.delivery_rounds[0] == 0  # the source
+        delivered = ~np.isnan(result.delivery_rounds)
+        assert delivered.all()
+
+    def test_malicious_are_never_infected(self):
+        scenario = Scenario(protocol="drum", n=30, malicious_fraction=0.2)
+        sim = RoundSimulator(scenario, seed=5)
+        result = sim.run()
+        # Counts only over alive correct processes.
+        assert result.counts.max() <= scenario.num_alive_correct
+
+    def test_crashed_reduce_denominator(self):
+        scenario = Scenario(protocol="push", n=30, crashed_fraction=0.2)
+        result = run_exact(scenario, seed=6)
+        assert result.counts.max() <= scenario.num_alive_correct
+        assert result.final_coverage() >= 0.99
+
+    def test_deterministic_given_seed(self):
+        scenario = Scenario(protocol="drum", n=30)
+        a = run_exact(scenario, seed=42)
+        b = run_exact(scenario, seed=42)
+        assert (a.counts == b.counts).all()
+
+    @pytest.mark.parametrize(
+        "protocol",
+        ["drum", "push", "pull", "drum-no-random-ports", "drum-shared-bounds"],
+    )
+    def test_all_protocols_terminate(self, protocol):
+        scenario = Scenario(protocol=protocol, n=24, max_rounds=100)
+        result = run_exact(scenario, seed=7)
+        assert result.final_coverage() >= 0.99
+
+
+class TestFastEngine:
+    def test_shapes(self):
+        result = run_fast(Scenario(protocol="drum", n=30), runs=10, seed=1)
+        assert result.counts.shape[0] == 10
+        assert result.counts_attacked.shape == result.counts.shape
+
+    def test_counts_monotone_per_run(self):
+        result = run_fast(Scenario(protocol="pull", n=40), runs=20, seed=2)
+        assert (np.diff(result.counts, axis=1) >= 0).all()
+
+    def test_source_starts_alone(self):
+        result = run_fast(Scenario(protocol="drum", n=30), runs=5, seed=3)
+        assert (result.counts[:, 0] == 1).all()
+
+    def test_horizon_forces_rounds(self):
+        result = run_fast(
+            Scenario(protocol="drum", n=30, threshold=1.0), runs=5, seed=4,
+            horizon=25,
+        )
+        assert result.counts.shape[1] == 26
+
+    def test_subset_sums(self):
+        scenario = Scenario(
+            protocol="drum", n=60, malicious_fraction=0.1,
+            attack=AttackSpec(alpha=0.1, x=16),
+        )
+        result = run_fast(scenario, runs=15, seed=5)
+        total = result.counts_attacked + result.counts_non_attacked
+        assert (total == result.counts).all()
+
+    def test_too_small_group_rejected(self):
+        with pytest.raises(ValueError):
+            run_fast(Scenario(protocol="drum", n=4, fan_out=4), runs=2, seed=0)
+
+    def test_deterministic_given_seed(self):
+        scenario = Scenario(protocol="push", n=40)
+        a = run_fast(scenario, runs=8, seed=9)
+        b = run_fast(scenario, runs=8, seed=9)
+        assert (a.counts == b.counts).all()
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            run_fast(Scenario(n=30), runs=0)
+
+
+class TestEngineAgreement:
+    """The vectorised engine must reproduce the exact engine's means."""
+
+    @pytest.mark.parametrize(
+        "protocol", ["drum", "push", "pull", "drum-shared-bounds"]
+    )
+    def test_no_attack_agreement(self, protocol):
+        scenario = Scenario(protocol=protocol, n=40)
+        exact = monte_carlo(scenario, runs=60, seed=11, engine="exact")
+        fast = monte_carlo(scenario, runs=600, seed=11, engine="fast")
+        assert exact.mean_rounds() == pytest.approx(fast.mean_rounds(), abs=0.8)
+
+    @pytest.mark.parametrize("protocol", ["drum", "push", "pull"])
+    def test_attack_agreement(self, protocol):
+        scenario = Scenario(
+            protocol=protocol, n=50, malicious_fraction=0.1,
+            attack=AttackSpec(alpha=0.1, x=32), max_rounds=300,
+        )
+        exact = monte_carlo(scenario, runs=60, seed=13, engine="exact")
+        fast = monte_carlo(scenario, runs=600, seed=13, engine="fast")
+        assert exact.mean_rounds() == pytest.approx(
+            fast.mean_rounds(), rel=0.25, abs=1.2
+        )
+
+
+class TestRunnerDispatch:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo(Scenario(n=30), runs=2, engine="quantum")
+
+    def test_exact_padding_aligns_rows(self):
+        scenario = Scenario(protocol="pull", n=30)
+        result = monte_carlo(scenario, runs=5, seed=1, engine="exact")
+        # Every row padded to the same width with its final value.
+        assert (result.counts[:, -1] >= result.scenario.threshold_count()).all()
+
+    def test_default_runs_env(self, monkeypatch):
+        from repro.sim import default_runs
+
+        monkeypatch.setenv("REPRO_RUNS", "17")
+        assert default_runs() == 17
+        monkeypatch.setenv("REPRO_RUNS", "bogus")
+        with pytest.raises(ValueError):
+            default_runs()
+        monkeypatch.delenv("REPRO_RUNS")
+        assert default_runs(123) == 123

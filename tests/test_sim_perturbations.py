@@ -1,0 +1,101 @@
+"""Perturbation tolerance (Section 2: the other DoS form).
+
+The paper notes that intermittently unresponsive processes are another
+denial-of-service vector, and that probabilistic gossip protocols solve
+it [Birman et al.].  These tests reproduce that claim on our engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import Scenario, monte_carlo
+
+
+class TestScenarioPerturbations:
+    def test_perturbed_set_disjoint_from_attacked(self):
+        from repro.adversary import AttackSpec
+
+        s = Scenario(
+            n=60, malicious_fraction=0.1,
+            attack=AttackSpec(alpha=0.1, x=8),
+            perturbed_fraction=0.3, perturbation_prob=0.5,
+        )
+        assert not set(s.attacked_ids()) & set(s.perturbed_ids())
+        assert s.source not in s.perturbed_ids()
+
+    def test_describe_mentions_perturbations(self):
+        s = Scenario(n=60, perturbed_fraction=0.2, perturbation_prob=0.3)
+        assert "perturbed" in s.describe()
+
+    def test_overfull_perturbation_rejected(self):
+        from repro.adversary import AttackSpec
+
+        with pytest.raises(ValueError):
+            Scenario(
+                n=20, attack=AttackSpec(alpha=0.5, x=4),
+                perturbed_fraction=0.6, perturbation_prob=0.5,
+            )
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n=20, perturbed_fraction=0.2, perturbation_prob=1.5)
+
+
+class TestGracefulDegradation:
+    """Gossip shrugs off perturbations — the cited [1] result."""
+
+    @pytest.mark.parametrize("protocol", ["drum", "push", "pull"])
+    def test_half_perturbed_costs_little(self, protocol):
+        base = monte_carlo(
+            Scenario(protocol=protocol, n=80), runs=150, seed=31
+        ).mean_rounds()
+        perturbed = monte_carlo(
+            Scenario(
+                protocol=protocol, n=80,
+                perturbed_fraction=0.5, perturbation_prob=0.3,
+            ),
+            runs=150, seed=31,
+        ).mean_rounds()
+        assert perturbed < base + 3.0, (protocol, base, perturbed)
+
+    def test_heavier_perturbation_slower(self):
+        light = monte_carlo(
+            Scenario(
+                protocol="drum", n=80,
+                perturbed_fraction=0.5, perturbation_prob=0.1,
+            ),
+            runs=150, seed=32,
+        ).mean_rounds()
+        heavy = monte_carlo(
+            Scenario(
+                protocol="drum", n=80,
+                perturbed_fraction=0.5, perturbation_prob=0.7,
+            ),
+            runs=150, seed=32,
+        ).mean_rounds()
+        assert heavy > light
+
+    def test_full_coverage_still_reached(self):
+        result = monte_carlo(
+            Scenario(
+                protocol="drum", n=50, threshold=1.0,
+                perturbed_fraction=0.4, perturbation_prob=0.5,
+                max_rounds=200,
+            ),
+            runs=100, seed=33,
+        )
+        assert result.censored_runs() == 0
+
+
+class TestEngineAgreementUnderPerturbations:
+    def test_exact_matches_fast(self):
+        scenario = Scenario(
+            protocol="drum", n=40,
+            perturbed_fraction=0.4, perturbation_prob=0.4,
+            max_rounds=200,
+        )
+        exact = monte_carlo(scenario, runs=60, seed=34, engine="exact")
+        fast = monte_carlo(scenario, runs=600, seed=34, engine="fast")
+        assert exact.mean_rounds() == pytest.approx(
+            fast.mean_rounds(), abs=1.0
+        )

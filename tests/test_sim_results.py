@@ -1,0 +1,110 @@
+"""Tests for repro.sim.results."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.sim import MonteCarloResult, Scenario
+from repro.sim.results import RunResult, rounds_to_count
+
+
+class TestRoundsToCount:
+    def test_basic(self):
+        assert rounds_to_count(np.array([1, 3, 7, 10]), 7) == 2.0
+
+    def test_immediate(self):
+        assert rounds_to_count(np.array([5, 6]), 5) == 0.0
+
+    def test_censored_is_nan(self):
+        assert np.isnan(rounds_to_count(np.array([1, 2, 3]), 10))
+
+
+def _mc(counts, attacked, scenario=None):
+    counts = np.asarray(counts)
+    attacked = np.asarray(attacked)
+    if scenario is None:
+        scenario = Scenario(
+            n=10, malicious_fraction=0.0,
+            attack=AttackSpec(alpha=0.2, x=8), max_rounds=50,
+        )
+    return MonteCarloResult(
+        scenario=scenario,
+        counts=counts,
+        counts_attacked=attacked,
+        counts_non_attacked=counts - attacked,
+    )
+
+
+class TestMonteCarloResult:
+    def test_rounds_to_threshold_per_run(self):
+        # n=10 alive, threshold .99 → target 10
+        result = _mc(
+            [[1, 5, 10, 10], [1, 2, 4, 10]],
+            [[1, 1, 2, 2], [1, 1, 1, 2]],
+        )
+        rounds = result.rounds_to_threshold()
+        assert list(rounds) == [2.0, 3.0]
+
+    def test_mean_and_std(self):
+        result = _mc(
+            [[1, 10, 10], [1, 1, 10]],
+            [[1, 2, 2], [1, 1, 2]],
+        )
+        assert result.mean_rounds() == pytest.approx(1.5)
+        assert result.std_rounds() == pytest.approx(0.5)
+
+    def test_censored_runs_counted_and_clamped(self):
+        result = _mc(
+            [[1, 10], [1, 3]],
+            [[1, 2], [1, 1]],
+        )
+        assert result.censored_runs() == 1
+        # Censored run counts as max_rounds (50) in the mean.
+        assert result.mean_rounds() == pytest.approx((1 + 50) / 2)
+
+    def test_coverage_by_round(self):
+        result = _mc(
+            [[1, 5, 10]],
+            [[1, 1, 2]],
+        )
+        assert list(result.coverage_by_round()) == [0.1, 0.5, 1.0]
+
+    def test_subset_coverage(self):
+        result = _mc(
+            [[1, 5, 10]],
+            [[1, 1, 2]],
+        )
+        attacked_cov = result.subset_coverage_by_round("attacked")
+        assert attacked_cov[0] == pytest.approx(0.5)  # 1 of 2 attacked
+        non_cov = result.subset_coverage_by_round("non_attacked")
+        assert non_cov[1] == pytest.approx(0.5)  # 4 of 8
+
+    def test_subset_rounds(self):
+        result = _mc(
+            [[1, 5, 10]],
+            [[1, 1, 2]],
+        )
+        assert result.rounds_to_subset_threshold("attacked")[0] == 2.0
+
+    def test_unknown_subset_rejected(self):
+        result = _mc([[1, 10]], [[1, 2]])
+        with pytest.raises(ValueError):
+            result.subset_coverage_by_round("weird")
+
+    def test_runs_and_rounds_properties(self):
+        result = _mc([[1, 10], [1, 10]], [[1, 2], [1, 2]])
+        assert result.runs == 2
+        assert result.rounds_simulated == 1
+
+
+class TestRunResult:
+    def test_threshold_and_coverage(self):
+        scenario = Scenario(n=10, max_rounds=50)
+        run = RunResult(
+            scenario=scenario,
+            counts=np.array([1, 4, 10]),
+            counts_attacked=np.array([0, 0, 0]),
+            counts_non_attacked=np.array([1, 4, 10]),
+        )
+        assert run.rounds_to_threshold() == 2.0
+        assert run.final_coverage() == 1.0

@@ -1,0 +1,85 @@
+"""Tests for repro.sim.scenario."""
+
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.core import ProtocolKind
+from repro.sim import Scenario
+
+
+class TestComposition:
+    def test_defaults(self):
+        s = Scenario()
+        assert s.protocol is ProtocolKind.DRUM
+        assert s.num_malicious == 0
+        assert s.num_alive_correct == s.n
+
+    def test_string_protocol_coerced(self):
+        assert Scenario(protocol="pull").protocol is ProtocolKind.PULL
+
+    def test_malicious_count(self):
+        s = Scenario(n=120, malicious_fraction=0.1)
+        assert s.num_malicious == 12
+        assert s.num_correct == 108
+
+    def test_layout_disjoint(self):
+        s = Scenario(
+            n=100,
+            malicious_fraction=0.1,
+            crashed_fraction=0.1,
+            attack=AttackSpec(alpha=0.2, x=10),
+        )
+        malicious = set(s.malicious_ids())
+        crashed = set(s.crashed_ids())
+        attacked = set(s.attacked_ids())
+        alive = set(s.alive_correct_ids())
+        assert not malicious & crashed
+        assert not malicious & attacked
+        assert not crashed & attacked
+        assert attacked <= alive
+        assert len(alive) == s.num_alive_correct
+
+    def test_source_is_attacked(self):
+        s = Scenario(n=100, attack=AttackSpec(alpha=0.1, x=10))
+        assert s.source in s.attacked_ids()
+
+    def test_threshold_count_ceil(self):
+        s = Scenario(n=120, malicious_fraction=0.1, threshold=0.99)
+        # 99 % of 108 = 106.92 → 107
+        assert s.threshold_count() == 107
+
+    def test_threshold_full_coverage(self):
+        s = Scenario(n=50, threshold=1.0)
+        assert s.threshold_count() == 50
+
+
+class TestValidation:
+    def test_tiny_group_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n=1)
+
+    def test_all_faulty_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n=10, malicious_fraction=0.5, crashed_fraction=0.5)
+
+    def test_attack_wider_than_correct_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n=100, malicious_fraction=0.2, attack=AttackSpec(alpha=0.9, x=1))
+
+    def test_attack_targeting_nobody_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(n=4, attack=AttackSpec(alpha=0.01, x=1))
+
+    def test_with_revalidates(self):
+        s = Scenario(n=100)
+        with pytest.raises(ValueError):
+            s.with_(n=1)
+
+    def test_describe_mentions_attack(self):
+        s = Scenario(n=100, attack=AttackSpec(alpha=0.1, x=64))
+        text = s.describe()
+        assert "0.1" in text and "64" in text
+
+    def test_protocol_config_kind(self):
+        s = Scenario(protocol="push")
+        assert s.protocol_config().kind is ProtocolKind.PUSH

@@ -1,0 +1,65 @@
+"""Tests for the one-call sweep helpers."""
+
+import pytest
+
+from repro.sim.sweeps import budget_sweep, extent_sweep, rate_sweep
+
+
+class TestRateSweep:
+    def test_structure(self):
+        report = rate_sweep(
+            ["drum", "push"], [0, 32], n=50, runs=20, seed=1,
+        )
+        assert report.x_values == [0.0, 32.0]
+        assert set(report.series) == {"drum", "push"}
+        assert report.metadata["n"] == 50
+
+    def test_zero_rate_means_no_attack(self):
+        report = rate_sweep(["drum"], [0], n=50, runs=20, seed=2)
+        assert report.series["drum"][0] < 10
+
+    def test_push_degrades_drum_does_not(self):
+        report = rate_sweep(
+            ["drum", "push"], [0, 64], n=60, runs=60, seed=3,
+        )
+        drum = report.series["drum"]
+        push = report.series["push"]
+        assert push[1] - push[0] > 3 * max(0.1, drum[1] - drum[0])
+
+
+class TestExtentSweep:
+    def test_structure(self):
+        report = extent_sweep(["pull"], [0.1, 0.3], x=32, n=50, runs=20, seed=4)
+        assert report.x_values == [0.1, 0.3]
+        assert "pull" in report.series
+
+    def test_growing_extent_grows_damage(self):
+        report = extent_sweep(
+            ["push"], [0.1, 0.5], x=64, n=60, runs=60, seed=5,
+        )
+        times = report.series["push"]
+        assert times[1] > times[0] * 0.8  # more victims, no less damage
+
+
+class TestBudgetSweep:
+    def test_structure(self):
+        report = budget_sweep(
+            ["drum"], [0.1, 0.9], budget_per_process=7.2,
+            n=50, runs=20, seed=6,
+        )
+        assert report.metadata["budget_per_process"] == 7.2
+
+    def test_drum_worst_case_is_broad(self):
+        report = budget_sweep(
+            ["drum"], [0.1, 0.9], budget_per_process=36.0,
+            n=60, runs=60, seed=7,
+        )
+        times = report.series["drum"]
+        assert times[1] > times[0]
+
+    def test_report_roundtrips_to_json(self):
+        from repro.metrics.report import SeriesReport
+
+        report = budget_sweep(["drum"], [0.5], n=50, runs=10, seed=8)
+        clone = SeriesReport.from_json(report.to_json())
+        assert clone.series == report.series

@@ -1,0 +1,74 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util import SeedSequenceFactory, derive_rng, spawn_seeds
+
+
+class TestDeriveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(7).integers(0, 1 << 30, size=5)
+        b = derive_rng(7).integers(0, 1 << 30, size=5)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).integers(0, 1 << 30, size=8)
+        b = derive_rng(2).integers(0, 1 << 30, size=8)
+        assert (a != b).any()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert derive_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(42)
+        a = derive_rng(seq).integers(0, 1 << 30)
+        b = derive_rng(np.random.SeedSequence(42)).integers(0, 1 << 30)
+        assert a == b
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 10)) == 10
+
+    def test_children_are_independent(self):
+        seeds = spawn_seeds(0, 3)
+        draws = [np.random.default_rng(s).integers(0, 1 << 30) for s in seeds]
+        assert len(set(draws)) == 3
+
+    def test_reproducible(self):
+        a = [np.random.default_rng(s).integers(0, 1 << 20) for s in spawn_seeds(9, 4)]
+        b = [np.random.default_rng(s).integers(0, 1 << 20) for s in spawn_seeds(9, 4)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+
+class TestSeedSequenceFactory:
+    def test_successive_seeds_differ(self):
+        factory = SeedSequenceFactory(3)
+        a = np.random.default_rng(factory.next_seed()).integers(0, 1 << 30)
+        b = np.random.default_rng(factory.next_seed()).integers(0, 1 << 30)
+        assert a != b
+
+    def test_spawned_counter(self):
+        factory = SeedSequenceFactory(3)
+        factory.next_seed()
+        factory.next_rng()
+        assert factory.spawned == 2
+
+    def test_two_factories_same_seed_agree(self):
+        fa, fb = SeedSequenceFactory(5), SeedSequenceFactory(5)
+        for _ in range(3):
+            va = np.random.default_rng(fa.next_seed()).integers(0, 1 << 30)
+            vb = np.random.default_rng(fb.next_seed()).integers(0, 1 << 30)
+            assert va == vb

@@ -1,0 +1,46 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util import Table
+
+
+class TestTable:
+    def test_render_contains_title_and_headers(self):
+        table = Table("My results", ["x", "rounds"])
+        table.add_row(1, 5.0)
+        text = table.render()
+        assert "My results" in text
+        assert "x" in text and "rounds" in text
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(3.14159)
+        assert "3.142" in table.render()
+
+    def test_row_arity_enforced(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_extend(self):
+        table = Table("t", ["a"])
+        table.extend([[1], [2], [3]])
+        assert len(table.rows) == 3
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_alignment_width(self):
+        table = Table("t", ["column_with_long_name"])
+        table.add_row("x")
+        lines = table.render().splitlines()
+        header_line = lines[2]
+        data_line = lines[4]
+        assert len(data_line) == len(header_line)
+
+    def test_str_equals_render(self):
+        table = Table("t", ["a"])
+        table.add_row("v")
+        assert str(table) == table.render()

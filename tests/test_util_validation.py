@@ -1,0 +1,59 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+
+class TestCheckFraction:
+    def test_zero_depends_on_flag(self):
+        check_fraction("f", 0.0, allow_zero=True)
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+
+    def test_one_accepted(self):
+        check_fraction("f", 1.0)
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5, allow_zero=True)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="myfrac"):
+            check_fraction("myfrac", 2.0)
