@@ -11,6 +11,12 @@ Environment knobs:
   paper uses 1000).
 - ``REPRO_SCALE`` — multiplies the larger group sizes, e.g. 0.2 turns
   the n = 1000 sweeps into n = 200 smoke runs.
+- ``REPRO_WORKERS`` — process-pool workers for the Monte-Carlo fan-out
+  (default 1; results are bit-identical for any count).
+- ``REPRO_CACHE_DIR`` — on-disk result cache location (default
+  ``benchmarks/results/.cache``); points shared between figures (e.g.
+  the rate-0 baseline) are computed once.  Delete the directory after
+  changing engine semantics.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.sim.parallel import ResultCache, default_workers
 from repro.sim.runner import default_runs
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -26,6 +33,22 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def runs(divisor: int = 1) -> int:
     """Monte-Carlo run count for a data point (REPRO_RUNS aware)."""
     return max(10, default_runs() // divisor)
+
+
+def workers() -> int:
+    """Process-pool worker count (REPRO_WORKERS aware)."""
+    return default_workers()
+
+
+def cache() -> ResultCache:
+    """The benchmark harness's shared on-disk result cache."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(Path(root) if root else RESULTS_DIR / ".cache")
+
+
+def mc_kwargs() -> dict:
+    """Keyword args threading the parallel/cache knobs into monte_carlo."""
+    return {"workers": workers(), "cache": cache()}
 
 
 def scaled(n: int) -> int:

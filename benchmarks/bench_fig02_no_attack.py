@@ -13,7 +13,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import math
 
-from _common import once, record, runs, scaled
+from _common import mc_kwargs, once, record, runs, scaled
 
 from repro.sim import Scenario, monte_carlo
 from repro.util import Table
@@ -31,7 +31,8 @@ def test_fig02a_scaling_with_n(benchmark):
         for protocol in PROTOCOLS:
             out[protocol] = [
                 monte_carlo(
-                    Scenario(protocol=protocol, n=n), runs=runs(2), seed=10
+                    Scenario(protocol=protocol, n=n), runs=runs(2), seed=10,
+                    **mc_kwargs(),
                 ).mean_rounds()
                 for n in sizes
             ]
@@ -64,6 +65,7 @@ def test_fig02b_crash_failures(benchmark):
                     Scenario(protocol=protocol, n=n, crashed_fraction=f),
                     runs=runs(2),
                     seed=11,
+                    **mc_kwargs(),
                 ).mean_rounds()
                 for f in CRASH_FRACTIONS
             ]

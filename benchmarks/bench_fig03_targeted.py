@@ -12,7 +12,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import once, record, runs, scaled
+from _common import mc_kwargs, once, record, runs, scaled
 
 from repro.adversary import AttackSpec
 from repro.metrics import dos_impact
@@ -32,7 +32,9 @@ def _prop(protocol, n, attack, seed, divisor):
         attack=attack,
         max_rounds=400,
     )
-    return monte_carlo(scenario, runs=runs(divisor), seed=seed).mean_rounds()
+    return monte_carlo(
+        scenario, runs=runs(divisor), seed=seed, **mc_kwargs()
+    ).mean_rounds()
 
 
 def _rate_sweep(n, divisor):

@@ -11,7 +11,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import once, record, runs, scaled
+from _common import mc_kwargs, once, record, runs, scaled
 
 from repro.adversary import fixed_budget_sweep
 from repro.metrics import adversary_best_extent
@@ -35,7 +35,11 @@ def _budget_sweep(n, budget_per_n, seed):
                 attack=spec,
                 max_rounds=400,
             )
-            times.append(monte_carlo(scenario, runs=runs(2), seed=seed).mean_rounds())
+            times.append(
+                monte_carlo(
+                    scenario, runs=runs(2), seed=seed, **mc_kwargs()
+                ).mean_rounds()
+            )
         out[protocol] = times
     return out
 

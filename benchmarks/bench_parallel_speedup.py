@@ -1,0 +1,85 @@
+"""Wall-clock benchmark of the parallel Monte-Carlo execution layer.
+
+Times the paper-strength Figure 3(a) rate sweep (three protocols, five
+attack rates, ``REPRO_RUNS`` Monte-Carlo runs per point) once serially
+and once on a worker pool, verifies the two reports are byte-identical
+JSON, and appends the measurement to ``BENCH_parallel.json`` at the
+repository root.
+
+Run::
+
+    REPRO_RUNS=1000 PYTHONPATH=src python benchmarks/bench_parallel_speedup.py
+
+Speedup scales with physical cores (the sweep is embarrassingly
+parallel: 15 independent grid cells, each itself sharded); the recorded
+entry includes ``cpu_count`` so numbers from single-core CI containers
+are not mistaken for the multi-core story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.sim.parallel import default_workers
+from repro.sim.runner import default_runs
+from repro.sim.sweeps import rate_sweep
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+PROTOCOLS = ["drum", "push", "pull"]
+RATES = [0, 16, 32, 64, 128]
+
+
+def main() -> int:
+    runs = default_runs(1000)
+    workers = max(2, default_workers(4))
+    sweep_kwargs = dict(n=120, alpha=0.1, runs=runs, seed=30, max_rounds=400)
+
+    start = time.perf_counter()
+    serial = rate_sweep(PROTOCOLS, RATES, workers=1, **sweep_kwargs)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = rate_sweep(PROTOCOLS, RATES, workers=workers, **sweep_kwargs)
+    parallel_s = time.perf_counter() - start
+
+    identical = serial.to_json() == parallel.to_json()
+    entry = {
+        "name": "rate_sweep_fig03a",
+        "protocols": PROTOCOLS,
+        "rates": RATES,
+        "n": 120,
+        "runs": runs,
+        "workers": workers,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "byte_identical": identical,
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+    entries = []
+    if BENCH_PATH.exists():
+        try:
+            entries = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            entries = []
+    entries.append(entry)
+    BENCH_PATH.write_text(json.dumps(entries, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    if not identical:
+        print("ERROR: parallel sweep diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,11 +39,13 @@ from repro.core import (
 )
 from repro.sim import (
     MonteCarloResult,
+    ResultCache,
     RoundSimulator,
     RunResult,
     Scenario,
     budget_sweep,
     default_runs,
+    default_workers,
     extent_sweep,
     monte_carlo,
     rate_sweep,
@@ -60,6 +62,7 @@ __all__ = [
     "MessageBuffer",
     "MonteCarloResult",
     "PortLoad",
+    "ResultCache",
     "ProtocolConfig",
     "ProtocolKind",
     "PullProcess",
@@ -71,6 +74,7 @@ __all__ = [
     "__version__",
     "budget_sweep",
     "default_runs",
+    "default_workers",
     "extent_sweep",
     "rate_sweep",
     "fixed_budget_sweep",

@@ -96,7 +96,9 @@ def cmd_simulate(args) -> int:
         attack=attack,
         max_rounds=args.max_rounds,
     )
-    result = monte_carlo(scenario, runs=args.runs, seed=args.seed)
+    result = monte_carlo(
+        scenario, runs=args.runs, seed=args.seed, workers=args.workers
+    )
     _emit(
         args,
         f"Simulation: {scenario.describe()} ({args.runs} runs)",
@@ -186,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sim)
     p_sim.add_argument("--runs", type=int, default=100)
     p_sim.add_argument("--max-rounds", type=int, default=400)
+    p_sim.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool workers for the run fan-out (default: "
+             "REPRO_WORKERS or 1; results are identical for any count)",
+    )
     p_sim.set_defaults(func=cmd_simulate)
 
     p_ana = sub.add_parser("analyze", help="closed-form / numerical analysis")

@@ -18,19 +18,29 @@ from repro.sim.scenario import Scenario
 from repro.sim.results import MonteCarloResult, RunResult
 from repro.sim.engine import RoundSimulator, run_exact
 from repro.sim.fast import run_fast
+from repro.sim.parallel import (
+    ResultCache,
+    default_workers,
+    parallel_map,
+    run_sharded,
+)
 from repro.sim.runner import default_runs, monte_carlo
 from repro.sim.sweeps import budget_sweep, extent_sweep, rate_sweep
 
 __all__ = [
     "MonteCarloResult",
+    "ResultCache",
     "RoundSimulator",
     "RunResult",
     "Scenario",
     "budget_sweep",
     "default_runs",
+    "default_workers",
     "extent_sweep",
     "monte_carlo",
+    "parallel_map",
     "rate_sweep",
     "run_exact",
     "run_fast",
+    "run_sharded",
 ]

@@ -43,6 +43,15 @@ def _draw_views(
     rng: np.random.Generator, runs: int, senders: np.ndarray, n: int, v: int
 ) -> np.ndarray:
     """(runs, S, v) gossip targets: uniform, self-free, distinct per row."""
+    if v * (v - 1) >= n - 1:
+        # Dense fan-out: whole-row rejection sampling stalls (for
+        # v = n-1 it essentially never terminates), so take the first v
+        # entries of a uniform permutation of the other n-1 members —
+        # the same uniform ordered v-subset distribution.
+        keys = rng.random((runs, len(senders), n - 1))
+        targets = np.argsort(keys, axis=2)[:, :, :v]
+        targets += targets >= senders[None, :, None]
+        return targets
     targets = rng.integers(0, n - 1, size=(runs, len(senders), v))
     # Skip the sender's own id so targets are uniform over the others.
     targets += targets >= senders[None, :, None]

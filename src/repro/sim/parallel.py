@@ -1,0 +1,387 @@
+"""Parallel, deterministic Monte-Carlo execution.
+
+This module shards Monte-Carlo work across a process pool while keeping
+every result a pure function of the root seed, *independent of the
+worker count*:
+
+- the run fan-out of :func:`~repro.sim.runner.monte_carlo` is split into
+  shards whose layout and seeds depend only on ``(runs, seed)`` — never
+  on ``workers`` — so ``workers=1`` and ``workers=8`` produce
+  bit-identical :class:`~repro.sim.results.MonteCarloResult` arrays;
+- the sweep helpers in :mod:`repro.sim.sweeps` pre-derive every grid
+  cell's seed in the parent and only *schedule* cells on the pool, so
+  sweep reports are byte-identical JSON for any worker count.
+
+The worker count defaults to the ``REPRO_WORKERS`` environment variable
+(validated exactly like ``REPRO_RUNS``; fallback 1 = serial in-process).
+
+:class:`ResultCache` adds an on-disk memo keyed by ``(scenario, runs,
+seed, engine, horizon)`` so benchmark figures that share sweep points
+(e.g. the rate-0 baseline reused across Figures 2, 3, and 7) compute
+each point once.  Cache reads are best-effort: a missing, corrupted, or
+partially-written entry silently falls back to recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sim.engine import run_exact
+from repro.sim.fast import run_fast
+from repro.sim.results import MonteCarloResult
+from repro.sim.scenario import Scenario
+from repro.util import spawn_seeds
+from repro.util.rng import SeedLike
+
+#: Runs per fast-engine shard.  The shard layout is a function of the
+#: run count only (never of the worker count) — that is what makes
+#: results worker-count invariant.  64 keeps shards large enough to
+#: vectorise well while giving a 1000-run point 16-way parallelism.
+FAST_SHARD_RUNS = 64
+
+
+# ---------------------------------------------------------------------------
+# worker-count plumbing
+# ---------------------------------------------------------------------------
+
+def check_workers(value) -> int:
+    """Validate a worker count: an integer >= 1."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"workers must be an integer, got {value!r}")
+    if value < 1:
+        raise ValueError(f"workers must be >= 1, got {value}")
+    return int(value)
+
+
+def default_workers(fallback: int = 1) -> int:
+    """The worker count: ``REPRO_WORKERS`` env var or ``fallback``."""
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return fallback
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_WORKERS must be an integer, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
+def _mp_context():
+    # fork is far cheaper than spawn and available everywhere we support
+    # parallelism; fall back to the platform default elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def parallel_map(fn: Callable, tasks: Sequence, workers: int = 1) -> List:
+    """``[fn(t) for t in tasks]``, optionally across a process pool.
+
+    Output order always matches input order, so callers see identical
+    results for any ``workers``; with one task (or one worker) the work
+    runs serially in-process.
+    """
+    tasks = list(tasks)
+    workers = check_workers(workers)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)), mp_context=_mp_context()
+    ) as pool:
+        return list(pool.map(fn, tasks))
+
+
+# ---------------------------------------------------------------------------
+# sharded monte_carlo execution
+# ---------------------------------------------------------------------------
+
+def child_seeds(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
+    """``spawn_seeds`` without mutating a caller-owned ``SeedSequence``.
+
+    ``SeedSequence.spawn`` advances the parent's child counter, which
+    would make an experiment's result depend on how many experiments
+    shared the seed *before* it — and a pool worker's pickled copy would
+    not see the parent's mutations, so serial and parallel sweeps would
+    diverge.  Deriving children positionally from the seed's value
+    (entropy + spawn_key) keeps every experiment a pure function of the
+    seed.  Generator seeds stay stateful by design and fall back to
+    :func:`spawn_seeds`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return spawn_seeds(seed, count)
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [
+        np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=tuple(root.spawn_key) + (i,),
+            pool_size=root.pool_size,
+        )
+        for i in range(count)
+    ]
+
+
+def fast_shard_sizes(runs: int) -> List[int]:
+    """Deterministic fast-engine shard layout for ``runs`` runs.
+
+    A function of ``runs`` alone, so the per-shard seed derivation (and
+    therefore every sampled value) is identical for any worker count.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    full, rem = divmod(runs, FAST_SHARD_RUNS)
+    return [FAST_SHARD_RUNS] * full + ([rem] if rem else [])
+
+
+def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    scenario, shard_runs, seed, horizon = task
+    result = run_fast(scenario, shard_runs, seed=seed, horizon=horizon)
+    return result.counts, result.counts_attacked, result.counts_non_attacked
+
+
+def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    scenario, seeds = task
+    out = []
+    for seed in seeds:
+        result = run_exact(scenario, seed=seed)
+        out.append(
+            (result.counts, result.counts_attacked, result.counts_non_attacked)
+        )
+    return out
+
+
+def _stack_padded(blocks: List[np.ndarray], width: int) -> np.ndarray:
+    """Stack 2-D trajectory blocks, padding columns with the final value."""
+    total = sum(block.shape[0] for block in blocks)
+    out = np.zeros((total, width), dtype=np.int32)
+    row = 0
+    for block in blocks:
+        rows, cols = block.shape
+        out[row:row + rows, :cols] = block
+        if cols < width:
+            out[row:row + rows, cols:] = block[:, -1:]
+        row += rows
+    return out
+
+
+def run_sharded(
+    scenario: Scenario,
+    runs: int,
+    *,
+    seed: SeedLike = None,
+    engine: str = "fast",
+    horizon: Optional[int] = None,
+    workers: int = 1,
+) -> MonteCarloResult:
+    """Run ``scenario`` ``runs`` times, sharded across ``workers``.
+
+    Seeds are derived in the parent before any shard executes, and the
+    fast engine's shard layout depends only on ``runs`` — so the result
+    is bit-identical for every worker count.  The exact engine derives
+    one child seed per run (exactly the historical serial behaviour),
+    which makes *its* sharding free to chase load balance.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    workers = check_workers(workers)
+
+    if engine == "fast":
+        sizes = fast_shard_sizes(runs)
+        if len(sizes) == 1:
+            # Single shard: pass the caller's seed straight through so
+            # small experiments replay the historical serial stream.
+            seeds: List[SeedLike] = [seed]
+        else:
+            seeds = list(child_seeds(seed, len(sizes)))
+        tasks = [
+            (scenario, size, shard_seed, horizon)
+            for size, shard_seed in zip(sizes, seeds)
+        ]
+        shards = parallel_map(_fast_shard, tasks, workers=workers)
+        triples = shards
+    elif engine == "exact":
+        run_seeds = child_seeds(seed, runs)
+        # Result order is fixed by the per-run seeds, so the chunking
+        # here only affects scheduling and may depend on workers.
+        chunk = max(1, math.ceil(runs / max(1, workers * 4)))
+        tasks = [
+            (scenario, run_seeds[i:i + chunk])
+            for i in range(0, runs, chunk)
+        ]
+        per_run = [
+            triple
+            for shard in parallel_map(_exact_shard, tasks, workers=workers)
+            for triple in shard
+        ]
+        triples = [
+            (row[None, :], att[None, :], non[None, :])
+            for row, att, non in per_run
+        ]
+    else:
+        raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'exact'")
+
+    width = max(counts.shape[1] for counts, _, _ in triples)
+    if horizon is not None:
+        width = max(width, horizon + 1)
+    counts = _stack_padded([t[0] for t in triples], width)
+    attacked = _stack_padded([t[1] for t in triples], width)
+    non_attacked = _stack_padded([t[2] for t in triples], width)
+    return MonteCarloResult(
+        scenario=scenario,
+        counts=counts,
+        counts_attacked=attacked,
+        counts_non_attacked=non_attacked,
+    )
+
+
+# ---------------------------------------------------------------------------
+# on-disk result cache
+# ---------------------------------------------------------------------------
+
+#: Bump when result semantics change so stale entries never resurface.
+CACHE_VERSION = 1
+
+
+def _seed_token(seed: SeedLike):
+    """A JSON-able fingerprint of ``seed``, or None if uncacheable.
+
+    ``None`` seeds (fresh entropy) and generators (stateful streams)
+    have no stable identity, so results keyed on them are never cached.
+    """
+    if isinstance(seed, bool) or isinstance(seed, np.random.Generator):
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return ["int", int(seed)]
+    if isinstance(seed, np.random.SeedSequence):
+        if seed.entropy is None:
+            return None
+        return [
+            "seq",
+            str(seed.entropy),
+            [int(k) for k in seed.spawn_key],
+            int(seed.pool_size),
+        ]
+    return None
+
+
+def _scenario_token(scenario: Scenario) -> dict:
+    token = dataclasses.asdict(scenario)
+    token["protocol"] = scenario.protocol.value
+    return token
+
+
+@dataclass(frozen=True)
+class ResultCache:
+    """Best-effort on-disk memo of :func:`monte_carlo` results.
+
+    Entries live under ``root`` as ``<sha256>.npz``, keyed by the full
+    experiment identity ``(scenario, runs, seed, engine, horizon)`` plus
+    :data:`CACHE_VERSION`.  Invalidation rule: keys never collide across
+    differing inputs, so the only reason to clear the cache is an engine
+    semantics change — delete ``root`` (or bump ``CACHE_VERSION``).
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", Path(self.root))
+
+    def key(
+        self,
+        scenario: Scenario,
+        runs: int,
+        *,
+        seed: SeedLike = None,
+        engine: str = "fast",
+        horizon: Optional[int] = None,
+    ) -> Optional[str]:
+        """The entry key, or None when the experiment is uncacheable."""
+        seed_token = _seed_token(seed)
+        if seed_token is None:
+            return None
+        payload = {
+            "version": CACHE_VERSION,
+            "scenario": _scenario_token(scenario),
+            "runs": int(runs),
+            "seed": seed_token,
+            "engine": engine,
+            "horizon": horizon,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def load(self, key: str, scenario: Scenario) -> Optional[MonteCarloResult]:
+        """The cached result, or None on miss *or any read failure*."""
+        try:
+            with np.load(self.path_for(key)) as data:
+                counts = np.asarray(data["counts"])
+                attacked = np.asarray(data["counts_attacked"])
+                non_attacked = np.asarray(data["counts_non_attacked"])
+        except Exception:
+            # Missing, truncated, corrupted, or wrong-format entry:
+            # behave exactly like a miss and let the caller recompute.
+            return None
+        if (
+            counts.ndim != 2
+            or counts.shape != attacked.shape
+            or counts.shape != non_attacked.shape
+        ):
+            return None
+        return MonteCarloResult(
+            scenario=scenario,
+            counts=counts,
+            counts_attacked=attacked,
+            counts_non_attacked=non_attacked,
+        )
+
+    def store(self, key: str, result: MonteCarloResult) -> None:
+        """Persist ``result`` atomically; failures are swallowed."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez_compressed(
+                        handle,
+                        counts=result.counts,
+                        counts_attacked=result.counts_attacked,
+                        counts_non_attacked=result.counts_non_attacked,
+                    )
+                os.replace(tmp, self.path_for(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass
+
+
+def as_cache(
+    cache: Union[None, str, Path, ResultCache]
+) -> Optional[ResultCache]:
+    """Coerce a cache argument: None, a directory path, or a cache."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(Path(cache))
+    raise TypeError(
+        f"cache must be None, a path, or a ResultCache, got {cache!r}"
+    )

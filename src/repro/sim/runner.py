@@ -6,6 +6,13 @@ runs the object-level simulator per run instead (slower, every protocol
 mechanism really executes) and aggregates identically — tests use both
 and compare.
 
+Execution is sharded by :mod:`repro.sim.parallel`: ``workers`` (default:
+the ``REPRO_WORKERS`` env var, else 1) spreads the shards over a process
+pool, and because shard layout and seed derivation depend only on the
+run count and root seed, the result is bit-identical for every worker
+count.  An optional on-disk :class:`~repro.sim.parallel.ResultCache`
+memoises results by ``(scenario, runs, seed, engine, horizon)``.
+
 The run count honours the ``REPRO_RUNS`` environment variable so the
 benchmark harness can be dialled between quick smoke sweeps and
 paper-strength 1000-run averages without code changes.
@@ -14,15 +21,18 @@ paper-strength 1000-run averages without code changes.
 from __future__ import annotations
 
 import os
-from typing import List, Optional
+from pathlib import Path
+from typing import Optional, Union
 
-import numpy as np
-
-from repro.sim.engine import run_exact
-from repro.sim.fast import run_fast
+from repro.sim.parallel import (
+    ResultCache,
+    as_cache,
+    check_workers,
+    default_workers,
+    run_sharded,
+)
 from repro.sim.results import MonteCarloResult
 from repro.sim.scenario import Scenario
-from repro.util import spawn_seeds
 from repro.util.rng import SeedLike
 
 #: Run count used when neither the caller nor REPRO_RUNS specifies one.
@@ -53,32 +63,38 @@ def monte_carlo(
     seed: SeedLike = None,
     engine: str = "fast",
     horizon: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
 ) -> MonteCarloResult:
-    """Run ``scenario`` ``runs`` times and aggregate the trajectories."""
+    """Run ``scenario`` ``runs`` times and aggregate the trajectories.
+
+    ``workers`` shards the runs over a process pool (``None`` reads
+    ``REPRO_WORKERS``, defaulting to serial); any worker count yields
+    bit-identical results.  ``cache`` (a directory path or
+    :class:`ResultCache`) memoises the result on disk when the seed has
+    a stable identity — ``None``/generator seeds always recompute.
+    """
     if runs is None:
         runs = default_runs()
-    if engine == "fast":
-        return run_fast(scenario, runs, seed=seed, horizon=horizon)
-    if engine != "exact":
+    if engine not in ("fast", "exact"):
         raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'exact'")
+    workers = default_workers() if workers is None else check_workers(workers)
 
-    results = [
-        run_exact(scenario, seed=s) for s in spawn_seeds(seed, runs)
-    ]
-    width = max(len(r.counts) for r in results)
-    if horizon is not None:
-        width = max(width, horizon + 1)
+    cache = as_cache(cache)
+    key = None
+    if cache is not None:
+        key = cache.key(
+            scenario, runs, seed=seed, engine=engine, horizon=horizon
+        )
+        if key is not None:
+            hit = cache.load(key, scenario)
+            if hit is not None:
+                return hit
 
-    def _pad(rows: List[np.ndarray]) -> np.ndarray:
-        out = np.zeros((len(rows), width), dtype=np.int32)
-        for i, row in enumerate(rows):
-            out[i, : len(row)] = row
-            out[i, len(row):] = row[-1]
-        return out
-
-    return MonteCarloResult(
-        scenario=scenario,
-        counts=_pad([r.counts for r in results]),
-        counts_attacked=_pad([r.counts_attacked for r in results]),
-        counts_non_attacked=_pad([r.counts_non_attacked for r in results]),
+    result = run_sharded(
+        scenario, runs, seed=seed, engine=engine, horizon=horizon,
+        workers=workers,
     )
+    if key is not None:
+        cache.store(key, result)
+    return result

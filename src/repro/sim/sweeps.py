@@ -10,24 +10,42 @@ interactive use::
 
     report = rate_sweep(
         ["drum", "push", "pull"], rates=[0, 32, 64, 128],
-        n=120, alpha=0.1, runs=200, seed=1,
+        n=120, alpha=0.1, runs=200, seed=1, workers=4,
     )
     print(report.to_json())
+
+``workers`` (default: the ``REPRO_WORKERS`` env var) spreads the grid's
+(protocol, point) cells over a process pool.  Every cell's seed is
+derived in the parent before anything runs, so the report is
+byte-identical JSON for any worker count.  ``cache`` threads an on-disk
+:class:`~repro.sim.parallel.ResultCache` through to each cell, letting
+figures that share points (e.g. the rate-0 baseline) compute them once.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.adversary.attacks import AttackSpec
 from repro.core.config import ProtocolKind
 from repro.metrics.report import SeriesReport
+from repro.sim.parallel import (
+    ResultCache,
+    as_cache,
+    check_workers,
+    default_workers,
+    parallel_map,
+)
 from repro.sim.runner import monte_carlo
 from repro.sim.scenario import Scenario
 from repro.util import spawn_seeds
 from repro.util.rng import SeedLike
 
 ProtocolName = Union[str, ProtocolKind]
+
+#: One sweep cell: everything a worker needs to compute one data point.
+_Cell = Tuple
 
 
 def _mean_rounds(
@@ -39,6 +57,7 @@ def _mean_rounds(
     runs: Optional[int],
     seed,
     max_rounds: int,
+    cache: Optional[ResultCache] = None,
 ) -> float:
     scenario = Scenario(
         protocol=protocol,
@@ -47,7 +66,47 @@ def _mean_rounds(
         attack=attack,
         max_rounds=max_rounds,
     )
-    return monte_carlo(scenario, runs=runs, seed=seed).mean_rounds()
+    # Cells already run on the pool; keep each cell single-process so a
+    # parallel sweep never nests pools (REPRO_WORKERS is ignored here).
+    return monte_carlo(
+        scenario, runs=runs, seed=seed, workers=1, cache=cache
+    ).mean_rounds()
+
+
+def _run_cell(cell: _Cell) -> float:
+    protocol, n, attack, malicious_fraction, runs, seed, max_rounds, cache = cell
+    return _mean_rounds(
+        protocol,
+        n,
+        attack,
+        malicious_fraction=malicious_fraction,
+        runs=runs,
+        seed=seed,
+        max_rounds=max_rounds,
+        cache=cache,
+    )
+
+
+def _sweep_grid(
+    report: SeriesReport,
+    protocols: Sequence[ProtocolName],
+    cells: List[List[_Cell]],
+    *,
+    workers: Optional[int],
+) -> SeriesReport:
+    """Evaluate a protocol-major cell grid and fill ``report``'s series.
+
+    Seeds inside ``cells`` were derived before this call, so the worker
+    count only affects scheduling — never values.
+    """
+    workers = default_workers() if workers is None else check_workers(workers)
+    flat = [cell for row in cells for cell in row]
+    values = parallel_map(_run_cell, flat, workers=workers)
+    points_per_protocol = len(cells[0]) if cells else 0
+    for i, protocol in enumerate(protocols):
+        row = values[i * points_per_protocol:(i + 1) * points_per_protocol]
+        report.add_series(str(ProtocolKind(protocol).value), row)
+    return report
 
 
 def rate_sweep(
@@ -60,6 +119,8 @@ def rate_sweep(
     runs: Optional[int] = None,
     seed: SeedLike = None,
     max_rounds: int = 400,
+    workers: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
 ) -> SeriesReport:
     """Propagation time vs the per-victim attack rate ``x`` (Figure 3a)."""
     report = SeriesReport(
@@ -68,22 +129,25 @@ def rate_sweep(
         x_values=[float(x) for x in rates],
         metadata={"n": n, "alpha": alpha},
     )
+    cache = as_cache(cache)
     seeds = spawn_seeds(seed, len(protocols))
-    for protocol, proto_seed in zip(protocols, seeds):
-        times = [
-            _mean_rounds(
+    cells = [
+        [
+            (
                 protocol,
                 n,
                 AttackSpec(alpha=alpha, x=float(x)) if x > 0 else None,
-                malicious_fraction=malicious_fraction,
-                runs=runs,
-                seed=proto_seed,
-                max_rounds=max_rounds,
+                malicious_fraction,
+                runs,
+                proto_seed,
+                max_rounds,
+                cache,
             )
             for x in rates
         ]
-        report.add_series(str(ProtocolKind(protocol).value), times)
-    return report
+        for protocol, proto_seed in zip(protocols, seeds)
+    ]
+    return _sweep_grid(report, protocols, cells, workers=workers)
 
 
 def extent_sweep(
@@ -96,6 +160,8 @@ def extent_sweep(
     runs: Optional[int] = None,
     seed: SeedLike = None,
     max_rounds: int = 400,
+    workers: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
 ) -> SeriesReport:
     """Propagation time vs the attack extent ``α`` (Figure 3b)."""
     report = SeriesReport(
@@ -104,22 +170,25 @@ def extent_sweep(
         x_values=[float(a) for a in alphas],
         metadata={"n": n, "x": x},
     )
+    cache = as_cache(cache)
     seeds = spawn_seeds(seed, len(protocols))
-    for protocol, proto_seed in zip(protocols, seeds):
-        times = [
-            _mean_rounds(
+    cells = [
+        [
+            (
                 protocol,
                 n,
                 AttackSpec(alpha=float(a), x=x),
-                malicious_fraction=malicious_fraction,
-                runs=runs,
-                seed=proto_seed,
-                max_rounds=max_rounds,
+                malicious_fraction,
+                runs,
+                proto_seed,
+                max_rounds,
+                cache,
             )
             for a in alphas
         ]
-        report.add_series(str(ProtocolKind(protocol).value), times)
-    return report
+        for protocol, proto_seed in zip(protocols, seeds)
+    ]
+    return _sweep_grid(report, protocols, cells, workers=workers)
 
 
 def budget_sweep(
@@ -132,6 +201,8 @@ def budget_sweep(
     runs: Optional[int] = None,
     seed: SeedLike = None,
     max_rounds: int = 400,
+    workers: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
 ) -> SeriesReport:
     """Fixed-budget strategy sweep: ``B = budget_per_process · n``
     split over each extent in ``alphas`` (Figures 7–8)."""
@@ -141,19 +212,22 @@ def budget_sweep(
         x_values=[float(a) for a in alphas],
         metadata={"n": n, "budget_per_process": budget_per_process},
     )
+    cache = as_cache(cache)
     seeds = spawn_seeds(seed, len(protocols))
-    for protocol, proto_seed in zip(protocols, seeds):
-        times = [
-            _mean_rounds(
+    cells = [
+        [
+            (
                 protocol,
                 n,
                 AttackSpec.fixed_budget(budget_per_process * n, float(a), n),
-                malicious_fraction=malicious_fraction,
-                runs=runs,
-                seed=proto_seed,
-                max_rounds=max_rounds,
+                malicious_fraction,
+                runs,
+                proto_seed,
+                max_rounds,
+                cache,
             )
             for a in alphas
         ]
-        report.add_series(str(ProtocolKind(protocol).value), times)
-    return report
+        for protocol, proto_seed in zip(protocols, seeds)
+    ]
+    return _sweep_grid(report, protocols, cells, workers=workers)

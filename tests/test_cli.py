@@ -36,6 +36,24 @@ class TestSimulate:
         with pytest.raises(SystemExit):
             main(["simulate", "--alpha", "0.1", "--runs", "5"])
 
+    def test_workers_flag(self, capsys):
+        base = [
+            "simulate", "--n", "60", "--runs", "80", "--seed", "1", "--json",
+        ]
+        main(base + ["--workers", "1"])
+        serial = json.loads(capsys.readouterr().out)
+        main(base + ["--workers", "2"])
+        parallel = json.loads(capsys.readouterr().out)
+        # The parallel layer is deterministic: identical to serial.
+        assert parallel == serial
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            main([
+                "simulate", "--n", "60", "--runs", "5", "--seed", "1",
+                "--workers", "0",
+            ])
+
 
 class TestAnalyze:
     def test_no_attack(self, capsys):

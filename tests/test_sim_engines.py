@@ -133,6 +133,29 @@ class TestEngineAgreement:
             fast.mean_rounds(), rel=0.25, abs=1.2
         )
 
+    @pytest.mark.parametrize(
+        "protocol", ["drum-no-random-ports", "drum-shared-bounds"]
+    )
+    def test_attack_agreement_flooded_port_loads(self, protocol):
+        """DoS equivalence where the PortLoad split floods *every*
+        well-known port (including pull-reply for the no-random-ports
+        variant), exercising the engines' flood-acceptance paths."""
+        attack = AttackSpec(alpha=0.1, x=64)
+        load = attack.port_load(Scenario(protocol=protocol).protocol)
+        assert load.push > 0 and load.pull_request > 0
+        if protocol == "drum-no-random-ports":
+            assert load.pull_reply > 0  # the Section 9 reply-port flood
+
+        scenario = Scenario(
+            protocol=protocol, n=50, malicious_fraction=0.1,
+            attack=attack, max_rounds=300,
+        )
+        exact = monte_carlo(scenario, runs=60, seed=19, engine="exact")
+        fast = monte_carlo(scenario, runs=600, seed=19, engine="fast")
+        assert exact.mean_rounds() == pytest.approx(
+            fast.mean_rounds(), rel=0.25, abs=1.5
+        )
+
 
 class TestRunnerDispatch:
     def test_unknown_engine_rejected(self):

@@ -1,0 +1,330 @@
+"""Tests for the parallel execution layer: worker-count invariance,
+REPRO_WORKERS validation, and the on-disk result cache."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.sim import (
+    ResultCache,
+    Scenario,
+    budget_sweep,
+    default_workers,
+    extent_sweep,
+    monte_carlo,
+    parallel_map,
+    rate_sweep,
+)
+from repro.sim.parallel import (
+    FAST_SHARD_RUNS,
+    as_cache,
+    check_workers,
+    child_seeds,
+    fast_shard_sizes,
+)
+
+
+@pytest.fixture
+def dos_scenario():
+    return Scenario(
+        protocol="drum", n=40, malicious_fraction=0.1,
+        attack=AttackSpec(alpha=0.1, x=32),
+    )
+
+
+class TestWorkerPlumbing:
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == 1
+        assert default_workers(3) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert default_workers() == 4
+
+    @pytest.mark.parametrize("raw", ["bogus", "2.5", ""])
+    def test_non_integer_env_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ValueError, match="REPRO_WORKERS must be an integer"):
+            default_workers()
+
+    @pytest.mark.parametrize("raw", ["0", "-3"])
+    def test_non_positive_env_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ValueError, match="REPRO_WORKERS must be >= 1"):
+            default_workers()
+
+    def test_monte_carlo_reads_env(self, monkeypatch, dos_scenario):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            monte_carlo(dos_scenario, runs=5, seed=1)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.0, "2", True])
+    def test_check_workers_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_workers(bad)
+
+    def test_monte_carlo_rejects_bad_workers(self, dos_scenario):
+        with pytest.raises(ValueError):
+            monte_carlo(dos_scenario, runs=5, seed=1, workers=0)
+
+    def test_sweep_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            rate_sweep(["drum"], [0], n=40, runs=5, seed=1, workers=-2)
+
+    def test_parallel_map_preserves_order(self):
+        tasks = list(range(23))
+        assert parallel_map(_square, tasks, workers=4) == [t * t for t in tasks]
+        assert parallel_map(_square, tasks, workers=1) == [t * t for t in tasks]
+
+
+def _square(x):
+    return x * x
+
+
+class TestShardLayout:
+    def test_layout_depends_on_runs_only(self):
+        assert fast_shard_sizes(1) == [1]
+        assert fast_shard_sizes(FAST_SHARD_RUNS) == [FAST_SHARD_RUNS]
+        assert fast_shard_sizes(FAST_SHARD_RUNS + 1) == [FAST_SHARD_RUNS, 1]
+        for runs in (1, 7, 63, 64, 65, 100, 1000):
+            assert sum(fast_shard_sizes(runs)) == runs
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ValueError):
+            fast_shard_sizes(0)
+
+
+class TestChildSeeds:
+    def test_matches_spawn_for_fresh_roots(self):
+        from repro.util import spawn_seeds
+
+        derived = child_seeds(21, 4)
+        spawned = spawn_seeds(21, 4)
+        for d, s in zip(derived, spawned):
+            assert d.entropy == s.entropy
+            assert tuple(d.spawn_key) == tuple(s.spawn_key)
+
+    def test_does_not_mutate_caller_sequence(self):
+        root = np.random.SeedSequence(5)
+        first = child_seeds(root, 3)
+        second = child_seeds(root, 3)
+        assert root.n_children_spawned == 0
+        assert [tuple(s.spawn_key) for s in first] == [
+            tuple(s.spawn_key) for s in second
+        ]
+
+    def test_shared_seed_sequence_is_order_independent(self, dos_scenario):
+        # Regression: SeedSequence.spawn mutates its parent, so a seed
+        # shared across sweep points used to make each point's result
+        # depend on how many points ran before it — and pool workers
+        # (holding pickled copies) diverged from the serial order.
+        seq = np.random.SeedSequence(77)
+        first = monte_carlo(dos_scenario, runs=100, seed=seq, workers=1)
+        again = monte_carlo(dos_scenario, runs=100, seed=seq, workers=1)
+        assert np.array_equal(first.counts, again.counts)
+
+    def test_multishard_sweep_byte_identical_across_workers(self):
+        # Regression: runs > FAST_SHARD_RUNS forces multi-shard seed
+        # derivation inside every sweep cell; with spawn-based (mutating)
+        # derivation this diverged between workers=1 and workers=2.
+        reports = [
+            rate_sweep(
+                ["drum"], [0, 16], n=40, runs=FAST_SHARD_RUNS + 20,
+                seed=7, workers=w,
+            ).to_json()
+            for w in (1, 2)
+        ]
+        assert reports[0] == reports[1]
+
+
+class TestDeterminismAcrossWorkers:
+    """Same seed => identical results for workers in {1, 2, 4}."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_fast_engine_bit_identical(self, dos_scenario, workers):
+        # runs=100 spans a shard boundary (64 + 36), so this exercises
+        # multi-shard seed derivation, not just a trivial single shard.
+        base = monte_carlo(dos_scenario, runs=100, seed=5, workers=1)
+        other = monte_carlo(dos_scenario, runs=100, seed=5, workers=workers)
+        assert np.array_equal(base.counts, other.counts)
+        assert np.array_equal(base.counts_attacked, other.counts_attacked)
+        assert np.array_equal(
+            base.counts_non_attacked, other.counts_non_attacked
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_exact_engine_bit_identical(self, dos_scenario, workers):
+        base = monte_carlo(
+            dos_scenario, runs=10, seed=5, engine="exact", workers=1
+        )
+        other = monte_carlo(
+            dos_scenario, runs=10, seed=5, engine="exact", workers=workers
+        )
+        assert np.array_equal(base.counts, other.counts)
+        assert np.array_equal(base.counts_attacked, other.counts_attacked)
+
+    def test_fast_engine_horizon_bit_identical(self):
+        scenario = Scenario(protocol="push", n=40, threshold=1.0)
+        base = monte_carlo(scenario, runs=80, seed=3, horizon=20, workers=1)
+        other = monte_carlo(scenario, runs=80, seed=3, horizon=20, workers=4)
+        assert base.counts.shape[1] == 21
+        assert np.array_equal(base.counts, other.counts)
+
+    @pytest.mark.parametrize(
+        "sweep,kwargs",
+        [
+            (rate_sweep, {"rates": [0, 16]}),
+            (extent_sweep, {"alphas": [0.1, 0.2], "x": 16.0}),
+            (budget_sweep, {"alphas": [0.2, 0.5], "budget_per_process": 2.0}),
+        ],
+    )
+    def test_sweep_reports_byte_identical(self, sweep, kwargs):
+        reports = [
+            sweep(
+                ["drum", "push"], n=40, runs=15, seed=7, workers=w, **kwargs
+            ).to_json()
+            for w in (1, 2, 4)
+        ]
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_exact_matches_historical_serial_aggregation(self, dos_scenario):
+        # The exact path derives one child seed per run in the parent —
+        # the historical serial behaviour — so a hand-rolled serial
+        # aggregation must agree bit-for-bit with the pool.
+        from repro.sim import run_exact
+        from repro.util import spawn_seeds
+
+        parallel = monte_carlo(
+            dos_scenario, runs=6, seed=21, engine="exact", workers=4
+        )
+        serial_runs = [
+            run_exact(dos_scenario, seed=s) for s in spawn_seeds(21, 6)
+        ]
+        for i, run in enumerate(serial_runs):
+            assert np.array_equal(
+                parallel.counts[i, : len(run.counts)], run.counts
+            )
+            # Rows are padded with their final value.
+            assert (parallel.counts[i, len(run.counts):] == run.counts[-1]).all()
+
+
+class TestResultCache:
+    def test_hit_returns_identical_result(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        cold = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        warm = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        assert np.array_equal(cold.counts, warm.counts)
+        assert np.array_equal(cold.counts_attacked, warm.counts_attacked)
+
+    def test_hit_skips_recomputation(self, tmp_path, monkeypatch, dos_scenario):
+        cache = ResultCache(tmp_path)
+        monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+
+        def explode(*args, **kwargs):
+            raise AssertionError("cache hit should not recompute")
+
+        monkeypatch.setattr("repro.sim.runner.run_sharded", explode)
+        warm = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        assert warm.runs == 20
+
+    def test_path_argument_coerced(self, tmp_path, dos_scenario):
+        monte_carlo(dos_scenario, runs=10, seed=2, cache=str(tmp_path))
+        assert list(tmp_path.glob("*.npz"))
+
+    def test_bad_cache_argument_rejected(self, dos_scenario):
+        with pytest.raises(TypeError):
+            monte_carlo(dos_scenario, runs=5, seed=1, cache=42)
+
+    def test_key_separates_experiments(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        other_scenario = dos_scenario.with_(n=50)
+        keys = {
+            cache.key(dos_scenario, 20, seed=9),
+            cache.key(dos_scenario, 21, seed=9),
+            cache.key(dos_scenario, 20, seed=10),
+            cache.key(dos_scenario, 20, seed=9, engine="exact"),
+            cache.key(dos_scenario, 20, seed=9, horizon=30),
+            cache.key(other_scenario, 20, seed=9),
+        }
+        assert len(keys) == 6
+
+    def test_unseeded_experiments_never_cached(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        monte_carlo(dos_scenario, runs=5, cache=cache)  # seed=None
+        rng = np.random.default_rng(1)
+        monte_carlo(dos_scenario, runs=5, seed=rng, cache=cache)
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_seed_sequence_keys_are_stable(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        seq = np.random.SeedSequence(42, spawn_key=(1,))
+        same = np.random.SeedSequence(42, spawn_key=(1,))
+        other = np.random.SeedSequence(42, spawn_key=(2,))
+        assert cache.key(dos_scenario, 20, seed=seq) == cache.key(
+            dos_scenario, 20, seed=same
+        )
+        assert cache.key(dos_scenario, 20, seed=seq) != cache.key(
+            dos_scenario, 20, seed=other
+        )
+
+    def test_corrupted_entry_recomputes(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        cold = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        key = cache.key(dos_scenario, 20, seed=9)
+        cache.path_for(key).write_bytes(b"this is not an npz archive")
+        recomputed = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        assert np.array_equal(cold.counts, recomputed.counts)
+
+    def test_truncated_entry_recomputes(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        cold = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        key = cache.key(dos_scenario, 20, seed=9)
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        recomputed = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        assert np.array_equal(cold.counts, recomputed.counts)
+
+    def test_wrong_shape_entry_recomputes(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        key = cache.key(dos_scenario, 20, seed=9)
+        np.savez_compressed(
+            cache.path_for(key),
+            counts=np.ones(5),  # 1-D: not a trajectory matrix
+            counts_attacked=np.ones(5),
+            counts_non_attacked=np.ones(5),
+        )
+        result = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        assert result.counts.ndim == 2 and result.runs == 20
+
+    def test_load_missing_is_none(self, tmp_path, dos_scenario):
+        cache = ResultCache(tmp_path)
+        assert cache.load("0" * 64, dos_scenario) is None
+
+    def test_as_cache(self, tmp_path):
+        assert as_cache(None) is None
+        cache = ResultCache(tmp_path)
+        assert as_cache(cache) is cache
+        assert as_cache(str(tmp_path)).root == tmp_path
+
+    def test_sweep_shares_points_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = rate_sweep(
+            ["drum"], [0, 16], n=40, runs=15, seed=7, cache=cache
+        )
+        entries = sorted(p.name for p in tmp_path.glob("*.npz"))
+        assert len(entries) == 2
+        again = rate_sweep(
+            ["drum"], [0, 16], n=40, runs=15, seed=7, cache=cache
+        )
+        assert sorted(p.name for p in tmp_path.glob("*.npz")) == entries
+        assert first.to_json() == again.to_json()
+
+    def test_cached_sweep_identical_across_workers(self, tmp_path):
+        cold = rate_sweep(
+            ["drum"], [0, 16], n=40, runs=15, seed=7,
+            cache=ResultCache(tmp_path), workers=2,
+        )
+        warm = rate_sweep(
+            ["drum"], [0, 16], n=40, runs=15, seed=7,
+            cache=ResultCache(tmp_path), workers=1,
+        )
+        assert cold.to_json() == warm.to_json()

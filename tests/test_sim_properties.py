@@ -1,11 +1,14 @@
 """Property-based tests on simulation invariants (hypothesis)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from scipy import stats
 
 from repro.adversary import AttackSpec
 from repro.sim import Scenario, run_exact, run_fast
+from repro.sim.fast import _draw_views
 
 protocols = st.sampled_from(
     ["drum", "push", "pull", "drum-no-random-ports", "drum-shared-bounds"]
@@ -57,6 +60,61 @@ class TestFastEngineInvariants:
         scenario = Scenario(protocol="drum", n=30, loss=0.0, threshold=1.0)
         result = run_fast(scenario, runs=2, seed=seed)
         assert (result.counts[:, -1] == 30).all()
+
+
+class TestDrawViewsProperties:
+    """The fast engine's view sampler: targets must be self-free,
+    distinct within a row, and marginally uniform over the other n-1
+    group members — including the v=1 and v=n-1 corner cases."""
+
+    CASES = [(5, 1), (5, 4), (8, 3), (12, 1), (12, 11), (30, 4), (30, 29)]
+
+    @pytest.mark.parametrize("n,v", CASES)
+    def test_targets_are_self_free(self, n, v):
+        rng = np.random.default_rng(100 + n * v)
+        senders = np.arange(n)
+        targets = _draw_views(rng, 200, senders, n, v)
+        assert targets.shape == (200, n, v)
+        assert (targets != senders[None, :, None]).all()
+        assert (targets >= 0).all() and (targets < n).all()
+
+    @pytest.mark.parametrize("n,v", CASES)
+    def test_rows_are_distinct(self, n, v):
+        rng = np.random.default_rng(200 + n * v)
+        targets = _draw_views(rng, 200, np.arange(n), n, v)
+        ordered = np.sort(targets, axis=2)
+        assert (np.diff(ordered, axis=2) > 0).all()
+
+    @pytest.mark.parametrize("n,v", CASES)
+    def test_marginally_uniform_over_others(self, n, v):
+        # Chi-square on the pooled target histogram of one sender: each
+        # of the other n-1 members must be hit equally often.
+        rng = np.random.default_rng(300 + n * v)
+        draws = 4000
+        sender = n // 2
+        targets = _draw_views(
+            rng, draws, np.array([sender]), n, v
+        ).ravel()
+        observed = np.bincount(targets, minlength=n)
+        assert observed[sender] == 0
+        others = np.delete(observed, sender)
+        if v == n - 1:
+            # Degenerate corner: every row is a permutation of the
+            # other n-1 members, so each is hit exactly once per draw.
+            assert (others == draws).all()
+            return
+        _, p_value = stats.chisquare(others)
+        assert p_value > 1e-4
+
+    def test_full_fanout_rows_cover_everyone(self):
+        n = 7
+        rng = np.random.default_rng(11)
+        targets = _draw_views(rng, 50, np.arange(n), n, n - 1)
+        expected = np.arange(n)
+        for run in range(50):
+            for sender in range(n):
+                row = set(targets[run, sender])
+                assert row == set(expected) - {sender}
 
 
 class TestExactEngineInvariants:
