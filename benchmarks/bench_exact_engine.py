@@ -1,0 +1,292 @@
+"""Perf-regression harness for the exact object-level engine.
+
+Measures the profile-guided fast path on the paper's Figure 3
+targeted-attack scenario (n = 120, x = 128) and writes the results to
+``benchmarks/results/BENCH_exact.json``.  Three comparisons are made:
+
+- **vs the recorded pre-optimisation baseline**
+  (``BENCH_exact_baseline.json``): wall time, plus exact equality of
+  the deterministic operation counts (rounds, packets allocated,
+  channels opened) — the engine must be *faster on the identical
+  trace*, which the golden-trace tests pin byte-for-byte;
+- **vs the naive reference mode** (``RoundSimulator(naive=True)``):
+  the unoptimised object-per-packet implementation — floods fabricate
+  and route one :class:`Packet` object per bogus message with a
+  per-packet loss draw, and channels run eagerly-seeded object-level
+  bounded acceptance.  Its advantage scales with the attack strength
+  ``x`` (the ``flood_scaling`` section), because the fast path floods
+  in O(1) per victim port instead of O(x);
+- **signature microbench**: digest computations per multicast hop with
+  and without the frozen-body digest memoisation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_exact_engine.py            # full
+    PYTHONPATH=src python benchmarks/bench_exact_engine.py --reduced  # CI scale
+    PYTHONPATH=src python benchmarks/bench_exact_engine.py --reduced --check
+
+``--check`` re-runs the reduced workload and asserts the deterministic
+op-count metrics stay at/below the recorded baselines (counts, not wall
+time, so shared-runner load cannot flake the job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.adversary.attacks import AttackSpec
+from repro.core.message import DataMessage
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import SignatureRegistry, sign, verify
+from repro.sim.engine import RoundSimulator
+from repro.sim.scenario import Scenario
+from repro.util.profiling import counters_since, counters_snapshot
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_exact_baseline.json"
+
+FIG3_PROTOCOLS = ("drum", "push", "pull")
+ALL_PROTOCOLS = (
+    "drum", "push", "pull", "drum-no-random-ports", "drum-shared-bounds"
+)
+SEED = 42
+
+
+def scenario_for(protocol: str, n: int, x: float) -> Scenario:
+    """The benchmark workload: 10% attacked at rate x, as in Figure 3."""
+    return Scenario(
+        protocol=protocol,
+        n=n,
+        malicious_fraction=0.1,
+        attack=AttackSpec(alpha=0.1, x=float(x)),
+        max_rounds=400,
+    )
+
+
+def measure(
+    protocol: str, n: int, x: float, *, repeats: int = 3, naive: bool = False
+) -> dict:
+    """Best-of-``repeats`` wall time plus deterministic op counts."""
+    scenario = scenario_for(protocol, n, x)
+    best = None
+    sim = result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sim = RoundSimulator(scenario, seed=SEED, naive=naive)
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
+    injected = sim.attacker.injected_total if sim.attacker else 0
+    return {
+        "wall_s": best,
+        "rounds": len(result.counts) - 1,
+        # Valid protocol traffic; the fabricated flood is counted
+        # separately (sent_packets includes it, but the fast path never
+        # allocates an object per fabricated message).
+        "packets_allocated": sim.network.sent_packets - injected,
+        "packets_flooded": injected,
+        "channels_created": sim.network.channels_opened,
+    }
+
+
+def signature_microbench(hops: int = 64) -> dict:
+    """Digest computations per multicast with/without memoisation."""
+    keys = KeyPair(owner=0)
+    registry = SignatureRegistry()
+    message = DataMessage(msg_id=(0, 1), source=0, payload=b"M" * 256)
+
+    before = counters_snapshot()
+    start = time.perf_counter()
+    signature = sign(
+        keys.private,
+        message.signed_body(),
+        digest=message.body_digest(),
+        registry=registry,
+    )
+    for _ in range(hops):
+        assert verify(
+            keys.public,
+            message.signed_body(),
+            signature,
+            digest=message.body_digest(),
+            registry=registry,
+        )
+    memo_wall = time.perf_counter() - start
+    memo = counters_since(before).get("signature_digests_computed", 0)
+
+    before = counters_snapshot()
+    start = time.perf_counter()
+    signature = sign(keys.private, message.signed_body(), registry=registry)
+    for _ in range(hops):
+        assert verify(
+            keys.public, message.signed_body(), signature, registry=registry
+        )
+    naive_wall = time.perf_counter() - start
+    naive = counters_since(before).get("signature_digests_computed", 0)
+
+    return {
+        "hops": hops,
+        "digests_computed_memoised": memo,
+        "digests_computed_naive": naive,
+        "wall_s_memoised": memo_wall,
+        "wall_s_naive": naive_wall,
+    }
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def run_figure3(baseline: dict, repeats: int) -> dict:
+    section = {}
+    total_wall = total_base = total_naive = 0.0
+    for protocol in FIG3_PROTOCOLS:
+        fast = measure(protocol, 120, 128, repeats=repeats)
+        naive = measure(protocol, 120, 128, repeats=repeats, naive=True)
+        base = baseline["figure3"][protocol]
+        for key in ("rounds", "packets_allocated", "channels_created"):
+            if fast[key] != base[key]:
+                raise SystemExit(
+                    f"figure3 {protocol}: {key} diverged from the "
+                    f"pre-optimisation trace ({fast[key]} != {base[key]}); "
+                    "the fast path is no longer exact"
+                )
+        total_wall += fast["wall_s"]
+        total_base += base["wall_s"]
+        total_naive += naive["wall_s"]
+        section[protocol] = {
+            **fast,
+            "baseline_wall_s": base["wall_s"],
+            "speedup_vs_baseline": base["wall_s"] / fast["wall_s"],
+            "naive_wall_s": naive["wall_s"],
+            "speedup_vs_naive": naive["wall_s"] / fast["wall_s"],
+        }
+        print(
+            f"figure3 {protocol:5s}: {fast['wall_s']*1e3:7.1f} ms  "
+            f"({section[protocol]['speedup_vs_baseline']:.2f}x vs baseline, "
+            f"{section[protocol]['speedup_vs_naive']:.2f}x vs naive)"
+        )
+    section["aggregate"] = {
+        "wall_s": total_wall,
+        "baseline_wall_s": total_base,
+        "speedup_vs_baseline": total_base / total_wall,
+        "naive_wall_s": total_naive,
+        "speedup_vs_naive": total_naive / total_wall,
+    }
+    print(
+        f"figure3 aggregate: {total_base/total_wall:.2f}x vs baseline, "
+        f"{total_naive/total_wall:.2f}x vs naive"
+    )
+    return section
+
+
+def run_flood_scaling(repeats: int, rates=(128, 512, 1024, 4096)) -> dict:
+    """Fast-vs-naive wall time as the attack strength grows.
+
+    The fast path handles a flood of x fabricated packets as one
+    binomial draw and a counter bump; the reference mode pays O(x)
+    object allocations and loss draws — so the speedup grows with x.
+    """
+    section = {}
+    for x in rates:
+        fast_total = naive_total = 0.0
+        for protocol in FIG3_PROTOCOLS:
+            fast_total += measure(protocol, 120, x, repeats=repeats)["wall_s"]
+            naive_total += measure(
+                protocol, 120, x, repeats=max(1, repeats - 1), naive=True
+            )["wall_s"]
+        section[str(x)] = {
+            "fast_wall_s": fast_total,
+            "naive_wall_s": naive_total,
+            "speedup_vs_naive": naive_total / fast_total,
+        }
+        print(
+            f"flood x={x:5d}: fast {fast_total:.3f} s, naive "
+            f"{naive_total:.3f} s ({naive_total/fast_total:.2f}x)"
+        )
+    return section
+
+
+def run_reduced(baseline: dict, repeats: int, check: bool) -> dict:
+    section = {}
+    failures = []
+    for protocol in ALL_PROTOCOLS:
+        fast = measure(protocol, 60, 64, repeats=repeats)
+        base = baseline["reduced"][protocol]
+        section[protocol] = {
+            **fast,
+            "baseline_wall_s": base["wall_s"],
+            "speedup_vs_baseline": base["wall_s"] / fast["wall_s"],
+        }
+        print(
+            f"reduced {protocol:21s}: {fast['wall_s']*1e3:7.1f} ms  "
+            f"({section[protocol]['speedup_vs_baseline']:.2f}x vs baseline)  "
+            f"packets={fast['packets_allocated']} "
+            f"channels={fast['channels_created']} rounds={fast['rounds']}"
+        )
+        if check:
+            for key in ("packets_allocated", "channels_created", "rounds"):
+                if fast[key] > base[key]:
+                    failures.append(
+                        f"{protocol}: {key} rose above baseline "
+                        f"({fast[key]} > {base[key]})"
+                    )
+    if check:
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            raise SystemExit(1)
+        print("check passed: all op-count metrics at/below recorded baselines")
+    return section
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="n=60, x=64 workload across all five protocols (CI scale)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="with --reduced: fail when deterministic op counts exceed "
+             "the recorded baselines",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+    if args.check and not args.reduced:
+        raise SystemExit("--check requires --reduced")
+
+    baseline = load_baseline()
+    payload = {
+        "machine": platform.platform(),
+        "seed": SEED,
+        "baseline": baseline.get("commit", "unknown"),
+    }
+    if args.reduced:
+        payload["reduced"] = run_reduced(baseline, args.repeats, args.check)
+        default_out = RESULTS_DIR / "BENCH_exact_reduced.json"
+    else:
+        payload["figure3"] = run_figure3(baseline, args.repeats)
+        payload["flood_scaling"] = run_flood_scaling(args.repeats)
+        payload["signature_microbench"] = signature_microbench()
+        payload["reduced"] = run_reduced(baseline, args.repeats, check=False)
+        default_out = RESULTS_DIR / "BENCH_exact.json"
+
+    out = args.output or default_out
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

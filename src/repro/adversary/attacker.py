@@ -42,6 +42,17 @@ class RoundAttacker:
         self.network = network
         self._rng = derive_rng(seed)
         self.injected_total = 0
+        # The per-port load split and the push port depend only on the
+        # (immutable) spec and protocol kind — resolve them once instead
+        # of once per round.  Subclasses that re-choose victims per
+        # round (repro.adversary.adaptive) still work: only the rates
+        # are frozen here, never the victim list.
+        self._load = spec.port_load(kind)
+        self._push_port = (
+            PORT_PUSH_OFFER
+            if kind is ProtocolKind.DRUM_SHARED_BOUNDS
+            else PORT_PUSH_DATA
+        )
 
     def _sample_count(self, rate: float) -> int:
         base = int(rate)
@@ -52,18 +63,14 @@ class RoundAttacker:
 
     def inject_round(self) -> int:
         """Send this round's fabricated messages; returns how many."""
-        load = self.spec.port_load(self.kind)
         # The shared-bounds variant receives push traffic on its offer
         # port; everything else takes raw push data on the data port.
-        push_port = (
-            PORT_PUSH_OFFER
-            if self.kind is ProtocolKind.DRUM_SHARED_BOUNDS
-            else PORT_PUSH_DATA
-        )
+        load = self._load
+        flood = self.network.flood
         injected = 0
         for victim in self.victims:
             for port, rate in (
-                (push_port, load.push),
+                (self._push_port, load.push),
                 (PORT_PULL_REQUEST, load.pull_request),
                 (PORT_PULL_REPLY, load.pull_reply),
             ):
@@ -71,7 +78,7 @@ class RoundAttacker:
                     continue
                 count = self._sample_count(rate)
                 if count:
-                    self.network.flood(Address(victim, port), count)
+                    flood(Address(victim, port), count)
                     injected += count
         self.injected_total += injected
         return injected

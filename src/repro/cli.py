@@ -37,7 +37,9 @@ from repro.analysis import (
 from repro.core.config import ProtocolKind
 from repro.des import ClusterConfig, run_throughput_experiment
 from repro.sim import Scenario, monte_carlo
+from repro.sim.engine import RoundSimulator
 from repro.util import Table
+from repro.util.profiling import profiling_enabled
 
 PROTOCOL_CHOICES = [kind.value for kind in ProtocolKind]
 
@@ -99,15 +101,28 @@ def cmd_simulate(args) -> int:
     result = monte_carlo(
         scenario, runs=args.runs, seed=args.seed, workers=args.workers
     )
+    payload = {
+        "mean rounds to 99%": result.mean_rounds(),
+        "std": result.std_rounds(),
+        "censored runs": result.censored_runs(),
+    }
+    profiler = None
+    if args.profile or profiling_enabled(False):
+        # One seeded exact-engine pass with per-phase timers; profiling
+        # draws no randomness, so the profiled trace matches what the
+        # Monte-Carlo workers simulate.
+        sim = RoundSimulator(scenario, seed=args.seed, profile=True)
+        sim.run()
+        profiler = sim.profiler
+        if args.json:
+            payload["profile"] = profiler.snapshot()
     _emit(
         args,
         f"Simulation: {scenario.describe()} ({args.runs} runs)",
-        {
-            "mean rounds to 99%": result.mean_rounds(),
-            "std": result.std_rounds(),
-            "censored runs": result.censored_runs(),
-        },
+        payload,
     )
+    if profiler is not None and not args.json:
+        print(profiler.hotspot_table())
     return 0
 
 
@@ -192,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="process-pool workers for the run fan-out (default: "
              "REPRO_WORKERS or 1; results are identical for any count)",
+    )
+    p_sim.add_argument(
+        "--profile", action="store_true",
+        help="additionally run one seeded exact-engine pass and print "
+             "its per-phase hotspot table (REPRO_PROFILE=1 does the "
+             "same from the environment)",
     )
     p_sim.set_defaults(func=cmd_simulate)
 

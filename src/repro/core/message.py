@@ -24,7 +24,7 @@ def fresh_message_id(source: int) -> Tuple[int, int]:
     return (source, next(_msg_ids))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataMessage:
     """An application multicast message.
 
@@ -40,6 +40,14 @@ class DataMessage:
     round_counter: int = 0
     signature: Optional[Signature] = None
     certificate: Optional[Certificate] = None
+    #: Memoised sha256 of the pickled signed body.  The signed body
+    #: excludes the mutating ``round_counter``, so the digest survives
+    #: :meth:`aged` copies — sign/verify stops re-serialising the same
+    #: message at every hop.  Excluded from equality/hash: two messages
+    #: are the same message whether or not their digest was computed.
+    _body_digest: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
 
     def aged(self) -> "DataMessage":
         """Copy with the round counter incremented (one round elapsed)."""
@@ -50,11 +58,28 @@ class DataMessage:
             round_counter=self.round_counter + 1,
             signature=self.signature,
             certificate=self.certificate,
+            _body_digest=self._body_digest,
         )
 
     def signed_body(self) -> tuple:
         """The tuple a source signature covers (counter excluded: it mutates)."""
         return (self.msg_id, self.source, self.payload)
+
+    def body_digest(self) -> str:
+        """Digest of :meth:`signed_body`, computed once per message body.
+
+        Byte-identical to what :func:`repro.crypto.signatures.sign` and
+        ``verify`` derive from the body themselves; they accept it via
+        their ``digest=`` parameter to skip the pickle+sha256 work on
+        every verification hop.
+        """
+        digest = self._body_digest
+        if digest is None:
+            from repro.crypto.signatures import payload_digest
+
+            digest = payload_digest(self.signed_body())
+            object.__setattr__(self, "_body_digest", digest)
+        return digest
 
     def wire_size(self) -> int:
         """Rough wire size in bytes (the paper uses 50-byte payloads)."""
@@ -62,7 +87,7 @@ class DataMessage:
         return 32 + payload_len
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Digest:
     """A summary of the message ids a process currently buffers."""
 
@@ -86,7 +111,7 @@ class Digest:
         return 16 + 8 * len(self.message_ids)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushOffer:
     """Step 1 of the push handshake: 'I have data; reply with a digest'.
 
@@ -101,7 +126,7 @@ class PushOffer:
         return 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushReply:
     """Step 2: the target's digest plus its sealed random data port."""
 
@@ -113,7 +138,7 @@ class PushReply:
         return 24 + self.digest.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PushData:
     """Step 3 (or the whole push in the round simulator): data messages."""
 
@@ -124,7 +149,7 @@ class PushData:
         return 16 + sum(m.wire_size() for m in self.messages)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PullRequest:
     """A digest of what the requester has, plus where to send the reply.
 
@@ -140,7 +165,7 @@ class PullRequest:
         return 24 + self.digest.wire_size()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PullReply:
     """Messages the replier has that were missing from the digest."""
 

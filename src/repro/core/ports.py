@@ -29,14 +29,19 @@ class RandomPortAllocator:
         check_positive("lifetime_rounds", lifetime_rounds)
         self.lifetime_rounds = lifetime_rounds
         self._rng = derive_rng(seed)
+        # ``allocate`` runs once per pull target (and per push offer in
+        # the shared-bounds variant) every round; binding the generator
+        # method keeps the common no-collision case tight.
+        self._integers = self._rng.integers
         self._open: Dict[int, int] = {}  # port -> rounds remaining
 
     def allocate(self) -> int:
         """Open a fresh random port and return its number."""
+        open_ = self._open
         while True:
-            port = RANDOM_PORT_BASE + int(self._rng.integers(0, RANDOM_PORT_SPACE))
-            if port not in self._open:
-                self._open[port] = self.lifetime_rounds
+            port = RANDOM_PORT_BASE + int(self._integers(0, RANDOM_PORT_SPACE))
+            if port not in open_:
+                open_[port] = self.lifetime_rounds
                 return port
 
     def is_open(self, port: int) -> bool:
@@ -50,11 +55,13 @@ class RandomPortAllocator:
     def tick_round(self) -> List[int]:
         """Age listeners one round; returns the ports that just expired."""
         expired = []
-        for port in list(self._open):
-            self._open[port] -= 1
-            if self._open[port] <= 0:
+        open_ = self._open
+        for port, left in list(open_.items()):
+            if left <= 1:
                 expired.append(port)
-                del self._open[port]
+                del open_[port]
+            else:
+                open_[port] = left - 1
         return expired
 
     @property

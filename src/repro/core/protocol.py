@@ -87,13 +87,50 @@ class GossipProcess:
         self._view_pull: List[int] = []
         self._pending_reply_ports: List[int] = []
 
+        # -- hot-path caches ------------------------------------------------
+        # Everything below is immutable for the process's lifetime, and
+        # every item was a measured per-packet or per-round allocation:
+        # protocol flags resolved through enum properties, the two-state
+        # gossip content (M is the only message the round simulator
+        # tracks, so payloads/digests/replies take exactly two values),
+        # and one Address object per (peer, well-known port).
+        self._uses_push = config.kind.uses_push
+        self._uses_pull = config.kind.uses_pull
+        self._pub = self.keys.public
+        self._push_bound = config.push_in_bound
+        self._pull_bound = config.pull_in_bound
+        self._tracked = DataMessage(msg_id=(0, 0), source=0, payload=b"M")
+        self._digest_with = Digest.of([(0, 0)])
+        self._digest_empty = Digest.of([])
+        self._push_payload_with = PushData(
+            sender=pid, messages=(self._tracked,)
+        )
+        self._push_payload_empty = PushData(sender=pid, messages=())
+        self._pull_reply_with = PullReply(
+            sender=pid, messages=(self._tracked,)
+        )
+        self._pull_reply_empty = PullReply(sender=pid, messages=())
+        # The destination tables live on the Network and are shared by
+        # every process: n Address objects per port for the whole group,
+        # not n² (a measured init hotspot at paper scale).
+        self._push_dst = network.wk_addrs(PORT_PUSH_DATA, members)
+        self._pull_dst = network.wk_addrs(PORT_PULL_REQUEST, members)
+        self._push_src = self._push_dst[pid]
+        self._pull_src = self._pull_dst[pid]
+        self._others = [m for m in members if m != pid]
+        self._view_sizes = [config.view_push_size, config.view_pull_size]
+        self._total_view = sum(self._view_sizes)
+        # Whether the inlined disjoint draw applies (it always does at
+        # paper scale; tiny groups fall back to select_disjoint_views).
+        self._disjoint_ok = len(self._others) >= self._total_view
+
         network.register_node(pid)
         if config.kind.uses_push:
-            network.open_port(Address(pid, PORT_PUSH_DATA))
+            network.open_port_at(pid, PORT_PUSH_DATA)
         if config.kind.uses_pull:
-            network.open_port(Address(pid, PORT_PULL_REQUEST))
+            network.open_port_at(pid, PORT_PULL_REQUEST)
             if not config.uses_random_ports:
-                network.open_port(Address(pid, PORT_PULL_REPLY))
+                network.open_port_at(pid, PORT_PULL_REPLY)
 
     # -- key distribution --------------------------------------------------
 
@@ -104,15 +141,26 @@ class GossipProcess:
     # -- round phases --------------------------------------------------------
 
     def begin_round(self) -> None:
-        """Snapshot state and draw this round's views."""
+        """Snapshot state and draw this round's views.
+
+        The common case inlines :func:`select_disjoint_views`' disjoint
+        draw against the precomputed candidate list — the same single
+        ``choice`` call on the same generator, so the RNG stream (and
+        therefore every seeded trace) is unchanged.
+        """
         self._had_message = self.has_message
-        views = select_disjoint_views(
-            self.members,
-            self.pid,
-            [self.config.view_push_size, self.config.view_pull_size],
-            self.rng,
-        )
-        self._view_push, self._view_pull = views
+        if self._disjoint_ok:
+            others = self._others
+            idx = self.rng.choice(
+                len(others), size=self._total_view, replace=False
+            ).tolist()
+            split = self._view_sizes[0]
+            self._view_push = [others[i] for i in idx[:split]]
+            self._view_pull = [others[i] for i in idx[split:]]
+        else:
+            self._view_push, self._view_pull = select_disjoint_views(
+                self.members, self.pid, self._view_sizes, self.rng
+            )
 
     def send_phase(self) -> None:
         """Send push data to view_push and pull-requests to view_pull."""
@@ -120,68 +168,103 @@ class GossipProcess:
         self._send_pull_phase()
 
     def _send_push_phase(self) -> None:
-        for target in self._view_push:
-            payload = PushData(
-                sender=self.pid,
-                messages=(self._tracked_message(),) if self._had_message else (),
-            )
-            self.network.send(
-                Packet(
-                    dst=Address(target, PORT_PUSH_DATA),
-                    payload=payload,
-                    sender=Address(self.pid, PORT_PUSH_DATA),
-                )
-            )
+        view = self._view_push
+        if not view:
+            return
+        # The payload takes one of two values; both are immutable and
+        # prebuilt, so only the Packet is allocated per target.
+        payload = (
+            self._push_payload_with
+            if self._had_message
+            else self._push_payload_empty
+        )
+        send = self.network.send
+        src = self._push_src
+        dst = self._push_dst
+        for target in view:
+            send(Packet(dst=dst[target], payload=payload, sender=src))
 
     def _send_pull_phase(self) -> None:
-        for target in self._view_pull:
-            reply_port = self._advertise_reply_port(target)
-            payload = PullRequest(
-                sender=self.pid,
-                digest=self._digest(),
-                reply_port=reply_port,
-            )
-            self.network.send(
-                Packet(
-                    dst=Address(target, PORT_PULL_REQUEST),
-                    payload=payload,
-                    sender=Address(self.pid, PORT_PULL_REQUEST),
+        view = self._view_pull
+        if not view:
+            return
+        digest = self._digest_with if self._had_message else self._digest_empty
+        network = self.network
+        send = network.send
+        src = self._pull_src
+        dst = self._pull_dst
+        pid = self.pid
+        if self.config.uses_random_ports:
+            # Inlined _advertise_reply_port: allocate a random reply
+            # port, open its bounded channel, and seal the port number
+            # for the target.  Same calls in the same order, minus the
+            # per-target method dispatch and Address construction.
+            allocate = self._ports.allocate
+            open_at = network.open_port_at
+            pending = self._pending_reply_ports
+            peer_key = self.peer_keys.get
+            for target in view:
+                port = allocate()
+                open_at(pid, port)
+                pending.append(port)
+                key = peer_key(target)
+                reply_port = (
+                    SealedEnvelope(recipient=key, _plaintext=port)
+                    if key is not None
+                    else port
                 )
-            )
+                send(
+                    Packet(
+                        dst=dst[target],
+                        payload=PullRequest(
+                            sender=pid, digest=digest, reply_port=reply_port
+                        ),
+                        sender=src,
+                    )
+                )
+        else:
+            for target in view:
+                reply_port = self._advertise_reply_port(target)
+                send(
+                    Packet(
+                        dst=dst[target],
+                        payload=PullRequest(
+                            sender=pid, digest=digest, reply_port=reply_port
+                        ),
+                        sender=src,
+                    )
+                )
 
     def receive_phase(self) -> None:
         """Drain bounded channels: ingest pushes, answer pull-requests."""
-        if self.config.kind.uses_push:
-            accepted = self._drain(PORT_PUSH_DATA, self.config.push_in_bound)
-            for packet in accepted:
+        if self._uses_push:
+            for packet in self._drain(PORT_PUSH_DATA, self._push_bound):
                 self._ingest_push(packet.payload)
-        if self.config.kind.uses_pull:
-            accepted = self._drain(PORT_PULL_REQUEST, self.config.pull_in_bound)
-            for packet in accepted:
+        if self._uses_pull:
+            for packet in self._drain(PORT_PULL_REQUEST, self._pull_bound):
                 self._answer_pull_request(packet.payload)
 
     def reply_phase(self) -> None:
         """Read the pull-replies that arrived on this round's reply ports."""
-        if not self.config.kind.uses_pull:
+        if not self._uses_pull:
             return
         if self.config.uses_random_ports:
+            pid = self.pid
+            bound = self._pull_bound
+            get_channel = self.network.channel_at
             for port in self._pending_reply_ports:
-                addr = Address(self.pid, port)
-                if not self.network.is_open(addr):
+                channel = get_channel(pid, port)
+                if channel is None:
                     continue
                 # Each reply port awaits a single reply, but its channel
                 # is still bounded: if an adversary *does* learn the port
                 # (e.g. the snooping ablation against cleartext ports),
                 # its flood competes for these slots.  Under Drum proper
                 # at most one reply arrives, so the bound never binds.
-                accepted = self.network.channel(addr).drain(
-                    self.config.pull_in_bound
-                )
-                for packet in accepted:
+                for packet in channel.drain(bound):
                     self._ingest_pull_reply(packet.payload)
         else:
-            accepted = self._drain(PORT_PULL_REPLY, self.config.pull_in_bound)
-            for packet in accepted:
+            for packet in self._drain(PORT_PULL_REPLY, self._pull_bound):
                 self._ingest_pull_reply(packet.payload)
         self._pending_reply_ports = []
 
@@ -194,17 +277,21 @@ class GossipProcess:
 
     def end_round(self) -> None:
         """Expire random-port listeners and advance the local round."""
-        for port in self._ports.tick_round():
-            self.network.close_port(Address(self.pid, port))
+        expired = self._ports.tick_round()
+        if expired:
+            close = self.network.close_port_at
+            pid = self.pid
+            for port in expired:
+                close(pid, port)
         self.round += 1
 
     # -- helpers -----------------------------------------------------------
 
     def _tracked_message(self) -> DataMessage:
-        return DataMessage(msg_id=(0, 0), source=0, payload=b"M")
+        return self._tracked
 
     def _digest(self) -> Digest:
-        return Digest.of([(0, 0)]) if self._had_message else Digest.of([])
+        return self._digest_with if self._had_message else self._digest_empty
 
     def _advertise_reply_port(self, target: int) -> object:
         """Choose and (by default) seal the port awaiting the pull-reply."""
@@ -212,7 +299,7 @@ class GossipProcess:
             self._pending_reply_ports.append(PORT_PULL_REPLY)
             return PORT_PULL_REPLY
         port = self._ports.allocate()
-        self.network.open_port(Address(self.pid, port))
+        self.network.open_port_at(self.pid, port)
         self._pending_reply_ports.append(port)
         target_key = self.peer_keys.get(target)
         if target_key is not None:
@@ -220,10 +307,8 @@ class GossipProcess:
         return port
 
     def _drain(self, port: int, bound: Optional[int]) -> List[Packet]:
-        addr = Address(self.pid, port)
-        if not self.network.is_open(addr):
-            return []
-        return self.network.channel(addr).drain(bound)
+        channel = self.network.channel_at(self.pid, port)
+        return [] if channel is None else channel.drain(bound)
 
     def _ingest_push(self, payload: PushData) -> None:
         if not isinstance(payload, PushData):
@@ -231,30 +316,43 @@ class GossipProcess:
         for message in payload.messages:
             self._deliver(message, via="push")
 
+    def _unseal_port(self, value) -> Optional[int]:
+        """Unwrap a (possibly sealed) advertised port; None when bogus.
+
+        When the envelope's recipient is this process's own public-key
+        *object* — the invariant under engine-distributed keys — the
+        key check reduces to an identity test; anything else takes the
+        full :func:`open_envelope` path.
+        """
+        if type(value) is SealedEnvelope:
+            if value.recipient is self._pub:
+                value = value._plaintext
+            else:
+                try:
+                    value = open_envelope(self.keys.private, value)
+                except Exception:
+                    return None  # not sealed for us: drop
+        return value if isinstance(value, int) else None
+
     def _answer_pull_request(self, payload: PullRequest) -> None:
         if not isinstance(payload, PullRequest):
             return
-        reply_port = payload.reply_port
-        if isinstance(reply_port, SealedEnvelope):
-            try:
-                reply_port = open_envelope(self.keys.private, reply_port)
-            except Exception:
-                return  # not sealed for us: drop
-        if not isinstance(reply_port, int):
+        reply_port = self._unseal_port(payload.reply_port)
+        if reply_port is None:
             return
-        missing = (
-            (self._tracked_message(),)
-            if self._had_message and (0, 0) not in payload.digest
-            else ()
-        )
         # A reply is sent even when we have nothing new: real processes
         # always have *other* traffic, and the reply itself loads the
         # requester's reply channel in the no-random-ports ablation.
+        reply = (
+            self._pull_reply_with
+            if self._had_message and (0, 0) not in payload.digest
+            else self._pull_reply_empty
+        )
         self.network.send(
             Packet(
                 dst=Address(payload.sender, reply_port),
-                payload=PullReply(sender=self.pid, messages=missing),
-                sender=Address(self.pid, PORT_PULL_REQUEST),
+                payload=reply,
+                sender=self._pull_src,
             )
         )
 

@@ -22,9 +22,9 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.core.config import ProtocolConfig, ProtocolKind
-from repro.core.message import PushData, PushOffer, PushReply
+from repro.core.message import PushOffer, PushReply
 from repro.core.protocol import GossipProcess
-from repro.crypto.encryption import SealedEnvelope, open_envelope, seal
+from repro.crypto.encryption import seal
 from repro.net.address import (
     PORT_PULL_REQUEST,
     PORT_PUSH_DATA,
@@ -97,26 +97,39 @@ class DrumSharedBoundsProcess(GossipProcess):
             pid, config, members, network, seed=seed, has_message=has_message
         )
         # Push uses the offer handshake: listen for offers, not raw data.
-        network.close_port(Address(pid, PORT_PUSH_DATA))
-        network.open_port(Address(pid, PORT_PUSH_OFFER))
+        network.close_port_at(pid, PORT_PUSH_DATA)
+        network.open_port_at(pid, PORT_PUSH_OFFER)
         self._offer_reply_ports: List[int] = []
         self._data_ports: List[int] = []
         self._quota_left = 0
+        # Offer-port destination/source addresses, shared network-wide
+        # like the base class's push/pull tables.
+        self._offer_dst = network.wk_addrs(PORT_PUSH_OFFER, members)
+        self._offer_src = self._offer_dst[pid]
 
     # -- send -----------------------------------------------------------------
 
     def _send_push_phase(self) -> None:
-        for target in self._view_push:
+        view = self._view_push
+        if not view:
+            return
+        pid = self.pid
+        network = self.network
+        send = network.send
+        src = self._offer_src
+        dst = self._offer_dst
+        peer_keys = self.peer_keys
+        for target in view:
             port = self._ports.allocate()
-            self.network.open_port(Address(self.pid, port))
+            network.open_port_at(pid, port)
             self._offer_reply_ports.append(port)
-            target_key = self.peer_keys.get(target)
+            target_key = peer_keys.get(target)
             sealed = seal(target_key, port) if target_key is not None else port
-            self.network.send(
+            send(
                 Packet(
-                    dst=Address(target, PORT_PUSH_OFFER),
-                    payload=PushOffer(sender=self.pid, reply_port=sealed),
-                    sender=Address(self.pid, PORT_PUSH_OFFER),
+                    dst=dst[target],
+                    payload=PushOffer(sender=pid, reply_port=sealed),
+                    sender=src,
                 )
             )
 
@@ -124,8 +137,8 @@ class DrumSharedBoundsProcess(GossipProcess):
 
     def receive_phase(self) -> None:
         """Drain offers and pull-requests from the joint quota."""
-        offer_channel = self.network.channel(Address(self.pid, PORT_PUSH_OFFER))
-        pull_channel = self.network.channel(Address(self.pid, PORT_PULL_REQUEST))
+        offer_channel = self.network.channel_at(self.pid, PORT_PUSH_OFFER)
+        pull_channel = self.network.channel_at(self.pid, PORT_PULL_REQUEST)
         offers_total = len(offer_channel)
         pulls_total = len(pull_channel)
         # Push-replies arrive interleaved with the flood over the course
@@ -163,16 +176,11 @@ class DrumSharedBoundsProcess(GossipProcess):
     def _answer_push_offer(self, offer: PushOffer) -> None:
         if not isinstance(offer, PushOffer):
             return
-        reply_port = offer.reply_port
-        if isinstance(reply_port, SealedEnvelope):
-            try:
-                reply_port = open_envelope(self.keys.private, reply_port)
-            except Exception:
-                return
-        if not isinstance(reply_port, int):
+        reply_port = self._unseal_port(offer.reply_port)
+        if reply_port is None:
             return
         data_port = self._ports.allocate()
-        self.network.open_port(Address(self.pid, data_port))
+        self.network.open_port_at(self.pid, data_port)
         self._data_ports.append(data_port)
         offerer_key = self.peer_keys.get(offer.sender)
         sealed = (
@@ -184,7 +192,7 @@ class DrumSharedBoundsProcess(GossipProcess):
                 payload=PushReply(
                     sender=self.pid, digest=self._digest(), data_port=sealed
                 ),
-                sender=Address(self.pid, PORT_PUSH_OFFER),
+                sender=self._offer_src,
             )
         )
 
@@ -193,10 +201,12 @@ class DrumSharedBoundsProcess(GossipProcess):
     def reply_phase(self) -> None:
         """Read push-replies from the leftover quota, then pull-replies."""
         arrivals = []
+        channel_at = self.network.channel_at
+        pid = self.pid
         for port in self._offer_reply_ports:
-            addr = Address(self.pid, port)
-            if self.network.is_open(addr):
-                arrivals.extend(self.network.channel(addr).drain(None))
+            channel = channel_at(pid, port)
+            if channel is not None:
+                arrivals.extend(channel.drain(None))
         self._offer_reply_ports = []
         if arrivals and self._quota_left > 0:
             order = self.rng.permutation(len(arrivals))
@@ -207,22 +217,15 @@ class DrumSharedBoundsProcess(GossipProcess):
     def _handle_push_reply(self, reply: PushReply) -> None:
         if not isinstance(reply, PushReply):
             return
-        data_port = reply.data_port
-        if isinstance(data_port, SealedEnvelope):
-            try:
-                data_port = open_envelope(self.keys.private, data_port)
-            except Exception:
-                return
-        if not isinstance(data_port, int):
+        data_port = self._unseal_port(reply.data_port)
+        if data_port is None:
             return
         if self._had_message and (0, 0) not in reply.digest:
             self.network.send(
                 Packet(
                     dst=Address(reply.sender, data_port),
-                    payload=PushData(
-                        sender=self.pid, messages=(self._tracked_message(),)
-                    ),
-                    sender=Address(self.pid, PORT_PUSH_OFFER),
+                    payload=self._push_payload_with,
+                    sender=self._offer_src,
                 )
             )
 
@@ -230,9 +233,11 @@ class DrumSharedBoundsProcess(GossipProcess):
 
     def data_phase(self) -> None:
         """Ingest push data that arrived on this round's data ports."""
+        channel_at = self.network.channel_at
+        pid = self.pid
         for port in self._data_ports:
-            addr = Address(self.pid, port)
-            if self.network.is_open(addr):
-                for packet in self.network.channel(addr).drain(None):
+            channel = channel_at(pid, port)
+            if channel is not None:
+                for packet in channel.drain(None):
                     self._ingest_push(packet.payload)
         self._data_ports = []

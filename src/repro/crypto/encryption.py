@@ -20,7 +20,7 @@ class DecryptionError(Exception):
     """Raised when an envelope is opened with the wrong private key."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SealedEnvelope:
     """A value encrypted for one recipient.
 

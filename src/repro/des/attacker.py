@@ -26,7 +26,7 @@ from repro.util import derive_rng
 from repro.util.rng import SeedLike
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FabricatedPayload:
     """Junk that consumes a quota slot and then fails every sanity check."""
 
@@ -102,26 +102,31 @@ class AttackerProcess:
             return
         src = Address(0, 0) if self.attacker_id < 0 else Address(self.attacker_id, 0)
         interval = self.round_duration_ms / self.bursts_per_round
+        rates = self._port_rates()
         for victim in self.victims:
-            for port, rate in self._port_rates():
+            for port, rate in rates:
                 per_burst = rate / self.bursts_per_round
                 count = int(per_burst)
                 frac = per_burst - count
                 if frac > 0 and self.rng.random() < frac:
                     count += 1
+                if not count:
+                    continue
                 dst = Address(victim, port)
-                for _ in range(count):
+                # Spread the packets at independent uniform offsets:
+                # victims' rounds are jittered, so from a victim's
+                # perspective the flood is a uniform stream — which is
+                # what makes a fabricated message exactly as likely to
+                # win an acceptance slot as a valid one (Section 4).
+                # One vectorised draw yields the same stream values as
+                # ``count`` scalar ``uniform`` calls.
+                offsets = self.rng.uniform(0.0, interval, size=count)
+                for i in range(count):
                     self._nonce += 1
-                    # Spread each packet at an independent uniform offset:
-                    # victims' rounds are jittered, so from a victim's
-                    # perspective the flood is a uniform stream — which is
-                    # what makes a fabricated message exactly as likely to
-                    # win an acceptance slot as a valid one (Section 4).
                     payload = FabricatedPayload(nonce=self._nonce)
-                    offset = float(self.rng.uniform(0.0, interval))
                     self.env.schedule(
-                        offset,
+                        float(offsets[i]),
                         lambda d=dst, p=payload: self.env.send(src, d, p),
                     )
-                    self.injected_total += 1
+                self.injected_total += count
         self._handle = self.env.schedule(interval, self._burst)

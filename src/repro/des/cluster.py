@@ -26,6 +26,7 @@ from repro.des.attacker import AttackerProcess
 from repro.des.environment import SimEnvironment
 from repro.des.measurement import DeliveryRecord, MeasurementResult
 from repro.des.node import GossipNode
+from repro.crypto.signatures import SignatureRegistry
 from repro.util import SeedSequenceFactory, check_fraction, check_probability
 from repro.util.rng import SeedLike
 
@@ -136,6 +137,9 @@ class _Cluster:
 
         proto_cfg = config.protocol_config()
         members = list(range(config.n))
+        #: One signature trust domain per cluster: the bindings die with
+        #: the run instead of accumulating in the module-level registry.
+        self.registry = SignatureRegistry()
         self.nodes: Dict[int, GossipNode] = {}
         for pid in config.correct_ids():
             self.nodes[pid] = GossipNode(
@@ -146,6 +150,7 @@ class _Cluster:
                 seed=seeds.next_seed(),
                 on_deliver=self._record_delivery,
                 ttl_policy=lambda m: self.ttl_overrides.get(m.msg_id),
+                registry=self.registry,
             )
         keys = {pid: node.keys.public for pid, node in self.nodes.items()}
         for node in self.nodes.values():

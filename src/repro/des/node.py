@@ -43,7 +43,7 @@ from repro.core.ports import RandomPortAllocator
 from repro.core.views import select_disjoint_views
 from repro.crypto.encryption import SealedEnvelope, open_envelope, seal
 from repro.crypto.keys import KeyPair, PublicKey
-from repro.crypto.signatures import sign, verify
+from repro.crypto.signatures import SignatureRegistry, sign, verify
 from repro.des.environment import Environment
 from repro.net.address import (
     PORT_PULL_REPLY,
@@ -77,10 +77,16 @@ class GossipNode:
         on_deliver: Optional[DeliverCallback] = None,
         data_bound: int = DEFAULT_DATA_BOUND,
         ttl_policy=None,
+        registry: Optional[SignatureRegistry] = None,
     ):
         """``ttl_policy(message) -> Optional[int]`` may override the
         buffer lifetime of individual messages (e.g. a tracked message
-        in a propagation experiment outliving normal purging)."""
+        in a propagation experiment outliving normal purging).
+
+        ``registry`` scopes signature bindings to this cluster/run; all
+        nodes of one group must share it for cross-node verification to
+        succeed.  ``None`` falls back to the bounded module default.
+        """
         self.env = env
         self.pid = pid
         self.config = config
@@ -90,6 +96,7 @@ class GossipNode:
         self.peer_keys: Dict[int, PublicKey] = {}
         self.on_deliver = on_deliver
         self.ttl_policy = ttl_policy
+        self.registry = registry
 
         self.buffer = MessageBuffer(config.purge_rounds, seed=self.rng)
         self.ports = RandomPortAllocator(
@@ -213,13 +220,19 @@ class GossipNode:
             payload=payload,
             round_counter=1,
         )
-        signature = sign(self.keys.private, message.signed_body())
+        signature = sign(
+            self.keys.private,
+            message.signed_body(),
+            digest=message.body_digest(),
+            registry=self.registry,
+        )
         message = DataMessage(
             msg_id=message.msg_id,
             source=message.source,
             payload=message.payload,
             round_counter=1,
             signature=signature,
+            _body_digest=message.body_digest(),
         )
         self._seen.add(message.msg_id)
         self.buffer.add(message, ttl=self._ttl_for(message))
@@ -409,7 +422,15 @@ class GossipNode:
             return
         source_key = self.peer_keys.get(message.source)
         if message.signature is not None and source_key is not None:
-            if not verify(source_key, message.signed_body(), message.signature):
+            # ``body_digest`` is memoised on the message object, so the
+            # pickle+sha256 runs once per body rather than at every hop.
+            if not verify(
+                source_key,
+                message.signed_body(),
+                message.signature,
+                digest=message.body_digest(),
+                registry=self.registry,
+            ):
                 self.stats["invalid_dropped"] += 1
                 return
         elif source_key is not None:

@@ -26,7 +26,7 @@ PORT_PULL_REPLY = 4
 RANDOM_PORT_BASE = 1024
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Address:
     """A (node id, port) endpoint."""
 

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.net.packet import Packet
 from repro.util import check_non_negative, derive_rng
+from repro.util.profiling import bump
 from repro.util.rng import SeedLike
 
 
@@ -28,16 +29,52 @@ class BoundedChannel:
     without bound and the acceptance probability of fresh valid traffic
     collapses toward zero — the behaviour
     ``tests/test_net_channel.py::TestRoundEndDiscardAblation`` verifies.
+
+    The RNG behind the random acceptance subset is built lazily from the
+    stored seed: a channel only draws randomness when more arrives than
+    its bound accepts, and the vast majority of channels (per-round
+    random reply ports awaiting one packet) never overload.  Deferring
+    the ``Generator`` construction to first use keeps channel setup off
+    the exact engine's hot path without changing a single drawn value.
     """
 
+    __slots__ = (
+        "port", "persistent", "naive", "_arrivals", "_fabricated_arrivals",
+        "_seed", "_rng_obj",
+    )
+
     def __init__(
-        self, port: int, *, seed: SeedLike = None, persistent: bool = False
+        self,
+        port: int,
+        *,
+        seed: SeedLike = None,
+        persistent: bool = False,
+        naive: bool = False,
     ):
         self.port = port
         self.persistent = persistent
+        #: Reference (unoptimised) mode for the perf harness: the RNG is
+        #: built eagerly, fabricated packets are stored as objects, and
+        #: ``drain`` picks its subset directly over the arrival objects.
+        #: Statistically identical to the fast path, but it consumes a
+        #: different RNG stream — never use it for golden-traced runs.
+        self.naive = naive
         self._arrivals: List[Packet] = []
         self._fabricated_arrivals = 0
-        self._rng = derive_rng(seed)
+        self._seed = seed
+        self._rng_obj = None
+        if naive:
+            self._rng_obj = derive_rng(seed)
+            self._seed = None
+
+    @property
+    def _rng(self):
+        rng = self._rng_obj
+        if rng is None:
+            bump("channel_rngs_built")
+            rng = self._rng_obj = derive_rng(self._seed)
+            self._seed = None
+        return rng
 
     def __len__(self) -> int:
         return len(self._arrivals) + self._fabricated_arrivals
@@ -45,16 +82,20 @@ class BoundedChannel:
     @property
     def valid_arrivals(self) -> int:
         """Number of non-fabricated packets waiting."""
+        if self.naive:
+            return sum(1 for p in self._arrivals if not p.fabricated)
         return len(self._arrivals)
 
     @property
     def fabricated_arrivals(self) -> int:
         """Number of fabricated packets waiting (attack traffic)."""
+        if self.naive:
+            return sum(1 for p in self._arrivals if p.fabricated)
         return self._fabricated_arrivals
 
     def deliver(self, packet: Packet) -> None:
         """Enqueue one arriving packet."""
-        if packet.fabricated:
+        if packet.fabricated and not self.naive:
             # Fabricated packets carry no protocol-relevant payload; we
             # count them instead of storing objects, which keeps large
             # attacks (x in the thousands) cheap to simulate.
@@ -75,13 +116,21 @@ class BoundedChannel:
         ones are read too — consuming acceptance slots — but carry nothing
         for the protocol).  ``bound=None`` means unbounded.
         """
-        total = len(self)
+        if self.naive:
+            return self._drain_naive(bound)
+        total = len(self._arrivals) + self._fabricated_arrivals
         if total == 0:
-            self._clear_read()
+            # Nothing arrived: both queues are already empty, so there
+            # is nothing to clear — the common case for per-round random
+            # reply ports, which usually see at most one packet.
             return []
         if bound is None or total <= bound:
-            accepted = list(self._arrivals)
-            self._clear_read()
+            # Everything fits: hand the arrival list itself to the
+            # caller (both modes clear the queues after a full read, so
+            # no copy is needed).
+            accepted = self._arrivals
+            self._arrivals = []
+            self._fabricated_arrivals = 0
             return accepted
         # Choose a uniformly random bound-sized subset of all arrivals.
         # The number of *valid* packets in that subset is hypergeometric;
@@ -107,6 +156,28 @@ class BoundedChannel:
             self._reset()
         return result
 
+    def _drain_naive(self, bound: Optional[int]) -> List[Packet]:
+        """The textbook acceptance rule, applied to stored objects.
+
+        Chooses a uniformly random ``bound``-sized subset of *all*
+        arrival objects (fabricated ones included) and returns the valid
+        packets in it — the definition the fast path's hypergeometric
+        split is derived from.  Kept as the perf harness's reference.
+        """
+        arrivals = self._arrivals
+        total = len(arrivals)
+        if total == 0:
+            return []
+        if bound is None or total <= bound:
+            accepted = [p for p in arrivals if not p.fabricated]
+        else:
+            idx = self._rng.choice(total, size=bound, replace=False)
+            accepted = [
+                arrivals[i] for i in sorted(idx) if not arrivals[i].fabricated
+            ]
+        self._arrivals = []
+        return accepted
+
     def end_round(self) -> int:
         """Discard everything unread; returns how many were dropped.
 
@@ -115,16 +186,10 @@ class BoundedChannel:
         """
         if self.persistent:
             return 0
-        dropped = len(self)
-        self._reset()
-        return dropped
-
-    def _clear_read(self) -> None:
-        if not self.persistent:
+        dropped = len(self._arrivals) + self._fabricated_arrivals
+        if dropped:
             self._reset()
-        else:
-            self._arrivals = []
-            self._fabricated_arrivals = 0
+        return dropped
 
     def _reset(self) -> None:
         self._arrivals = []

@@ -16,19 +16,43 @@ from repro.net.channel import BoundedChannel
 from repro.net.link import LossModel
 from repro.net.packet import Packet
 from repro.util import SeedSequenceFactory
+from repro.util.profiling import bump
 from repro.util.rng import SeedLike
 
 
 class Network:
     """Lossy datagram fabric for the object-level round simulator."""
 
-    def __init__(self, loss: Optional[LossModel] = None, *, seed: SeedLike = None):
+    def __init__(
+        self,
+        loss: Optional[LossModel] = None,
+        *,
+        seed: SeedLike = None,
+        naive: bool = False,
+    ):
+        #: Reference (unoptimised) mode for the perf-regression harness:
+        #: floods materialise one :class:`Packet` per fabricated message
+        #: (with a per-packet loss draw) and channels run eagerly-seeded,
+        #: object-level bounded acceptance.  Statistically equivalent to
+        #: the fast path but on a different RNG stream — benchmark use
+        #: only, never for golden-traced runs.
+        self.naive = naive
         self._seeds = SeedSequenceFactory(seed)
         self.loss = loss if loss is not None else LossModel(0.0, seed=self._seeds.next_seed())
+        # Bound once: ``delivered`` runs for every sent packet, and the
+        # bound method stays valid across ``LossModel.reseed`` (which
+        # swaps the generator inside the model, not the model itself).
+        self._delivered = self.loss.delivered
         self._channels: Dict[int, Dict[int, BoundedChannel]] = {}
+        # Shared per-port address tables: every process sending to the
+        # same well-known port uses the same {node: Address} dict, so a
+        # group of n processes builds n Address objects per port instead
+        # of n² (one table per sender).
+        self._wk_addrs: Dict[int, Dict[int, Address]] = {}
         self.sent_packets = 0
         self.lost_packets = 0
         self.dead_lettered = 0
+        self.channels_opened = 0
         # Passive wiretaps (the paper's snooping adversary): each is
         # called with every packet in transit.  What a tap can *learn*
         # is limited by what the payload exposes — sealed envelopes
@@ -45,18 +69,57 @@ class Network:
         """Create the port table for ``node`` (idempotent)."""
         self._channels.setdefault(node, {})
 
+    def wk_addrs(self, port: int, members) -> Dict[int, Address]:
+        """The shared ``{node: Address(node, port)}`` table for ``port``.
+
+        Built once per (network, port) and handed out to every process,
+        read-only by convention; senders index it instead of holding a
+        private per-process copy.
+        """
+        table = self._wk_addrs.get(port)
+        if table is None:
+            table = self._wk_addrs[port] = {
+                m: Address(m, port) for m in members
+            }
+        elif len(table) != len(members):
+            for m in members:
+                if m not in table:
+                    table[m] = Address(m, port)
+        return table
+
     def open_port(self, addr: Address) -> BoundedChannel:
         """Open ``addr`` for reception and return its channel."""
-        ports = self._channels.setdefault(addr.node, {})
-        if addr.port not in ports:
-            ports[addr.port] = BoundedChannel(addr.port, seed=self._seeds.next_seed())
-        return ports[addr.port]
+        return self.open_port_at(addr.node, addr.port)
+
+    def open_port_at(self, node: int, port: int) -> BoundedChannel:
+        """Open ``(node, port)`` for reception and return its channel.
+
+        The channel's acceptance seed is handed out as a lazy recipe:
+        the seed *position* is consumed here (identical to an eager
+        spawn), but no SeedSequence or Generator is built unless the
+        channel ever overloads and must draw its random subset.  The
+        node/port-keyed form is the hot one — per-round random reply
+        ports open without constructing a throwaway :class:`Address`.
+        """
+        ports = self._channels.setdefault(node, {})
+        channel = ports.get(port)
+        if channel is None:
+            self.channels_opened += 1
+            channel = BoundedChannel(
+                port, seed=self._seeds.next_lazy(), naive=self.naive
+            )
+            ports[port] = channel
+        return channel
 
     def close_port(self, addr: Address) -> None:
         """Close ``addr``; anything queued there is dropped."""
-        ports = self._channels.get(addr.node)
+        self.close_port_at(addr.node, addr.port)
+
+    def close_port_at(self, node: int, port: int) -> None:
+        """Close ``(node, port)``; anything queued there is dropped."""
+        ports = self._channels.get(node)
         if ports is not None:
-            ports.pop(addr.port, None)
+            ports.pop(port, None)
 
     def is_open(self, addr: Address) -> bool:
         """True when ``addr`` currently accepts packets."""
@@ -69,6 +132,19 @@ class Network:
         except KeyError:
             raise KeyError(f"port {addr} is not open") from None
 
+    def get_channel(self, addr: Address) -> Optional[BoundedChannel]:
+        """The channel behind ``addr``, or None when the port is closed."""
+        return self.channel_at(addr.node, addr.port)
+
+    def channel_at(self, node: int, port: int) -> Optional[BoundedChannel]:
+        """The channel behind ``(node, port)``, or None when closed.
+
+        One dict probe replaces the ``is_open`` + ``channel`` pair on
+        the receive hot path, with no :class:`Address` construction.
+        """
+        ports = self._channels.get(node)
+        return None if ports is None else ports.get(port)
+
     def open_ports(self, node: int) -> List[int]:
         """All ports currently open on ``node``."""
         return sorted(self._channels.get(node, {}))
@@ -76,27 +152,63 @@ class Network:
     # -- traffic ---------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
-        """Transmit one packet; returns True when it was enqueued."""
+        """Transmit one packet; returns True when it was enqueued.
+
+        ``sent_packets`` *is* the packet-allocation count (fabricated
+        flood traffic is counted here too but never materialised — see
+        :meth:`flood`), so the hot path carries no extra bookkeeping.
+        """
         self.sent_packets += 1
-        for snooper in self._snoopers:
-            snooper(packet)
-        if not self.loss.delivered():
+        if self._snoopers:
+            for snooper in self._snoopers:
+                snooper(packet)
+        if not self._delivered():
             self.lost_packets += 1
             return False
-        ports = self._channels.get(packet.dst.node)
-        if ports is None or packet.dst.port not in ports:
+        dst = packet.dst
+        ports = self._channels.get(dst.node)
+        if ports is None:
             self.dead_lettered += 1
             return False
-        ports[packet.dst.port].deliver(packet)
+        channel = ports.get(dst.port)
+        if channel is None:
+            self.dead_lettered += 1
+            return False
+        channel.deliver(packet)
         return True
 
     def flood(self, dst: Address, count: int) -> int:
         """Inject ``count`` fabricated packets at ``dst`` (attack traffic).
 
         Loss applies to attack traffic like any other; returns how many
-        packets actually reached the channel.
+        packets actually reached the channel.  The ``count`` fabricated
+        packets are never materialised as objects — loss thins them with
+        one binomial draw and the survivors land as a counter bump in
+        the channel (see :meth:`BoundedChannel.inject_fabricated`), so a
+        paper-strength flood (x=128 per victim per round) costs O(1)
+        per port instead of O(x) allocations.
         """
+        if self.naive:
+            # Reference implementation: fabricate and route ``count``
+            # real Packet objects, one loss draw each — the per-packet
+            # cost the bulk path eliminates.
+            delivered = 0
+            for _ in range(count):
+                self.sent_packets += 1
+                if not self._delivered():
+                    self.lost_packets += 1
+                    continue
+                ports = self._channels.get(dst.node)
+                if ports is None or dst.port not in ports:
+                    self.dead_lettered += 1
+                    continue
+                ports[dst.port].deliver(
+                    Packet(dst=dst, payload=None, fabricated=True)
+                )
+                delivered += 1
+            return delivered
         self.sent_packets += count
+        bump("packets_flooded_bulk", count)
         survivors = self.loss.surviving_count(count)
         self.lost_packets += count - survivors
         ports = self._channels.get(dst.node)

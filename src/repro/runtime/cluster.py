@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.adversary.attacks import AttackSpec, PortLoad
 from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.crypto.signatures import SignatureRegistry
 from repro.des.attacker import FabricatedPayload
 from repro.des.measurement import DeliveryRecord, MeasurementResult
 from repro.des.node import GossipNode
@@ -108,6 +109,8 @@ class LiveCluster:
 
         proto_cfg = config.protocol_config()
         members = list(range(config.n))
+        #: One signature trust domain per cluster (see des/cluster.py).
+        self.registry = SignatureRegistry()
         self.envs: Dict[int, RealTimeEnvironment] = {}
         self.nodes: Dict[int, GossipNode] = {}
         for pid in config.correct_ids():
@@ -122,6 +125,7 @@ class LiveCluster:
                 members,
                 seed=seeds.next_seed(),
                 on_deliver=self._record,
+                registry=self.registry,
             )
         keys = {pid: node.keys.public for pid, node in self.nodes.items()}
         for node in self.nodes.values():

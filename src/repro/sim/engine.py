@@ -32,6 +32,7 @@ from repro.net.network import Network
 from repro.sim.results import RunResult
 from repro.sim.scenario import Scenario
 from repro.util import SeedSequenceFactory
+from repro.util.profiling import Profiler, maybe_profiler
 from repro.util.rng import SeedLike
 
 
@@ -46,6 +47,8 @@ class RoundSimulator:
         attacker_cls: Optional[type] = None,
         attacker_factory=None,
         distribute_keys: bool = True,
+        profile: Optional[bool] = None,
+        naive: bool = False,
     ):
         """``attacker_cls`` overrides the static :class:`RoundAttacker`
         with an adaptive one (see :mod:`repro.adversary.adaptive`); it is
@@ -55,14 +58,33 @@ class RoundSimulator:
         seed)`` and must return a :class:`RoundAttacker`-compatible
         object.  ``distribute_keys=False`` runs the *unencrypted-ports*
         ablation: processes advertise their random reply ports in
-        cleartext, which a snooping adversary can harvest."""
+        cleartext, which a snooping adversary can harvest.
+
+        ``profile=True`` attaches a per-phase hotspot
+        :class:`~repro.util.profiling.Profiler` (read it from
+        ``self.profiler`` after :meth:`run`); ``profile=None`` defers to
+        the validated ``REPRO_PROFILE`` environment toggle.  Profiling
+        only times phases — it draws no randomness, so profiled and
+        unprofiled runs produce identical traces.
+
+        ``naive=True`` runs the network in its unoptimised reference
+        mode (object-per-packet floods, eagerly-seeded object-level
+        channels).  It samples the same distributions but consumes a
+        different RNG stream, so seeded naive and fast runs differ
+        packet-for-packet; it exists for the perf harness to measure
+        the fast path against, not for experiments."""
         self.scenario = scenario
+        if profile is None:
+            self.profiler: Optional[Profiler] = maybe_profiler(False)
+        else:
+            self.profiler = Profiler() if profile else None
         seeds = SeedSequenceFactory(seed)
         self._rng = np.random.default_rng(seeds.next_seed())
         self._perturbed = set(scenario.perturbed_ids())
         self.network = Network(
             LossModel(scenario.loss, seed=seeds.next_seed()),
             seed=seeds.next_seed(),
+            naive=naive,
         )
         config = scenario.protocol_config()
         process_cls = PROCESS_CLASSES[scenario.protocol]
@@ -83,6 +105,7 @@ class RoundSimulator:
                 seed=seeds.next_seed(),
                 has_message=(pid == scenario.source),
             )
+        self._all_procs = list(self.processes.values())
         if distribute_keys:
             keys = {pid: p.keys.public for pid, p in self.processes.items()}
             for process in self.processes.values():
@@ -124,33 +147,72 @@ class RoundSimulator:
         whatever arrived for them is discarded at round end like any
         other unread backlog.
         """
-        procs = [
-            p
-            for p in self.processes.values()
-            if p.pid not in self._perturbed
-            or self._rng.random() >= self.scenario.perturbation_prob
-        ]
+        if self._perturbed:
+            procs = [
+                p
+                for p in self.processes.values()
+                if p.pid not in self._perturbed
+                or self._rng.random() >= self.scenario.perturbation_prob
+            ]
+        else:
+            # No perturbation draws ever happen, so the stable process
+            # list is reused instead of being rebuilt every round.
+            procs = self._all_procs
+        prof = self.profiler
+        if prof is None:
+            for p in procs:
+                p.begin_round()
+            for p in procs:
+                p.send_phase()
+            self._attacker_step()
+            for p in procs:
+                p.receive_phase()
+            for p in procs:
+                p.reply_phase()
+            for p in procs:
+                p.data_phase()
+            # Drum discards all unread messages at round end.
+            self.network.end_round()
+            for p in procs:
+                p.end_round()
+            return
+        prof.phase_start("begin_round")
         for p in procs:
             p.begin_round()
+        prof.phase_stop("begin_round")
+        prof.phase_start("send_phase")
         for p in procs:
             p.send_phase()
-        if self.attacker is not None:
-            observe = getattr(self.attacker, "observe_round", None)
-            if observe is not None:
-                observe(
-                    {pid: p.has_message for pid, p in self.processes.items()}
-                )
-            self.attacker.inject_round()
+        prof.phase_stop("send_phase")
+        prof.phase_start("attacker")
+        self._attacker_step()
+        prof.phase_stop("attacker")
+        prof.phase_start("receive_phase")
         for p in procs:
             p.receive_phase()
+        prof.phase_stop("receive_phase")
+        prof.phase_start("reply_phase")
         for p in procs:
             p.reply_phase()
+        prof.phase_stop("reply_phase")
+        prof.phase_start("data_phase")
         for p in procs:
             p.data_phase()
-        # Drum discards all unread messages at round end.
+        prof.phase_stop("data_phase")
+        prof.phase_start("end_round")
         self.network.end_round()
         for p in procs:
             p.end_round()
+        prof.phase_stop("end_round")
+
+    def _attacker_step(self) -> None:
+        """Let the attacker observe the group and inject its flood."""
+        if self.attacker is None:
+            return
+        observe = getattr(self.attacker, "observe_round", None)
+        if observe is not None:
+            observe({pid: p.has_message for pid, p in self.processes.items()})
+        self.attacker.inject_round()
 
     def run(self) -> RunResult:
         """Run until the coverage threshold is met or max_rounds elapse."""
@@ -164,6 +226,7 @@ class RoundSimulator:
         ]
         counts_non = [counts[0] - counts_attacked[0]]
 
+        alive = scenario.num_alive_correct
         while counts[-1] < target and len(counts) <= scenario.max_rounds:
             self.step_round()
             total = self.holders()
@@ -173,6 +236,11 @@ class RoundSimulator:
             counts.append(total)
             counts_attacked.append(in_attacked)
             counts_non.append(total - in_attacked)
+            if total >= alive:
+                # Every alive correct process holds M: no further round
+                # can change any trajectory, so stop simulating even if
+                # a (mis)configured threshold exceeds the group size.
+                break
 
         deliveries = np.full(scenario.num_alive_correct, np.nan)
         for pid, process in self.processes.items():

@@ -58,6 +58,27 @@ class RunResult:
         """Fraction of alive correct processes that ever got M."""
         return float(self.counts[-1]) / self.scenario.num_alive_correct
 
+    def to_jsonable(self) -> dict:
+        """A canonical, JSON-serialisable view of the run.
+
+        This is the representation the golden-trace tests freeze:
+        ``json.dumps(result.to_jsonable(), sort_keys=True, indent=1)``
+        of a seeded run must stay byte-identical across engine
+        optimisations.
+        """
+        return {
+            "scenario": self.scenario.describe(),
+            "counts": [int(v) for v in self.counts],
+            "counts_attacked": [int(v) for v in self.counts_attacked],
+            "counts_non_attacked": [int(v) for v in self.counts_non_attacked],
+            "delivery_rounds": None
+            if self.delivery_rounds is None
+            else [
+                None if math.isnan(v) else float(v)
+                for v in self.delivery_rounds
+            ],
+        }
+
 
 @dataclass
 class MonteCarloResult:

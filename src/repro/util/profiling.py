@@ -1,0 +1,168 @@
+"""Lightweight profiling: per-phase hotspot timers and operation counters.
+
+The exact object-level engine is the semantic reference for every
+equivalence test, so its optimisations must be *measured*, not guessed.
+This module provides the two instruments that measurement needs:
+
+- a process-wide table of **operation counters** (packets allocated,
+  signature digests computed, channel RNGs materialised, …) bumped from
+  the hot paths themselves.  Counters are deterministic for a fixed
+  seed, which makes them CI-stable regression metrics — unlike wall
+  time, they do not vary with shared-runner load;
+- a :class:`Profiler` of **per-phase wall-time timers** that
+  :class:`~repro.sim.engine.RoundSimulator` drives through one run,
+  rendering a hotspot table for ``python -m repro simulate --profile``.
+
+``REPRO_PROFILE=1`` turns CLI profiling on from the environment; it is
+validated like ``REPRO_WORKERS`` (a bare integer, here restricted to 0
+or 1).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from repro.util.tables import Table
+
+# ---------------------------------------------------------------------------
+# operation counters
+# ---------------------------------------------------------------------------
+
+#: Process-wide operation counters.  A plain dict bump costs ~100 ns, so
+#: hot paths can afford to count unconditionally; benchmarks snapshot
+#: around a run and diff.
+_counters: Dict[str, int] = {}
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n`` (creating it at 0)."""
+    _counters[name] = _counters.get(name, 0) + n
+
+
+def counter(name: str) -> int:
+    """Current value of counter ``name`` (0 if never bumped)."""
+    return _counters.get(name, 0)
+
+
+def counters_snapshot() -> Dict[str, int]:
+    """A copy of every counter's current value."""
+    return dict(_counters)
+
+
+def reset_counters() -> None:
+    """Zero every counter (benchmarks call this between measurements)."""
+    _counters.clear()
+
+
+def counters_since(snapshot: Dict[str, int]) -> Dict[str, int]:
+    """Counter deltas relative to an earlier :func:`counters_snapshot`."""
+    return {
+        name: value - snapshot.get(name, 0)
+        for name, value in _counters.items()
+        if value != snapshot.get(name, 0)
+    }
+
+
+# ---------------------------------------------------------------------------
+# environment toggle
+# ---------------------------------------------------------------------------
+
+def profiling_enabled(default: bool = False) -> bool:
+    """Whether ``REPRO_PROFILE`` asks for profiling.
+
+    Validated like ``REPRO_WORKERS``: the value must parse as an
+    integer, and additionally must be 0 or 1.
+    """
+    raw = os.environ.get("REPRO_PROFILE")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_PROFILE must be 0 or 1, got {raw!r}"
+        ) from exc
+    if value not in (0, 1):
+        raise ValueError(f"REPRO_PROFILE must be 0 or 1, got {value}")
+    return bool(value)
+
+
+# ---------------------------------------------------------------------------
+# per-phase timers
+# ---------------------------------------------------------------------------
+
+class Profiler:
+    """Accumulates per-phase wall time over one or more simulation runs.
+
+    The engine calls ``phase_start`` / ``phase_stop`` around each round
+    phase; both are cheap enough (one ``perf_counter_ns`` each) that a
+    profiled run stays within a few percent of an unprofiled one.
+    """
+
+    __slots__ = ("phase_ns", "phase_calls", "_open")
+
+    def __init__(self):
+        self.phase_ns: Dict[str, int] = {}
+        self.phase_calls: Dict[str, int] = {}
+        self._open: Dict[str, int] = {}
+
+    def phase_start(self, name: str) -> None:
+        """Open a phase interval (one at a time per name)."""
+        self._open[name] = time.perf_counter_ns()
+
+    def phase_stop(self, name: str) -> None:
+        """Close the open interval for ``name`` and accumulate it."""
+        start = self._open.pop(name, None)
+        if start is None:
+            return
+        self.phase_ns[name] = (
+            self.phase_ns.get(name, 0) + time.perf_counter_ns() - start
+        )
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    def record(self, name: str, ns: int, calls: int = 1) -> None:
+        """Accumulate an externally measured interval."""
+        self.phase_ns[name] = self.phase_ns.get(name, 0) + int(ns)
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + calls
+
+    def merge(self, other: "Profiler") -> None:
+        """Fold another profiler's accumulated phases into this one."""
+        for name, ns in other.phase_ns.items():
+            self.record(name, ns, other.phase_calls.get(name, 0))
+
+    def total_ns(self) -> int:
+        """Sum of every phase's accumulated time."""
+        return sum(self.phase_ns.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals as a JSON-friendly dict."""
+        return {
+            name: {
+                "seconds": self.phase_ns[name] / 1e9,
+                "calls": self.phase_calls.get(name, 0),
+            }
+            for name in self.phase_ns
+        }
+
+    def hotspot_table(self, title: str = "Exact-engine hotspots") -> Table:
+        """Phases sorted by total time, with share-of-total percentages."""
+        table = Table(title, ["phase", "calls", "total [ms]", "share"])
+        total = self.total_ns() or 1
+        for name in sorted(
+            self.phase_ns, key=self.phase_ns.get, reverse=True
+        ):
+            ns = self.phase_ns[name]
+            table.add_row(
+                name,
+                self.phase_calls.get(name, 0),
+                round(ns / 1e6, 3),
+                f"{100.0 * ns / total:.1f}%",
+            )
+        return table
+
+
+def maybe_profiler(default: bool = False) -> Optional[Profiler]:
+    """A fresh :class:`Profiler` when profiling is enabled, else None."""
+    return Profiler() if profiling_enabled(default) else None

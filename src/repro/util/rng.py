@@ -12,20 +12,54 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+SeedLike = Union[
+    None, int, "LazySeed", np.random.SeedSequence, np.random.Generator
+]
+
+
+class LazySeed:
+    """A recipe for one positional child of a :class:`~numpy.random.SeedSequence`.
+
+    Materialising a ``SeedSequence`` (and especially a ``Generator`` on
+    top of it) costs microseconds that dominate hot loops which open
+    thousands of per-round channels whose RNG is almost never drawn
+    from.  A ``LazySeed`` carries only ``(entropy, spawn_key, index)``
+    and builds the *identical* child sequence — ``SeedSequence.spawn``
+    derives child ``i`` as ``SeedSequence(entropy, spawn_key + (i,))`` —
+    only when someone actually needs random numbers.
+    """
+
+    __slots__ = ("entropy", "spawn_key", "pool_size")
+
+    def __init__(self, entropy, spawn_key, pool_size):
+        self.entropy = entropy
+        self.spawn_key = spawn_key
+        self.pool_size = pool_size
+
+    def resolve(self) -> np.random.SeedSequence:
+        """Build the seed sequence this recipe describes."""
+        return np.random.SeedSequence(
+            entropy=self.entropy,
+            spawn_key=self.spawn_key,
+            pool_size=self.pool_size,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LazySeed(spawn_key={self.spawn_key})"
 
 
 def derive_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Accepts ``None`` (fresh entropy), an integer seed, a
-    :class:`numpy.random.SeedSequence`, or an existing generator (returned
-    unchanged, so callers can thread one generator through a pipeline).
+    :class:`numpy.random.SeedSequence`, a :class:`LazySeed`, or an
+    existing generator (returned unchanged, so callers can thread one
+    generator through a pipeline).
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    if isinstance(seed, np.random.SeedSequence):
-        return np.random.default_rng(seed)
+    if isinstance(seed, LazySeed):
+        return np.random.default_rng(seed.resolve())
     return np.random.default_rng(seed)
 
 
@@ -57,6 +91,8 @@ class SeedSequenceFactory:
     """
 
     def __init__(self, seed: SeedLike = None):
+        if isinstance(seed, LazySeed):
+            seed = seed.resolve()
         if isinstance(seed, np.random.SeedSequence):
             self._root = seed
         elif isinstance(seed, np.random.Generator):
@@ -64,6 +100,14 @@ class SeedSequenceFactory:
         else:
             self._root = np.random.SeedSequence(seed)
         self._count = 0
+        # Children are derived positionally — child i is
+        # SeedSequence(entropy, spawn_key + (i,)), exactly what
+        # ``self._root.spawn`` would hand out — starting past any
+        # children the root spawned before we got it.  Positional
+        # derivation keeps ``next_lazy`` O(1) with no SeedSequence
+        # construction at all.
+        self._base = int(self._root.n_children_spawned)
+        self._key = tuple(self._root.spawn_key)
 
     @property
     def spawned(self) -> int:
@@ -72,11 +116,30 @@ class SeedSequenceFactory:
 
     def next_seed(self) -> np.random.SeedSequence:
         """Return the next child seed sequence."""
-        child = self._root.spawn(1)[0]
-        # SeedSequence.spawn mutates spawn_key bookkeeping on the parent,
-        # so successive calls yield distinct children.
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=self._key + (self._base + self._count,),
+            pool_size=self._root.pool_size,
+        )
         self._count += 1
         return child
+
+    def next_lazy(self) -> LazySeed:
+        """Return the next child seed as an unmaterialised recipe.
+
+        The recipe resolves to byte-identical state to what
+        :meth:`next_seed` would have returned at this position, but
+        costs only a tuple concatenation now; components whose RNG is
+        rarely exercised (e.g. single-reply bounded channels) defer the
+        entire SeedSequence + Generator construction until first use.
+        """
+        lazy = LazySeed(
+            self._root.entropy,
+            self._key + (self._base + self._count,),
+            self._root.pool_size,
+        )
+        self._count += 1
+        return lazy
 
     def next_rng(self) -> np.random.Generator:
         """Return a generator built on the next child seed."""

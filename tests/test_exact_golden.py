@@ -1,0 +1,100 @@
+"""Golden-trace pinning of the exact object-level engine.
+
+The exact engine consumes randomness in a pinned order, so a seeded
+run's ``RunResult.to_jsonable()`` JSON is a complete fingerprint of the
+trace: any change to RNG consumption order, acceptance math, packet
+routing, or round accounting shows up as a byte diff.  These tests
+freeze one seeded scenario per protocol (drum, push, pull) plus both
+Section 9 ablations against committed golden files, which is what lets
+the profile-guided fast path claim *exact* equivalence with the
+pre-optimisation engine rather than statistical similarity.
+
+Regenerating a golden file (only when a change is *meant* to alter the
+trace) is the test body itself: run the scenario and write ``render()``
+to ``tests/golden/exact_<protocol>.json``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.adversary.attacks import AttackSpec
+from repro.crypto.signatures import default_registry
+from repro.sim.engine import RoundSimulator
+from repro.sim.scenario import Scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: protocol -> pinned seed.  Distinct seeds so no two golden traces can
+#: accidentally share a randomness stream.
+CASES = {
+    "drum": 1234,
+    "push": 2345,
+    "pull": 3456,
+    "drum-no-random-ports": 4567,
+    "drum-shared-bounds": 5678,
+}
+
+
+def golden_scenario(protocol: str) -> Scenario:
+    return Scenario(
+        protocol=protocol,
+        n=48,
+        malicious_fraction=0.1,
+        attack=AttackSpec(alpha=0.25, x=32.0),
+        max_rounds=200,
+    )
+
+
+def render(result) -> str:
+    return json.dumps(result.to_jsonable(), sort_keys=True, indent=1) + "\n"
+
+
+@pytest.mark.parametrize("protocol", sorted(CASES))
+def test_golden_trace_byte_identical(protocol):
+    result = RoundSimulator(
+        golden_scenario(protocol), seed=CASES[protocol]
+    ).run()
+    path = GOLDEN_DIR / f"exact_{protocol.replace('-', '_')}.json"
+    assert render(result) == path.read_text(), (
+        f"seeded {protocol} trace diverged from {path.name}; the engine "
+        "is no longer byte-identical to the recorded behaviour"
+    )
+
+
+def test_profiling_does_not_perturb_the_trace():
+    """--profile only adds timers: the profiled trace is the trace."""
+    scenario = golden_scenario("drum")
+    plain = RoundSimulator(scenario, seed=CASES["drum"]).run()
+    sim = RoundSimulator(scenario, seed=CASES["drum"], profile=True)
+    profiled = sim.run()
+    assert render(profiled) == render(plain)
+    assert sim.profiler is not None
+    assert sim.profiler.total_ns() > 0
+    assert sim.profiler.phase_calls  # at least one phase recorded
+
+
+def test_naive_reference_mode_is_statistically_equivalent():
+    """The perf harness's reference mode runs the same protocol.
+
+    ``naive=True`` replays the textbook object-per-packet implementation
+    on a different RNG stream, so traces differ — but both must complete
+    the same dissemination task under the same attack.
+    """
+    scenario = golden_scenario("drum")
+    fast = RoundSimulator(scenario, seed=7).run()
+    naive = RoundSimulator(scenario, seed=7, naive=True).run()
+    assert fast.final_coverage() == 1.0
+    assert naive.final_coverage() == 1.0
+    assert int(fast.counts[0]) == int(naive.counts[0]) == 1
+
+
+def test_default_signature_registry_not_grown_by_exact_runs():
+    """Regression: exact-engine runs must not leak into the module-global
+    signature registry (it used to grow one entry per signed message for
+    the life of the process)."""
+    before = len(default_registry())
+    for protocol, seed in CASES.items():
+        RoundSimulator(golden_scenario(protocol), seed=seed).run()
+    assert len(default_registry()) == before

@@ -1,0 +1,104 @@
+"""Tests for the profiling layer: counters, env toggle, phase timers."""
+
+import time
+
+import pytest
+
+from repro.util.profiling import (
+    Profiler,
+    bump,
+    counter,
+    counters_since,
+    counters_snapshot,
+    maybe_profiler,
+    profiling_enabled,
+    reset_counters,
+)
+
+
+class TestCounters:
+    def test_bump_and_read(self):
+        before = counter("test_bump_and_read")
+        bump("test_bump_and_read")
+        bump("test_bump_and_read", 4)
+        assert counter("test_bump_and_read") == before + 5
+
+    def test_unknown_counter_is_zero(self):
+        assert counter("never_bumped_counter_name") == 0
+
+    def test_since_reports_only_deltas(self):
+        snapshot = counters_snapshot()
+        bump("test_since_delta", 3)
+        delta = counters_since(snapshot)
+        assert delta["test_since_delta"] == 3
+        assert all(v != 0 for v in delta.values())
+
+    def test_reset_clears_everything(self):
+        bump("test_reset_clears")
+        reset_counters()
+        assert counter("test_reset_clears") == 0
+        assert counters_snapshot() == {}
+
+
+class TestProfilingEnabled:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profiling_enabled() is False
+        assert profiling_enabled(True) is True
+
+    @pytest.mark.parametrize("raw,expected", [("0", False), ("1", True)])
+    def test_valid_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_PROFILE", raw)
+        assert profiling_enabled() is expected
+
+    @pytest.mark.parametrize("raw", ["2", "-1", "yes", "true", ""])
+    def test_invalid_values_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_PROFILE", raw)
+        with pytest.raises(ValueError, match="REPRO_PROFILE must be 0 or 1"):
+            profiling_enabled()
+
+    def test_maybe_profiler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert isinstance(maybe_profiler(), Profiler)
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert maybe_profiler() is None
+
+
+class TestProfiler:
+    def test_phase_accumulation(self):
+        profiler = Profiler()
+        for _ in range(3):
+            profiler.phase_start("work")
+            time.sleep(0.001)
+            profiler.phase_stop("work")
+        assert profiler.phase_calls["work"] == 3
+        assert profiler.phase_ns["work"] >= 3_000_000
+        assert profiler.total_ns() == profiler.phase_ns["work"]
+
+    def test_stop_without_start_is_ignored(self):
+        profiler = Profiler()
+        profiler.phase_stop("never-started")
+        assert profiler.phase_ns == {}
+
+    def test_record_and_merge(self):
+        a, b = Profiler(), Profiler()
+        a.record("send", 1000, calls=2)
+        b.record("send", 500)
+        b.record("drain", 200)
+        a.merge(b)
+        assert a.phase_ns == {"send": 1500, "drain": 200}
+        assert a.phase_calls == {"send": 3, "drain": 1}
+
+    def test_snapshot_is_json_friendly(self):
+        profiler = Profiler()
+        profiler.record("send", 2_000_000, calls=4)
+        snap = profiler.snapshot()
+        assert snap == {"send": {"seconds": 0.002, "calls": 4}}
+
+    def test_hotspot_table_sorted_by_time(self):
+        profiler = Profiler()
+        profiler.record("minor", 1_000_000)
+        profiler.record("major", 9_000_000)
+        rendered = str(profiler.hotspot_table())
+        assert rendered.index("major") < rendered.index("minor")
+        assert "90.0%" in rendered
