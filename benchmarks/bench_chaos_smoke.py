@@ -1,0 +1,148 @@
+"""Chaos smoke harness: one fault plan, all three execution stacks.
+
+Runs the PR-acceptance fault plan — 10% crash at round 5, a 40/60
+partition over rounds 8-15, Gilbert–Elliott bursty loss — through the
+exact round engine, the vectorised Monte-Carlo engine, and the
+discrete-event cluster, **twice each with the same seed**, and asserts
+the two passes produce identical results.  That pins the seed-
+determinism contract the fault layer promises (the live threaded stack
+is exercised by tests instead: wall-clock runs are only plan-level
+deterministic).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_smoke.py --check
+
+``--check`` exits non-zero on any mismatch or on residual reliability
+falling below the recorded floors; without it the results are printed
+only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import RESULTS_DIR
+
+from repro.des.cluster import ClusterConfig, run_throughput_experiment
+from repro.sim import RoundSimulator, Scenario, run_fast
+
+#: The acceptance plan (see ISSUE/EXPERIMENTS: combined crash +
+#: partition + bursty loss).
+CHAOS = "crash@5:0.1;partition@8-15:0.4;gilbert:0.01,0.3,0.05,0.25"
+SEED = 2024
+
+#: Minimum mean residual reliability each stack must sustain under the
+#: plan.  Drum reaches every reachable process in these configurations;
+#: the floors leave a little room for future protocol-parameter drift.
+FLOORS = {"exact": 0.99, "fast": 0.99, "des": 0.95}
+
+
+def run_exact_stack() -> dict:
+    scenario = Scenario(
+        protocol="drum", n=30, loss=0.01, max_rounds=120, faults=CHAOS
+    )
+    passes = []
+    for _ in range(2):
+        result = RoundSimulator(scenario, seed=SEED).run()
+        passes.append(
+            json.dumps(result.to_jsonable(), sort_keys=True)
+        )
+    result = RoundSimulator(scenario, seed=SEED).run()
+    return {
+        "deterministic": passes[0] == passes[1],
+        "residual_reliability": float(result.residual_reliability),
+        "rounds_to_heal": (
+            None
+            if result.rounds_to_heal is None or np.isnan(result.rounds_to_heal)
+            else float(result.rounds_to_heal)
+        ),
+        "final_count": int(result.counts[-1]),
+    }
+
+
+def run_fast_stack() -> dict:
+    scenario = Scenario(
+        protocol="drum", n=60, loss=0.01, max_rounds=150, faults=CHAOS
+    )
+    a = run_fast(scenario, runs=20, seed=SEED)
+    b = run_fast(scenario, runs=20, seed=SEED)
+    deterministic = bool(
+        np.array_equal(a.counts, b.counts)
+        and np.array_equal(a.reachable_holders, b.reachable_holders)
+    )
+    return {
+        "deterministic": deterministic,
+        "residual_reliability": float(a.residual_reliability().mean()),
+        "mean_final_count": float(a.counts[:, -1].mean()),
+    }
+
+
+def run_des_stack() -> dict:
+    config = ClusterConfig(
+        protocol="drum", n=20, malicious_fraction=0.1,
+        send_rate=20.0, messages=30,
+        faults="crash@3:0.15;partition@5-9:0.4;gilbert:0.01,0.3,0.05,0.25",
+    )
+    a = run_throughput_experiment(config, seed=SEED)
+    b = run_throughput_experiment(config, seed=SEED)
+    ja = json.dumps(a.to_jsonable(), sort_keys=True)
+    jb = json.dumps(b.to_jsonable(), sort_keys=True)
+    return {
+        "deterministic": ja == jb,
+        "residual_reliability": a.residual_reliability(),
+        "delivery_ratio": a.delivery_ratio(),
+        "reachable_receivers": len(a.reachable_receivers),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on nondeterminism or residual reliability below floor",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    results = {
+        "exact": run_exact_stack(),
+        "fast": run_fast_stack(),
+        "des": run_des_stack(),
+    }
+    print(json.dumps({"plan": CHAOS, "seed": SEED, **results}, indent=2))
+
+    out = args.output or RESULTS_DIR / "BENCH_chaos_smoke.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump({"plan": CHAOS, "seed": SEED, **results}, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        failures = []
+        for stack, payload in results.items():
+            if not payload["deterministic"]:
+                failures.append(f"{stack}: repeated seeded runs differ")
+            if payload["residual_reliability"] < FLOORS[stack]:
+                failures.append(
+                    f"{stack}: residual reliability "
+                    f"{payload['residual_reliability']:.4f} < {FLOORS[stack]}"
+                )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: all stacks deterministic and above floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

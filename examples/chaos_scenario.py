@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Chaos study: graceful degradation under DoS + churn + bursty loss.
+
+Takes the paper's flagship DoS setting (10% malicious members flooding
+10% of the correct processes, 128 fabricated messages per round) and
+piles real-world failure modes on top with a composable
+:class:`~repro.faults.FaultPlan`:
+
+- 10% of the correct processes crash at round 5 and rejoin at round 20
+  (churn);
+- a 40/60 network partition from round 8 that heals at round 15;
+- Gilbert-Elliott bursty link loss (1% in the good state, 30% in the
+  bad state) instead of the paper's i.i.d. 1%.
+
+Raw coverage counts are misleading under faults — a crashed process
+cannot possibly deliver while it is down — so the study reports
+*residual reliability* (the fraction of reachable correct processes
+that got the message) and *rounds to heal* (how long after the
+partition heals until coverage crosses 99%).  Every protocol eventually
+reaches everyone here, but Drum absorbs the combined stress in a few
+rounds while the unbalanced protocols stay starved by the DoS flood
+(which crosses partitions: the attacker is outside the group) long
+after the network itself has recovered.
+
+The same plan string also drives the discrete-event cluster
+(``ClusterConfig(faults=...)``), the live threaded runtime
+(``LiveClusterConfig(faults=...)``), and the CLI (``--faults``).
+
+Run:  python examples/chaos_scenario.py
+"""
+
+import numpy as np
+
+from repro import AttackSpec, Scenario
+from repro.sim import run_fast
+from repro.util import Table
+
+CHAOS = "crash@5-20:0.1;partition@8-15:0.4;gilbert:0.01,0.3,0.05,0.25"
+
+
+def main() -> None:
+    attack = AttackSpec(alpha=0.1, x=128)
+    table = Table(
+        "Degradation under DoS + churn + partition + bursty loss "
+        "(n=60, x=128, 100 runs)",
+        [
+            "protocol",
+            "mean residual reliability",
+            "mean rounds to 99%",
+            "mean rounds to heal",
+        ],
+    )
+    for protocol in ("drum", "push", "pull"):
+        result = run_fast(
+            Scenario(
+                protocol=protocol,
+                n=60,
+                malicious_fraction=0.1,
+                attack=attack,
+                max_rounds=300,
+                faults=CHAOS,
+            ),
+            runs=100,
+            seed=7,
+        )
+        rr = result.residual_reliability()
+        rtt = result.rounds_to_threshold()
+        finite = rtt[~np.isnan(rtt)]
+        heal = result.rounds_to_heal()
+        table.add_row(
+            protocol,
+            f"{rr.mean():.4f}",
+            f"{finite.mean():.1f}" if finite.size else "censored",
+            f"{np.nanmean(heal):.1f}",
+        )
+    print(table)
+    print()
+    print(f"fault plan: {CHAOS}")
+    print(
+        "Drum is back to full coverage a few rounds after the partition\n"
+        "heals; Push and Pull need several times longer because the flood\n"
+        "keeps starving their single unprotected channel.  The same plan\n"
+        "string drives all three stacks (simulate --faults,\n"
+        "ClusterConfig(faults=...), LiveClusterConfig(faults=...))."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults, e.g. "
+             "'crash@5:0.1;partition@8-15:0.4;gilbert:0.01,0.3,0.05,0.25' "
+             "(clauses: crash@R[-R]:F, partition@R-R:F, stall@R-R:F, "
+             "loss:P, gilbert:LG,LB,PGB,PBG, delay:MS[~JIT], reorder:P, "
+             "dup:P)",
+    )
+
+
 def _attack(args) -> Optional[AttackSpec]:
     if args.alpha > 0 and args.rate > 0:
         return AttackSpec(alpha=args.alpha, x=args.rate)
@@ -97,6 +108,7 @@ def cmd_simulate(args) -> int:
         malicious_fraction=args.malicious if attack else 0.0,
         attack=attack,
         max_rounds=args.max_rounds,
+        faults=args.faults,
     )
     result = monte_carlo(
         scenario, runs=args.runs, seed=args.seed, workers=args.workers
@@ -106,6 +118,16 @@ def cmd_simulate(args) -> int:
         "std": result.std_rounds(),
         "censored runs": result.censored_runs(),
     }
+    if scenario.faults is not None:
+        payload["mean residual reliability"] = float(
+            np.mean(result.residual_reliability())
+        )
+        heal = result.rounds_to_heal()
+        if heal is not None:
+            finite = heal[~np.isnan(heal)]
+            payload["mean rounds to heal"] = (
+                float(finite.mean()) if finite.size else float("nan")
+            )
     profiler = None
     if args.profile or profiling_enabled(False):
         # One seeded exact-engine pass with per-phase timers; profiling
@@ -170,6 +192,7 @@ def cmd_measure(args) -> int:
         messages=args.messages,
         send_rate=args.send_rate,
         round_duration_ms=args.round_ms,
+        faults=args.faults,
     )
     result = run_throughput_experiment(config, seed=args.seed)
     throughput = result.throughput()
@@ -178,16 +201,19 @@ def cmd_measure(args) -> int:
         for samples in result.latencies_by_process().values()
         for latency in samples
     ]
+    payload = {
+        "received throughput [msg/s]": throughput.mean_msgs_per_sec,
+        "delivery ratio": result.delivery_ratio(),
+        "mean latency [ms]": float(np.mean(latencies)) if latencies else float("nan"),
+        "p99 latency [ms]": float(np.percentile(latencies, 99)) if latencies else float("nan"),
+    }
+    if result.faults is not None:
+        payload["residual reliability"] = result.residual_reliability()
     _emit(
         args,
         f"Measurement: {args.protocol}, n={args.n}, "
         f"{args.messages} msgs @ {args.send_rate:g}/s",
-        {
-            "received throughput [msg/s]": throughput.mean_msgs_per_sec,
-            "delivery ratio": result.delivery_ratio(),
-            "mean latency [ms]": float(np.mean(latencies)) if latencies else float("nan"),
-            "p99 latency [ms]": float(np.percentile(latencies, 99)) if latencies else float("nan"),
-        },
+        payload,
     )
     return 0
 
@@ -201,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="round-based Monte-Carlo simulation")
     _add_common(p_sim)
+    _add_faults(p_sim)
     p_sim.add_argument("--runs", type=int, default=100)
     p_sim.add_argument("--max-rounds", type=int, default=400)
     p_sim.add_argument(
@@ -227,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_meas = sub.add_parser("measure", help="full-protocol stream measurement")
     _add_common(p_meas)
+    _add_faults(p_meas)
     p_meas.add_argument("--messages", type=int, default=400)
     p_meas.add_argument("--send-rate", type=float, default=40.0)
     p_meas.add_argument("--round-ms", type=float, default=1000.0)

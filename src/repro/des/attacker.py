@@ -100,7 +100,16 @@ class AttackerProcess:
     def _burst(self) -> None:
         if not self.running:
             return
-        src = Address(0, 0) if self.attacker_id < 0 else Address(self.attacker_id, 0)
+        # The spoofed source claims a node id *outside* the group (the
+        # same convention as the live runtime's attacker): the flood
+        # must stay distinguishable from member traffic for fault
+        # injection, where a partition cuts member links but never
+        # shields victims from an external DoS stream.
+        src = (
+            Address(10**6, 0)
+            if self.attacker_id < 0
+            else Address(self.attacker_id, 0)
+        )
         interval = self.round_duration_ms / self.bursts_per_round
         rates = self._port_rates()
         for victim in self.victims:

@@ -27,6 +27,8 @@ from repro.des.environment import SimEnvironment
 from repro.des.measurement import DeliveryRecord, MeasurementResult
 from repro.des.node import GossipNode
 from repro.crypto.signatures import SignatureRegistry
+from repro.faults.des import DesFaultController
+from repro.faults.plan import FaultPlan
 from repro.util import SeedSequenceFactory, check_fraction, check_probability
 from repro.util.rng import SeedLike
 
@@ -57,6 +59,11 @@ class ClusterConfig:
     #: keeps every buffer and digest non-trivially populated without
     #: drowning the discrete-event run in background data exchange.
     background_rate: float = 0.25
+    #: Injected faults (see :mod:`repro.faults`): the same plans the
+    #: round engines run, with round windows anchored to the global
+    #: fault clock (round r = [(r-1)·round_duration_ms, r·round_ms)).
+    #: Accepts a :class:`FaultPlan` or a CLI spec string.
+    faults: Optional[Union[FaultPlan, str]] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.protocol, str):
@@ -75,6 +82,24 @@ class ClusterConfig:
                 raise ValueError(
                     f"attack targets {victims} processes; only "
                     f"{self.num_correct} are correct"
+                )
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultPlan.parse(self.faults))
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise TypeError(
+                    f"faults must be a FaultPlan or spec string, got "
+                    f"{self.faults!r}"
+                )
+            if self.faults.is_empty:
+                object.__setattr__(self, "faults", None)
+            else:
+                # Cluster experiments have no fixed round horizon; event
+                # start rounds are validated against group size only.
+                self.faults.validate_for(
+                    n=self.n,
+                    num_alive_correct=self.num_correct,
+                    max_rounds=10**9,
                 )
 
     # -- group layout (mirrors repro.sim.scenario.Scenario) -------------------
@@ -167,6 +192,22 @@ class _Cluster:
                 seed=seeds.next_seed(),
             )
 
+        # Fault wiring comes last, and its seed draw only happens when a
+        # plan is present — faultless seeded clusters replay their
+        # historical streams exactly.
+        self.fault_controller: Optional[DesFaultController] = None
+        if config.faults is not None:
+            self.fault_controller = DesFaultController(
+                config.faults,
+                env=self.env,
+                nodes=self.nodes,
+                n=config.n,
+                num_alive_correct=config.num_correct,
+                round_duration_ms=config.round_duration_ms,
+                seed=seeds.next_seed(),
+            )
+            self.fault_controller.install()
+
     def _record_delivery(self, pid: int, message, now: float) -> None:
         created = self.created_at.get(message.msg_id)
         if created is None:
@@ -251,8 +292,18 @@ def run_throughput_experiment(
 
     t_send_end = t0 + config.messages * interval
     drain = (config.purge_rounds + 3) * config.round_duration_ms
-    cluster.env.loop.run_until(t_send_end + drain)
+    horizon_ms = t_send_end + drain
+    cluster.env.loop.run_until(horizon_ms)
     cluster.stop()
+
+    reachable: Optional[List[int]] = None
+    faults_desc: Optional[str] = None
+    if cluster.fault_controller is not None:
+        faults_desc = config.faults.describe()
+        reachable_ids = cluster.fault_controller.reachable_ids(horizon_ms)
+        reachable = [
+            pid for pid in config.receiver_ids() if pid in reachable_ids
+        ]
 
     return MeasurementResult(
         protocol=config.protocol.value,
@@ -263,6 +314,8 @@ def run_throughput_experiment(
         experiment_start_ms=t0,
         experiment_end_ms=t_send_end,
         deliveries=cluster.deliveries,
+        reachable_receivers=reachable,
+        faults=faults_desc,
     )
 
 

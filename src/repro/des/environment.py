@@ -84,6 +84,22 @@ class SimEnvironment(Environment):
         self.sent = 0
         self.lost = 0
         self.dead_lettered = 0
+        self.blocked = 0
+        self.duplicated = 0
+        # Fault-injection hooks, assigned *after* construction (so the
+        # constructor's seed position never moves) by the cluster's
+        # fault wiring; each draws extra randomness only when set, which
+        # keeps faultless seeded runs on their historical streams.
+        #: Replacement loss sampler (``delivered() -> bool``), e.g. a
+        #: :class:`~repro.faults.gilbert.GilbertElliottModel`; overrides
+        #: the scalar ``loss``.
+        self.loss_model = None
+        #: A :class:`~repro.faults.plan.LinkFaults` for timing shaping:
+        #: extra delay/jitter, reordering, duplication.
+        self.link_faults = None
+        #: Drop predicate ``(src_node, dst_node) -> bool`` for crash /
+        #: partition / stall windows.
+        self.block_fn = None
 
     def now(self) -> float:
         return self.loop.now
@@ -106,7 +122,16 @@ class SimEnvironment(Environment):
 
     def send(self, src: Address, dst: Address, payload: object) -> None:
         self.sent += 1
-        if self.loss and self._rng.random() < self.loss:
+        if self.block_fn is not None and self.block_fn(src.node, dst.node):
+            # A crashed machine or partition cut, not a lossy link:
+            # counted separately, no randomness consumed.
+            self.blocked += 1
+            return
+        if self.loss_model is not None:
+            if not self.loss_model.delivered():
+                self.lost += 1
+                return
+        elif self.loss and self._rng.random() < self.loss:
             self.lost += 1
             return
         lo, hi = self.latency_range_ms
@@ -118,6 +143,29 @@ class SimEnvironment(Environment):
                 self.dead_lettered += 1
                 return
             handler(src, payload)
+
+        lf = self.link_faults
+        if lf is not None and lf.shapes_timing:
+            latency += lf.delay_ms
+            if lf.jitter_ms > 0:
+                latency = max(
+                    0.0,
+                    latency
+                    + float(self._rng.uniform(-lf.jitter_ms, lf.jitter_ms)),
+                )
+            if lf.reorder_prob > 0 and self._rng.random() < lf.reorder_prob:
+                # Hold the packet back past anything sent in the next
+                # latency-plus-delay span, so it overtakes nothing and
+                # later packets overtake it.
+                span = hi + lf.delay_ms + lf.jitter_ms
+                latency += span * float(self._rng.uniform(1.0, 2.0))
+            if (
+                lf.duplicate_prob > 0
+                and self._rng.random() < lf.duplicate_prob
+            ):
+                self.duplicated += 1
+                dup = lo if hi == lo else float(self._rng.uniform(lo, hi))
+                self.loop.schedule(dup + lf.delay_ms, _deliver)
 
         self.loop.schedule(latency, _deliver)
 

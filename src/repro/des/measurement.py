@@ -40,6 +40,14 @@ class MeasurementResult:
     experiment_start_ms: float
     experiment_end_ms: float
     deliveries: List[DeliveryRecord] = field(default_factory=list)
+    #: Receivers that could possibly get the stream given the injected
+    #: faults (not crashed for good, not stranded by an unhealed
+    #: partition); None on faultless experiments, where every correct
+    #: receiver is reachable.
+    reachable_receivers: Optional[List[int]] = None
+    #: The fault plan's spec string (``FaultPlan.describe()``), for
+    #: reports; None on faultless experiments.
+    faults: Optional[str] = None
 
     # -- throughput (Figure 10) -----------------------------------------------
 
@@ -133,3 +141,52 @@ class MeasurementResult:
             1 for r in self.deliveries if r.receiver in set(self.correct_receivers)
         )
         return delivered / possible
+
+    # -- graceful degradation under faults ----------------------------------
+
+    def residual_reliability(self) -> float:
+        """Delivery ratio counted only over *reachable* receivers.
+
+        Under a fault plan, receivers that crash for good or end up on
+        the wrong side of a never-healing partition cannot possibly get
+        the stream; counting them would conflate protocol degradation
+        with plain unreachability.  Faultless experiments have
+        ``reachable_receivers is None`` and this equals
+        :meth:`delivery_ratio`.
+        """
+        receivers = (
+            self.correct_receivers
+            if self.reachable_receivers is None
+            else self.reachable_receivers
+        )
+        possible = self.messages_sent * len(receivers)
+        if possible == 0:
+            return 0.0
+        eligible = set(receivers)
+        distinct = set()
+        for record in self.deliveries:
+            if record.receiver in eligible:
+                distinct.add((record.receiver, record.msg_id))
+        return len(distinct) / possible
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """A JSON-ready summary (per-delivery records are elided)."""
+        out: Dict[str, object] = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "correct_receivers": list(self.correct_receivers),
+            "send_rate": self.send_rate,
+            "messages_sent": self.messages_sent,
+            "experiment_start_ms": self.experiment_start_ms,
+            "experiment_end_ms": self.experiment_end_ms,
+            "deliveries": len(self.deliveries),
+            "delivery_ratio": self.delivery_ratio(),
+        }
+        if self.faults is not None:
+            out["faults"] = self.faults
+            out["residual_reliability"] = self.residual_reliability()
+            if self.reachable_receivers is not None:
+                out["reachable_receivers"] = list(self.reachable_receivers)
+        return out

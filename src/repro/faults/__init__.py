@@ -1,0 +1,29 @@
+"""Composable, seed-deterministic fault injection.
+
+One :class:`FaultPlan` — link degradation (Gilbert–Elliott bursty loss,
+delay/jitter, reordering, duplication) plus scheduled events (crash /
+recover, partition / heal, sender stall) — is consumed uniformly by all
+three execution stacks: the round-based engines, the discrete-event
+cluster, and the live threaded runtime.  See :mod:`repro.faults.plan`
+for the model and the determinism contract.
+"""
+
+from repro.faults.gilbert import GilbertElliottModel
+from repro.faults.plan import (
+    CrashNodes,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+    SenderStall,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "CrashNodes",
+    "FaultPlan",
+    "FaultSchedule",
+    "GilbertElliottModel",
+    "LinkFaults",
+    "Partition",
+    "SenderStall",
+]

@@ -1,0 +1,256 @@
+"""Fault injection for the live threaded runtime.
+
+The live stack has no event loop to hook, so a plan is applied with two
+small pieces:
+
+- :class:`FaultyTransport` wraps any :class:`~repro.net.transport.Transport`
+  and applies the plan's *link* conditions (Gilbert–Elliott loss, delay
+  and jitter, reordering, duplication) plus the packet-level effects of
+  scheduled events (partition cuts, stall muting, traffic touching a
+  crashed machine).  The fault round is derived from the wall clock:
+  round ``r`` spans ``[(r-1)·round_duration_ms, r·round_duration_ms)``
+  measured from :meth:`FaultyTransport.start_clock` — the same global
+  fault clock the discrete-event stack uses.
+- :class:`LiveFaultDriver` runs crash / recover windows from a small
+  timer thread, calling ``node.stop()`` / ``node.start()`` at the round
+  boundaries.  It takes the *nodes* mapping rather than the cluster
+  object, so this module never imports the runtime package.
+
+Both are deterministic given a seed only up to thread scheduling — live
+runs are wall-clock programs, so the contract here is weaker than the
+simulators': the *plan* (who crashes when, which links are cut) is
+exactly reproducible, while packet-level interleaving is not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.gilbert import GilbertElliottModel
+from repro.faults.plan import FaultPlan
+from repro.faults.schedule import FaultSchedule
+from repro.net.address import Address
+from repro.net.transport import Handler, Transport
+from repro.util import derive_rng
+from repro.util.rng import SeedLike
+
+
+class FaultyTransport(Transport):
+    """A transport decorator applying a :class:`FaultPlan` to every send."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        plan: FaultPlan,
+        *,
+        n: int,
+        num_alive_correct: int,
+        round_duration_ms: float,
+        seed: SeedLike = None,
+    ):
+        super().__init__(loss=None)
+        if round_duration_ms <= 0:
+            raise ValueError(
+                f"round_duration_ms must be > 0, got {round_duration_ms}"
+            )
+        self.inner = inner
+        self.plan = plan
+        self.round_duration_ms = float(round_duration_ms)
+        self.schedule = (
+            FaultSchedule(plan, n=n, num_alive_correct=num_alive_correct)
+            if plan.events
+            else None
+        )
+        link = plan.link
+        self._ge: Optional[GilbertElliottModel] = None
+        self._link = None
+        if link is not None:
+            if link.affects_loss:
+                self._ge = GilbertElliottModel.from_link_faults(
+                    link, seed=seed
+                )
+            if link.shapes_timing:
+                self._link = link
+        self._rng = derive_rng(seed)
+        self._rng_lock = threading.Lock()
+        self._timer_lock = threading.Lock()
+        self._timers: set = set()
+        self._origin = time.monotonic()
+        self._closed = False
+        #: Counters for tests and reports.
+        self.blocked = 0
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+
+    # -- the global fault clock ---------------------------------------------
+
+    def start_clock(self) -> None:
+        """Anchor fault round 1 at the current instant (call on start)."""
+        self._origin = time.monotonic()
+
+    def current_round(self) -> int:
+        elapsed_ms = (time.monotonic() - self._origin) * 1000.0
+        return int(elapsed_ms // self.round_duration_ms) + 1
+
+    # -- Transport interface --------------------------------------------------
+
+    def bind(self, addr: Address, handler: Handler) -> None:
+        self.inner.bind(addr, handler)
+
+    def unbind(self, addr: Address) -> None:
+        self.inner.unbind(addr)
+
+    def send(self, src: Address, dst: Address, payload: object) -> None:
+        if self._closed:
+            return
+        if self.schedule is not None and self.schedule.blocks(
+            self.current_round(), src.node, dst.node
+        ):
+            self.blocked += 1
+            return
+        if self._ge is not None and not self._ge.delivered():
+            self.dropped += 1
+            return
+        link = self._link
+        if link is None:
+            self.inner.send(src, dst, payload)
+            return
+        with self._rng_lock:
+            delay = link.delay_ms
+            if link.jitter_ms > 0:
+                delay += float(self._rng.uniform(-link.jitter_ms, link.jitter_ms))
+            if (
+                link.reorder_prob > 0
+                and self._rng.random() < link.reorder_prob
+            ):
+                # Push the packet past the link's normal spread so a
+                # later send can overtake it.
+                span = link.delay_ms + link.jitter_ms + 1.0
+                delay += span * float(self._rng.uniform(1.0, 2.0))
+            duplicate = (
+                link.duplicate_prob > 0
+                and self._rng.random() < link.duplicate_prob
+            )
+            dup_delay = (
+                link.delay_ms
+                + float(self._rng.uniform(0, link.jitter_ms))
+                if duplicate
+                else 0.0
+            )
+        self._send_later(max(0.0, delay), src, dst, payload)
+        if duplicate:
+            self.duplicated += 1
+            self._send_later(max(0.0, dup_delay), src, dst, payload)
+
+    def _send_later(
+        self, delay_ms: float, src: Address, dst: Address, payload: object
+    ) -> None:
+        if delay_ms <= 0:
+            self.inner.send(src, dst, payload)
+            return
+        self.delayed += 1
+
+        def _deliver() -> None:
+            with self._timer_lock:
+                self._timers.discard(timer)
+                if self._closed:
+                    return
+            self.inner.send(src, dst, payload)
+
+        timer = threading.Timer(delay_ms / 1000.0, _deliver)
+        timer.daemon = True
+        with self._timer_lock:
+            if self._closed:
+                return
+            self._timers.add(timer)
+        timer.start()
+
+    def close(self) -> None:
+        with self._timer_lock:
+            self._closed = True
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
+        self.inner.close()
+
+
+class LiveFaultDriver:
+    """Runs a plan's crash / recover windows against live nodes.
+
+    ``nodes`` maps pid → :class:`~repro.des.node.GossipNode` (or anything
+    with ``running`` / ``start()`` / ``stop()``).  ``lock`` should be the
+    cluster's callback lock so lifecycle flips serialise with protocol
+    callbacks; ``on_error`` receives ``(pid, exception)`` for failures
+    inside a flip instead of letting them kill the driver thread.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        nodes: Dict[int, object],
+        *,
+        round_duration_ms: float,
+        lock: Optional[threading.RLock] = None,
+        on_error: Optional[Callable[[int, BaseException], None]] = None,
+    ):
+        if round_duration_ms <= 0:
+            raise ValueError(
+                f"round_duration_ms must be > 0, got {round_duration_ms}"
+            )
+        self.schedule = schedule
+        self.nodes = nodes
+        self.round_duration_ms = float(round_duration_ms)
+        self._lock = lock if lock is not None else threading.RLock()
+        self._on_error = on_error
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # (at_ms, action, ids), sorted; crash at round r flips the nodes
+        # down at the boundary into r.
+        events: List[Tuple[float, str, frozenset]] = []
+        for start, stop, ids in schedule._crash_windows:
+            events.append(((start - 1) * self.round_duration_ms, "crash", ids))
+            if stop is not None:
+                events.append(
+                    ((stop - 1) * self.round_duration_ms, "recover", ids)
+                )
+        self.events = sorted(events, key=lambda e: (e[0], e[1]))
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("fault driver already started")
+        self._stop.clear()
+        origin = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._run, args=(origin,), daemon=True
+        )
+        self._thread.start()
+
+    def _run(self, origin: float) -> None:
+        for at_ms, action, ids in self.events:
+            wait_s = origin + at_ms / 1000.0 - time.monotonic()
+            if self._stop.wait(max(0.0, wait_s)):
+                return
+            for pid in sorted(ids):
+                node = self.nodes.get(pid)
+                if node is None:
+                    continue
+                try:
+                    with self._lock:
+                        if action == "crash" and node.running:
+                            node.stop()
+                        elif action == "recover" and not node.running:
+                            node.start()
+                except Exception as exc:  # pragma: no cover - defensive
+                    if self._on_error is not None:
+                        self._on_error(pid, exc)
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._thread = None

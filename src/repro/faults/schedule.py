@@ -1,0 +1,211 @@
+"""Deterministic resolution of a :class:`FaultPlan` against a group.
+
+A :class:`FaultSchedule` turns the plan's fractions and round windows
+into concrete process-id sets and a per-round packet-blocking predicate.
+It is **seedless**: victim selection follows the repo's fixed id-layout
+conventions (see :mod:`repro.sim.scenario` — protocols treat members
+symmetrically, so the layout is immaterial), which is what lets every
+execution stack resolve the same plan to the same behaviour and lets
+metrics code recompute reachable sets from the scenario alone, without
+replaying any randomness.
+
+Layout conventions:
+
+- Crash and stall victims are taken from the **top** of the alive
+  correct id block (just below the scenario's crashed/malicious ids),
+  never including the source (id 0).  Multiple crash events take
+  consecutive descending blocks, so two crash events hit disjoint sets;
+  stall events allocate the same way, independently.
+- Partition side A is the **lowest** ``fraction·n`` ids, so the source
+  is always in side A.
+
+Round convention (shared with :mod:`repro.faults.plan`): an event with
+``at_round=r`` is in effect during the round that produces ``counts[r]``;
+a ``start–stop`` window covers rounds ``start .. stop-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.faults.plan import CrashNodes, FaultPlan, Partition, SenderStall
+
+
+class FaultSchedule:
+    """A plan resolved against a concrete group.
+
+    ``n`` is the full group size and ``num_alive_correct`` the size of
+    the alive correct id block (ids ``0 .. num_alive_correct-1``); both
+    come straight from the :class:`~repro.sim.scenario.Scenario`.
+    """
+
+    __slots__ = (
+        "plan",
+        "n",
+        "num_alive_correct",
+        "_crash_windows",
+        "_stall_windows",
+        "_partitions",
+        "_round_cache",
+    )
+
+    def __init__(self, plan: FaultPlan, *, n: int, num_alive_correct: int):
+        if not isinstance(plan, FaultPlan):
+            raise TypeError(f"plan must be a FaultPlan, got {plan!r}")
+        plan.validate_for(
+            n=n, num_alive_correct=num_alive_correct, max_rounds=10**9
+        )
+        self.plan = plan
+        self.n = n
+        self.num_alive_correct = num_alive_correct
+
+        # (start, stop_or_None, frozenset_of_ids) per crash event; stop
+        # None means the crash is permanent.
+        crash_windows: List[Tuple[int, Optional[int], FrozenSet[int]]] = []
+        cursor = num_alive_correct  # ids [cursor-count, cursor) per event
+        for event in plan.crashes:
+            count = int(round(event.fraction * num_alive_correct))
+            ids = frozenset(range(cursor - count, cursor))
+            cursor -= count
+            if 0 in ids:
+                raise ValueError(
+                    f"{event.describe()}: crash set reaches the source "
+                    "(too many crash events for this group size)"
+                )
+            crash_windows.append((event.at_round, event.recover_round, ids))
+        self._crash_windows = tuple(crash_windows)
+
+        stall_windows: List[Tuple[int, int, FrozenSet[int]]] = []
+        cursor = num_alive_correct
+        for event in plan.stalls:
+            count = int(round(event.fraction * num_alive_correct))
+            ids = frozenset(range(cursor - count, cursor))
+            cursor -= count
+            if 0 in ids:
+                raise ValueError(
+                    f"{event.describe()}: stall set reaches the source"
+                )
+            stall_windows.append((event.start_round, event.stop_round, ids))
+        self._stall_windows = tuple(stall_windows)
+
+        partitions: List[Tuple[int, int, FrozenSet[int]]] = []
+        for event in plan.partitions:
+            side_a = frozenset(range(max(1, int(round(event.fraction * n)))))
+            partitions.append((event.start_round, event.heal_round, side_a))
+        self._partitions = tuple(partitions)
+
+        # blocks() runs on the per-packet hot path of the exact engine;
+        # memoise the per-round state (crashed set, stalled set, side A).
+        self._round_cache: dict = {}
+
+    # -- per-round state -----------------------------------------------------
+
+    def _state(
+        self, round_no: int
+    ) -> Tuple[FrozenSet[int], FrozenSet[int], Optional[FrozenSet[int]]]:
+        cached = self._round_cache.get(round_no)
+        if cached is not None:
+            return cached
+        crashed: FrozenSet[int] = frozenset()
+        for start, stop, ids in self._crash_windows:
+            if start <= round_no and (stop is None or round_no < stop):
+                crashed |= ids
+        stalled: FrozenSet[int] = frozenset()
+        for start, stop, ids in self._stall_windows:
+            if start <= round_no < stop:
+                stalled |= ids
+        side_a: Optional[FrozenSet[int]] = None
+        for start, stop, ids in self._partitions:
+            if start <= round_no < stop:
+                side_a = ids  # at most one partition active at a time
+        state = (crashed, stalled, side_a)
+        self._round_cache[round_no] = state
+        return state
+
+    def crashed_at(self, round_no: int) -> FrozenSet[int]:
+        """Ids down during ``round_no``."""
+        return self._state(round_no)[0]
+
+    def stalled_at(self, round_no: int) -> FrozenSet[int]:
+        """Ids sending nothing during ``round_no``."""
+        return self._state(round_no)[1]
+
+    def partition_at(self, round_no: int) -> Optional[FrozenSet[int]]:
+        """Side-A ids of the active partition, or None when whole."""
+        return self._state(round_no)[2]
+
+    # -- packet blocking -----------------------------------------------------
+
+    def blocks(self, round_no: int, src_node: int, dst_node: int) -> bool:
+        """True when a ``src → dst`` packet is dropped during ``round_no``.
+
+        Crash drops everything to or from the crashed machine (including
+        attacker flood traffic — the machine is down, the flood is
+        wasted).  A partition only cuts traffic between *group members*
+        on opposite sides: attacker sources live outside the id space
+        (``node >= n``) and their traffic reaches both sides, so a
+        partition never shields victims from the DoS load.  A stall
+        drops the staller's outbound packets only.
+        """
+        crashed, stalled, side_a = self._state(round_no)
+        if crashed and (src_node in crashed or dst_node in crashed):
+            return True
+        if stalled and src_node in stalled:
+            return True
+        if (
+            side_a is not None
+            and 0 <= src_node < self.n
+            and 0 <= dst_node < self.n
+            and (src_node in side_a) != (dst_node in side_a)
+        ):
+            return True
+        return False
+
+    def blocks_fn(
+        self, round_no: int
+    ) -> Optional[Callable[[int, int], bool]]:
+        """A ``(src, dst) -> bool`` drop predicate for ``round_no``, or
+        None when no event is active (so hot paths pay nothing)."""
+        crashed, stalled, side_a = self._state(round_no)
+        if not crashed and not stalled and side_a is None:
+            return None
+        return lambda src, dst: self.blocks(round_no, src, dst)
+
+    # -- derived facts for metrics ------------------------------------------
+
+    def last_heal_round(self) -> int:
+        """The latest partition heal round (0 when no partition)."""
+        return max((stop for _, stop, _ in self._partitions), default=0)
+
+    def last_event_round(self) -> int:
+        return self.plan.last_event_round()
+
+    def doomed_ids(self, horizon: int) -> FrozenSet[int]:
+        """Ids crashed with no recovery within ``horizon``: the only
+        processes whose ``has_message`` can never change again once they
+        are down."""
+        doomed = set()
+        for start, stop, ids in self._crash_windows:
+            if start <= horizon and (stop is None or stop > horizon):
+                doomed |= ids
+        return frozenset(doomed)
+
+    def reachable_ids(self, horizon: int) -> FrozenSet[int]:
+        """Alive correct ids that can possibly hold M by ``horizon``.
+
+        Excludes processes crashed without an in-horizon recovery and
+        processes separated from the source's component by a partition
+        that never heals within the horizon.  Everything else is
+        reachable — the residual-reliability denominator.
+        """
+        reachable = set(range(self.num_alive_correct))
+        reachable -= self.doomed_ids(horizon)
+        for start, stop, side_a in self._partitions:
+            if start <= horizon and stop > horizon:
+                # Never heals in-horizon: count the source's side (A)
+                # only.  (M that crossed the cut before ``start`` can
+                # still spread inside side B — residual reliability is
+                # deliberately coverage of the source's component.)
+                reachable &= set(side_a)
+        reachable.add(0)  # the source always holds its own message
+        return frozenset(reachable)

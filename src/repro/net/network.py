@@ -52,7 +52,13 @@ class Network:
         self.sent_packets = 0
         self.lost_packets = 0
         self.dead_lettered = 0
+        self.blocked_packets = 0
         self.channels_opened = 0
+        # Fault-injection drop predicate ``(src_node, dst_node) -> bool``
+        # (crash / partition / stall windows), swapped per round by the
+        # simulator; None — the only value faultless runs ever see —
+        # costs one falsy check on the send path.
+        self._block = None
         # Passive wiretaps (the paper's snooping adversary): each is
         # called with every packet in transit.  What a tap can *learn*
         # is limited by what the payload exposes — sealed envelopes
@@ -62,6 +68,26 @@ class Network:
     def add_snooper(self, snooper) -> None:
         """Register a passive wiretap called with every sent packet."""
         self._snoopers.append(snooper)
+
+    def set_block(self, block) -> None:
+        """Install (or clear, with None) the fault drop predicate.
+
+        ``block(src_node, dst_node)`` returning True drops the packet
+        before the loss draw — a crashed machine or a partition cut is
+        not a lossy link, so blocked packets are counted separately and
+        consume no randomness.  Packets with no sender (attacker floods)
+        present ``src_node = -1``, outside the group id space.
+        """
+        self._block = block
+
+    def use_loss_model(self, loss) -> None:
+        """Swap the link-loss model (e.g. for Gilbert–Elliott bursts).
+
+        The replacement must provide the :class:`LossModel` sampling
+        surface; it arrives pre-seeded by the caller.
+        """
+        self.loss = loss
+        self._delivered = loss.delivered
 
     # -- port management ------------------------------------------------
 
@@ -162,6 +188,11 @@ class Network:
         if self._snoopers:
             for snooper in self._snoopers:
                 snooper(packet)
+        if self._block is not None:
+            sender = packet.sender
+            if self._block(-1 if sender is None else sender.node, packet.dst.node):
+                self.blocked_packets += 1
+                return False
         if not self._delivered():
             self.lost_packets += 1
             return False
@@ -188,6 +219,13 @@ class Network:
         paper-strength flood (x=128 per victim per round) costs O(1)
         per port instead of O(x) allocations.
         """
+        if self._block is not None and self._block(-1, dst.node):
+            # The victim's machine is down (floods originate outside the
+            # group, so a partition never blocks them): the whole batch
+            # is wasted without a loss draw.
+            self.sent_packets += count
+            self.blocked_packets += count
+            return 0
         if self.naive:
             # Reference implementation: fabricate and route ``count``
             # real Packet objects, one loss draw each — the per-packet

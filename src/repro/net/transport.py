@@ -17,9 +17,11 @@ deliver to per-port handler callbacks registered by receivers.
 
 from __future__ import annotations
 
+import errno
 import pickle
 import socket
 import threading
+import time
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Optional
 
@@ -116,7 +118,13 @@ class UdpTransport(Transport):
         self._port_map: Dict[Address, int] = {}
         self._lock = threading.Lock()
         self._send_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._send_lock = threading.Lock()
         self._closed = False
+        #: Sends retried after a transient kernel error (EAGAIN /
+        #: ENOBUFS — a loaded localhost stack under flood returns these).
+        self.send_retries = 0
+        #: Sends abandoned after exhausting the retry budget.
+        self.send_errors = 0
 
     def _udp_port(self, addr: Address) -> int:
         from repro.net.address import RANDOM_PORT_BASE
@@ -178,14 +186,39 @@ class UdpTransport(Transport):
             self._threads.pop(addr, None)
             self._port_map.pop(addr, None)
 
+    #: Transient kernel errors worth one more try: the datagram never
+    #: left, so retrying cannot duplicate it.
+    _TRANSIENT_ERRNOS = frozenset(
+        {errno.EAGAIN, errno.EWOULDBLOCK, errno.ENOBUFS}
+    )
+    #: Retry budget; backoff is ~1ms·2^k so the worst case stays under
+    #: ~15 ms — less than a round, long enough for a send queue to drain.
+    _MAX_SEND_RETRIES = 4
+
     def send(self, src: Address, dst: Address, payload: object) -> None:
+        if self._closed:
+            return  # send after close: drop, like any dead NIC
         if self.loss is not None and not self.loss.delivered():
             return
         data = pickle.dumps((src, payload))
-        try:
-            self._send_sock.sendto(data, (self.host, self._udp_port(dst)))
-        except OSError:
-            pass  # closed port / unreachable: UDP drops silently
+        target = (self.host, self._udp_port(dst))
+        for attempt in range(self._MAX_SEND_RETRIES + 1):
+            try:
+                with self._send_lock:
+                    if self._closed:
+                        return
+                    self._send_sock.sendto(data, target)
+                return
+            except OSError as exc:
+                if (
+                    exc.errno not in self._TRANSIENT_ERRNOS
+                    or attempt == self._MAX_SEND_RETRIES
+                ):
+                    if exc.errno in self._TRANSIENT_ERRNOS:
+                        self.send_errors += 1
+                    return  # closed port / unreachable: UDP drops silently
+                self.send_retries += 1
+                time.sleep(0.001 * (2**attempt))
 
     def close(self) -> None:
         with self._lock:
@@ -198,4 +231,5 @@ class UdpTransport(Transport):
                 sock.close()
             except OSError:
                 pass
-        self._send_sock.close()
+        with self._send_lock:
+            self._send_sock.close()

@@ -20,6 +20,8 @@ from repro.crypto.signatures import SignatureRegistry
 from repro.des.attacker import FabricatedPayload
 from repro.des.measurement import DeliveryRecord, MeasurementResult
 from repro.des.node import GossipNode
+from repro.faults.live import FaultyTransport, LiveFaultDriver
+from repro.faults.plan import FaultPlan
 from repro.net.address import (
     PORT_PULL_REPLY,
     PORT_PULL_REQUEST,
@@ -47,12 +49,32 @@ class LiveClusterConfig:
     round_jitter: float = 0.1
     purge_rounds: int = 20
     max_sends_per_partner: int = 80
+    #: Injected faults (see :mod:`repro.faults`), same plans and global
+    #: fault clock as the other stacks: round r spans
+    #: [(r-1)·round_duration_ms, r·round_duration_ms) of wall time.
+    faults: Optional[Union[FaultPlan, str]] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.protocol, str):
             object.__setattr__(self, "protocol", ProtocolKind(self.protocol))
         if self.n < 2:
             raise ValueError(f"n must be >= 2, got {self.n}")
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultPlan.parse(self.faults))
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise TypeError(
+                    f"faults must be a FaultPlan or spec string, got "
+                    f"{self.faults!r}"
+                )
+            if self.faults.is_empty:
+                object.__setattr__(self, "faults", None)
+            else:
+                self.faults.validate_for(
+                    n=self.n,
+                    num_alive_correct=self.num_correct,
+                    max_rounds=10**9,
+                )
 
     @property
     def num_malicious(self) -> int:
@@ -100,12 +122,32 @@ class LiveCluster:
             transport = InMemoryTransport(
                 LossModel(config.loss, seed=seeds.next_seed())
             )
-        self.transport = transport
         self._lock = threading.RLock()
+        # The fault layer wraps whatever transport the cluster rides on;
+        # the seed draw only happens when a plan is present, so faultless
+        # seeded clusters replay their historical streams exactly.
+        self._fault_transport: Optional[FaultyTransport] = None
+        if config.faults is not None:
+            transport = self._fault_transport = FaultyTransport(
+                transport,
+                config.faults,
+                n=config.n,
+                num_alive_correct=config.num_correct,
+                round_duration_ms=config.round_duration_ms,
+                seed=seeds.next_seed(),
+            )
+        self.transport = transport
         self._delivery_lock = threading.Lock()
         self.deliveries: List[DeliveryRecord] = []
         self.created_at: Dict[Tuple[int, int], float] = {}
         self._started_at: Optional[float] = None
+        #: Node watchdog: exceptions that escaped a node's timer or
+        #: receive callback, as (pid, exception).  A node whose callback
+        #: raised has effectively died mid-round; the error is recorded
+        #: here and surfaced by :meth:`await_delivery` and :meth:`stop`
+        #: instead of vanishing with the thread.
+        self.node_errors: List[Tuple[int, BaseException]] = []
+        self._errors_lock = threading.Lock()
 
         proto_cfg = config.protocol_config()
         members = list(range(config.n))
@@ -115,7 +157,12 @@ class LiveCluster:
         self.nodes: Dict[int, GossipNode] = {}
         for pid in config.correct_ids():
             env = RealTimeEnvironment(
-                transport, seed=seeds.next_seed(), lock=self._lock
+                transport,
+                seed=seeds.next_seed(),
+                lock=self._lock,
+                on_error=lambda exc, pid=pid: self._record_node_error(
+                    pid, exc
+                ),
             )
             self.envs[pid] = env
             self.nodes[pid] = GossipNode(
@@ -131,10 +178,39 @@ class LiveCluster:
         for node in self.nodes.values():
             node.learn_keys(keys)
 
+        self._fault_driver: Optional[LiveFaultDriver] = None
+        if (
+            self._fault_transport is not None
+            and self._fault_transport.schedule is not None
+        ):
+            self._fault_driver = LiveFaultDriver(
+                self._fault_transport.schedule,
+                self.nodes,
+                round_duration_ms=config.round_duration_ms,
+                lock=self._lock,
+                on_error=self._record_node_error,
+            )
+
         self._attacker_thread: Optional[threading.Thread] = None
         self._attacker_stop = threading.Event()
+        self._stopped = False
 
     # -- delivery log -----------------------------------------------------------
+
+    def _record_node_error(self, pid: int, exc: BaseException) -> None:
+        with self._errors_lock:
+            self.node_errors.append((pid, exc))
+
+    def _check_node_errors(self) -> None:
+        with self._errors_lock:
+            if not self.node_errors:
+                return
+            pid, exc = self.node_errors[0]
+            count = len(self.node_errors)
+        raise RuntimeError(
+            f"{count} node callback error(s); first from node {pid}: "
+            f"{exc!r}"
+        ) from exc
 
     def _record(self, pid: int, message, now_ms: float) -> None:
         wall = time.monotonic() * 1000.0
@@ -155,9 +231,15 @@ class LiveCluster:
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> None:
+        if self._stopped:
+            raise RuntimeError("cluster already stopped")
         self._started_at = time.monotonic() * 1000.0
         for node in self.nodes.values():
             node.start()
+        if self._fault_transport is not None:
+            self._fault_transport.start_clock()
+        if self._fault_driver is not None:
+            self._fault_driver.start()
         if self.config.attack is not None:
             self._attacker_stop.clear()
             self._attacker_thread = threading.Thread(
@@ -166,15 +248,34 @@ class LiveCluster:
             self._attacker_thread.start()
 
     def stop(self) -> None:
+        """Shut everything down.  Idempotent and exception-safe: a second
+        call is a no-op, and a failing node still leaves the fault
+        driver stopped, every environment closed, and the transport's
+        sockets released."""
+        if self._stopped:
+            return
+        self._stopped = True
+        first_error: Optional[BaseException] = None
+        if self._fault_driver is not None:
+            self._fault_driver.stop()
         self._attacker_stop.set()
         if self._attacker_thread is not None:
             self._attacker_thread.join(timeout=2.0)
             self._attacker_thread = None
-        for node in self.nodes.values():
-            node.stop()
-        for env in self.envs.values():
-            env.close()
-        self.transport.close()
+        try:
+            for node in self.nodes.values():
+                try:
+                    if node.running:
+                        node.stop()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+        finally:
+            for env in self.envs.values():
+                env.close()
+            self.transport.close()
+        if first_error is not None:
+            raise first_error
 
     def _attack_loop(self) -> None:
         """Flood victims at the configured rate from a real thread."""
@@ -231,11 +332,17 @@ class LiveCluster:
         fraction: float = 1.0,
         timeout_s: float = 30.0,
     ) -> bool:
-        """Block until ``fraction`` of correct processes delivered ``msg_id``."""
+        """Block until ``fraction`` of correct processes delivered ``msg_id``.
+
+        Raises :class:`RuntimeError` if any node's callback has died with
+        an exception — waiting out the timeout against a silently dead
+        node would just report a bogus delivery failure.
+        """
         receivers = set(self.config.correct_ids())
         needed = max(1, int(fraction * len(receivers)))
         deadline = time.monotonic() + timeout_s
         while time.monotonic() < deadline:
+            self._check_node_errors()
             with self._delivery_lock:
                 got = {
                     r.receiver
@@ -251,15 +358,37 @@ class LiveCluster:
         """Package the delivery log as a :class:`MeasurementResult`."""
         if self._started_at is None:
             raise RuntimeError("cluster was never started")
+        # Receivers are the correct processes that did not source any of
+        # the tracked messages (their "deliveries" are records at
+        # latency 0, not receptions).  Before anything was multicast,
+        # assume the conventional source 0.
+        with self._delivery_lock:
+            sources = {mid[0] for mid in self.created_at} or {0}
+        receivers = [
+            pid for pid in self.config.correct_ids() if pid not in sources
+        ]
+        reachable: Optional[List[int]] = None
+        faults_desc: Optional[str] = None
+        if self.config.faults is not None:
+            faults_desc = self.config.faults.describe()
+            schedule = self._fault_transport.schedule
+            if schedule is not None:
+                horizon = self._fault_transport.current_round()
+                reachable_ids = schedule.reachable_ids(horizon)
+                reachable = [
+                    pid for pid in receivers if pid in reachable_ids
+                ]
+            else:
+                reachable = list(receivers)
         return MeasurementResult(
             protocol=self.config.protocol.value,
             n=self.config.n,
-            correct_receivers=[
-                pid for pid in self.config.correct_ids() if pid != 0
-            ],
+            correct_receivers=receivers,
             send_rate=send_rate,
             messages_sent=messages_sent,
             experiment_start_ms=self._started_at,
             experiment_end_ms=time.monotonic() * 1000.0,
             deliveries=list(self.deliveries),
+            reachable_receivers=reachable,
+            faults=faults_desc,
         )

@@ -31,6 +31,7 @@ class RealTimeEnvironment(Environment):
         *,
         seed: SeedLike = None,
         lock: Optional[threading.RLock] = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
     ):
         self.transport = transport
         self._rng = derive_rng(seed)
@@ -41,6 +42,12 @@ class RealTimeEnvironment(Environment):
         self._lock = lock if lock is not None else threading.RLock()
         self._timers = set()
         self._closed = False
+        # Timer and receiver threads have nobody above them on the
+        # stack: an uncaught exception would kill the thread silently
+        # and the node would just go quiet.  ``on_error`` surfaces such
+        # deaths to whoever owns the environment (see LiveCluster's
+        # node watchdog); without it the exception propagates as before.
+        self.on_error = on_error
 
     def now(self) -> float:
         return (time.monotonic() - self._origin) * 1000.0
@@ -50,9 +57,14 @@ class RealTimeEnvironment(Environment):
             self._timers.discard(timer)
             if self._closed:
                 return
-            with self._lock:
-                if not self._closed:
-                    fn()
+            try:
+                with self._lock:
+                    if not self._closed:
+                        fn()
+            except Exception as exc:
+                if self.on_error is None:
+                    raise
+                self.on_error(exc)
 
         timer = threading.Timer(delay_ms / 1000.0, _fire)
         timer.daemon = True
@@ -68,9 +80,14 @@ class RealTimeEnvironment(Environment):
         def _locked(src: Address, payload: object) -> None:
             if self._closed:
                 return
-            with self._lock:
-                if not self._closed:
-                    handler(src, payload)
+            try:
+                with self._lock:
+                    if not self._closed:
+                        handler(src, payload)
+            except Exception as exc:
+                if self.on_error is None:
+                    raise
+                self.on_error(exc)
 
         self.transport.bind(addr, _locked)
 

@@ -27,6 +27,7 @@ import numpy as np
 from repro.adversary.attacker import RoundAttacker
 from repro.core import PROCESS_CLASSES
 from repro.core.protocol import GossipProcess
+from repro.faults.gilbert import GilbertElliottModel
 from repro.net.link import LossModel
 from repro.net.network import Network
 from repro.sim.results import RunResult
@@ -111,6 +112,22 @@ class RoundSimulator:
             for process in self.processes.values():
                 process.learn_keys(keys)
 
+        #: 1-based number of the round currently (or last) executed;
+        #: fault-event windows are expressed against this counter.
+        self.round_no = 0
+        # Fault wiring comes last so its (conditional) seed draw never
+        # shifts the positions faultless runs consume — the golden
+        # traces pin those.
+        self._schedule = scenario.fault_schedule()
+        if self._schedule is not None:
+            link = scenario.faults.link
+            if link is not None and link.affects_loss:
+                self.network.use_loss_model(
+                    GilbertElliottModel.from_link_faults(
+                        link, seed=seeds.next_seed()
+                    )
+                )
+
         self.attacker: Optional[RoundAttacker] = None
         if scenario.attack is not None:
             if attacker_factory is not None:
@@ -146,7 +163,16 @@ class RoundSimulator:
         perturbation probability: they take part in no phase, and
         whatever arrived for them is discarded at round end like any
         other unread backlog.
+
+        Under a fault plan, crashed processes are treated like a
+        perturbed process's off round (no phase at all — their buffered
+        state persists, as for a paused OS process); stalled processes
+        skip the send phase and the network mutes the rest of their
+        uplink (replies included), while they keep receiving; and the
+        network drops packets crossing an active partition cut or
+        touching a crashed machine.
         """
+        self.round_no += 1
         if self._perturbed:
             procs = [
                 p
@@ -158,11 +184,21 @@ class RoundSimulator:
             # No perturbation draws ever happen, so the stable process
             # list is reused instead of being rebuilt every round.
             procs = self._all_procs
+        send_procs = procs
+        if self._schedule is not None:
+            self.network.set_block(self._schedule.blocks_fn(self.round_no))
+            crashed = self._schedule.crashed_at(self.round_no)
+            if crashed:
+                procs = [p for p in procs if p.pid not in crashed]
+                send_procs = procs
+            stalled = self._schedule.stalled_at(self.round_no)
+            if stalled:
+                send_procs = [p for p in procs if p.pid not in stalled]
         prof = self.profiler
         if prof is None:
             for p in procs:
                 p.begin_round()
-            for p in procs:
+            for p in send_procs:
                 p.send_phase()
             self._attacker_step()
             for p in procs:
@@ -181,7 +217,7 @@ class RoundSimulator:
             p.begin_round()
         prof.phase_stop("begin_round")
         prof.phase_start("send_phase")
-        for p in procs:
+        for p in send_procs:
             p.send_phase()
         prof.phase_stop("send_phase")
         prof.phase_start("attacker")
@@ -227,6 +263,14 @@ class RoundSimulator:
         counts_non = [counts[0] - counts_attacked[0]]
 
         alive = scenario.num_alive_correct
+        # Under a fault plan, processes crashed for good can strand the
+        # run below both the threshold and full coverage; the run is
+        # over once every *other* process holds M.
+        doomed = (
+            self._schedule.doomed_ids(scenario.max_rounds)
+            if self._schedule is not None
+            else None
+        )
         while counts[-1] < target and len(counts) <= scenario.max_rounds:
             self.step_round()
             total = self.holders()
@@ -241,19 +285,37 @@ class RoundSimulator:
                 # can change any trajectory, so stop simulating even if
                 # a (mis)configured threshold exceeds the group size.
                 break
+            if doomed and all(
+                p.has_message
+                for pid, p in self.processes.items()
+                if pid not in doomed
+            ):
+                break
 
         deliveries = np.full(scenario.num_alive_correct, np.nan)
         for pid, process in self.processes.items():
             if process.delivery_round is not None:
                 deliveries[pid] = process.delivery_round
 
-        return RunResult(
+        result = RunResult(
             scenario=scenario,
             counts=np.asarray(counts, dtype=np.int32),
             counts_attacked=np.asarray(counts_attacked, dtype=np.int32),
             counts_non_attacked=np.asarray(counts_non, dtype=np.int32),
             delivery_rounds=deliveries,
         )
+        if self._schedule is not None:
+            reachable = self._schedule.reachable_ids(scenario.max_rounds)
+            result.residual_reliability = sum(
+                self.processes[pid].has_message for pid in reachable
+            ) / len(reachable)
+            heal = self._schedule.last_heal_round()
+            if heal:
+                rtt = result.rounds_to_threshold()
+                result.rounds_to_heal = (
+                    rtt if np.isnan(rtt) else max(0.0, rtt - heal)
+                )
+        return result
 
 
 def run_exact(scenario: Scenario, *, seed: SeedLike = None) -> RunResult:

@@ -80,9 +80,13 @@ def _fabricated_counts(
     rng: np.random.Generator,
     rate: float,
     shape: tuple,
-    loss: float,
+    loss,
 ) -> np.ndarray:
-    """Loss-thinned fabricated arrivals at ``rate`` per victim per round."""
+    """Loss-thinned fabricated arrivals at ``rate`` per victim per round.
+
+    ``loss`` is a scalar, or a per-run column (broadcastable against
+    ``shape``) when a fault plan drives per-round bursty loss.
+    """
     if rate <= 0:
         return np.zeros(shape, dtype=np.int64)
     base = int(rate)
@@ -90,7 +94,7 @@ def _fabricated_counts(
     counts = np.full(shape, base, dtype=np.int64)
     if frac > 0:
         counts += rng.random(shape) < frac
-    if loss > 0:
+    if np.any(loss > 0):
         counts = rng.binomial(counts, 1.0 - loss)
     return counts
 
@@ -165,6 +169,29 @@ def run_fast(
     perturb_lo = num_alive - num_perturbed
     perturb_prob = scenario.perturbation_prob
 
+    # -- fault plan ----------------------------------------------------------
+    # The schedule resolves crash / stall / partition windows to id sets
+    # (seedless, identical to the exact engine's resolution).  Bursty
+    # loss runs one Gilbert–Elliott chain per *run*, stepped once per
+    # round — a coarser burst granularity than the exact engine's
+    # per-packet chain, but the same stationary loss; cross-engine
+    # equivalence under faults is statistical only.  None of this block
+    # touches the RNG unless the scenario carries faults.
+    schedule = scenario.fault_schedule()
+    ge = None
+    ge_bad = None
+    nondoomed_cols = None
+    if schedule is not None:
+        link = scenario.faults.link
+        if link is not None and link.affects_loss:
+            ge = link
+            ge_bad = np.zeros(runs, dtype=bool)
+        doomed = schedule.doomed_ids(scenario.max_rounds)
+        if doomed:
+            nondoomed_cols = np.array(
+                [i for i in range(num_alive) if i not in doomed]
+            )
+
     has = np.zeros((runs, n), dtype=bool)
     has[:, scenario.source] = True
 
@@ -182,13 +209,26 @@ def run_fast(
     if horizon is None:
         active &= cur_total < target
 
-    for _ in range(max_rounds):
+    for round_no in range(1, max_rounds + 1):
         if not active.any():
             break
         act = np.flatnonzero(active)
         r_count = len(act)
         has_start = has[act]
         new_has = has_start.copy()
+
+        # Per-run bursty loss: step every run's Gilbert–Elliott chain
+        # once per round (active or not, so the stream never depends on
+        # which runs already stopped), then broadcast the per-run loss
+        # against the per-view draw shapes below.
+        if ge is not None:
+            flip = np.where(ge_bad, ge.p_bad_to_good, ge.p_good_to_bad)
+            ge_bad ^= rng.random(runs) < flip
+            loss_run = np.where(ge_bad, ge.loss_bad, ge.loss_good)[act]
+            loss2 = loss_run[:, None]
+            loss3 = loss_run[:, None, None]
+        else:
+            loss2 = loss3 = loss
 
         views = _draw_views(rng, r_count, senders, n, v_push + v_pull)
         t_push = views[:, :, :v_push]
@@ -201,12 +241,38 @@ def run_fast(
             awake[:, perturb_lo:num_alive] = (
                 rng.random((r_count, num_perturbed)) >= perturb_prob
             )
+
+        # Scheduled fault events, resolved exactly like the exact
+        # engine: crashed processes take part in nothing (their ``has``
+        # state persists), stalled processes send nothing — no gossip,
+        # no replies — but keep accepting, and a partition cuts member
+        # links crossing the split (attacker floods originate outside
+        # the group and are never cut).
+        in_a = None
+        stall_ok = None
+        if schedule is not None:
+            crashed = schedule.crashed_at(round_no)
+            if crashed:
+                awake[:, list(crashed)] = False
+            stalled = schedule.stalled_at(round_no)
+            if stalled:
+                stall_ok = np.ones(n, dtype=bool)
+                stall_ok[list(stalled)] = False
+            side_a = schedule.partition_at(round_no)
+            if side_a is not None:
+                in_a = np.zeros(n, dtype=bool)
+                in_a[list(side_a)] = True
+
         sender_awake = awake[:, :num_alive, None]
+        if stall_ok is not None:
+            sender_awake = sender_awake & stall_ok[:num_alive][None, :, None]
 
         # ---- gather per-target channel loads -------------------------------
         push_valid = push_m = fab_push = None
         if v_push:
-            sent = (rng.random(t_push.shape) >= loss) & sender_awake
+            sent = (rng.random(t_push.shape) >= loss3) & sender_awake
+            if in_a is not None:
+                sent &= in_a[:num_alive][None, :, None] == in_a[t_push]
             run_ix = np.broadcast_to(
                 np.arange(r_count)[:, None, None], t_push.shape
             )
@@ -218,12 +284,14 @@ def run_fast(
             fab_push = np.zeros((r_count, n), dtype=np.int64)
             if load.push > 0 and num_attacked:
                 fab_push[:, :num_attacked] = _fabricated_counts(
-                    rng, load.push, (r_count, num_attacked), loss
+                    rng, load.push, (r_count, num_attacked), loss2
                 )
 
         req_valid = fab_req = req_sent = None
         if v_pull:
-            req_sent = (rng.random(t_pull.shape) >= loss) & sender_awake
+            req_sent = (rng.random(t_pull.shape) >= loss3) & sender_awake
+            if in_a is not None:
+                req_sent &= in_a[:num_alive][None, :, None] == in_a[t_pull]
             run_ix_q = np.broadcast_to(
                 np.arange(r_count)[:, None, None], t_pull.shape
             )
@@ -233,7 +301,7 @@ def run_fast(
             fab_req = np.zeros((r_count, n), dtype=np.int64)
             if load.pull_request > 0 and num_attacked:
                 fab_req[:, :num_attacked] = _fabricated_counts(
-                    rng, load.pull_request, (r_count, num_attacked), loss
+                    rng, load.pull_request, (r_count, num_attacked), loss2
                 )
 
         # ---- shared-bounds variant: joint control-message pool ---------------
@@ -265,16 +333,22 @@ def run_fast(
             run_ix = np.broadcast_to(
                 np.arange(r_count)[:, None, None], t_push.shape
             )
-            offer_ok = (rng.random(t_push.shape) >= loss) & sender_awake
+            offer_ok = (rng.random(t_push.shape) >= loss3) & sender_awake
+            if in_a is not None:
+                offer_ok &= in_a[:num_alive][None, :, None] == in_a[t_push]
             offer_acc = offer_ok & (
                 rng.random(t_push.shape) < p_pool[run_ix, t_push]
             )
+            if stall_ok is not None:
+                # A stalled target accepts the offer but its push-reply
+                # never leaves the machine.
+                offer_acc &= stall_ok[t_push]
             reply_acc = (
                 offer_acc
-                & (rng.random(t_push.shape) >= loss)
+                & (rng.random(t_push.shape) >= loss3)
                 & (rng.random(t_push.shape) < p_pool[:, :num_alive, None])
             )
-            data_ok = reply_acc & (rng.random(t_push.shape) >= loss)
+            data_ok = reply_acc & (rng.random(t_push.shape) >= loss3)
             m_data = data_ok & has_start[:, :num_alive, None]
             arrivals = _bincount(run_ix[m_data], t_push[m_data], r_count, n)
             got_push = (arrivals >= 1) & alive_mask[None, :] & awake
@@ -300,7 +374,11 @@ def run_fast(
             accepted = req_sent & (
                 rng.random(t_pull.shape) < accept_prob[run_ix_q, t_pull]
             )
-            reply_ok = accepted & (rng.random(t_pull.shape) >= loss)
+            if stall_ok is not None:
+                # A stalled target accepts the request but its reply
+                # never leaves the machine.
+                accepted &= stall_ok[t_pull]
+            reply_ok = accepted & (rng.random(t_pull.shape) >= loss3)
             m_reply = reply_ok & has_start[run_ix_q, t_pull]
 
             if cfg.uses_random_ports:
@@ -312,7 +390,7 @@ def run_fast(
                 fab_reply = np.zeros((r_count, num_alive), dtype=np.int64)
                 if load.pull_reply > 0 and num_attacked:
                     fab_reply[:, :num_attacked] = _fabricated_counts(
-                        rng, load.pull_reply, (r_count, num_attacked), loss
+                        rng, load.pull_reply, (r_count, num_attacked), loss2
                     )
                 got_pull = _accept_any(
                     rng, m_replies, replies + fab_reply, cfg.pull_in_bound
@@ -329,12 +407,22 @@ def run_fast(
 
         if horizon is None:
             active[act] = cur_total[act] < target
+            if nondoomed_cols is not None:
+                # Processes crashed for good can strand runs below the
+                # threshold forever; a run is over once every process
+                # that can still change state holds M.
+                active[act] &= ~new_has[:, nondoomed_cols].all(axis=1)
 
     counts = np.stack(hist_total, axis=1)
     counts_attacked = np.stack(hist_attacked, axis=1)
+    reachable_holders = None
+    if schedule is not None:
+        reachable = sorted(schedule.reachable_ids(scenario.max_rounds))
+        reachable_holders = has[:, reachable].sum(axis=1).astype(np.int32)
     return MonteCarloResult(
         scenario=scenario,
         counts=counts,
         counts_attacked=counts_attacked,
         counts_non_attacked=counts - counts_attacked,
+        reachable_holders=reachable_holders,
     )

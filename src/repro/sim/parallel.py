@@ -149,19 +149,43 @@ def fast_shard_sizes(runs: int) -> List[int]:
     return [FAST_SHARD_RUNS] * full + ([rem] if rem else [])
 
 
-def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
     scenario, shard_runs, seed, horizon = task
     result = run_fast(scenario, shard_runs, seed=seed, horizon=horizon)
-    return result.counts, result.counts_attacked, result.counts_non_attacked
+    return (
+        result.counts,
+        result.counts_attacked,
+        result.counts_non_attacked,
+        result.reachable_holders,
+    )
 
 
-def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]]:
     scenario, seeds = task
+    schedule = scenario.fault_schedule()
+    reachable = (
+        None
+        if schedule is None
+        else len(schedule.reachable_ids(scenario.max_rounds))
+    )
     out = []
     for seed in seeds:
         result = run_exact(scenario, seed=seed)
+        holders = None
+        if reachable is not None:
+            # residual_reliability is holders/reachable, so this
+            # round-trips the integer numerator exactly.
+            holders = np.array(
+                [int(round(result.residual_reliability * reachable))],
+                dtype=np.int32,
+            )
         out.append(
-            (result.counts, result.counts_attacked, result.counts_non_attacked)
+            (
+                result.counts,
+                result.counts_attacked,
+                result.counts_non_attacked,
+                holders,
+            )
         )
     return out
 
@@ -230,23 +254,27 @@ def run_sharded(
             for triple in shard
         ]
         triples = [
-            (row[None, :], att[None, :], non[None, :])
-            for row, att, non in per_run
+            (row[None, :], att[None, :], non[None, :], holders)
+            for row, att, non, holders in per_run
         ]
     else:
         raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'exact'")
 
-    width = max(counts.shape[1] for counts, _, _ in triples)
+    width = max(counts.shape[1] for counts, _, _, _ in triples)
     if horizon is not None:
         width = max(width, horizon + 1)
     counts = _stack_padded([t[0] for t in triples], width)
     attacked = _stack_padded([t[1] for t in triples], width)
     non_attacked = _stack_padded([t[2] for t in triples], width)
+    reachable_holders = None
+    if all(t[3] is not None for t in triples):
+        reachable_holders = np.concatenate([t[3] for t in triples])
     return MonteCarloResult(
         scenario=scenario,
         counts=counts,
         counts_attacked=attacked,
         counts_non_attacked=non_attacked,
+        reachable_holders=reachable_holders,
     )
 
 
@@ -255,7 +283,9 @@ def run_sharded(
 # ---------------------------------------------------------------------------
 
 #: Bump when result semantics change so stale entries never resurface.
-CACHE_VERSION = 1
+#: v2: scenarios carry a ``faults`` plan and results a per-run
+#: ``reachable_holders`` array.
+CACHE_VERSION = 2
 
 
 def _seed_token(seed: SeedLike):
@@ -336,6 +366,11 @@ class ResultCache:
                 counts = np.asarray(data["counts"])
                 attacked = np.asarray(data["counts_attacked"])
                 non_attacked = np.asarray(data["counts_non_attacked"])
+                reachable_holders = (
+                    np.asarray(data["reachable_holders"])
+                    if "reachable_holders" in data.files
+                    else None
+                )
         except Exception:
             # Missing, truncated, corrupted, or wrong-format entry:
             # behave exactly like a miss and let the caller recompute.
@@ -346,11 +381,16 @@ class ResultCache:
             or counts.shape != non_attacked.shape
         ):
             return None
+        if reachable_holders is not None and (
+            reachable_holders.shape != (counts.shape[0],)
+        ):
+            return None
         return MonteCarloResult(
             scenario=scenario,
             counts=counts,
             counts_attacked=attacked,
             counts_non_attacked=non_attacked,
+            reachable_holders=reachable_holders,
         )
 
     def store(self, key: str, result: MonteCarloResult) -> None:
@@ -360,12 +400,14 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    np.savez_compressed(
-                        handle,
+                    arrays = dict(
                         counts=result.counts,
                         counts_attacked=result.counts_attacked,
                         counts_non_attacked=result.counts_non_attacked,
                     )
+                    if result.reachable_holders is not None:
+                        arrays["reachable_holders"] = result.reachable_holders
+                    np.savez_compressed(handle, **arrays)
                 os.replace(tmp, self.path_for(key))
             except BaseException:
                 os.unlink(tmp)

@@ -49,6 +49,17 @@ class RunResult:
     #: process id over the alive correct processes.  Only the exact
     #: engine fills this in.
     delivery_rounds: Optional[np.ndarray] = None
+    #: Graceful-degradation metrics, filled only on fault-injected runs
+    #: (``scenario.faults`` set) so faultless result JSON — including the
+    #: pinned golden traces — is unchanged.  Residual reliability is the
+    #: fraction of *reachable* alive correct processes holding M at the
+    #: end (reachable = not permanently crashed nor permanently cut from
+    #: the source; see ``FaultSchedule.reachable_ids``).
+    residual_reliability: Optional[float] = None
+    #: Rounds from the last partition heal until threshold coverage
+    #: (0 when the threshold was met during the partition; nan when the
+    #: run was censored).  None when the plan has no partition.
+    rounds_to_heal: Optional[float] = None
 
     def rounds_to_threshold(self) -> float:
         """Rounds until the scenario's coverage threshold was met."""
@@ -66,7 +77,7 @@ class RunResult:
         of a seeded run must stay byte-identical across engine
         optimisations.
         """
-        return {
+        out = {
             "scenario": self.scenario.describe(),
             "counts": [int(v) for v in self.counts],
             "counts_attacked": [int(v) for v in self.counts_attacked],
@@ -78,6 +89,17 @@ class RunResult:
                 for v in self.delivery_rounds
             ],
         }
+        # Fault metrics are keyed in only when present, so faultless
+        # traces (and the golden files pinning them) stay byte-identical.
+        if self.residual_reliability is not None:
+            out["residual_reliability"] = float(self.residual_reliability)
+        if self.rounds_to_heal is not None:
+            out["rounds_to_heal"] = (
+                None
+                if math.isnan(self.rounds_to_heal)
+                else float(self.rounds_to_heal)
+            )
+        return out
 
 
 @dataclass
@@ -89,6 +111,12 @@ class MonteCarloResult:
     counts: np.ndarray
     counts_attacked: np.ndarray
     counts_non_attacked: np.ndarray
+    #: Per-run count of *reachable* processes holding M at the end of
+    #: the run.  Filled only on fault-injected runs; engines that track
+    #: per-process state compute it exactly, and
+    #: :meth:`residual_reliability` falls back to clipping the final
+    #: totals when it is absent (e.g. results from an old cache entry).
+    reachable_holders: Optional[np.ndarray] = None
 
     @property
     def runs(self) -> int:
@@ -144,6 +172,39 @@ class MonteCarloResult:
     def censored_runs(self) -> int:
         """Runs that never reached the threshold within max_rounds."""
         return int(np.isnan(self.rounds_to_threshold()).sum())
+
+    # -- graceful degradation ---------------------------------------------------
+
+    def residual_reliability(self) -> np.ndarray:
+        """Per-run fraction of reachable processes holding M at the end.
+
+        Under a fault plan, full coverage may be impossible (processes
+        crashed for good, or stranded by a partition that never heals
+        inside ``max_rounds``); this is coverage measured against what
+        was *achievable*: holders within ``FaultSchedule.reachable_ids``
+        over that reachable set's size.  Without faults it degenerates
+        to plain final coverage.
+        """
+        schedule = self.scenario.fault_schedule()
+        if schedule is None:
+            return self.counts[:, -1] / self.scenario.num_alive_correct
+        reachable = len(schedule.reachable_ids(self.scenario.max_rounds))
+        if self.reachable_holders is not None:
+            return self.reachable_holders / reachable
+        # Totals-only fallback: final counts can include processes that
+        # received M and then crashed for good, so clip at 1.
+        return np.minimum(self.counts[:, -1] / reachable, 1.0)
+
+    def rounds_to_heal(self) -> Optional[np.ndarray]:
+        """Per-run rounds from the last partition heal to threshold
+        coverage (0 when coverage won during the partition, nan when
+        censored).  None when the plan has no partition."""
+        schedule = self.scenario.fault_schedule()
+        if schedule is None or schedule.last_heal_round() == 0:
+            return None
+        return np.maximum(
+            self.rounds_to_threshold() - schedule.last_heal_round(), 0.0
+        )
 
     # -- coverage CDFs --------------------------------------------------------
 

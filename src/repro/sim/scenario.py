@@ -21,6 +21,7 @@ from typing import List, Optional, Union
 
 from repro.adversary.attacks import AttackSpec
 from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.faults.plan import FaultPlan
 from repro.util import check_fraction, check_probability
 
 
@@ -50,6 +51,13 @@ class Scenario:
     #: paper's simulations; 1.0 reproduces the closed-form analyses).
     threshold: float = 0.99
     max_rounds: int = 500
+    #: Injected faults beyond the baseline model (see
+    #: :mod:`repro.faults`): link degradation plus scheduled crash /
+    #: partition / stall events.  Accepts a :class:`FaultPlan` or a CLI
+    #: spec string (``"crash@5:0.1;partition@8-15:0.4"``); an empty plan
+    #: normalises to None so faultless scenarios compare (and cache)
+    #: identically however they were built.
+    faults: Optional[Union[FaultPlan, str]] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.protocol, str):
@@ -79,6 +87,22 @@ class Scenario:
                 raise ValueError(
                     f"attack targets {victims} processes but only "
                     f"{self.num_alive_correct} are correct and alive"
+                )
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultPlan.parse(self.faults))
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise TypeError(
+                    f"faults must be a FaultPlan or spec string, got "
+                    f"{self.faults!r}"
+                )
+            if self.faults.is_empty:
+                object.__setattr__(self, "faults", None)
+            else:
+                self.faults.validate_for(
+                    n=self.n,
+                    num_alive_correct=self.num_alive_correct,
+                    max_rounds=self.max_rounds,
                 )
         if self.num_perturbed:
             if self.num_attacked + self.num_perturbed > self.num_alive_correct - 1:
@@ -156,6 +180,18 @@ class Scenario:
         """The :class:`ProtocolConfig` this scenario runs."""
         return ProtocolConfig(kind=self.protocol, fan_out=self.fan_out)
 
+    def fault_schedule(self):
+        """The scenario's :class:`~repro.faults.schedule.FaultSchedule`,
+        or None when no faults are injected.  Seedless and deterministic,
+        so any stack (or metrics code after the fact) can rebuild it."""
+        if self.faults is None:
+            return None
+        from repro.faults.schedule import FaultSchedule
+
+        return FaultSchedule(
+            self.faults, n=self.n, num_alive_correct=self.num_alive_correct
+        )
+
     def with_(self, **changes) -> "Scenario":
         """Copy with ``changes`` applied (validation re-runs)."""
         return replace(self, **changes)
@@ -178,4 +214,6 @@ class Scenario:
             )
         if self.attack:
             parts.append(f"attack(α={self.attack.alpha:g}, x={self.attack.x:g})")
+        if self.faults is not None:
+            parts.append(f"faults[{self.faults.describe()}]")
         return " ".join(parts)

@@ -1,0 +1,230 @@
+"""Fault injection + hardening on the live threaded runtime.
+
+These tests exercise real threads and wall-clock timers, so rounds are
+kept short (50-100 ms) and assertions are about structure (counters,
+errors, lifecycle) rather than precise timing.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSchedule
+from repro.faults.live import FaultyTransport, LiveFaultDriver
+from repro.net import Address, InMemoryTransport
+from repro.runtime.cluster import LiveCluster, LiveClusterConfig
+
+
+class TestFaultyTransport:
+    def test_partition_blocks_member_traffic(self):
+        inner = InMemoryTransport()
+        plan = FaultPlan.parse("partition@1-100:0.5")
+        transport = FaultyTransport(
+            inner, plan, n=4, num_alive_correct=4, round_duration_ms=10_000.0
+        )
+        received = []
+        transport.bind(Address(3, 0), lambda s, p: received.append(p))
+        transport.start_clock()
+        transport.send(Address(0, 0), Address(3, 0), "cut")      # across
+        transport.send(Address(2, 0), Address(3, 0), "same-side")
+        transport.send(Address(10**6, 0), Address(3, 0), "flood")  # external
+        transport.close()
+        assert transport.blocked == 1
+        assert sorted(received) == ["flood", "same-side"]
+
+    def test_gilbert_loss_drops_packets(self):
+        inner = InMemoryTransport()
+        plan = FaultPlan.parse("loss:1.0")
+        transport = FaultyTransport(
+            inner, plan, n=2, num_alive_correct=2,
+            round_duration_ms=1000.0, seed=1,
+        )
+        received = []
+        transport.bind(Address(1, 0), lambda s, p: received.append(p))
+        for _ in range(20):
+            transport.send(Address(0, 0), Address(1, 0), "x")
+        transport.close()
+        assert received == []
+        assert transport.dropped == 20
+
+    def test_delay_defers_delivery(self):
+        inner = InMemoryTransport()
+        plan = FaultPlan.parse("delay:30")
+        transport = FaultyTransport(
+            inner, plan, n=2, num_alive_correct=2,
+            round_duration_ms=1000.0, seed=1,
+        )
+        arrived = threading.Event()
+        transport.bind(Address(1, 0), lambda s, p: arrived.set())
+        t0 = time.monotonic()
+        transport.send(Address(0, 0), Address(1, 0), "slow")
+        assert not arrived.is_set()  # not delivered synchronously
+        assert arrived.wait(timeout=2.0)
+        assert time.monotonic() - t0 >= 0.025
+        assert transport.delayed == 1
+        transport.close()
+
+    def test_duplication_delivers_twice(self):
+        inner = InMemoryTransport()
+        plan = FaultPlan.parse("dup:1.0")
+        transport = FaultyTransport(
+            inner, plan, n=2, num_alive_correct=2,
+            round_duration_ms=1000.0, seed=1,
+        )
+        received = []
+        lock = threading.Lock()
+
+        def handler(src, payload):
+            with lock:
+                received.append(payload)
+
+        transport.bind(Address(1, 0), handler)
+        transport.send(Address(0, 0), Address(1, 0), "twice")
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            with lock:
+                if len(received) == 2:
+                    break
+            time.sleep(0.005)
+        transport.close()
+        assert received == ["twice", "twice"]
+        assert transport.duplicated == 1
+
+    def test_close_cancels_pending_timers(self):
+        inner = InMemoryTransport()
+        plan = FaultPlan.parse("delay:500")
+        transport = FaultyTransport(
+            inner, plan, n=2, num_alive_correct=2,
+            round_duration_ms=1000.0, seed=1,
+        )
+        received = []
+        transport.bind(Address(1, 0), lambda s, p: received.append(p))
+        transport.send(Address(0, 0), Address(1, 0), "never")
+        transport.close()
+        time.sleep(0.05)
+        assert received == []
+        # Send after close is a silent no-op.
+        transport.send(Address(0, 0), Address(1, 0), "late")
+
+
+class TestLiveFaultDriver:
+    def test_crash_and_recover_flip_nodes(self):
+        class FakeNode:
+            def __init__(self):
+                self.running = True
+                self.events = []
+
+            def stop(self):
+                self.running = False
+                self.events.append("stop")
+
+            def start(self):
+                self.running = True
+                self.events.append("start")
+
+        plan = FaultPlan.parse("crash@2-3:0.5")
+        schedule = FaultSchedule(plan, n=4, num_alive_correct=4)
+        nodes = {pid: FakeNode() for pid in range(4)}
+        driver = LiveFaultDriver(
+            schedule, nodes, round_duration_ms=50.0
+        )
+        driver.start()
+        time.sleep(0.3)
+        driver.stop()
+        victims = schedule.crashed_at(2)
+        assert victims == frozenset({2, 3})
+        for pid in victims:
+            assert nodes[pid].events == ["stop", "start"]
+        for pid in set(range(4)) - victims:
+            assert nodes[pid].events == []
+
+    def test_stop_before_first_event_is_clean(self):
+        plan = FaultPlan.parse("crash@1000:0.5")
+        schedule = FaultSchedule(plan, n=4, num_alive_correct=4)
+        driver = LiveFaultDriver(schedule, {}, round_duration_ms=1000.0)
+        driver.start()
+        driver.stop()
+
+
+class TestLiveClusterHardening:
+    def test_result_derives_sources_from_created_at(self):
+        config = LiveClusterConfig(protocol="drum", n=6, round_duration_ms=80.0)
+        cluster = LiveCluster(config, seed=1)
+        cluster.start()
+        try:
+            mid = cluster.multicast(2, b"from-two")
+            assert cluster.await_delivery(mid, fraction=1.0, timeout_s=10.0)
+        finally:
+            cluster.stop()
+        result = cluster.result(1.0, 1)
+        assert 2 not in result.correct_receivers
+        assert 0 in result.correct_receivers
+
+    def test_stop_is_idempotent(self):
+        config = LiveClusterConfig(protocol="drum", n=4, round_duration_ms=50.0)
+        cluster = LiveCluster(config, seed=2)
+        cluster.start()
+        cluster.stop()
+        cluster.stop()  # no-op, no error
+        for env in cluster.envs.values():
+            assert env._closed
+
+    def test_stop_is_exception_safe(self):
+        config = LiveClusterConfig(protocol="drum", n=4, round_duration_ms=50.0)
+        cluster = LiveCluster(config, seed=3)
+        cluster.start()
+
+        def bad_stop():
+            raise OSError("stop exploded")
+
+        cluster.nodes[2].stop = bad_stop
+        with pytest.raises(OSError, match="stop exploded"):
+            cluster.stop()
+        # Cleanup still happened for everything else.
+        for env in cluster.envs.values():
+            assert env._closed
+        cluster.stop()  # second call after the failure: no-op
+
+    def test_node_death_surfaces_through_await_delivery(self):
+        config = LiveClusterConfig(protocol="drum", n=4, round_duration_ms=50.0)
+        cluster = LiveCluster(config, seed=4)
+
+        def boom():
+            raise ValueError("simulated node death")
+
+        cluster.nodes[1]._round = boom
+        cluster.start()
+        try:
+            mid = cluster.multicast(0, b"x")
+            with pytest.raises(RuntimeError, match="node 1"):
+                cluster.await_delivery(mid, fraction=1.0, timeout_s=5.0)
+            assert cluster.node_errors
+            assert cluster.node_errors[0][0] == 1
+        finally:
+            cluster.stop()
+
+    def test_chaos_plan_on_live_stack(self):
+        config = LiveClusterConfig(
+            protocol="drum", n=8, round_duration_ms=100.0,
+            faults="crash@2-5:0.2;partition@1-4:0.5;gilbert:0.02,0.3,0.05,0.3",
+        )
+        cluster = LiveCluster(config, seed=5)
+        cluster.start()
+        try:
+            mid = cluster.multicast(0, b"chaos")
+            delivered = cluster.await_delivery(
+                mid, fraction=1.0, timeout_s=20.0
+            )
+        finally:
+            cluster.stop()
+        assert delivered
+        assert cluster._fault_transport.blocked > 0
+        result = cluster.result(1.0, 1)
+        assert result.faults == config.faults.describe()
+        assert result.residual_reliability() == 1.0
+
+    def test_faults_spec_normalised_on_config(self):
+        config = LiveClusterConfig(protocol="drum", n=8, faults="crash@2:0.2")
+        assert isinstance(config.faults, FaultPlan)
+        assert LiveClusterConfig(protocol="drum", n=8, faults="").faults is None

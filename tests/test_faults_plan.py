@@ -1,0 +1,128 @@
+"""Tests for repro.faults.plan: fault declarations, parsing, validation."""
+
+import pytest
+
+from repro.faults import (
+    CrashNodes,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+    SenderStall,
+)
+
+
+class TestLinkFaults:
+    def test_uniform_loss(self):
+        link = LinkFaults(loss_good=0.05, loss_bad=0.05)
+        assert link.affects_loss
+        assert link.stationary_loss == pytest.approx(0.05)
+
+    def test_gilbert_stationary_loss(self):
+        link = LinkFaults(
+            loss_good=0.01, loss_bad=0.5,
+            p_good_to_bad=0.05, p_bad_to_good=0.2,
+        )
+        pi_bad = 0.05 / (0.05 + 0.2)
+        expected = (1 - pi_bad) * 0.01 + pi_bad * 0.5
+        assert link.stationary_loss == pytest.approx(expected)
+
+    def test_pure_timing_does_not_affect_loss(self):
+        link = LinkFaults(delay_ms=5.0, jitter_ms=2.0)
+        assert not link.affects_loss
+        assert link.shapes_timing
+
+    def test_absorbing_bad_state_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFaults(p_good_to_bad=0.1, p_bad_to_good=0.0)
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            LinkFaults(loss_good=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(reorder_prob=-0.1)
+
+
+class TestEvents:
+    def test_crash_window_describe(self):
+        assert CrashNodes(at_round=5, fraction=0.1).describe() == "crash@5:0.1"
+        assert (
+            CrashNodes(at_round=5, fraction=0.1, recover_round=12).describe()
+            == "crash@5-12:0.1"
+        )
+
+    def test_crash_recover_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CrashNodes(at_round=5, fraction=0.1, recover_round=5)
+
+    def test_partition_fraction_below_one(self):
+        with pytest.raises(ValueError):
+            Partition(start_round=2, heal_round=5, fraction=1.0)
+
+    def test_stall_window_ordering(self):
+        with pytest.raises(ValueError):
+            SenderStall(start_round=6, stop_round=6, fraction=0.2)
+
+    def test_rounds_are_one_based(self):
+        with pytest.raises(ValueError):
+            CrashNodes(at_round=0, fraction=0.1)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.describe() == "none"
+
+    def test_parse_round_trips_describe(self):
+        spec = (
+            "crash@5:0.1;partition@8-15:0.4;stall@3-6:0.2;"
+            "gilbert:0.01,0.3,0.05,0.25;delay:5~2;reorder:0.01;dup:0.02"
+        )
+        plan = FaultPlan.parse(spec)
+        again = FaultPlan.parse(plan.describe())
+        assert again == plan
+
+    def test_parse_uniform_loss_clause(self):
+        plan = FaultPlan.parse("loss:0.1")
+        assert plan.link is not None
+        assert plan.link.stationary_loss == pytest.approx(0.1)
+        assert not plan.events
+
+    def test_parse_unknown_clause_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("meteor@4:1.0")
+
+    def test_event_accessors(self):
+        plan = FaultPlan.parse("crash@5:0.1;partition@8-15:0.4;stall@3-6:0.2")
+        assert len(plan.crashes) == 1
+        assert len(plan.partitions) == 1
+        assert len(plan.stalls) == 1
+        assert plan.last_event_round() == 15
+
+    def test_to_jsonable_is_json_friendly(self):
+        import json
+
+        plan = FaultPlan.parse("crash@5:0.1;gilbert:0.01,0.3,0.05,0.25")
+        blob = json.dumps(plan.to_jsonable(), sort_keys=True)
+        assert "crash@5:0.1" in blob
+
+    def test_validate_rejects_event_after_horizon(self):
+        plan = FaultPlan.parse("crash@50:0.1")
+        with pytest.raises(ValueError):
+            plan.validate_for(n=20, num_alive_correct=18, max_rounds=30)
+
+    def test_validate_rejects_crashing_everyone(self):
+        # Source never crashes; the victim pool is num_alive_correct - 1.
+        plan = FaultPlan.parse("crash@2:0.99")
+        with pytest.raises(ValueError):
+            plan.validate_for(n=10, num_alive_correct=10, max_rounds=50)
+
+    def test_validate_accepts_sane_plan(self):
+        plan = FaultPlan.parse("crash@5:0.1;partition@8-15:0.4")
+        plan.validate_for(n=50, num_alive_correct=45, max_rounds=100)
+
+    def test_with_replaces_fields(self):
+        plan = FaultPlan.parse("crash@5:0.1")
+        timed = plan.with_(link=LinkFaults(delay_ms=3.0))
+        assert timed.link.delay_ms == 3.0
+        assert timed.crashes == plan.crashes

@@ -1,0 +1,126 @@
+"""Tests for repro.faults.schedule: deterministic event expansion."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSchedule
+
+
+def schedule(spec, n=20, num_alive_correct=18):
+    return FaultSchedule(
+        FaultPlan.parse(spec), n=n, num_alive_correct=num_alive_correct
+    )
+
+
+class TestCrashWindows:
+    def test_victims_descend_from_top_and_spare_source(self):
+        sched = schedule("crash@5:0.2")  # round(0.2 * 18) = 4 victims
+        assert sched.crashed_at(4) == frozenset()
+        assert sched.crashed_at(5) == frozenset({14, 15, 16, 17})
+        assert 0 not in sched.crashed_at(5)
+
+    def test_recovery_window(self):
+        sched = schedule("crash@5-9:0.2")
+        assert sched.crashed_at(8) == frozenset({14, 15, 16, 17})
+        assert sched.crashed_at(9) == frozenset()
+
+    def test_seedless_rebuild_is_identical(self):
+        a = schedule("crash@5:0.2;stall@3-6:0.2")
+        b = schedule("crash@5:0.2;stall@3-6:0.2")
+        for r in range(1, 12):
+            assert a.crashed_at(r) == b.crashed_at(r)
+            assert a.stalled_at(r) == b.stalled_at(r)
+
+    def test_two_crash_events_take_disjoint_blocks(self):
+        sched = schedule("crash@3:0.1;crash@7:0.1")  # 2 victims each
+        first = sched.crashed_at(3)
+        both = sched.crashed_at(7)
+        assert first == frozenset({16, 17})
+        assert both == frozenset({14, 15, 16, 17})
+
+
+class TestPartition:
+    def test_side_a_is_lowest_ids_and_contains_source(self):
+        sched = schedule("partition@8-15:0.4")  # side A = 8 of n=20
+        side_a = sched.partition_at(8)
+        assert side_a == frozenset(range(8))
+        assert 0 in side_a
+        assert sched.partition_at(7) is None
+        assert sched.partition_at(15) is None
+
+    def test_blocks_cross_partition_member_traffic_only(self):
+        sched = schedule("partition@2-6:0.4")
+        assert sched.blocks(3, 0, 10)      # member across the cut
+        assert not sched.blocks(3, 0, 5)   # same side
+        assert not sched.blocks(3, 12, 15)
+        # Attacker traffic comes from outside the group and is not
+        # subject to the member partition: DoS crosses cuts.
+        assert not sched.blocks(3, 10**6, 10)
+        assert not sched.blocks(1, 0, 10)  # before the window
+
+
+class TestStall:
+    def test_stalled_sender_is_muted_but_receives(self):
+        sched = schedule("stall@3-6:0.15")  # round(0.15*18) = 3 victims
+        stalled = sched.stalled_at(3)
+        assert stalled == frozenset({15, 16, 17})
+        victim = next(iter(stalled))
+        assert sched.blocks(3, victim, 1)      # outbound muted
+        assert not sched.blocks(3, 1, victim)  # inbound still flows
+        assert not sched.blocks(6, victim, 1)  # window over
+
+
+class TestCrashBlocks:
+    def test_all_traffic_touching_crashed_node_drops(self):
+        sched = schedule("crash@2-4:0.1")  # victims {16, 17}
+        assert sched.blocks(2, 16, 3)
+        assert sched.blocks(2, 3, 16)
+        assert sched.blocks(2, 10**6, 17)  # even the attacker's flood
+        assert not sched.blocks(4, 3, 16)  # recovered
+
+
+class TestHorizons:
+    def test_doomed_ids_only_for_permanent_crashes(self):
+        assert schedule("crash@5:0.2").doomed_ids(100) == frozenset(
+            {14, 15, 16, 17}
+        )
+        assert schedule("crash@5-9:0.2").doomed_ids(100) == frozenset()
+        # Recovery beyond the horizon counts as permanent at it.
+        assert schedule("crash@5-90:0.2").doomed_ids(50) == frozenset(
+            {14, 15, 16, 17}
+        )
+
+    def test_reachable_excludes_doomed(self):
+        sched = schedule("crash@5:0.2")
+        reachable = sched.reachable_ids(100)
+        assert reachable == frozenset(range(14))
+        assert 0 in reachable
+
+    def test_reachable_respects_unhealed_partition(self):
+        # Heals at round 200; at horizon 100 side B is unreachable.
+        sched = schedule("partition@2-200:0.4")
+        assert sched.reachable_ids(100) == frozenset(range(8))
+        assert sched.reachable_ids(300) == frozenset(range(18))
+
+    def test_last_heal_round(self):
+        assert schedule("partition@2-6:0.4").last_heal_round() == 6
+        assert schedule("crash@2:0.1").last_heal_round() == 0
+
+
+class TestBlocksFn:
+    def test_inert_round_returns_none(self):
+        sched = schedule("crash@5:0.1")
+        assert sched.blocks_fn(2) is None
+        assert sched.blocks_fn(5) is not None
+
+    def test_fn_matches_blocks(self):
+        sched = schedule("partition@2-6:0.4;crash@3:0.1")
+        fn = sched.blocks_fn(3)
+        for src in (0, 5, 10, 16, 17, 10**6):
+            for dst in (0, 5, 10, 16, 17):
+                assert fn(src, dst) == sched.blocks(3, src, dst)
+
+
+def test_crashing_into_the_source_rejected():
+    plan = FaultPlan.parse("crash@2:0.5;crash@3:0.5")
+    with pytest.raises(ValueError):
+        FaultSchedule(plan, n=10, num_alive_correct=10)

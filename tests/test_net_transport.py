@@ -1,5 +1,6 @@
 """Tests for repro.net.transport: in-memory and UDP datagram services."""
 
+import errno
 import threading
 import time
 
@@ -104,4 +105,98 @@ class TestUdpTransport:
                 udp = transport._udp_port(Address(2, rp))
                 assert 24200 + 2 * 16 <= udp < 24200 + 3 * 16
         finally:
+            transport.close()
+
+
+class _FlakySocket:
+    """A sendto stub that fails ``failures`` times before succeeding."""
+
+    def __init__(self, failures, err=errno.EAGAIN):
+        self.failures = failures
+        self.err = err
+        self.sent = []
+        self.calls = 0
+
+    def sendto(self, data, target):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError(self.err, "simulated transient error")
+        self.sent.append((data, target))
+
+    def close(self):
+        pass
+
+
+class TestUdpRobustness:
+    """Hardening behaviour: closed guard, loss interaction, retries."""
+
+    def test_send_after_close_is_noop(self):
+        transport = UdpTransport(base_port=24600, ports_per_node=16)
+        transport.close()
+        # No exception, no retry accounting: the datagram just vanishes.
+        transport.send(Address(0, 1), Address(1, 2), "late")
+        assert transport.send_retries == 0
+        assert transport.send_errors == 0
+
+    def test_double_close_is_safe(self):
+        transport = UdpTransport(base_port=24650, ports_per_node=16)
+        transport.close()
+        transport.close()
+
+    def test_loss_model_consulted_before_socket(self):
+        transport = UdpTransport(
+            LossModel(1.0, seed=0), base_port=24700, ports_per_node=16
+        )
+        try:
+            flaky = _FlakySocket(failures=0)
+            transport._send_sock = flaky
+            for _ in range(10):
+                transport.send(Address(0, 1), Address(1, 2), "x")
+            assert flaky.calls == 0  # all lost before reaching the kernel
+        finally:
+            transport._send_sock = _FlakySocket(0)
+            transport.close()
+
+    def test_transient_error_retried_with_bounded_backoff(self):
+        transport = UdpTransport(base_port=24750, ports_per_node=16)
+        try:
+            flaky = _FlakySocket(failures=2)
+            transport._send_sock = flaky
+            t0 = time.monotonic()
+            transport.send(Address(0, 1), Address(1, 2), "retry-me")
+            elapsed = time.monotonic() - t0
+            assert len(flaky.sent) == 1
+            assert transport.send_retries == 2
+            assert transport.send_errors == 0
+            # Backoff for two retries is ~1ms + ~2ms; bounded well under
+            # the test-suite latency budget.
+            assert elapsed < 0.05
+        finally:
+            transport._send_sock = _FlakySocket(0)
+            transport.close()
+
+    def test_retry_budget_exhausted_counts_an_error(self):
+        transport = UdpTransport(base_port=24800, ports_per_node=16)
+        try:
+            flaky = _FlakySocket(failures=99, err=errno.ENOBUFS)
+            transport._send_sock = flaky
+            transport.send(Address(0, 1), Address(1, 2), "doomed")
+            assert flaky.sent == []
+            assert transport.send_retries == transport._MAX_SEND_RETRIES
+            assert transport.send_errors == 1
+        finally:
+            transport._send_sock = _FlakySocket(0)
+            transport.close()
+
+    def test_non_transient_error_not_retried(self):
+        transport = UdpTransport(base_port=24850, ports_per_node=16)
+        try:
+            flaky = _FlakySocket(failures=99, err=errno.ECONNREFUSED)
+            transport._send_sock = flaky
+            transport.send(Address(0, 1), Address(1, 2), "refused")
+            assert flaky.calls == 1
+            assert transport.send_retries == 0
+            assert transport.send_errors == 0
+        finally:
+            transport._send_sock = _FlakySocket(0)
             transport.close()
