@@ -1,0 +1,191 @@
+"""Observability overhead benchmark: tracing off must cost nothing.
+
+The `repro.obs` contract has two measurable halves:
+
+1. *Off-switch identity* — with no tracer attached, the golden seeded
+   drum run renders **byte-identical** to the committed
+   ``tests/golden/exact_drum.json``, and a *traced* run of the same
+   seed renders the same bytes (instrumentation draws no randomness).
+2. *Bounded cost* — a fully traced exact run (per-packet events into a
+   ``MemorySink``) stays within a small multiple of the untraced run,
+   and the traced event stream reconciles exactly against the engine's
+   ``RunResult``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --check
+
+``--check`` exits non-zero on any byte diff, reconciliation mismatch,
+or traced overhead above the threshold; without it the measurements are
+printed and recorded only.  Results append to ``BENCH_obs.json`` at the
+repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.obs import MemorySink, Tracer, summarize
+from repro.sim import Scenario, run_fast
+from repro.sim.engine import RoundSimulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_obs.json"
+GOLDEN = REPO_ROOT / "tests" / "golden" / "exact_drum.json"
+
+#: The golden drum case from tests/test_exact_golden.py.
+SEED = 1234
+
+#: A traced run may cost at most this multiple of an untraced run.
+#: Generous because event emission is pure-Python dict work while the
+#: engine itself is partly vectorised; the hard guarantees (byte
+#: identity, reconciliation) are deterministic and carry the gate.
+MAX_TRACED_OVERHEAD = 3.0
+
+
+def golden_scenario() -> Scenario:
+    from repro.adversary.attacks import AttackSpec
+
+    return Scenario(
+        protocol="drum",
+        n=48,
+        malicious_fraction=0.1,
+        attack=AttackSpec(alpha=0.25, x=32.0),
+        max_rounds=200,
+    )
+
+
+def render(result) -> str:
+    return json.dumps(result.to_jsonable(), sort_keys=True, indent=1) + "\n"
+
+
+def _time(fn, repeats: int):
+    """(best wall seconds, last return value) over ``repeats`` calls."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def run_benchmark(repeats: int) -> dict:
+    scenario = golden_scenario()
+    golden = GOLDEN.read_text()
+
+    untraced_s, untraced = _time(
+        lambda: RoundSimulator(scenario, seed=SEED).run(), repeats
+    )
+
+    def traced_run():
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        result = RoundSimulator(scenario, seed=SEED, tracer=tracer).run()
+        return result, tracer, sink
+
+    traced_s, (traced, tracer, sink) = _time(traced_run, repeats)
+
+    summary = summarize(sink.events)
+    counts = [int(v) for v in traced.counts]
+
+    # The vectorised engine emits aggregate events; same off/on identity.
+    fast_scenario = scenario.with_(max_rounds=120)
+    fast_plain_s, fast_plain = _time(
+        lambda: run_fast(fast_scenario, runs=50, seed=SEED), repeats
+    )
+    fast_traced_s, fast_traced = _time(
+        lambda: run_fast(fast_scenario, runs=50, seed=SEED, tracer=Tracer()),
+        repeats,
+    )
+
+    return {
+        "golden_bytes_untraced": render(untraced) == golden,
+        "golden_bytes_traced": render(traced) == golden,
+        "reconcile_mismatches": tracer.counters.reconcile_run(traced),
+        "replay_counts_match": summary.infection_counts() == counts,
+        "events": len(sink),
+        "untraced_seconds": round(untraced_s, 4),
+        "traced_seconds": round(traced_s, 4),
+        "traced_overhead": round(traced_s / untraced_s, 3),
+        "fast_untraced_seconds": round(fast_plain_s, 4),
+        "fast_traced_seconds": round(fast_traced_s, 4),
+        "fast_counts_identical": bool(
+            (fast_plain.counts == fast_traced.counts).all()
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on byte diffs, reconciliation mismatches, or traced "
+             f"overhead above {MAX_TRACED_OVERHEAD}x",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per variant (best-of, default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(args.repeats)
+    entry = {
+        "name": "obs_overhead_golden_drum",
+        "seed": SEED,
+        **results,
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    print(json.dumps(entry, indent=2))
+
+    entries = []
+    if BENCH_PATH.exists():
+        try:
+            entries = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            entries = []
+    entries.append(entry)
+    BENCH_PATH.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH}")
+
+    if args.check:
+        failures = []
+        if not results["golden_bytes_untraced"]:
+            failures.append("untraced run diverged from the golden bytes")
+        if not results["golden_bytes_traced"]:
+            failures.append("tracing perturbed the golden seeded run")
+        if results["reconcile_mismatches"]:
+            failures.append(
+                f"counters disagree with RunResult: "
+                f"{results['reconcile_mismatches']}"
+            )
+        if not results["replay_counts_match"]:
+            failures.append("replay summary diverged from engine counts")
+        if not results["fast_counts_identical"]:
+            failures.append("tracing perturbed the fast engine")
+        if results["traced_overhead"] > MAX_TRACED_OVERHEAD:
+            failures.append(
+                f"traced overhead {results['traced_overhead']}x > "
+                f"{MAX_TRACED_OVERHEAD}x"
+            )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "check passed: byte-identical off and on, counters reconcile, "
+            f"traced overhead {results['traced_overhead']}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

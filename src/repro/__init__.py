@@ -7,16 +7,33 @@ Push and Pull baselines, the Section 9 ablation variants, the paper's
 DoS-evaluation methodology, its closed-form and numerical analyses, and
 simulation/measurement harnesses regenerating every figure.
 
-Quick start::
+Quick start — one experiment description, any execution stack::
 
-    from repro import AttackSpec, Scenario, monte_carlo
+    from repro import AttackSpec, Experiment
+
+    exp = Experiment(
+        protocol="drum", n=120, malicious_fraction=0.1,
+        attack=AttackSpec(alpha=0.1, x=128), runs=100,
+    )
+    result = exp.run("fast", seed=1)     # vectorised Monte-Carlo
+    print(result.mean_rounds())   # rounds to reach 99 % of correct processes
+    measured = exp.run("des", seed=1)    # discrete-event measurement
+    print(measured.delivery_ratio())
+
+The stack-native entry points remain fully supported::
+
+    from repro import Scenario, monte_carlo
 
     scenario = Scenario(
         protocol="drum", n=120, malicious_fraction=0.1,
         attack=AttackSpec(alpha=0.1, x=128),
     )
     result = monte_carlo(scenario, runs=100, seed=1)
-    print(result.mean_rounds())   # rounds to reach 99 % of correct processes
+
+Attach a :class:`repro.obs.Tracer` to any engine for a typed event
+stream (round markers, sends, bounded-acceptance wins, drops by reason,
+deliveries, fault transitions) through pluggable sinks; seeded runs are
+byte-identical with tracing on or off.
 """
 
 from repro.adversary import (
@@ -28,6 +45,7 @@ from repro.adversary import (
     increasing_rate_sweep,
     relative_budget_sweep,
 )
+from repro.api import Experiment, result_from_dict
 from repro.core import (
     DrumProcess,
     GossipProcess,
@@ -37,6 +55,7 @@ from repro.core import (
     PullProcess,
     PushProcess,
 )
+from repro.obs import JsonlSink, MemorySink, PrometheusSink, Tracer
 from repro.sim import (
     MonteCarloResult,
     ResultCache,
@@ -58,10 +77,14 @@ __version__ = "1.0.0"
 __all__ = [
     "AttackSpec",
     "DrumProcess",
+    "Experiment",
     "GossipProcess",
+    "JsonlSink",
+    "MemorySink",
     "MessageBuffer",
     "MonteCarloResult",
     "PortLoad",
+    "PrometheusSink",
     "ResultCache",
     "ProtocolConfig",
     "ProtocolKind",
@@ -71,6 +94,7 @@ __all__ = [
     "RoundSimulator",
     "RunResult",
     "Scenario",
+    "Tracer",
     "__version__",
     "budget_sweep",
     "default_runs",
@@ -82,6 +106,7 @@ __all__ = [
     "increasing_rate_sweep",
     "monte_carlo",
     "relative_budget_sweep",
+    "result_from_dict",
     "run_exact",
     "run_fast",
 ]

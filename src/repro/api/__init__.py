@@ -1,0 +1,49 @@
+"""The stable experiment front door.
+
+:class:`Experiment` is one declarative description of a gossip
+experiment — group, protocol, attack, faults, timing — that runs on any
+of the four execution stacks with ``.run(engine=...)``:
+
+- ``"exact"`` — the object-level round simulator (every protocol
+  mechanism really executes; golden-traced);
+- ``"fast"`` — the vectorised Monte-Carlo engine (paper-strength
+  1000-run sweeps);
+- ``"des"`` — the discrete-event measurement platform (throughput /
+  latency streams, Section 8 methodology);
+- ``"live"`` — the threaded wall-clock runtime.
+
+Attach a :class:`repro.obs.Tracer` via ``.run(..., tracer=t)`` and every
+stack emits the same typed event taxonomy (see :mod:`repro.obs`).
+
+The legacy constructors — :class:`~repro.sim.scenario.Scenario`,
+:class:`~repro.des.cluster.ClusterConfig`,
+:class:`~repro.runtime.cluster.LiveClusterConfig` — are re-exported here
+for compatibility.  They remain fully supported as the per-stack
+configuration objects (``Experiment`` builds them for you), but direct
+construction is the *legacy* entry point for running experiments:
+prefer ``Experiment(...).run(engine=...)``, which guarantees the same
+description means the same thing on every stack.
+
+:func:`result_from_dict` deserialises any result produced by the
+unified ``to_dict()`` envelope (``RunResult``, ``MonteCarloResult``,
+``MeasurementResult``) back into the right class.
+"""
+
+from repro.api.experiment import Experiment
+from repro.api.results import result_from_dict
+from repro.des.cluster import ClusterConfig
+from repro.des.measurement import MeasurementResult
+from repro.runtime.cluster import LiveClusterConfig
+from repro.sim.results import MonteCarloResult, RunResult
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "ClusterConfig",
+    "Experiment",
+    "LiveClusterConfig",
+    "MeasurementResult",
+    "MonteCarloResult",
+    "RunResult",
+    "Scenario",
+    "result_from_dict",
+]

@@ -1,0 +1,212 @@
+"""The :class:`Experiment` builder: one config, four engines.
+
+An :class:`Experiment` holds the protocol-level description shared by
+every stack (group composition, fan-out, loss, attack, faults) plus the
+per-stack knobs that only some stacks read (Monte-Carlo run counts,
+stream rate, round duration).  ``.run(engine=...)`` translates the
+description into the stack's native config — a
+:class:`~repro.sim.scenario.Scenario`,
+:class:`~repro.des.cluster.ClusterConfig`, or
+:class:`~repro.runtime.cluster.LiveClusterConfig` — and executes it.
+
+The translation is the point: the paper compares the same attack on the
+analytical model, the simulations, and the measured cluster, and the
+historical way to do that here was to hand-build three config objects
+and keep their fields in sync by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.adversary.attacks import AttackSpec
+from repro.faults.plan import FaultPlan
+
+#: Engines ``Experiment.run`` accepts.
+ENGINES = ("exact", "fast", "des", "live")
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One declarative experiment, runnable on any execution stack.
+
+    Fields in the first block describe the experiment itself and feed
+    every engine.  The second block holds per-stack execution knobs:
+    ``runs`` (fast/exact aggregation), ``round_duration_ms`` /
+    ``send_rate`` / ``messages`` (des/live streams).  Unused knobs are
+    simply ignored by the other engines, so one ``Experiment`` value
+    really does run everywhere.
+    """
+
+    protocol: str = "drum"
+    n: int = 50
+    fan_out: int = 4
+    loss: float = 0.01
+    malicious_fraction: float = 0.0
+    attack: Optional[AttackSpec] = None
+    faults: Optional[Union[FaultPlan, str]] = None
+    #: Coverage threshold for the round-based engines.
+    threshold: float = 0.99
+    max_rounds: int = 500
+
+    # -- per-stack execution knobs ------------------------------------------
+    #: Monte-Carlo runs for ``engine="fast"`` (and ``engine="exact"``
+    #: when aggregating).  None means one exact run / the REPRO_RUNS
+    #: default for fast.
+    runs: Optional[int] = None
+    round_duration_ms: float = 1000.0
+    round_jitter: float = 0.1
+    purge_rounds: int = 10
+    send_rate: float = 40.0
+    messages: int = 400
+
+    def __post_init__(self) -> None:
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultPlan.parse(self.faults))
+
+    def with_(self, **changes) -> "Experiment":
+        """Copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+    # -- per-stack configs ---------------------------------------------------
+
+    def scenario(self):
+        """The round-engine :class:`~repro.sim.scenario.Scenario`."""
+        from repro.sim.scenario import Scenario
+
+        return Scenario(
+            protocol=self.protocol,
+            n=self.n,
+            fan_out=self.fan_out,
+            loss=self.loss,
+            malicious_fraction=self.malicious_fraction,
+            attack=self.attack,
+            threshold=self.threshold,
+            max_rounds=self.max_rounds,
+            faults=self.faults,
+        )
+
+    def cluster_config(self):
+        """The DES :class:`~repro.des.cluster.ClusterConfig`."""
+        from repro.des.cluster import ClusterConfig
+
+        return ClusterConfig(
+            protocol=self.protocol,
+            n=self.n,
+            malicious_fraction=self.malicious_fraction,
+            attack=self.attack,
+            fan_out=self.fan_out,
+            loss=self.loss,
+            round_duration_ms=self.round_duration_ms,
+            round_jitter=self.round_jitter,
+            purge_rounds=self.purge_rounds,
+            send_rate=self.send_rate,
+            messages=self.messages,
+            faults=self.faults,
+        )
+
+    def live_config(self):
+        """The live :class:`~repro.runtime.cluster.LiveClusterConfig`."""
+        from repro.runtime.cluster import LiveClusterConfig
+
+        return LiveClusterConfig(
+            protocol=self.protocol,
+            n=self.n,
+            malicious_fraction=self.malicious_fraction,
+            attack=self.attack,
+            fan_out=self.fan_out,
+            loss=self.loss,
+            round_duration_ms=self.round_duration_ms,
+            round_jitter=self.round_jitter,
+            faults=self.faults,
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        engine: str = "fast",
+        *,
+        seed=None,
+        workers: Optional[int] = None,
+        tracer=None,
+    ):
+        """Run the experiment on ``engine`` and return its result.
+
+        - ``"exact"``: a :class:`~repro.sim.results.RunResult` when
+          :attr:`runs` is None, else a
+          :class:`~repro.sim.results.MonteCarloResult` over ``runs``
+          object-level runs;
+        - ``"fast"``: a :class:`~repro.sim.results.MonteCarloResult`;
+        - ``"des"``: a :class:`~repro.des.measurement.MeasurementResult`
+          from one streamed throughput experiment;
+        - ``"live"``: a :class:`~repro.des.measurement.MeasurementResult`
+          from a real threaded cluster streaming :attr:`messages`
+          messages at :attr:`send_rate` (wall-clock: takes
+          ``messages / send_rate`` seconds plus drain time).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) attaches the unified
+        observability layer on every engine; pass
+        ``Tracer(..., thread_safe=True)`` for ``"live"``.  Every result
+        class exposes the same versioned ``to_dict()`` envelope.
+        """
+        if engine == "exact":
+            if self.runs is None:
+                from repro.sim.engine import run_exact
+
+                return run_exact(self.scenario(), seed=seed, tracer=tracer)
+            from repro.sim.runner import monte_carlo
+
+            return monte_carlo(
+                self.scenario(), self.runs, seed=seed, engine="exact",
+                workers=workers, tracer=tracer,
+            )
+        if engine == "fast":
+            from repro.sim.runner import monte_carlo
+
+            return monte_carlo(
+                self.scenario(), self.runs, seed=seed, engine="fast",
+                workers=workers, tracer=tracer,
+            )
+        if engine == "des":
+            from repro.des.cluster import run_throughput_experiment
+
+            return run_throughput_experiment(
+                self.cluster_config(), seed=seed, tracer=tracer
+            )
+        if engine == "live":
+            return self._run_live(seed=seed, tracer=tracer)
+        raise ValueError(
+            f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}"
+        )
+
+    def _run_live(self, *, seed=None, tracer=None):
+        """Stream :attr:`messages` through a threaded cluster."""
+        import time
+
+        from repro.runtime.cluster import LiveCluster
+
+        cluster = LiveCluster(self.live_config(), seed=seed, tracer=tracer)
+        interval_s = 1.0 / self.send_rate
+        cluster.start()
+        try:
+            last_id = None
+            for i in range(self.messages):
+                last_id = cluster.multicast(0, f"msg-{i}".encode())
+                if i + 1 < self.messages:
+                    time.sleep(interval_s)
+            # Wait for the stream's tail to spread before tearing down;
+            # a few round durations is the live analogue of the DES
+            # drain window.
+            if last_id is not None:
+                cluster.await_delivery(
+                    last_id,
+                    fraction=0.5,
+                    timeout_s=max(
+                        2.0, 10 * self.round_duration_ms / 1000.0
+                    ),
+                )
+        finally:
+            cluster.stop()
+        return cluster.result(self.send_rate, self.messages)

@@ -1,0 +1,59 @@
+"""Deserialisation of the unified result envelope.
+
+Every result class serialises with ``to_dict()`` into the same
+versioned layout::
+
+    {"schema": "repro.result", "version": 1, "kind": <kind>,
+     "config": {...}, "metrics": {...}, "data": {...}}
+
+``metrics`` always carries the shared names — ``reliability``,
+``rounds_to_threshold``, ``rounds_to_heal``, ``latency_ms`` — with None
+where a stack has no such notion (round engines have no latency;
+continuous-time experiments have no round counts).  ``data`` is
+kind-specific and lossless, so :func:`result_from_dict` rebuilds a
+fully functional result object from any envelope.
+"""
+
+from __future__ import annotations
+
+from repro.des.measurement import MeasurementResult
+from repro.sim.results import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    MonteCarloResult,
+    RunResult,
+)
+
+#: kind -> result class, the dispatch table for :func:`result_from_dict`.
+KINDS = {
+    "run": RunResult,
+    "monte_carlo": MonteCarloResult,
+    "measurement": MeasurementResult,
+}
+
+
+def result_from_dict(data: dict):
+    """Rebuild whichever result class produced ``data`` via ``to_dict``.
+
+    Raises ``ValueError`` on a wrong schema, an unsupported version, or
+    an unknown kind.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"expected a result envelope dict, got {data!r}")
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a {SCHEMA} document: schema={data.get('schema')!r}"
+        )
+    if data.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported {SCHEMA} version {data.get('version')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    kind = data.get("kind")
+    cls = KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown result kind {kind!r}; expected one of "
+            f"{', '.join(sorted(KINDS))}"
+        )
+    return cls.from_dict(data)

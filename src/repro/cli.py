@@ -12,8 +12,13 @@ subcommands mirror the library's three evaluation stacks::
     # Full-protocol measurement (Section 8): stream throughput/latency
     python -m repro measure --protocol pull --n 50 --alpha 0.1 -x 128
 
-Each subcommand prints a compact table; ``--json`` emits
-machine-readable results instead.
+    # Replay a JSONL event trace recorded with --trace
+    python -m repro trace run.jsonl
+
+``--faults``, ``--profile``, and ``--trace`` are uniform across the
+execution subcommands (where the stack supports them).  Each subcommand
+prints a compact table; ``--json`` emits machine-readable results
+instead.
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ from repro.des import ClusterConfig, run_throughput_experiment
 from repro.sim import Scenario, monte_carlo
 from repro.sim.engine import RoundSimulator
 from repro.util import Table
-from repro.util.profiling import profiling_enabled
+from repro.util.profiling import Profiler, profiling_enabled
 
 PROTOCOL_CHOICES = [kind.value for kind in ProtocolKind]
 
@@ -81,6 +86,36 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=f"additionally print a per-phase hotspot table for {what} "
+             "(REPRO_PROFILE=1 does the same from the environment)",
+    )
+
+
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a JSONL event trace of the run to FILE "
+             "(replay it with 'repro trace FILE')",
+    )
+
+
+def _open_tracer(args):
+    """(tracer, sink) for ``--trace FILE``, else (None, None).
+
+    The caller must close the sink after the run; the lazy import keeps
+    untraced invocations from paying for :mod:`repro.obs`.
+    """
+    if getattr(args, "trace", None) is None:
+        return None, None
+    from repro.obs import JsonlSink, Tracer
+
+    sink = JsonlSink(args.trace)
+    return Tracer(sink), sink
+
+
 def _attack(args) -> Optional[AttackSpec]:
     if args.alpha > 0 and args.rate > 0:
         return AttackSpec(alpha=args.alpha, x=args.rate)
@@ -110,9 +145,15 @@ def cmd_simulate(args) -> int:
         max_rounds=args.max_rounds,
         faults=args.faults,
     )
-    result = monte_carlo(
-        scenario, runs=args.runs, seed=args.seed, workers=args.workers
-    )
+    tracer, sink = _open_tracer(args)
+    try:
+        result = monte_carlo(
+            scenario, runs=args.runs, seed=args.seed, workers=args.workers,
+            tracer=tracer,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     payload = {
         "mean rounds to 99%": result.mean_rounds(),
         "std": result.std_rounds(),
@@ -138,19 +179,31 @@ def cmd_simulate(args) -> int:
         profiler = sim.profiler
         if args.json:
             payload["profile"] = profiler.snapshot()
+    if sink is not None and args.json:
+        payload["trace"] = {"path": args.trace, "events": sink.written}
     _emit(
         args,
         f"Simulation: {scenario.describe()} ({args.runs} runs)",
         payload,
     )
-    if profiler is not None and not args.json:
-        print(profiler.hotspot_table())
+    if not args.json:
+        if profiler is not None:
+            print(profiler.hotspot_table())
+        if sink is not None:
+            print(f"trace: {args.trace} ({sink.written} events)")
     return 0
 
 
 def cmd_analyze(args) -> int:
     attack = _attack(args)
     b = int(round(args.malicious * args.n)) if attack else 0
+    profiler = (
+        Profiler()
+        if args.profile or profiling_enabled(False)
+        else None
+    )
+    if profiler is not None:
+        profiler.phase_start("coverage-curves")
     if attack is None:
         curves = coverage_curve_no_attack(
             args.protocol, args.n, b, fan_out=args.fan_out,
@@ -161,6 +214,9 @@ def cmd_analyze(args) -> int:
             args.protocol, args.n, b, attack, fan_out=args.fan_out,
             loss=args.loss, rounds=args.rounds, refined=args.refined,
         )
+    if profiler is not None:
+        profiler.phase_stop("coverage-curves")
+        profiler.phase_start("acceptance")
     payload = {
         "rounds to 99% (expected coverage)": curves.rounds_to_fraction(0.99),
         "p_u": accept_probability_unattacked(args.n, args.fan_out),
@@ -176,7 +232,13 @@ def cmd_analyze(args) -> int:
             payload["escape std"] = escape_time_std(
                 args.n, args.fan_out, attack.x
             )
+    if profiler is not None:
+        profiler.phase_stop("acceptance")
+        if args.json:
+            payload["profile"] = profiler.snapshot()
     _emit(args, f"Analysis: {args.protocol}, n={args.n}", payload)
+    if profiler is not None and not args.json:
+        print(profiler.hotspot_table("Analysis hotspots"))
     return 0
 
 
@@ -194,7 +256,23 @@ def cmd_measure(args) -> int:
         round_duration_ms=args.round_ms,
         faults=args.faults,
     )
-    result = run_throughput_experiment(config, seed=args.seed)
+    profiler = (
+        Profiler()
+        if args.profile or profiling_enabled(False)
+        else None
+    )
+    tracer, sink = _open_tracer(args)
+    try:
+        if profiler is not None:
+            profiler.phase_start("experiment")
+        result = run_throughput_experiment(config, seed=args.seed, tracer=tracer)
+        if profiler is not None:
+            profiler.phase_stop("experiment")
+    finally:
+        if sink is not None:
+            sink.close()
+    if profiler is not None:
+        profiler.phase_start("summarize")
     throughput = result.throughput()
     latencies = [
         latency
@@ -209,12 +287,63 @@ def cmd_measure(args) -> int:
     }
     if result.faults is not None:
         payload["residual reliability"] = result.residual_reliability()
+    if profiler is not None:
+        profiler.phase_stop("summarize")
+        if args.json:
+            payload["profile"] = profiler.snapshot()
+    if sink is not None and args.json:
+        payload["trace"] = {"path": args.trace, "events": sink.written}
     _emit(
         args,
         f"Measurement: {args.protocol}, n={args.n}, "
         f"{args.messages} msgs @ {args.send_rate:g}/s",
         payload,
     )
+    if not args.json:
+        if profiler is not None:
+            print(profiler.hotspot_table("Measurement hotspots"))
+        if sink is not None:
+            print(f"trace: {args.trace} ({sink.written} events)")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import read_trace, summarize
+
+    summary = summarize(read_trace(args.file))
+    if args.json:
+        print(json.dumps(summary.to_jsonable(), indent=2, default=float))
+        return 0
+    engines = ", ".join(summary.engines) if summary.engines else "unknown"
+    dropped_total = sum(summary.dropped_by_reason.values())
+    overview = Table(
+        f"Trace: {args.file} ({summary.events} events, engine: {engines})",
+        ["delivered", "run_end delivered", "dropped", "max round"],
+    )
+    overview.add_row(
+        summary.delivered_total,
+        summary.final_delivered,
+        dropped_total,
+        summary.max_round(),
+    )
+    print(overview)
+    if summary.rounds:
+        table = Table(
+            "Per-round activity",
+            ["round", "delivered", "cumulative", "sent", "flooded",
+             "accepted", "fabricated", "dropped"],
+        )
+        for r in summary.rounds:
+            table.add_row(
+                r.round, r.delivered, r.cumulative, r.sent, r.flooded,
+                r.accepted_valid, r.accepted_fabricated, r.dropped_total,
+            )
+        print(table)
+    if summary.dropped_by_reason:
+        drops = Table("Drops by reason", ["reason", "count"])
+        for reason in sorted(summary.dropped_by_reason):
+            drops.add_row(reason, summary.dropped_by_reason[reason])
+        print(drops)
     return 0
 
 
@@ -235,12 +364,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool workers for the run fan-out (default: "
              "REPRO_WORKERS or 1; results are identical for any count)",
     )
-    p_sim.add_argument(
-        "--profile", action="store_true",
-        help="additionally run one seeded exact-engine pass and print "
-             "its per-phase hotspot table (REPRO_PROFILE=1 does the "
-             "same from the environment)",
-    )
+    _add_profile(p_sim, "one seeded exact-engine pass")
+    _add_trace(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_ana = sub.add_parser("analyze", help="closed-form / numerical analysis")
@@ -250,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--refined", action="store_true",
         help="use the exact (beyond-paper) acceptance computation",
     )
+    _add_profile(p_ana, "the numerical analysis")
     p_ana.set_defaults(func=cmd_analyze)
 
     p_meas = sub.add_parser("measure", help="full-protocol stream measurement")
@@ -258,7 +384,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_meas.add_argument("--messages", type=int, default=400)
     p_meas.add_argument("--send-rate", type=float, default=40.0)
     p_meas.add_argument("--round-ms", type=float, default=1000.0)
+    _add_profile(p_meas, "the streamed experiment")
+    _add_trace(p_meas)
     p_meas.set_defaults(func=cmd_measure)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarise a recorded JSONL event trace"
+    )
+    p_trace.add_argument(
+        "file", metavar="FILE",
+        help="JSONL trace written by --trace (or a JsonlSink)",
+    )
+    p_trace.add_argument(
+        "--json", action="store_true",
+        help="emit the full summary as JSON instead of tables",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -35,7 +35,13 @@ from repro.util.rng import SeedLike
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """One measured-cluster configuration (defaults mirror Section 8)."""
+    """One measured-cluster configuration (defaults mirror Section 8).
+
+    .. note:: Direct construction is the legacy entry point for
+       *running* experiments; prefer :class:`repro.api.Experiment` with
+       ``.run(engine="des")``.  ``ClusterConfig`` remains fully
+       supported as the DES stack's native config object.
+    """
 
     protocol: Union[ProtocolKind, str] = ProtocolKind.DRUM
     n: int = 50
@@ -146,13 +152,20 @@ class ClusterConfig:
 class _Cluster:
     """A built cluster: environment, nodes, attacker, delivery log."""
 
-    def __init__(self, config: ClusterConfig, seed: SeedLike = None):
+    def __init__(
+        self, config: ClusterConfig, seed: SeedLike = None, *, tracer=None
+    ):
         self.config = config
+        # Observability: a repro.obs Tracer or None.  DES events are
+        # continuous-time, stamped with ``t`` (sim ms); the tracer draws
+        # no randomness, so traced and untraced runs are identical.
+        self.tracer = tracer
         seeds = SeedSequenceFactory(seed)
         self.env = SimEnvironment(
             loss=config.loss,
             latency_range_ms=config.latency_range_ms,
             seed=seeds.next_seed(),
+            tracer=tracer,
         )
         self.created_at: Dict[Tuple[int, int], float] = {}
         self.deliveries: List[DeliveryRecord] = []
@@ -205,8 +218,16 @@ class _Cluster:
                 num_alive_correct=config.num_correct,
                 round_duration_ms=config.round_duration_ms,
                 seed=seeds.next_seed(),
+                tracer=tracer,
             )
             self.fault_controller.install()
+
+        # run_start last: every seed position above is already consumed.
+        if tracer is not None:
+            tracer.run_start(
+                "des", continuous=True,
+                protocol=config.protocol.value, n=config.n,
+            )
 
     def _record_delivery(self, pid: int, message, now: float) -> None:
         created = self.created_at.get(message.msg_id)
@@ -221,6 +242,10 @@ class _Cluster:
                 round_counter=message.round_counter,
             )
         )
+        if self.tracer is not None:
+            self.tracer.delivered(
+                node=pid, t=now, round_counter=message.round_counter
+            )
 
     def start(self) -> None:
         for node in self.nodes.values():
@@ -270,14 +295,16 @@ class _Cluster:
                 round_counter=0,
             )
         )
+        if self.tracer is not None:
+            self.tracer.delivered(node=pid, via="source", t=created)
         return msg.msg_id
 
 
 def run_throughput_experiment(
-    config: ClusterConfig, *, seed: SeedLike = None
+    config: ClusterConfig, *, seed: SeedLike = None, tracer=None
 ) -> MeasurementResult:
     """Stream ``config.messages`` from the source and measure reception."""
-    cluster = _Cluster(config, seed)
+    cluster = _Cluster(config, seed, tracer=tracer)
     cluster.start()
 
     t0 = config.warmup_rounds * config.round_duration_ms
@@ -305,7 +332,7 @@ def run_throughput_experiment(
             pid for pid in config.receiver_ids() if pid in reachable_ids
         ]
 
-    return MeasurementResult(
+    result = MeasurementResult(
         protocol=config.protocol.value,
         n=config.n,
         correct_receivers=config.receiver_ids(),
@@ -317,6 +344,13 @@ def run_throughput_experiment(
         reachable_receivers=reachable,
         faults=faults_desc,
     )
+    if tracer is not None:
+        tracer.run_end(
+            t=horizon_ms,
+            delivered=len(cluster.deliveries),
+            messages=config.messages,
+        )
+    return result
 
 
 def run_single_message_experiment(

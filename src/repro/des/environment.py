@@ -69,6 +69,7 @@ class SimEnvironment(Environment):
         loss: float = 0.0,
         latency_range_ms: Tuple[float, float] = (0.5, 2.0),
         seed: SeedLike = None,
+        tracer=None,
     ):
         check_probability("loss", loss)
         lo, hi = latency_range_ms
@@ -100,6 +101,10 @@ class SimEnvironment(Environment):
         #: Drop predicate ``(src_node, dst_node) -> bool`` for crash /
         #: partition / stall windows.
         self.block_fn = None
+        # Observability: a repro.obs Tracer or None.  The DES is
+        # continuous-time, so events carry ``t`` (sim milliseconds)
+        # instead of a round number.  The tracer draws no randomness.
+        self._tracer = tracer
 
     def now(self) -> float:
         return self.loop.now
@@ -122,17 +127,32 @@ class SimEnvironment(Environment):
 
     def send(self, src: Address, dst: Address, payload: object) -> None:
         self.sent += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.gossip_sent(src.node, dst.node, dst.port, t=self.loop.now)
         if self.block_fn is not None and self.block_fn(src.node, dst.node):
             # A crashed machine or partition cut, not a lossy link:
             # counted separately, no randomness consumed.
             self.blocked += 1
+            if tr is not None:
+                tr.dropped(
+                    "partition", node=dst.node, port=dst.port, t=self.loop.now
+                )
             return
         if self.loss_model is not None:
             if not self.loss_model.delivered():
                 self.lost += 1
+                if tr is not None:
+                    tr.dropped(
+                        "loss", node=dst.node, port=dst.port, t=self.loop.now
+                    )
                 return
         elif self.loss and self._rng.random() < self.loss:
             self.lost += 1
+            if tr is not None:
+                tr.dropped(
+                    "loss", node=dst.node, port=dst.port, t=self.loop.now
+                )
             return
         lo, hi = self.latency_range_ms
         latency = lo if hi == lo else float(self._rng.uniform(lo, hi))
@@ -141,6 +161,11 @@ class SimEnvironment(Environment):
             handler = self._handlers.get(dst)
             if handler is None:
                 self.dead_lettered += 1
+                if tr is not None:
+                    tr.dropped(
+                        "closed", node=dst.node, port=dst.port,
+                        t=self.loop.now,
+                    )
                 return
             handler(src, payload)
 

@@ -190,3 +190,98 @@ class MeasurementResult:
             if self.reachable_receivers is not None:
                 out["reachable_receivers"] = list(self.reachable_receivers)
         return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """The unified versioned result envelope (see ``repro.api``).
+
+        Same ``{schema, version, kind, config, metrics, data}`` layout
+        as the round-based results, with the shared metric names:
+        ``reliability`` (residual reliability), ``rounds_to_threshold``
+        / ``rounds_to_heal`` (None — continuous-time experiments measure
+        latency instead), and ``latency_ms`` ``{mean, p99}`` over the
+        delivery log.  ``data`` keeps the full per-delivery records, so
+        :meth:`from_dict` rebuilds a result supporting every metric.
+        """
+        latencies = [
+            r.latency_ms for r in self.deliveries if r.latency_ms > 0.0
+        ]
+        latency = None
+        if latencies:
+            arr = np.asarray(latencies)
+            latency = {
+                "mean": float(arr.mean()),
+                "p99": float(np.percentile(arr, 99)),
+            }
+        metrics = {
+            "reliability": self.residual_reliability(),
+            "rounds_to_threshold": None,
+            "rounds_to_heal": None,
+            "latency_ms": latency,
+            "throughput_msgs_per_sec": self.throughput().mean_msgs_per_sec
+            if self.correct_receivers
+            and self.experiment_end_ms > self.experiment_start_ms
+            else None,
+        }
+        data = {
+            "deliveries": [
+                [
+                    r.receiver,
+                    [r.msg_id[0], r.msg_id[1]],
+                    r.delivered_at_ms,
+                    r.latency_ms,
+                    r.round_counter,
+                ]
+                for r in self.deliveries
+            ],
+            "reachable_receivers": None
+            if self.reachable_receivers is None
+            else list(self.reachable_receivers),
+            "faults": self.faults,
+        }
+        config = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "correct_receivers": list(self.correct_receivers),
+            "send_rate": self.send_rate,
+            "messages_sent": self.messages_sent,
+            "experiment_start_ms": self.experiment_start_ms,
+            "experiment_end_ms": self.experiment_end_ms,
+        }
+        return {
+            "schema": "repro.result",
+            "version": 1,
+            "kind": "measurement",
+            "config": config,
+            "metrics": metrics,
+            "data": data,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MeasurementResult":
+        """Rebuild a :class:`MeasurementResult` from :meth:`to_dict`."""
+        from repro.sim.results import check_envelope
+
+        check_envelope(data, "measurement")
+        config = data["config"]
+        body = data["data"]
+        return cls(
+            protocol=config["protocol"],
+            n=config["n"],
+            correct_receivers=list(config["correct_receivers"]),
+            send_rate=config["send_rate"],
+            messages_sent=config["messages_sent"],
+            experiment_start_ms=config["experiment_start_ms"],
+            experiment_end_ms=config["experiment_end_ms"],
+            deliveries=[
+                DeliveryRecord(
+                    receiver=rec[0],
+                    msg_id=(rec[1][0], rec[1][1]),
+                    delivered_at_ms=rec[2],
+                    latency_ms=rec[3],
+                    round_counter=rec[4],
+                )
+                for rec in body["deliveries"]
+            ],
+            reachable_receivers=body.get("reachable_receivers"),
+            faults=body.get("faults"),
+        )

@@ -46,6 +46,7 @@ class DesFaultController:
         num_alive_correct: int,
         round_duration_ms: float,
         seed: SeedLike = None,
+        tracer=None,
     ):
         if round_duration_ms <= 0:
             raise ValueError(
@@ -54,6 +55,9 @@ class DesFaultController:
         self.plan = plan
         self.env = env
         self.nodes = nodes
+        # Observability: crash/heal transitions are emitted as they fire
+        # on the event loop, stamped with ``t`` (sim ms).
+        self.tracer = tracer
         self.round_duration_ms = float(round_duration_ms)
         self.schedule = FaultSchedule(
             plan, n=n, num_alive_correct=num_alive_correct
@@ -110,19 +114,27 @@ class DesFaultController:
 
     def _crash_fn(self, ids):
         def _crash() -> None:
+            downed = []
             for pid in ids:
                 node = self.nodes.get(pid)
                 if node is not None and node.running:
                     node.stop()
+                    downed.append(pid)
+            if self.tracer is not None and downed:
+                self.tracer.crash(downed, t=self.env.now())
 
         return _crash
 
     def _recover_fn(self, ids):
         def _recover() -> None:
+            healed = []
             for pid in ids:
                 node = self.nodes.get(pid)
                 if node is not None and not node.running:
                     node.start()
+                    healed.append(pid)
+            if self.tracer is not None and healed:
+                self.tracer.heal(healed, t=self.env.now())
 
         return _recover
 

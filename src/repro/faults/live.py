@@ -49,6 +49,7 @@ class FaultyTransport(Transport):
         num_alive_correct: int,
         round_duration_ms: float,
         seed: SeedLike = None,
+        tracer=None,
     ):
         super().__init__(loss=None)
         if round_duration_ms <= 0:
@@ -57,6 +58,10 @@ class FaultyTransport(Transport):
             )
         self.inner = inner
         self.plan = plan
+        # Observability: dropped events (partition cuts, bursty loss)
+        # stamped with ``t`` = wall ms since the fault clock's origin.
+        # Share a thread-safe tracer — sends arrive from node threads.
+        self.tracer = tracer
         self.round_duration_ms = float(round_duration_ms)
         self.schedule = (
             FaultSchedule(plan, n=n, num_alive_correct=num_alive_correct)
@@ -95,6 +100,9 @@ class FaultyTransport(Transport):
         elapsed_ms = (time.monotonic() - self._origin) * 1000.0
         return int(elapsed_ms // self.round_duration_ms) + 1
 
+    def _elapsed_ms(self) -> float:
+        return (time.monotonic() - self._origin) * 1000.0
+
     # -- Transport interface --------------------------------------------------
 
     def bind(self, addr: Address, handler: Handler) -> None:
@@ -110,9 +118,19 @@ class FaultyTransport(Transport):
             self.current_round(), src.node, dst.node
         ):
             self.blocked += 1
+            if self.tracer is not None:
+                self.tracer.dropped(
+                    "partition", node=dst.node, port=dst.port,
+                    t=self._elapsed_ms(),
+                )
             return
         if self._ge is not None and not self._ge.delivered():
             self.dropped += 1
+            if self.tracer is not None:
+                self.tracer.dropped(
+                    "loss", node=dst.node, port=dst.port,
+                    t=self._elapsed_ms(),
+                )
             return
         link = self._link
         if link is None:
@@ -196,6 +214,7 @@ class LiveFaultDriver:
         round_duration_ms: float,
         lock: Optional[threading.RLock] = None,
         on_error: Optional[Callable[[int, BaseException], None]] = None,
+        tracer=None,
     ):
         if round_duration_ms <= 0:
             raise ValueError(
@@ -203,6 +222,9 @@ class LiveFaultDriver:
             )
         self.schedule = schedule
         self.nodes = nodes
+        # Observability: crash/heal events as the flips actually land,
+        # stamped with ``t`` = wall ms since the driver's start.
+        self.tracer = tracer
         self.round_duration_ms = float(round_duration_ms)
         self._lock = lock if lock is not None else threading.RLock()
         self._on_error = on_error
@@ -234,6 +256,7 @@ class LiveFaultDriver:
             wait_s = origin + at_ms / 1000.0 - time.monotonic()
             if self._stop.wait(max(0.0, wait_s)):
                 return
+            flipped = []
             for pid in sorted(ids):
                 node = self.nodes.get(pid)
                 if node is None:
@@ -242,11 +265,19 @@ class LiveFaultDriver:
                     with self._lock:
                         if action == "crash" and node.running:
                             node.stop()
+                            flipped.append(pid)
                         elif action == "recover" and not node.running:
                             node.start()
+                            flipped.append(pid)
                 except Exception as exc:  # pragma: no cover - defensive
                     if self._on_error is not None:
                         self._on_error(pid, exc)
+            if self.tracer is not None and flipped:
+                t = (time.monotonic() - origin) * 1000.0
+                if action == "crash":
+                    self.tracer.crash(flipped, t=t)
+                else:
+                    self.tracer.heal(flipped, t=t)
 
     def stop(self) -> None:
         self._stop.set()

@@ -40,7 +40,7 @@ class BoundedChannel:
 
     __slots__ = (
         "port", "persistent", "naive", "_arrivals", "_fabricated_arrivals",
-        "_seed", "_rng_obj",
+        "_seed", "_rng_obj", "_tracer", "_node",
     )
 
     def __init__(
@@ -50,9 +50,18 @@ class BoundedChannel:
         seed: SeedLike = None,
         persistent: bool = False,
         naive: bool = False,
+        tracer=None,
+        node: Optional[int] = None,
     ):
         self.port = port
         self.persistent = persistent
+        #: Observability: when a repro.obs Tracer is attached (by
+        #: Network.open_port_at), ``drain`` emits accepted/dropped
+        #: events carrying ``node`` as the receiver id.  The tracer
+        #: draws no randomness, so traced drains accept identical
+        #: subsets.  The naive reference mode is not instrumented.
+        self._tracer = tracer
+        self._node = node
         #: Reference (unoptimised) mode for the perf harness: the RNG is
         #: built eagerly, fabricated packets are stored as objects, and
         #: ``drain`` picks its subset directly over the arrival objects.
@@ -124,13 +133,19 @@ class BoundedChannel:
             # is nothing to clear — the common case for per-round random
             # reply ports, which usually see at most one packet.
             return []
+        tr = self._tracer
         if bound is None or total <= bound:
             # Everything fits: hand the arrival list itself to the
             # caller (both modes clear the queues after a full read, so
             # no copy is needed).
             accepted = self._arrivals
+            fab = self._fabricated_arrivals
             self._arrivals = []
             self._fabricated_arrivals = 0
+            if tr is not None:
+                tr.accepted(
+                    self._node, self.port, valid=len(accepted), fabricated=fab
+                )
             return accepted
         # Choose a uniformly random bound-sized subset of all arrivals.
         # The number of *valid* packets in that subset is hypergeometric;
@@ -146,6 +161,22 @@ class BoundedChannel:
         else:
             idx = self._rng.choice(valid, size=accepted_valid, replace=False)
             result = [self._arrivals[i] for i in sorted(idx)]
+        if tr is not None:
+            fab = self._fabricated_arrivals
+            tr.accepted(
+                self._node, self.port,
+                valid=accepted_valid, fabricated=bound - accepted_valid,
+            )
+            if not self.persistent:
+                # Overflow discard: "attack" when flood traffic shared
+                # the channel this round, plain "bound" otherwise.
+                tr.dropped(
+                    "attack" if fab > 0 else "bound",
+                    node=self._node, port=self.port,
+                    count=total - bound,
+                    valid=valid - accepted_valid,
+                    fabricated=fab - (bound - accepted_valid),
+                )
         if self.persistent:
             # Ablation: the unread remainder stays queued.
             accepted_fabricated = bound - accepted_valid

@@ -29,6 +29,7 @@ class Network:
         *,
         seed: SeedLike = None,
         naive: bool = False,
+        tracer=None,
     ):
         #: Reference (unoptimised) mode for the perf-regression harness:
         #: floods materialise one :class:`Packet` per fabricated message
@@ -64,6 +65,11 @@ class Network:
         # is limited by what the payload exposes — sealed envelopes
         # keep random ports opaque even to a tap on every link.
         self._snoopers = []
+        # Observability: a repro.obs Tracer, or None (the only value
+        # untraced runs ever see — one falsy check per send/drain).
+        # The tracer draws no randomness, so attaching one cannot
+        # perturb a seeded run.
+        self._tracer = tracer
 
     def add_snooper(self, snooper) -> None:
         """Register a passive wiretap called with every sent packet."""
@@ -132,7 +138,8 @@ class Network:
         if channel is None:
             self.channels_opened += 1
             channel = BoundedChannel(
-                port, seed=self._seeds.next_lazy(), naive=self.naive
+                port, seed=self._seeds.next_lazy(), naive=self.naive,
+                tracer=self._tracer, node=node,
             )
             ports[port] = channel
         return channel
@@ -188,22 +195,36 @@ class Network:
         if self._snoopers:
             for snooper in self._snoopers:
                 snooper(packet)
+        dst = packet.dst
+        tr = self._tracer
+        if tr is not None:
+            sender = packet.sender
+            tr.gossip_sent(
+                -1 if sender is None else sender.node, dst.node, dst.port
+            )
         if self._block is not None:
             sender = packet.sender
-            if self._block(-1 if sender is None else sender.node, packet.dst.node):
+            if self._block(-1 if sender is None else sender.node, dst.node):
                 self.blocked_packets += 1
+                if tr is not None:
+                    tr.dropped("partition", node=dst.node, port=dst.port)
                 return False
         if not self._delivered():
             self.lost_packets += 1
+            if tr is not None:
+                tr.dropped("loss", node=dst.node, port=dst.port)
             return False
-        dst = packet.dst
         ports = self._channels.get(dst.node)
         if ports is None:
             self.dead_lettered += 1
+            if tr is not None:
+                tr.dropped("closed", node=dst.node, port=dst.port)
             return False
         channel = ports.get(dst.port)
         if channel is None:
             self.dead_lettered += 1
+            if tr is not None:
+                tr.dropped("closed", node=dst.node, port=dst.port)
             return False
         channel.deliver(packet)
         return True
@@ -219,12 +240,20 @@ class Network:
         paper-strength flood (x=128 per victim per round) costs O(1)
         per port instead of O(x) allocations.
         """
+        tr = self._tracer
+        if tr is not None:
+            tr.flood_sent(dst.node, dst.port, count)
         if self._block is not None and self._block(-1, dst.node):
             # The victim's machine is down (floods originate outside the
             # group, so a partition never blocks them): the whole batch
             # is wasted without a loss draw.
             self.sent_packets += count
             self.blocked_packets += count
+            if tr is not None:
+                tr.dropped(
+                    "partition", node=dst.node, port=dst.port,
+                    count=count, fabricated=count,
+                )
             return 0
         if self.naive:
             # Reference implementation: fabricate and route ``count``
@@ -249,9 +278,19 @@ class Network:
         bump("packets_flooded_bulk", count)
         survivors = self.loss.surviving_count(count)
         self.lost_packets += count - survivors
+        if tr is not None and count > survivors:
+            tr.dropped(
+                "loss", node=dst.node, port=dst.port,
+                count=count - survivors, fabricated=count - survivors,
+            )
         ports = self._channels.get(dst.node)
         if ports is None or dst.port not in ports:
             self.dead_lettered += survivors
+            if tr is not None and survivors:
+                tr.dropped(
+                    "closed", node=dst.node, port=dst.port,
+                    count=survivors, fabricated=survivors,
+                )
             return 0
         ports[dst.port].inject_fabricated(survivors)
         return survivors
@@ -262,7 +301,16 @@ class Network:
         targets = self._channels if nodes is None else {
             n: self._channels.get(n, {}) for n in nodes
         }
-        for ports in targets.values():
-            for channel in ports.values():
-                dropped += channel.end_round()
+        tr = self._tracer
+        if tr is None:
+            for ports in targets.values():
+                for channel in ports.values():
+                    dropped += channel.end_round()
+            return dropped
+        for node, ports in targets.items():
+            for port, channel in ports.items():
+                count = channel.end_round()
+                if count:
+                    tr.dropped("round_end", node=node, port=port, count=count)
+                dropped += count
         return dropped

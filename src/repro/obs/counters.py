@@ -1,0 +1,267 @@
+"""Aggregated per-node / per-port counters over a trace stream.
+
+:class:`ObsCounters` ingests every event a :class:`~repro.obs.tracer.Tracer`
+emits and maintains the counters an operator would scrape: sends by
+source node and destination port, acceptance wins by node, drops by
+reason and port, deliveries by node and by round.  Because the counters
+are derived from the *same* event stream the engines emit, they can be
+reconciled against the engine-computed result objects
+(:meth:`ObsCounters.reconcile_run`,
+:meth:`ObsCounters.reconcile_measurement`) — a structural cross-check
+that the instrumentation and the metrics agree.
+
+:meth:`ObsCounters.exposition` renders the counters in the Prometheus
+text exposition format (``repro_*`` metric families), deterministically
+ordered so expositions themselves can be golden-tested.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+
+class ObsCounters:
+    """Counter aggregation over typed trace events."""
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.by_type: Counter = Counter()
+        #: gossip_sent messages by source node (-1 = outside the group).
+        self.sent_by_node: Counter = Counter()
+        #: gossip_sent messages by destination port.
+        self.sent_by_port: Counter = Counter()
+        #: fabricated flood messages by destination port (pre-loss).
+        self.flood_by_port: Counter = Counter()
+        #: accepted (valid, fabricated) messages by receiving node.
+        self.accepted_valid_by_node: Counter = Counter()
+        self.accepted_fabricated_by_node: Counter = Counter()
+        #: dropped messages by reason / by (reason, port).
+        self.dropped_by_reason: Counter = Counter()
+        self.dropped_by_port: Counter = Counter()
+        #: deliveries: total, per round, and first delivery round by node.
+        self.delivered_total = 0
+        self.delivered_by_round: Counter = Counter()
+        self.delivery_round_by_node: Dict[int, int] = {}
+        self.delivered_by_via: Counter = Counter()
+        #: fault transitions seen.
+        self.crashes = 0
+        self.heals = 0
+        self.partitions = 0
+
+    def ingest(self, event: dict) -> None:
+        """Fold one event into the counters."""
+        ev = event["ev"]
+        self.events += 1
+        self.by_type[ev] += 1
+        if ev == "gossip_sent":
+            count = event.get("count", 1)
+            self.sent_by_node[event.get("src", -1)] += count
+            port = event.get("port")
+            if port is not None:
+                self.sent_by_port[port] += count
+        elif ev == "flood_sent":
+            port = event.get("port")
+            if port is not None:
+                self.flood_by_port[port] += event.get("count", 1)
+        elif ev == "accepted":
+            node = event.get("node")
+            if node is not None:
+                self.accepted_valid_by_node[node] += event.get("valid", 0)
+                self.accepted_fabricated_by_node[node] += event.get(
+                    "fabricated", 0
+                )
+        elif ev == "dropped":
+            count = event.get("count", 1)
+            self.dropped_by_reason[event.get("reason", "unknown")] += count
+            port = event.get("port")
+            if port is not None:
+                self.dropped_by_port[port] += count
+        elif ev == "delivered":
+            count = event.get("count", 1)
+            self.delivered_total += count
+            rnd = event.get("round")
+            if rnd is not None:
+                self.delivered_by_round[rnd] += count
+            node = event.get("node")
+            if node is not None and count == 1:
+                self.delivery_round_by_node.setdefault(
+                    node, rnd if rnd is not None else -1
+                )
+            via = event.get("via")
+            if via is not None:
+                self.delivered_by_via[via] += count
+        elif ev == "crash":
+            self.crashes += len(event.get("nodes", ()))
+        elif ev == "heal":
+            self.heals += len(event.get("nodes", ()))
+        elif ev == "partition":
+            self.partitions += 1
+
+    # -- cross-checks against engine-computed results -----------------------
+
+    def infection_counts(self, rounds: int) -> List[int]:
+        """Cumulative holder count per round implied by delivery events.
+
+        ``counts[r]`` is the number of deliveries with round <= r, which
+        must equal the engine's ``RunResult.counts[r]`` (holders at the
+        start of round r, the source's round-0 delivery included).
+        """
+        out = []
+        total = 0
+        for r in range(rounds + 1):
+            total += self.delivered_by_round.get(r, 0)
+            out.append(total)
+        return out
+
+    def reconcile_run(self, result) -> List[str]:
+        """Cross-check the counters against a :class:`RunResult`.
+
+        Returns a list of human-readable mismatch descriptions (empty
+        when the trace and the engine agree).  Checks: total deliveries
+        vs the final holder count, the per-round cumulative delivery
+        curve vs ``counts``, and each node's delivery-event round vs
+        ``delivery_rounds``.
+        """
+        problems: List[str] = []
+        counts = [int(v) for v in result.counts]
+        final = counts[-1]
+        if self.delivered_total != final:
+            problems.append(
+                f"delivered events total {self.delivered_total} != final "
+                f"holder count {final}"
+            )
+        implied = self.infection_counts(len(counts) - 1)
+        if implied != counts:
+            problems.append(
+                f"per-round infection counts diverge: trace {implied} vs "
+                f"engine {counts}"
+            )
+        if result.delivery_rounds is not None:
+            for node, value in enumerate(result.delivery_rounds):
+                traced = self.delivery_round_by_node.get(node)
+                if math.isnan(value):
+                    if traced is not None:
+                        problems.append(
+                            f"node {node}: delivered event at round "
+                            f"{traced} but the engine recorded no delivery"
+                        )
+                elif traced != int(value):
+                    problems.append(
+                        f"node {node}: delivered event round {traced} != "
+                        f"engine delivery round {int(value)}"
+                    )
+        return problems
+
+    def reconcile_measurement(self, result) -> List[str]:
+        """Cross-check against a :class:`MeasurementResult`.
+
+        The continuous-time stacks emit one ``delivered`` event per
+        tracked delivery record, so the totals must match exactly.
+        """
+        problems: List[str] = []
+        recorded = len(result.deliveries)
+        if self.delivered_total != recorded:
+            problems.append(
+                f"delivered events total {self.delivered_total} != "
+                f"{recorded} recorded delivery records"
+            )
+        return problems
+
+    # -- text exposition ----------------------------------------------------
+
+    def exposition(self) -> str:
+        """Prometheus-style text exposition of the counters.
+
+        Deterministic: metric families and label values are emitted in
+        sorted order, so two identical traces render identical text.
+        """
+        lines: List[str] = []
+
+        def family(
+            name: str,
+            help_text: str,
+            samples: List[Tuple[str, float]],
+        ) -> None:
+            if not samples:
+                return
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            for labels, value in samples:
+                lines.append(f"{name}{labels} {value:g}")
+
+        family(
+            "repro_trace_events_total",
+            "Trace events ingested.",
+            [("", float(self.events))],
+        )
+        family(
+            "repro_events_total",
+            "Trace events by type.",
+            [
+                (f'{{type="{t}"}}', float(v))
+                for t, v in sorted(self.by_type.items())
+            ],
+        )
+        family(
+            "repro_sent_total",
+            "Gossip messages sent by source node.",
+            [
+                (f'{{node="{n}"}}', float(v))
+                for n, v in sorted(self.sent_by_node.items())
+            ],
+        )
+        family(
+            "repro_sent_port_total",
+            "Gossip messages sent by destination port.",
+            [
+                (f'{{port="{p}"}}', float(v))
+                for p, v in sorted(self.sent_by_port.items())
+            ],
+        )
+        family(
+            "repro_flood_port_total",
+            "Fabricated attack messages by destination port.",
+            [
+                (f'{{port="{p}"}}', float(v))
+                for p, v in sorted(self.flood_by_port.items())
+            ],
+        )
+        family(
+            "repro_accepted_total",
+            "Messages winning bounded acceptance, by node and kind.",
+            [
+                (f'{{kind="valid",node="{n}"}}', float(v))
+                for n, v in sorted(self.accepted_valid_by_node.items())
+            ]
+            + [
+                (f'{{kind="fabricated",node="{n}"}}', float(v))
+                for n, v in sorted(self.accepted_fabricated_by_node.items())
+            ],
+        )
+        family(
+            "repro_dropped_total",
+            "Messages dropped, by reason.",
+            [
+                (f'{{reason="{r}"}}', float(v))
+                for r, v in sorted(self.dropped_by_reason.items())
+            ],
+        )
+        family(
+            "repro_delivered_total",
+            "Tracked-message deliveries.",
+            [("", float(self.delivered_total))],
+        )
+        family(
+            "repro_fault_transitions_total",
+            "Scheduled fault transitions observed.",
+            [
+                ('{kind="crash"}', float(self.crashes)),
+                ('{kind="heal"}', float(self.heals)),
+                ('{kind="partition"}', float(self.partitions)),
+            ]
+            if (self.crashes or self.heals or self.partitions)
+            else [],
+        )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,180 @@
+"""Trace replay: JSONL files back into per-round summaries.
+
+:func:`read_trace` loads a JSONL trace (one event per line, the
+:class:`~repro.obs.sinks.JsonlSink` format) and :func:`summarize` folds
+any event stream into a :class:`TraceSummary`: per-round delivery /
+send / drop tallies, the cumulative infection curve, and the
+drop-reason breakdown.  This is the engine behind the ``repro trace``
+CLI subcommand, and the summary's :meth:`TraceSummary.infection_counts`
+must reproduce a traced run's ``RunResult.counts`` exactly — the
+acceptance cross-check for the whole observability layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.counters import ObsCounters
+
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """Load a JSONL trace file into a list of event dicts.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming the line number, since a truncated trace should fail loudly
+    rather than silently summarise half a run.
+    """
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line: {exc}"
+                ) from exc
+            if not isinstance(event, dict) or "ev" not in event:
+                raise ValueError(
+                    f"{path}:{lineno}: not a trace event: {line[:80]!r}"
+                )
+            events.append(event)
+    return events
+
+
+@dataclass
+class RoundSummary:
+    """Aggregate activity within one round."""
+
+    round: int
+    delivered: int = 0
+    cumulative: int = 0
+    sent: int = 0
+    flooded: int = 0
+    accepted_valid: int = 0
+    accepted_fabricated: int = 0
+    dropped: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace`` reports about a recorded trace."""
+
+    events: int
+    engines: List[str]
+    rounds: List[RoundSummary]
+    delivered_total: int
+    dropped_by_reason: Dict[str, int]
+    counters: ObsCounters
+    #: run_end echoes, where the producer emitted them.
+    final_delivered: Optional[int] = None
+
+    def infection_counts(self) -> List[int]:
+        """Cumulative deliveries per round (``RunResult.counts`` shape)."""
+        return [r.cumulative for r in self.rounds]
+
+    def max_round(self) -> int:
+        return self.rounds[-1].round if self.rounds else 0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "events": self.events,
+            "engines": self.engines,
+            "delivered_total": self.delivered_total,
+            "final_delivered": self.final_delivered,
+            "dropped_by_reason": dict(sorted(self.dropped_by_reason.items())),
+            "infection_counts": self.infection_counts(),
+            "rounds": [
+                {
+                    "round": r.round,
+                    "delivered": r.delivered,
+                    "cumulative": r.cumulative,
+                    "sent": r.sent,
+                    "flooded": r.flooded,
+                    "accepted_valid": r.accepted_valid,
+                    "accepted_fabricated": r.accepted_fabricated,
+                    "dropped": dict(sorted(r.dropped.items())),
+                }
+                for r in self.rounds
+            ],
+        }
+
+
+def summarize(events: Iterable[dict]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary`.
+
+    Works on per-packet traces (exact engine, one event per message)
+    and aggregate traces (fast engine, per-round ``count`` totals)
+    alike: every tally honours the event's ``count`` field, defaulting
+    to 1.  Events without a round (continuous-time stacks) contribute
+    to the totals and drop breakdown but not to the per-round rows.
+    """
+    counters = ObsCounters()
+    per_round: Dict[int, RoundSummary] = {}
+    engines: List[str] = []
+    total_events = 0
+    final_delivered: Optional[int] = None
+
+    def row(round_no: int) -> RoundSummary:
+        summary = per_round.get(round_no)
+        if summary is None:
+            summary = per_round[round_no] = RoundSummary(round=round_no)
+        return summary
+
+    for event in events:
+        total_events += 1
+        counters.ingest(event)
+        ev = event["ev"]
+        rnd = event.get("round")
+        if ev == "run_start":
+            engine = event.get("engine")
+            if engine and engine not in engines:
+                engines.append(engine)
+        elif ev == "run_end":
+            delivered = event.get("delivered")
+            if delivered is not None:
+                final_delivered = (final_delivered or 0) + int(delivered)
+        if rnd is None:
+            continue
+        if ev == "round_start":
+            row(rnd)
+        elif ev == "delivered":
+            row(rnd).delivered += event.get("count", 1)
+        elif ev == "gossip_sent":
+            row(rnd).sent += event.get("count", 1)
+        elif ev == "flood_sent":
+            row(rnd).flooded += event.get("count", 1)
+        elif ev == "accepted":
+            summary = row(rnd)
+            summary.accepted_valid += event.get("valid", 0)
+            summary.accepted_fabricated += event.get("fabricated", 0)
+        elif ev == "dropped":
+            summary = row(rnd)
+            reason = event.get("reason", "unknown")
+            summary.dropped[reason] = (
+                summary.dropped.get(reason, 0) + event.get("count", 1)
+            )
+
+    rounds = [per_round[r] for r in sorted(per_round)]
+    cumulative = 0
+    for summary in rounds:
+        cumulative += summary.delivered
+        summary.cumulative = cumulative
+    return TraceSummary(
+        events=total_events,
+        engines=engines,
+        rounds=rounds,
+        delivered_total=counters.delivered_total,
+        dropped_by_reason=dict(counters.dropped_by_reason),
+        counters=counters,
+        final_delivered=final_delivered,
+    )

@@ -1,0 +1,118 @@
+"""Pluggable trace sinks.
+
+A sink is anything with ``write(event: dict)`` and ``close()``.  Three
+implementations cover the common shapes:
+
+- :class:`MemorySink` — an in-memory ring buffer (bounded ``maxlen`` or
+  unbounded) for tests and programmatic consumers;
+- :class:`JsonlSink` — one sorted-key JSON object per line, the format
+  the ``repro trace`` CLI subcommand replays;
+- :class:`PrometheusSink` — aggregates events into
+  :class:`~repro.obs.counters.ObsCounters` and renders the text
+  exposition format on demand (optionally written to a file on close).
+
+Sinks never draw randomness and never mutate events, so attaching any
+combination of them cannot perturb a seeded run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.obs.counters import ObsCounters
+
+
+def _jsonable(value):
+    """JSON fallback for numpy scalars and set-like values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"not JSON-serialisable in a trace event: {value!r}")
+
+
+def encode_event(event: dict) -> str:
+    """Canonical one-line JSON encoding of one event."""
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":"), default=_jsonable
+    )
+
+
+class MemorySink:
+    """Ring buffer of events; ``maxlen=None`` keeps everything."""
+
+    def __init__(self, maxlen: Optional[int] = None):
+        self._events: deque = deque(maxlen=maxlen)
+
+    def write(self, event: dict) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def events(self) -> List[dict]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self._events)
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a path or open file."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]):
+        if isinstance(target, (str, Path)):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.written = 0
+
+    def write(self, event: dict) -> None:
+        self._file.write(encode_event(event))
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns:
+            self._file.close()
+        else:
+            self._file.flush()
+
+
+class PrometheusSink:
+    """Aggregates events into counters for text exposition.
+
+    ``render()`` returns the exposition at any point;  when constructed
+    with a ``path``, ``close()`` writes the final exposition there.
+    """
+
+    def __init__(self, path: Union[None, str, Path] = None):
+        self.counters = ObsCounters()
+        self._path = None if path is None else Path(path)
+
+    def write(self, event: dict) -> None:
+        self.counters.ingest(event)
+
+    def render(self) -> str:
+        return self.counters.exposition()
+
+    def close(self) -> None:
+        if self._path is not None:
+            self._path.write_text(self.render(), encoding="utf-8")

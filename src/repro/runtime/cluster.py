@@ -37,7 +37,13 @@ from repro.util.rng import SeedLike
 
 @dataclass(frozen=True)
 class LiveClusterConfig:
-    """Configuration for a threaded live cluster."""
+    """Configuration for a threaded live cluster.
+
+    .. note:: Direct construction is the legacy entry point for
+       *running* experiments; prefer :class:`repro.api.Experiment` with
+       ``.run(engine="live")``.  ``LiveClusterConfig`` remains fully
+       supported as the live stack's native config object.
+    """
 
     protocol: Union[ProtocolKind, str] = ProtocolKind.DRUM
     n: int = 8
@@ -115,8 +121,13 @@ class LiveCluster:
         *,
         transport: Optional[Transport] = None,
         seed: SeedLike = None,
+        tracer=None,
     ):
         self.config = config
+        # Observability: a repro.obs Tracer or None.  Live events are
+        # wall-clock, stamped with ``t`` (ms); node threads emit
+        # concurrently, so pass ``Tracer(..., thread_safe=True)``.
+        self.tracer = tracer
         seeds = SeedSequenceFactory(seed)
         if transport is None:
             transport = InMemoryTransport(
@@ -135,6 +146,7 @@ class LiveCluster:
                 num_alive_correct=config.num_correct,
                 round_duration_ms=config.round_duration_ms,
                 seed=seeds.next_seed(),
+                tracer=tracer,
             )
         self.transport = transport
         self._delivery_lock = threading.Lock()
@@ -189,11 +201,19 @@ class LiveCluster:
                 round_duration_ms=config.round_duration_ms,
                 lock=self._lock,
                 on_error=self._record_node_error,
+                tracer=tracer,
             )
 
         self._attacker_thread: Optional[threading.Thread] = None
         self._attacker_stop = threading.Event()
         self._stopped = False
+
+        # run_start last: every seed position above is already consumed.
+        if tracer is not None:
+            tracer.run_start(
+                "live", continuous=True,
+                protocol=config.protocol.value, n=config.n,
+            )
 
     # -- delivery log -----------------------------------------------------------
 
@@ -226,6 +246,10 @@ class LiveCluster:
                     latency_ms=wall - created,
                     round_counter=message.round_counter,
                 )
+            )
+        if self.tracer is not None:
+            self.tracer.delivered(
+                node=pid, t=wall, round_counter=message.round_counter
             )
 
     # -- lifecycle -----------------------------------------------------------------
@@ -274,6 +298,10 @@ class LiveCluster:
             for env in self.envs.values():
                 env.close()
             self.transport.close()
+        if self.tracer is not None:
+            with self._delivery_lock:
+                delivered = len(self.deliveries)
+            self.tracer.run_end(delivered=delivered)
         if first_error is not None:
             raise first_error
 
@@ -323,6 +351,8 @@ class LiveCluster:
                     round_counter=0,
                 )
             )
+        if self.tracer is not None:
+            self.tracer.delivered(node=source, via="source", t=wall)
         return msg.msg_id
 
     def await_delivery(

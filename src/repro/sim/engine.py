@@ -50,6 +50,7 @@ class RoundSimulator:
         distribute_keys: bool = True,
         profile: Optional[bool] = None,
         naive: bool = False,
+        tracer=None,
     ):
         """``attacker_cls`` overrides the static :class:`RoundAttacker`
         with an adaptive one (see :mod:`repro.adversary.adaptive`); it is
@@ -73,12 +74,20 @@ class RoundSimulator:
         channels).  It samples the same distributions but consumes a
         different RNG stream, so seeded naive and fast runs differ
         packet-for-packet; it exists for the perf harness to measure
-        the fast path against, not for experiments."""
+        the fast path against, not for experiments.
+
+        ``tracer`` attaches a :class:`~repro.obs.tracer.Tracer`: the
+        engine then emits the full per-packet event stream (round
+        markers, sends, floods, channel acceptance and drops,
+        deliveries, fault transitions).  Like profiling, tracing draws
+        no randomness — traced and untraced seeded runs produce
+        byte-identical :class:`RunResult` traces."""
         self.scenario = scenario
         if profile is None:
             self.profiler: Optional[Profiler] = maybe_profiler(False)
         else:
             self.profiler = Profiler() if profile else None
+        self._tracer = tracer
         seeds = SeedSequenceFactory(seed)
         self._rng = np.random.default_rng(seeds.next_seed())
         self._perturbed = set(scenario.perturbed_ids())
@@ -86,6 +95,7 @@ class RoundSimulator:
             LossModel(scenario.loss, seed=seeds.next_seed()),
             seed=seeds.next_seed(),
             naive=naive,
+            tracer=tracer,
         )
         config = scenario.protocol_config()
         process_cls = PROCESS_CLASSES[scenario.protocol]
@@ -152,6 +162,19 @@ class RoundSimulator:
                     seed=seeds.next_seed(),
                 )
 
+        # Trace bookkeeping (fault-transition edge detection); emitting
+        # run_start last means every seed position above is already
+        # consumed, and the tracer itself never draws randomness.
+        self._prev_crashed = frozenset()
+        self._prev_side_a = None
+        if tracer is not None:
+            tracer.run_start(
+                "exact",
+                protocol=scenario.protocol.value,
+                n=scenario.n,
+            )
+            tracer.delivered(node=scenario.source, via="source")
+
     def holders(self) -> int:
         """Alive correct processes currently holding M."""
         return sum(p.has_message for p in self.processes.values())
@@ -173,6 +196,9 @@ class RoundSimulator:
         touching a crashed machine.
         """
         self.round_no += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.round_start(self.round_no)
         if self._perturbed:
             procs = [
                 p
@@ -194,6 +220,8 @@ class RoundSimulator:
             stalled = self._schedule.stalled_at(self.round_no)
             if stalled:
                 send_procs = [p for p in procs if p.pid not in stalled]
+            if tr is not None:
+                self._emit_fault_transitions(tr, crashed)
         prof = self.profiler
         if prof is None:
             for p in procs:
@@ -211,6 +239,8 @@ class RoundSimulator:
             self.network.end_round()
             for p in procs:
                 p.end_round()
+            if tr is not None:
+                self._emit_deliveries(tr)
             return
         prof.phase_start("begin_round")
         for p in procs:
@@ -240,6 +270,31 @@ class RoundSimulator:
         for p in procs:
             p.end_round()
         prof.phase_stop("end_round")
+        if tr is not None:
+            self._emit_deliveries(tr)
+
+    def _emit_fault_transitions(self, tr, crashed) -> None:
+        """Emit crash/heal and partition edges for the current round."""
+        now_crashed = frozenset(crashed) if crashed else frozenset()
+        went_down = now_crashed - self._prev_crashed
+        came_back = self._prev_crashed - now_crashed
+        if went_down:
+            tr.crash(went_down)
+        if came_back:
+            tr.heal(came_back)
+        self._prev_crashed = now_crashed
+        side_a = self._schedule.partition_at(self.round_no)
+        if side_a is not None and self._prev_side_a is None:
+            tr.partition(side_a)
+        elif side_a is None and self._prev_side_a is not None:
+            tr.partition_heal()
+        self._prev_side_a = side_a
+
+    def _emit_deliveries(self, tr) -> None:
+        """Emit one delivered event per process that got M this round."""
+        for pid, process in self.processes.items():
+            if process.delivery_round == self.round_no:
+                tr.delivered(node=pid, via=process.delivery_path)
 
     def _attacker_step(self) -> None:
         """Let the attacker observe the group and inject its flood."""
@@ -315,9 +370,15 @@ class RoundSimulator:
                 result.rounds_to_heal = (
                     rtt if np.isnan(rtt) else max(0.0, rtt - heal)
                 )
+        if self._tracer is not None:
+            self._tracer.run_end(
+                rounds=len(counts) - 1, delivered=int(counts[-1])
+            )
         return result
 
 
-def run_exact(scenario: Scenario, *, seed: SeedLike = None) -> RunResult:
+def run_exact(
+    scenario: Scenario, *, seed: SeedLike = None, tracer=None
+) -> RunResult:
     """Convenience wrapper: build a :class:`RoundSimulator` and run it."""
-    return RoundSimulator(scenario, seed=seed).run()
+    return RoundSimulator(scenario, seed=seed, tracer=tracer).run()

@@ -128,12 +128,20 @@ def run_fast(
     *,
     seed: SeedLike = None,
     horizon: Optional[int] = None,
+    tracer=None,
 ) -> MonteCarloResult:
     """Simulate ``runs`` independent runs of ``scenario``.
 
     ``horizon`` forces simulating exactly that many rounds regardless of
     the coverage threshold — used by the CDF experiments, which plot
     coverage growth past 99 %.
+
+    ``tracer`` attaches a :class:`repro.obs.Tracer`.  The vectorised
+    engine has no per-message view, so it emits *aggregate* events:
+    one ``gossip_sent`` / ``flood_sent`` / ``delivered`` per round
+    carrying run-summed ``count`` totals (flood counts are post-loss —
+    the thinned arrivals are all this engine materialises).  The tracer
+    draws no randomness, so traced results are bit-identical.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
@@ -209,11 +217,21 @@ def run_fast(
     if horizon is None:
         active &= cur_total < target
 
+    if tracer is not None:
+        tracer.run_start(
+            "fast", protocol=scenario.protocol.value, n=n, runs=runs
+        )
+        tracer.delivered(
+            node=scenario.source, via="source", count=int(cur_total.sum())
+        )
+
     for round_no in range(1, max_rounds + 1):
         if not active.any():
             break
         act = np.flatnonzero(active)
         r_count = len(act)
+        if tracer is not None:
+            tracer.round_start(round_no, active_runs=r_count)
         has_start = has[act]
         new_has = has_start.copy()
 
@@ -288,6 +306,7 @@ def run_fast(
                 )
 
         req_valid = fab_req = req_sent = None
+        fab_reply = None
         if v_pull:
             req_sent = (rng.random(t_pull.shape) >= loss3) & sender_awake
             if in_a is not None:
@@ -405,6 +424,22 @@ def run_fast(
         hist_total.append(cur_total.copy())
         hist_attacked.append(cur_attacked.copy())
 
+        if tracer is not None:
+            attempts = int(sender_awake.sum()) * (v_push + v_pull)
+            if attempts:
+                tracer.gossip_sent(-1, -1, count=attempts)
+            fab_total = 0
+            for fab in (fab_push, fab_req, fab_reply):
+                if fab is not None:
+                    fab_total += int(fab.sum())
+            if fab_total:
+                tracer.flood_sent(-1, -1, count=fab_total)
+            delivered_now = int(
+                new_has[:, :num_alive].sum() - has_start[:, :num_alive].sum()
+            )
+            if delivered_now:
+                tracer.delivered(count=delivered_now)
+
         if horizon is None:
             active[act] = cur_total[act] < target
             if nondoomed_cols is not None:
@@ -413,6 +448,12 @@ def run_fast(
                 # that can still change state holds M.
                 active[act] &= ~new_has[:, nondoomed_cols].all(axis=1)
 
+    if tracer is not None:
+        tracer.run_end(
+            rounds=len(hist_total) - 1,
+            delivered=int(cur_total.sum()),
+            runs=runs,
+        )
     counts = np.stack(hist_total, axis=1)
     counts_attacked = np.stack(hist_attacked, axis=1)
     reachable_holders = None

@@ -149,19 +149,39 @@ def fast_shard_sizes(runs: int) -> List[int]:
     return [FAST_SHARD_RUNS] * full + ([rem] if rem else [])
 
 
-def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
-    scenario, shard_runs, seed, horizon = task
-    result = run_fast(scenario, shard_runs, seed=seed, horizon=horizon)
+def _shard_tracer():
+    """A worker-local (tracer, sink) pair for traced shard execution.
+
+    Workers cannot share the caller's tracer across process boundaries,
+    so each shard records into its own in-memory sink and ships the
+    plain-dict events back with its arrays; the parent re-emits them in
+    deterministic shard order (see :func:`run_sharded`).
+    """
+    from repro.obs import MemorySink, Tracer
+
+    sink = MemorySink()
+    return Tracer(sink), sink
+
+
+def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], Optional[list]]:
+    scenario, shard_runs, seed, horizon, trace = task
+    tracer = sink = None
+    if trace:
+        tracer, sink = _shard_tracer()
+    result = run_fast(
+        scenario, shard_runs, seed=seed, horizon=horizon, tracer=tracer
+    )
     return (
         result.counts,
         result.counts_attacked,
         result.counts_non_attacked,
         result.reachable_holders,
+        sink.events if sink is not None else None,
     )
 
 
-def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]]:
-    scenario, seeds = task
+def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], Optional[list]]]:
+    scenario, seeds, trace = task
     schedule = scenario.fault_schedule()
     reachable = (
         None
@@ -170,7 +190,10 @@ def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optiona
     )
     out = []
     for seed in seeds:
-        result = run_exact(scenario, seed=seed)
+        tracer = sink = None
+        if trace:
+            tracer, sink = _shard_tracer()
+        result = run_exact(scenario, seed=seed, tracer=tracer)
         holders = None
         if reachable is not None:
             # residual_reliability is holders/reachable, so this
@@ -185,6 +208,7 @@ def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optiona
                 result.counts_attacked,
                 result.counts_non_attacked,
                 holders,
+                sink.events if sink is not None else None,
             )
         )
     return out
@@ -212,6 +236,7 @@ def run_sharded(
     engine: str = "fast",
     horizon: Optional[int] = None,
     workers: int = 1,
+    tracer=None,
 ) -> MonteCarloResult:
     """Run ``scenario`` ``runs`` times, sharded across ``workers``.
 
@@ -220,10 +245,19 @@ def run_sharded(
     is bit-identical for every worker count.  The exact engine derives
     one child seed per run (exactly the historical serial behaviour),
     which makes *its* sharding free to chase load balance.
+
+    ``tracer`` attaches a :class:`repro.obs.Tracer`.  Each shard records
+    into a worker-local in-memory sink and ships its events back; the
+    parent re-emits them into the caller's tracer ordered by *shard
+    index* (fast) or *run index* (exact) — an ordering fixed by the
+    seed-derivation layout, never by the worker count or completion
+    order, so the merged event stream is identical for any ``workers``.
+    Re-emitted events carry a ``shard`` (fast) or ``run`` (exact) key.
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     workers = check_workers(workers)
+    trace = tracer is not None
 
     if engine == "fast":
         sizes = fast_shard_sizes(runs)
@@ -234,18 +268,23 @@ def run_sharded(
         else:
             seeds = list(child_seeds(seed, len(sizes)))
         tasks = [
-            (scenario, size, shard_seed, horizon)
+            (scenario, size, shard_seed, horizon, trace)
             for size, shard_seed in zip(sizes, seeds)
         ]
         shards = parallel_map(_fast_shard, tasks, workers=workers)
-        triples = shards
+        triples = [shard[:4] for shard in shards]
+        if trace:
+            for shard_ix, shard in enumerate(shards):
+                for event in shard[4]:
+                    event["shard"] = shard_ix
+                    tracer.emit(event)
     elif engine == "exact":
         run_seeds = child_seeds(seed, runs)
         # Result order is fixed by the per-run seeds, so the chunking
         # here only affects scheduling and may depend on workers.
         chunk = max(1, math.ceil(runs / max(1, workers * 4)))
         tasks = [
-            (scenario, run_seeds[i:i + chunk])
+            (scenario, run_seeds[i:i + chunk], trace)
             for i in range(0, runs, chunk)
         ]
         per_run = [
@@ -253,9 +292,14 @@ def run_sharded(
             for shard in parallel_map(_exact_shard, tasks, workers=workers)
             for triple in shard
         ]
+        if trace:
+            for run_ix, row in enumerate(per_run):
+                for event in row[4]:
+                    event["run"] = run_ix
+                    tracer.emit(event)
         triples = [
             (row[None, :], att[None, :], non[None, :], holders)
-            for row, att, non, holders in per_run
+            for row, att, non, holders, _events in per_run
         ]
     else:
         raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'exact'")

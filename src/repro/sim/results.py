@@ -22,6 +22,38 @@ import numpy as np
 from repro.sim.scenario import Scenario
 
 
+#: Version of the unified result envelope produced by ``to_dict`` on
+#: every result class (RunResult, MonteCarloResult, MeasurementResult).
+#: Bump on any breaking change to the envelope layout.
+SCHEMA = "repro.result"
+SCHEMA_VERSION = 1
+
+
+def _none_if_nan(value) -> Optional[float]:
+    """JSON-safe float: nan (a censored metric) becomes None."""
+    if value is None:
+        return None
+    value = float(value)
+    return None if math.isnan(value) else value
+
+
+def check_envelope(data: dict, kind: str) -> None:
+    """Validate a ``to_dict`` envelope before deserialising ``kind``."""
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a {SCHEMA} document: schema={data.get('schema')!r}"
+        )
+    if data.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported {SCHEMA} version {data.get('version')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if data.get("kind") != kind:
+        raise ValueError(
+            f"expected kind={kind!r}, got {data.get('kind')!r}"
+        )
+
+
 def rounds_to_count(trajectory: np.ndarray, target: int) -> float:
     """First round index at which ``trajectory`` reaches ``target``.
 
@@ -100,6 +132,78 @@ class RunResult:
                 else float(self.rounds_to_heal)
             )
         return out
+
+    def to_dict(self) -> dict:
+        """The unified versioned result envelope (see ``repro.api``).
+
+        Distinct from :meth:`to_jsonable` (the golden-pinned legacy
+        view, which must never change shape): every result class —
+        RunResult, MonteCarloResult, MeasurementResult — shares the
+        ``{schema, version, kind, config, metrics, data}`` layout with
+        common metric names (``reliability``, ``rounds_to_threshold``,
+        ``rounds_to_heal``, ``latency_ms``).  Round-based results have
+        no latency, so ``latency_ms`` is None here.
+        """
+        reliability = (
+            self.final_coverage()
+            if self.residual_reliability is None
+            else float(self.residual_reliability)
+        )
+        metrics = {
+            "reliability": reliability,
+            "rounds_to_threshold": _none_if_nan(self.rounds_to_threshold()),
+            "rounds_to_heal": _none_if_nan(self.rounds_to_heal),
+            "latency_ms": None,
+        }
+        data = {
+            "counts": [int(v) for v in self.counts],
+            "counts_attacked": [int(v) for v in self.counts_attacked],
+            "counts_non_attacked": [int(v) for v in self.counts_non_attacked],
+            "delivery_rounds": None
+            if self.delivery_rounds is None
+            else [_none_if_nan(v) for v in self.delivery_rounds],
+        }
+        if self.residual_reliability is not None:
+            data["residual_reliability"] = float(self.residual_reliability)
+        if self.rounds_to_heal is not None:
+            data["rounds_to_heal"] = _none_if_nan(self.rounds_to_heal)
+        return {
+            "schema": SCHEMA,
+            "version": SCHEMA_VERSION,
+            "kind": "run",
+            "config": self.scenario.to_dict(),
+            "metrics": metrics,
+            "data": data,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_dict` output."""
+        check_envelope(data, "run")
+        body = data["data"]
+        delivery = body.get("delivery_rounds")
+        heal = body.get("rounds_to_heal", None)
+        return cls(
+            scenario=Scenario.from_dict(data["config"]),
+            counts=np.asarray(body["counts"], dtype=np.int32),
+            counts_attacked=np.asarray(
+                body["counts_attacked"], dtype=np.int32
+            ),
+            counts_non_attacked=np.asarray(
+                body["counts_non_attacked"], dtype=np.int32
+            ),
+            delivery_rounds=None
+            if delivery is None
+            else np.asarray(
+                [float("nan") if v is None else v for v in delivery]
+            ),
+            residual_reliability=body.get("residual_reliability"),
+            rounds_to_heal=(
+                float("nan") if heal is None else float(heal)
+            )
+            if "rounds_to_heal" in body
+            else None,
+        )
 
 
 @dataclass
@@ -225,6 +329,68 @@ class MonteCarloResult:
         if size == 0:
             return np.ones(self.counts.shape[1])
         return data.mean(axis=0) / size
+
+    # -- stable serialisation ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The unified versioned result envelope (see ``repro.api``).
+
+        ``metrics`` carries run-averaged summaries under the shared
+        names; ``data`` preserves the full per-run trajectories, so
+        :meth:`from_dict` rebuilds a result supporting every derived
+        metric.
+        """
+        heal = self.rounds_to_heal()
+        metrics = {
+            "reliability": float(np.mean(self.residual_reliability())),
+            "rounds_to_threshold": _none_if_nan(
+                np.nanmean(self._censored(self.rounds_to_threshold()))
+            ),
+            "rounds_to_heal": None
+            if heal is None
+            else _none_if_nan(np.nanmean(heal)),
+            "latency_ms": None,
+        }
+        data = {
+            "counts": [[int(v) for v in row] for row in self.counts],
+            "counts_attacked": [
+                [int(v) for v in row] for row in self.counts_attacked
+            ],
+            "counts_non_attacked": [
+                [int(v) for v in row] for row in self.counts_non_attacked
+            ],
+            "reachable_holders": None
+            if self.reachable_holders is None
+            else [int(v) for v in self.reachable_holders],
+        }
+        return {
+            "schema": SCHEMA,
+            "version": SCHEMA_VERSION,
+            "kind": "monte_carlo",
+            "config": self.scenario.to_dict(),
+            "metrics": metrics,
+            "data": data,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MonteCarloResult":
+        """Rebuild a :class:`MonteCarloResult` from :meth:`to_dict`."""
+        check_envelope(data, "monte_carlo")
+        body = data["data"]
+        holders = body.get("reachable_holders")
+        return cls(
+            scenario=Scenario.from_dict(data["config"]),
+            counts=np.asarray(body["counts"], dtype=np.int32),
+            counts_attacked=np.asarray(
+                body["counts_attacked"], dtype=np.int32
+            ),
+            counts_non_attacked=np.asarray(
+                body["counts_non_attacked"], dtype=np.int32
+            ),
+            reachable_holders=None
+            if holders is None
+            else np.asarray(holders, dtype=np.int32),
+        )
 
     # -- internals -------------------------------------------------------------
 

@@ -65,6 +65,7 @@ def monte_carlo(
     horizon: Optional[int] = None,
     workers: Optional[int] = None,
     cache: Union[None, str, Path, ResultCache] = None,
+    tracer=None,
 ) -> MonteCarloResult:
     """Run ``scenario`` ``runs`` times and aggregate the trajectories.
 
@@ -73,6 +74,9 @@ def monte_carlo(
     bit-identical results.  ``cache`` (a directory path or
     :class:`ResultCache`) memoises the result on disk when the seed has
     a stable identity — ``None``/generator seeds always recompute.
+    ``tracer`` attaches a :class:`repro.obs.Tracer` to every run; traced
+    experiments bypass the cache entirely (a cache hit would produce no
+    events), and the merged event stream is worker-count invariant.
     """
     if runs is None:
         runs = default_runs()
@@ -80,7 +84,7 @@ def monte_carlo(
         raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'exact'")
     workers = default_workers() if workers is None else check_workers(workers)
 
-    cache = as_cache(cache)
+    cache = as_cache(cache) if tracer is None else None
     key = None
     if cache is not None:
         key = cache.key(
@@ -93,7 +97,7 @@ def monte_carlo(
 
     result = run_sharded(
         scenario, runs, seed=seed, engine=engine, horizon=horizon,
-        workers=workers,
+        workers=workers, tracer=tracer,
     )
     if key is not None:
         cache.store(key, result)

@@ -27,7 +27,14 @@ from repro.util import check_fraction, check_probability
 
 @dataclass(frozen=True)
 class Scenario:
-    """One simulated configuration of group, protocol, and attack."""
+    """One simulated configuration of group, protocol, and attack.
+
+    .. note:: Direct construction is the legacy entry point for
+       *running* experiments; prefer :class:`repro.api.Experiment`,
+       which builds this (and the other stacks' configs) from one
+       description.  ``Scenario`` remains fully supported as the round
+       engines' native config object.
+    """
 
     protocol: Union[ProtocolKind, str] = ProtocolKind.DRUM
     n: int = 120
@@ -195,6 +202,48 @@ class Scenario:
     def with_(self, **changes) -> "Scenario":
         """Copy with ``changes`` applied (validation re-runs)."""
         return replace(self, **changes)
+
+    # -- stable serialisation ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-able dict round-tripping through :meth:`from_dict`.
+
+        Part of the versioned result schema (see
+        :mod:`repro.api.results`): enums serialise to their string
+        values, the attack to its ``{alpha, x}`` pair, and the fault
+        plan to its spec string (``FaultPlan.describe()`` round-trips
+        through ``FaultPlan.parse()``).
+        """
+        out = {
+            "protocol": self.protocol.value,
+            "n": self.n,
+            "fan_out": self.fan_out,
+            "loss": self.loss,
+            "malicious_fraction": self.malicious_fraction,
+            "crashed_fraction": self.crashed_fraction,
+            "perturbed_fraction": self.perturbed_fraction,
+            "perturbation_prob": self.perturbation_prob,
+            "attack": None,
+            "threshold": self.threshold,
+            "max_rounds": self.max_rounds,
+            "faults": None,
+        }
+        if self.attack is not None:
+            out["attack"] = {"alpha": self.attack.alpha, "x": self.attack.x}
+        if self.faults is not None:
+            out["faults"] = self.faults.describe()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        kwargs = dict(data)
+        attack = kwargs.get("attack")
+        if attack is not None:
+            kwargs["attack"] = AttackSpec(
+                alpha=attack["alpha"], x=attack["x"]
+            )
+        return cls(**kwargs)
 
     def describe(self) -> str:
         """One-line human description, used in logs and benchmark output."""

@@ -1,0 +1,145 @@
+"""The unified versioned result envelope and its round-trips.
+
+Every result class serialises to the same layout — schema / version /
+kind / config / metrics / data — and `repro.api.result_from_dict`
+rebuilds the right class from any envelope.  Round-trips must be exact
+(second serialisation byte-identical to the first), including NaN
+round counts, which the envelope stores as JSON-legal null.
+"""
+
+import json
+
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.api import Experiment, result_from_dict
+from repro.des.measurement import MeasurementResult
+from repro.sim import Scenario
+from repro.sim.results import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    MonteCarloResult,
+    RunResult,
+    check_envelope,
+)
+
+
+def roundtrip(result):
+    """to_dict -> JSON -> result_from_dict -> to_dict, byte-compared."""
+    first = json.dumps(result.to_dict(), sort_keys=True)
+    rebuilt = result_from_dict(json.loads(first))
+    second = json.dumps(rebuilt.to_dict(), sort_keys=True)
+    assert second == first
+    return rebuilt
+
+
+def exp(**kw):
+    defaults = dict(
+        protocol="drum", n=16, malicious_fraction=0.125,
+        attack=AttackSpec(alpha=0.25, x=8.0), max_rounds=60,
+        runs=4, round_duration_ms=50.0, send_rate=100.0, messages=5,
+    )
+    defaults.update(kw)
+    return Experiment(**defaults)
+
+
+class TestRoundTrips:
+    def test_run_result(self):
+        result = exp(runs=None).run("exact", seed=1)
+        rebuilt = roundtrip(result)
+        assert isinstance(rebuilt, RunResult)
+        assert [int(v) for v in rebuilt.counts] == [
+            int(v) for v in result.counts
+        ]
+
+    def test_run_result_with_faults(self):
+        result = exp(
+            faults="crash@2-5:0.25;loss:0.05", runs=None
+        ).run("exact", seed=2)
+        rebuilt = roundtrip(result)
+        assert rebuilt.residual_reliability == result.residual_reliability
+
+    def test_monte_carlo_fast(self):
+        result = exp().run("fast", seed=1)
+        rebuilt = roundtrip(result)
+        assert isinstance(rebuilt, MonteCarloResult)
+        assert rebuilt.counts.shape == result.counts.shape
+
+    def test_monte_carlo_exact_with_faults(self):
+        result = exp(faults="crash@2-5:0.25").run("exact", seed=1)
+        rebuilt = roundtrip(result)
+        assert isinstance(rebuilt, MonteCarloResult)
+
+    def test_measurement(self):
+        result = exp().run("des", seed=1)
+        rebuilt = roundtrip(result)
+        assert isinstance(rebuilt, MeasurementResult)
+        assert rebuilt.deliveries == result.deliveries
+        assert rebuilt.delivery_ratio() == result.delivery_ratio()
+
+    def test_measurement_with_faults(self):
+        result = exp(faults="crash@2-4:0.25;loss:0.05").run("des", seed=1)
+        rebuilt = roundtrip(result)
+        assert rebuilt.faults == result.faults
+        assert rebuilt.residual_reliability() == result.residual_reliability()
+
+    def test_scenario_round_trip(self):
+        scenario = Scenario(
+            protocol="pull", n=24, malicious_fraction=0.125,
+            attack=AttackSpec(alpha=0.25, x=16.0),
+            faults="partition@2-4:0.25", max_rounds=80,
+        )
+        rebuilt = Scenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict()))
+        )
+        assert rebuilt == scenario
+
+
+class TestEnvelopeShape:
+    def test_shared_metric_names_everywhere(self):
+        run = exp(runs=None).run("exact", seed=3).to_dict()
+        mc = exp().run("fast", seed=3).to_dict()
+        meas = exp().run("des", seed=3).to_dict()
+        shared = {"reliability", "rounds_to_threshold",
+                  "rounds_to_heal", "latency_ms"}
+        for env in (run, mc, meas):
+            assert env["schema"] == SCHEMA
+            assert env["version"] == SCHEMA_VERSION
+            assert shared <= set(env["metrics"])
+        # Stacks mark not-applicable metrics with null, not absence.
+        assert run["metrics"]["latency_ms"] is None
+        assert meas["metrics"]["rounds_to_threshold"] is None
+        assert meas["metrics"]["latency_ms"] is not None
+
+    def test_envelopes_are_json_clean(self):
+        for engine in ("exact", "fast", "des"):
+            env = exp(runs=None if engine == "exact" else 3).run(
+                engine, seed=4
+            ).to_dict()
+            json.dumps(env)  # raises on NaN / numpy leftovers
+
+
+class TestErrorPaths:
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="not a repro.result"):
+            result_from_dict({"schema": "other", "version": 1, "kind": "run"})
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict({"schema": SCHEMA, "version": 99, "kind": "run"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown result kind"):
+            result_from_dict(
+                {"schema": SCHEMA, "version": SCHEMA_VERSION, "kind": "nope"}
+            )
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="envelope"):
+            result_from_dict([1, 2, 3])
+
+    def test_check_envelope_enforces_kind(self):
+        env = exp(runs=None).run("exact", seed=5).to_dict()
+        check_envelope(env, "run")
+        with pytest.raises(ValueError):
+            check_envelope(env, "measurement")

@@ -1,0 +1,84 @@
+"""Observability vs the exact engine: off-switch identity + reconciliation.
+
+Two acceptance properties from the observability layer's contract:
+
+1. *Zero-perturbation*: attaching a tracer must not change a seeded
+   run's result — the traced run renders byte-identical to the
+   committed golden files (tracing draws no randomness).
+2. *Reconciliation*: the counters aggregated from the event stream
+   must agree exactly with the engine-computed ``RunResult`` — total
+   deliveries, the per-round infection curve, and each node's delivery
+   round.
+
+Both are checked across all five golden protocols (drum, push, pull,
+and the two Section 9 ablations) so every acceptance/drop code path in
+the instrumented network layer is covered.
+"""
+
+import pytest
+
+from repro.obs import MemorySink, Tracer, summarize
+from repro.sim.engine import RoundSimulator
+
+from test_exact_golden import CASES, GOLDEN_DIR, golden_scenario, render
+
+
+@pytest.mark.parametrize("protocol", sorted(CASES))
+def test_traced_run_is_byte_identical_to_golden(protocol):
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    result = RoundSimulator(
+        golden_scenario(protocol), seed=CASES[protocol], tracer=tracer
+    ).run()
+    path = GOLDEN_DIR / f"exact_{protocol.replace('-', '_')}.json"
+    assert render(result) == path.read_text(), (
+        f"tracing perturbed the seeded {protocol} run; instrumentation "
+        "must not touch the RNG stream or the protocol logic"
+    )
+    assert len(sink) > 0
+
+
+@pytest.mark.parametrize("protocol", sorted(CASES))
+def test_counters_reconcile_against_run_result(protocol):
+    tracer = Tracer()
+    result = RoundSimulator(
+        golden_scenario(protocol), seed=CASES[protocol], tracer=tracer
+    ).run()
+    assert tracer.counters.reconcile_run(result) == []
+
+
+@pytest.mark.parametrize("protocol", sorted(CASES))
+def test_replay_summary_reproduces_infection_curve(protocol):
+    sink = MemorySink()
+    tracer = Tracer(sink)
+    result = RoundSimulator(
+        golden_scenario(protocol), seed=CASES[protocol], tracer=tracer
+    ).run()
+    summary = summarize(sink.events)
+    assert summary.engines == ["exact"]
+    assert summary.infection_counts() == [int(v) for v in result.counts]
+    assert summary.delivered_total == int(result.counts[-1])
+    assert summary.final_delivered == int(result.counts[-1])
+
+
+def test_attack_drops_show_up_with_attack_reason():
+    """Under the golden drum attack, overflow drops at flooded ports are
+    classified as ``attack`` (fabricated traffic present), and fabricated
+    messages both flood and win acceptance slots."""
+    tracer = Tracer()
+    RoundSimulator(golden_scenario("drum"), seed=CASES["drum"], tracer=tracer).run()
+    counters = tracer.counters
+    assert counters.dropped_by_reason.get("attack", 0) > 0
+    assert sum(counters.flood_by_port.values()) > 0
+    assert sum(counters.accepted_fabricated_by_node.values()) > 0
+    # Losses happen at 1% link loss over thousands of packets.
+    assert counters.dropped_by_reason.get("loss", 0) > 0
+
+
+def test_tracer_kwarg_on_run_exact_wrapper():
+    from repro.sim.engine import run_exact
+
+    tracer = Tracer()
+    scenario = golden_scenario("push")
+    result = run_exact(scenario, seed=CASES["push"], tracer=tracer)
+    assert tracer.counters.reconcile_run(result) == []

@@ -1,0 +1,97 @@
+"""JSONL trace round-trip and the ``repro trace`` CLI subcommand.
+
+The issue's acceptance check: record a seeded drum run through a
+``JsonlSink``, replay the file with ``repro trace``, and the summary
+must reproduce the delivered count and the per-round infection counts
+*exactly* — the trace is a faithful record, not an approximation.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import JsonlSink, Tracer, read_trace, summarize
+from repro.sim.engine import RoundSimulator
+
+from test_exact_golden import CASES, golden_scenario
+
+
+@pytest.fixture
+def drum_trace(tmp_path):
+    """A seeded golden-drum run recorded to JSONL, plus its RunResult."""
+    path = tmp_path / "drum.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    result = RoundSimulator(
+        golden_scenario("drum"), seed=CASES["drum"], tracer=tracer
+    ).run()
+    tracer.close()
+    return path, result
+
+
+def test_jsonl_replay_reproduces_run_result(drum_trace):
+    path, result = drum_trace
+    summary = summarize(read_trace(path))
+    counts = [int(v) for v in result.counts]
+    assert summary.infection_counts() == counts
+    assert summary.delivered_total == counts[-1]
+    assert summary.final_delivered == counts[-1]
+    assert summary.counters.reconcile_run(result) == []
+
+
+def test_trace_subcommand_json_matches_run_result(drum_trace, capsys):
+    path, result = drum_trace
+    assert main(["trace", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    counts = [int(v) for v in result.counts]
+    assert payload["infection_counts"] == counts
+    assert payload["delivered_total"] == counts[-1]
+    assert payload["final_delivered"] == counts[-1]
+    assert payload["engines"] == ["exact"]
+    assert payload["dropped_by_reason"].get("attack", 0) > 0
+    assert len(payload["rounds"]) == len(counts)
+
+
+def test_trace_subcommand_table_output(drum_trace, capsys):
+    path, result = drum_trace
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Per-round activity" in out
+    assert "Drops by reason" in out
+    assert str(int(result.counts[-1])) in out
+
+
+def test_simulate_trace_flag_end_to_end(tmp_path, capsys):
+    """--trace on simulate writes a stream the trace subcommand reads."""
+    path = tmp_path / "sim.jsonl"
+    rc = main([
+        "simulate", "--protocol", "drum", "--n", "24",
+        "--malicious", "0.1", "--alpha", "0.25", "-x", "16",
+        "--runs", "3", "--seed", "5", "--max-rounds", "60",
+        "--trace", str(path), "--json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trace"]["path"] == str(path)
+    events = read_trace(path)
+    assert payload["trace"]["events"] == len(events)
+    summary = summarize(events)
+    assert summary.engines == ["fast"]
+    assert summary.delivered_total == summary.final_delivered > 0
+
+
+def test_measure_trace_flag_end_to_end(tmp_path, capsys):
+    path = tmp_path / "meas.jsonl"
+    rc = main([
+        "measure", "--protocol", "drum", "--n", "10",
+        "--messages", "10", "--send-rate", "200", "--round-ms", "40",
+        "--seed", "3", "--trace", str(path), "--json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trace"]["events"] > 0
+    summary = summarize(read_trace(path))
+    assert summary.engines == ["des"]
+    # Continuous-time stream: totals present, no per-round rows.
+    assert summary.delivered_total > 0
+    assert summary.rounds == []
