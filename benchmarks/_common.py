@@ -13,9 +13,10 @@ Environment knobs:
   the n = 1000 sweeps into n = 200 smoke runs.
 - ``REPRO_WORKERS`` — process-pool workers for the Monte-Carlo fan-out
   (default 1; results are bit-identical for any count).
-- ``REPRO_CACHE_DIR`` — on-disk result cache location (default
+- ``REPRO_CACHE_DIR`` — on-disk result store location (default
   ``benchmarks/results/.cache``); points shared between figures (e.g.
-  the rate-0 baseline) are computed once.  Delete the directory after
+  the rate-0 baseline) are computed once, and interrupted figure grids
+  resume from their sweep manifests.  Delete the directory after
   changing engine semantics.
 """
 
@@ -26,6 +27,7 @@ from pathlib import Path
 
 from repro.sim.parallel import ResultCache, default_workers
 from repro.sim.runner import default_runs
+from repro.sweep import ResultStore, SweepRunner
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -40,15 +42,31 @@ def workers() -> int:
     return default_workers()
 
 
-def cache() -> ResultCache:
-    """The benchmark harness's shared on-disk result cache."""
+def store() -> ResultStore:
+    """The benchmark harness's shared on-disk result store."""
     root = os.environ.get("REPRO_CACHE_DIR")
-    return ResultCache(Path(root) if root else RESULTS_DIR / ".cache")
+    return ResultStore(Path(root) if root else RESULTS_DIR / ".cache")
+
+
+def cache() -> ResultCache:
+    """The store's npz tier (what ``monte_carlo(cache=...)`` takes)."""
+    return store().cache
 
 
 def mc_kwargs() -> dict:
     """Keyword args threading the parallel/cache knobs into monte_carlo."""
     return {"workers": workers(), "cache": cache()}
+
+
+def sweep_runner(tracer=None) -> SweepRunner:
+    """A manifest-checkpointed grid runner over the shared store.
+
+    Figure benchmarks hand whole cell grids to this instead of looping
+    ``monte_carlo`` serially: cells fan out over the process pool,
+    finished cells persist per-cell, and a killed benchmark resumes
+    from its manifest recomputing only what never finished.
+    """
+    return SweepRunner(store=store(), workers=workers(), tracer=tracer)
 
 
 def scaled(n: int) -> int:

@@ -13,9 +13,10 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import math
 
-from _common import mc_kwargs, once, record, runs, scaled
+from _common import once, record, runs, scaled, sweep_runner
 
-from repro.sim import Scenario, monte_carlo
+from repro.sim import Scenario
+from repro.sweep import Cell
 from repro.util import Table
 
 PROTOCOLS = ("drum", "push", "pull")
@@ -27,16 +28,17 @@ def test_fig02a_scaling_with_n(benchmark):
     sizes = [scaled(n) if n > 120 else n for n in SIZES]
 
     def sweep():
-        out = {}
-        for protocol in PROTOCOLS:
-            out[protocol] = [
-                monte_carlo(
-                    Scenario(protocol=protocol, n=n), runs=runs(2), seed=10,
-                    **mc_kwargs(),
-                ).mean_rounds()
-                for n in sizes
-            ]
-        return out
+        # Per-cell seed 10 matches the pre-orchestrator serial loop.
+        cells = [
+            Cell(
+                series=protocol, x=float(n),
+                scenario=Scenario(protocol=protocol, n=n),
+                runs=runs(2), seed=10,
+            )
+            for protocol in PROTOCOLS
+            for n in sizes
+        ]
+        return sweep_runner().run("fig02a", cells).series()
 
     times = once(benchmark, sweep)
     table = Table(
@@ -58,18 +60,16 @@ def test_fig02b_crash_failures(benchmark):
     n = 120
 
     def sweep():
-        out = {}
-        for protocol in PROTOCOLS:
-            out[protocol] = [
-                monte_carlo(
-                    Scenario(protocol=protocol, n=n, crashed_fraction=f),
-                    runs=runs(2),
-                    seed=11,
-                    **mc_kwargs(),
-                ).mean_rounds()
-                for f in CRASH_FRACTIONS
-            ]
-        return out
+        cells = [
+            Cell(
+                series=protocol, x=f,
+                scenario=Scenario(protocol=protocol, n=n, crashed_fraction=f),
+                runs=runs(2), seed=11,
+            )
+            for protocol in PROTOCOLS
+            for f in CRASH_FRACTIONS
+        ]
+        return sweep_runner().run("fig02b", cells).series()
 
     times = once(benchmark, sweep)
     table = Table(

@@ -12,11 +12,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import mc_kwargs, once, record, runs, scaled
+from _common import once, record, runs, scaled, sweep_runner
 
 from repro.adversary import AttackSpec
 from repro.metrics import dos_impact
-from repro.sim import Scenario, monte_carlo
+from repro.sim import Scenario
+from repro.sweep import Cell
 from repro.util import Table
 
 PROTOCOLS = ("drum", "push", "pull")
@@ -24,7 +25,7 @@ RATES = [0, 16, 32, 64, 128]
 EXTENTS = [0.1, 0.2, 0.4, 0.6, 0.8]
 
 
-def _prop(protocol, n, attack, seed, divisor):
+def _cell(protocol, n, x, attack, seed, divisor):
     scenario = Scenario(
         protocol=protocol,
         n=n,
@@ -32,41 +33,41 @@ def _prop(protocol, n, attack, seed, divisor):
         attack=attack,
         max_rounds=400,
     )
-    return monte_carlo(
-        scenario, runs=runs(divisor), seed=seed, **mc_kwargs()
-    ).mean_rounds()
+    return Cell(
+        series=protocol, x=float(x), scenario=scenario,
+        runs=runs(divisor), seed=seed,
+    )
 
 
-def _rate_sweep(n, divisor):
-    out = {}
-    for protocol in PROTOCOLS:
-        out[protocol] = [
-            _prop(
-                protocol,
-                n,
-                AttackSpec(alpha=0.1, x=float(x)) if x else None,
-                seed=30,
-                divisor=divisor,
-            )
-            for x in RATES
-        ]
-    return out
+def _rate_sweep(name, n, divisor):
+    # Per-cell seeds match the pre-orchestrator benchmark, so the v2
+    # serial loop and this resumable grid print identical figures.
+    cells = [
+        _cell(
+            protocol, n, x,
+            AttackSpec(alpha=0.1, x=float(x)) if x else None,
+            seed=30, divisor=divisor,
+        )
+        for protocol in PROTOCOLS
+        for x in RATES
+    ]
+    return sweep_runner().run(name, cells).series()
 
 
-def _extent_sweep(n, divisor):
-    out = {}
-    for protocol in PROTOCOLS:
-        out[protocol] = [
-            _prop(
-                protocol, n, AttackSpec(alpha=a, x=128.0), seed=31, divisor=divisor
-            )
-            for a in EXTENTS
-        ]
-    return out
+def _extent_sweep(name, n, divisor):
+    cells = [
+        _cell(
+            protocol, n, a, AttackSpec(alpha=a, x=128.0),
+            seed=31, divisor=divisor,
+        )
+        for protocol in PROTOCOLS
+        for a in EXTENTS
+    ]
+    return sweep_runner().run(name, cells).series()
 
 
 def test_fig03a_rate_sweep_n120(benchmark):
-    times = once(benchmark, lambda: _rate_sweep(120, 1))
+    times = once(benchmark, lambda: _rate_sweep("fig03a_n120", 120, 1))
     table = Table(
         "Figure 3(a): propagation time vs x (n=120, α=10%)",
         ["protocol"] + [f"x={x}" for x in RATES],
@@ -83,7 +84,7 @@ def test_fig03a_rate_sweep_n120(benchmark):
 
 def test_fig03a_rate_sweep_n1000(benchmark):
     n = scaled(1000)
-    times = once(benchmark, lambda: _rate_sweep(n, 2))
+    times = once(benchmark, lambda: _rate_sweep(f"fig03a_n{n}", n, 2))
     table = Table(
         f"Figure 3(a): propagation time vs x (n={n}, α=10%)",
         ["protocol"] + [f"x={x}" for x in RATES],
@@ -96,7 +97,7 @@ def test_fig03a_rate_sweep_n1000(benchmark):
 
 
 def test_fig03b_extent_sweep_n120(benchmark):
-    times = once(benchmark, lambda: _extent_sweep(120, 1))
+    times = once(benchmark, lambda: _extent_sweep("fig03b_n120", 120, 1))
     table = Table(
         "Figure 3(b): propagation time vs α (n=120, x=128)",
         ["protocol"] + [f"α={a:g}" for a in EXTENTS],
@@ -114,7 +115,7 @@ def test_fig03b_extent_sweep_n120(benchmark):
 
 def test_fig03b_extent_sweep_n1000(benchmark):
     n = scaled(1000)
-    times = once(benchmark, lambda: _extent_sweep(n, 2))
+    times = once(benchmark, lambda: _extent_sweep(f"fig03b_n{n}", n, 2))
     table = Table(
         f"Figure 3(b): propagation time vs α (n={n}, x=128)",
         ["protocol"] + [f"α={a:g}" for a in EXTENTS],

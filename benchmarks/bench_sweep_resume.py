@@ -1,0 +1,189 @@
+"""Sweep-orchestrator smoke gate: key stability, resume accounting.
+
+Three properties the resumable sweep machinery must hold, each cheap
+enough for CI:
+
+1. **Key stability across processes** — the content-address of a
+   scenario with an attack and a fault plan computed here equals the
+   one computed by a fresh ``python -c`` subprocess.  This is the
+   regression gate for the v2 ``repr``-fallback bug, where numpy
+   scalars keyed differently between environments and every cache
+   lookup silently missed.
+2. **Resume-cell accounting** — running a k-cell prefix of an N-cell
+   grid and then the full grid computes exactly N − k cells the second
+   time; a third identical run computes zero.
+3. **100 % cache-hit rate on a repeated identical grid** — verified
+   through the obs counters (zero ``cell_finish(cached=False)``
+   events), with the figure JSON byte-identical to the first run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_resume.py --check
+
+``--check`` exits non-zero when any property fails; without it the
+results are printed and recorded only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import RESULTS_DIR
+
+from repro.obs import Tracer
+from repro.sim.sweeps import rate_sweep
+from repro.sweep import SweepRunner, rate_grid
+
+PROTOCOLS = ["drum", "push"]
+RATES = [0.0, 32.0]
+GRID = dict(n=30, alpha=0.1, runs=8, seed=5, max_rounds=60)
+
+#: The scenario the cross-process key check hashes: every token class
+#: the canonical encoder must keep stable (enum-valued protocol, float
+#: attack fields, a parsed fault plan, an int seed).
+KEY_SNIPPET = """
+from repro.adversary import AttackSpec
+from repro.sim import Scenario
+from repro.sim.parallel import ResultCache
+scenario = Scenario(
+    protocol="drum", n=40, malicious_fraction=0.1,
+    attack=AttackSpec(alpha=0.2, x=64.0), max_rounds=100,
+    faults="crash@5:0.1;partition@8-15:0.4",
+)
+print(ResultCache("/tmp/unused").key(scenario, 50, seed=9, engine="fast"))
+"""
+
+
+def check_key_stability() -> dict:
+    """Compare an in-process key with a fresh subprocess's."""
+    import io
+    import os
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        exec(compile(KEY_SNIPPET, "<key-snippet>", "exec"), {})
+    local_key = buffer.getvalue().strip()
+
+    proc = subprocess.run(
+        [sys.executable, "-c", KEY_SNIPPET],
+        capture_output=True, text=True,
+        env={
+            **os.environ,
+            "PYTHONPATH": str(Path(__file__).parent.parent / "src"),
+        },
+    )
+    subprocess_key = proc.stdout.strip()
+    return {
+        "local_key": local_key,
+        "subprocess_key": subprocess_key,
+        "stable": bool(local_key) and local_key == subprocess_key,
+        "subprocess_ok": proc.returncode == 0,
+    }
+
+
+def check_resume_accounting(store_root: Path) -> dict:
+    """Prefix run then full run: exactly the unfinished cells compute."""
+    _, cells = rate_grid(PROTOCOLS, RATES, **GRID)
+    flat = [cell for row in cells for cell in row]
+    k = len(flat) // 2
+    runner = SweepRunner(store=store_root, workers=1)
+
+    prefix = runner.run("resume_check_prefix", flat[:k])
+    full_1 = runner.run("resume_check", flat)
+    full_2 = runner.run("resume_check", flat)
+    return {
+        "cells": len(flat),
+        "prefix_computed": prefix.computed,
+        "after_prefix_computed": full_1.computed,
+        "after_prefix_cache_hits": full_1.cache_hits,
+        "rerun_computed": full_2.computed,
+        "rerun_cache_hits": full_2.cache_hits,
+        "values_stable": full_1.values == full_2.values,
+        "ok": (
+            prefix.computed == k
+            and full_1.computed == len(flat) - k
+            and full_1.cache_hits == k
+            and full_2.computed == 0
+            and full_2.cache_hits == len(flat)
+            and full_1.values == full_2.values
+        ),
+    }
+
+
+def check_cache_hit_rate(store_root: Path) -> dict:
+    """Two identical figure sweeps: second is all cache, same bytes."""
+    first_tracer, second_tracer = Tracer(), Tracer()
+    first = rate_sweep(
+        PROTOCOLS, RATES, store=store_root, workers=1,
+        tracer=first_tracer, malicious_fraction=0.1, **GRID,
+    )
+    second = rate_sweep(
+        PROTOCOLS, RATES, store=store_root, workers=1,
+        tracer=second_tracer, malicious_fraction=0.1, **GRID,
+    )
+    counters = second_tracer.counters
+    return {
+        "first_computed": first_tracer.counters.sweep_cells_computed,
+        "second_computed": counters.sweep_cells_computed,
+        "second_cache_hits": counters.sweep_cache_hits,
+        "figure_bytes_identical": first.to_json() == second.to_json(),
+        "ok": (
+            counters.sweep_cells_computed == 0
+            and counters.sweep_cache_hits == len(PROTOCOLS) * len(RATES)
+            and first.to_json() == second.to_json()
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on unstable keys, wrong resume accounting, or a "
+             "cache miss on a repeated identical grid",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench-") as tmp:
+        results = {
+            "key_stability": check_key_stability(),
+            "resume_accounting": check_resume_accounting(Path(tmp) / "a"),
+            "cache_hit_rate": check_cache_hit_rate(Path(tmp) / "b"),
+        }
+    print(json.dumps(results, indent=2))
+
+    out = args.output or RESULTS_DIR / "BENCH_sweep.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+    if args.check:
+        failures = [
+            f"{name}: {json.dumps(payload)}"
+            for name, payload in results.items()
+            if not payload.get("ok", payload.get("stable"))
+        ]
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            "check passed: keys process-stable, resume recomputes only "
+            "unfinished cells, repeated grids are 100% cache hits"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

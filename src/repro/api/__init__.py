@@ -30,7 +30,11 @@ unified ``to_dict()`` envelope (``RunResult``, ``MonteCarloResult``,
 """
 
 from repro.api.experiment import Experiment
-from repro.api.results import result_from_dict
+from repro.api.results import (
+    decode_envelope,
+    encode_envelope,
+    result_from_dict,
+)
 from repro.des.cluster import ClusterConfig
 from repro.des.measurement import MeasurementResult
 from repro.runtime.cluster import LiveClusterConfig
@@ -45,5 +49,7 @@ __all__ = [
     "MonteCarloResult",
     "RunResult",
     "Scenario",
+    "decode_envelope",
+    "encode_envelope",
     "result_from_dict",
 ]

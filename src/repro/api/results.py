@@ -12,9 +12,16 @@ where a stack has no such notion (round engines have no latency;
 continuous-time experiments have no round counts).  ``data`` is
 kind-specific and lossless, so :func:`result_from_dict` rebuilds a
 fully functional result object from any envelope.
+
+:func:`encode_envelope` / :func:`decode_envelope` are the text codec
+over the same layout: compact, key-sorted JSON, so identical results
+encode to identical bytes — the representation the sweep store's
+envelope tier persists (:mod:`repro.sweep.store`).
 """
 
 from __future__ import annotations
+
+import json
 
 from repro.des.measurement import MeasurementResult
 from repro.sim.results import (
@@ -57,3 +64,26 @@ def result_from_dict(data: dict):
             f"{', '.join(sorted(KINDS))}"
         )
     return cls.from_dict(data)
+
+
+def encode_envelope(result) -> str:
+    """``result``'s envelope as deterministic JSON text.
+
+    Compact separators and sorted keys: the same result always encodes
+    to the same bytes, so envelope files diff and content-address
+    cleanly.
+    """
+    return json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def decode_envelope(text: str):
+    """Rebuild a result object from :func:`encode_envelope` output.
+
+    Raises ``ValueError`` on malformed JSON or a bad envelope (wrong
+    schema, unsupported version, unknown kind).
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed result envelope JSON: {exc}") from exc
+    return result_from_dict(data)

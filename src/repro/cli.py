@@ -12,6 +12,10 @@ subcommands mirror the library's three evaluation stacks::
     # Full-protocol measurement (Section 8): stream throughput/latency
     python -m repro measure --protocol pull --n 50 --alpha 0.1 -x 128
 
+    # Resumable figure sweep through the content-addressed store
+    python -m repro sweep --kind rate --protocols drum,push,pull \\
+        --values 0,32,64,128 --seed 1 --store results/.cache --resume
+
     # Replay a JSONL event trace recorded with --trace
     python -m repro trace run.jsonl
 
@@ -307,6 +311,90 @@ def cmd_measure(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    from repro.sim.sweeps import budget_sweep, extent_sweep, rate_sweep
+
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    if not protocols:
+        raise SystemExit("--protocols needs at least one protocol name")
+    try:
+        values = [float(v) for v in args.values.split(",") if v.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"bad --values entry: {exc}")
+    if not values:
+        raise SystemExit("--values needs at least one grid point")
+
+    tracer, sink = _open_tracer(args)
+    if tracer is None:
+        # Always trace into counters: the sweep lifecycle events are
+        # where the computed / cache-hit accounting comes from.
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    common = dict(
+        n=args.n,
+        malicious_fraction=args.malicious,
+        runs=args.runs,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        workers=args.workers,
+        store=args.store,
+        tracer=tracer,
+        resume=args.resume,
+    )
+    try:
+        if args.kind == "rate":
+            report = rate_sweep(
+                protocols, values, alpha=args.alpha or 0.1, **common
+            )
+        elif args.kind == "extent":
+            report = extent_sweep(
+                protocols, values, x=args.rate or 128.0, **common
+            )
+        else:
+            report = budget_sweep(
+                protocols, values,
+                budget_per_process=args.budget_per_process, **common
+            )
+    finally:
+        if sink is not None:
+            sink.close()
+
+    counters = tracer.counters
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.json:
+        payload = json.loads(report.to_json())
+        payload["sweep"] = {
+            "computed": counters.sweep_cells_computed,
+            "cache_hits": counters.sweep_cache_hits,
+            "store": args.store,
+        }
+        print(json.dumps(payload, indent=2, default=float))
+        return 0
+    labels = list(report.series)
+    table = Table(
+        f"Sweep: {report.name} ({report.x_label})",
+        [report.x_label] + labels,
+    )
+    for i, x in enumerate(report.x_values):
+        table.add_row(
+            x, *[f"{report.series[label][i]:.2f}" for label in labels]
+        )
+    print(table)
+    print(
+        f"cells: {counters.sweep_cells_computed} computed, "
+        f"{counters.sweep_cache_hits} served from "
+        f"{'the store' if args.store else 'memory'}"
+    )
+    if args.out is not None:
+        print(f"report: {args.out}")
+    if sink is not None:
+        print(f"trace: {args.trace} ({sink.written} events)")
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.obs import read_trace, summarize
 
@@ -387,6 +475,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile(p_meas, "the streamed experiment")
     _add_trace(p_meas)
     p_meas.set_defaults(func=cmd_measure)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="resumable multi-protocol figure sweep through the result store",
+    )
+    p_sweep.add_argument(
+        "--kind", default="rate", choices=["rate", "extent", "budget"],
+        help="sweep shape: x-axis is the attack rate x, the extent "
+             "alpha, or the extent under a fixed total budget",
+    )
+    p_sweep.add_argument(
+        "--protocols", default="drum,push,pull",
+        help="comma-separated protocol series (default: drum,push,pull)",
+    )
+    p_sweep.add_argument(
+        "--values", default=None, required=True,
+        help="comma-separated x-axis grid points "
+             "(rates for --kind rate, alphas otherwise)",
+    )
+    p_sweep.add_argument("--n", type=int, default=120, help="group size")
+    p_sweep.add_argument(
+        "--malicious", type=float, default=0.1,
+        help="fraction of group members controlled by the adversary",
+    )
+    p_sweep.add_argument(
+        "--alpha", type=float, default=None,
+        help="attack extent for --kind rate (default: 0.1)",
+    )
+    p_sweep.add_argument(
+        "-x", "--rate", type=float, default=None,
+        help="per-victim attack rate for --kind extent (default: 128)",
+    )
+    p_sweep.add_argument(
+        "--budget-per-process", type=float, default=7.2,
+        help="for --kind budget: total budget B = this times n",
+    )
+    p_sweep.add_argument("--runs", type=int, default=None)
+    p_sweep.add_argument("--seed", type=int, default=None)
+    p_sweep.add_argument("--max-rounds", type=int, default=400)
+    p_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool workers for the cell fan-out (default: "
+             "REPRO_WORKERS or 1; results are identical for any count)",
+    )
+    p_sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent result store directory; required for the sweep "
+             "to be resumable and for cells to be cached across runs",
+    )
+    p_sweep.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="reuse the sweep manifest in --store, recomputing only "
+             "unfinished cells (--no-resume rebuilds the manifest; "
+             "completed cells still hit the content-addressed store)",
+    )
+    p_sweep.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the figure report JSON to FILE",
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="emit the report plus cell accounting as JSON",
+    )
+    _add_trace(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_trace = sub.add_parser(
         "trace", help="summarise a recorded JSONL event trace"

@@ -25,6 +25,9 @@ from repro.obs.counters import ObsCounters
 from repro.obs.events import (
     DROP_REASONS,
     EV_ACCEPTED,
+    EV_CELL_CACHE_HIT,
+    EV_CELL_FINISH,
+    EV_CELL_START,
     EV_CRASH,
     EV_DELIVERED,
     EV_DROPPED,
@@ -36,6 +39,8 @@ from repro.obs.events import (
     EV_ROUND_START,
     EV_RUN_END,
     EV_RUN_START,
+    EV_SWEEP_END,
+    EV_SWEEP_START,
     EVENT_TYPES,
 )
 from repro.obs.replay import TraceSummary, read_trace, summarize
@@ -46,6 +51,9 @@ __all__ = [
     "DROP_REASONS",
     "EVENT_TYPES",
     "EV_ACCEPTED",
+    "EV_CELL_CACHE_HIT",
+    "EV_CELL_FINISH",
+    "EV_CELL_START",
     "EV_CRASH",
     "EV_DELIVERED",
     "EV_DROPPED",
@@ -57,6 +65,8 @@ __all__ = [
     "EV_ROUND_START",
     "EV_RUN_END",
     "EV_RUN_START",
+    "EV_SWEEP_END",
+    "EV_SWEEP_START",
     "JsonlSink",
     "MemorySink",
     "ObsCounters",

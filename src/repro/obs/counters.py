@@ -49,6 +49,9 @@ class ObsCounters:
         self.crashes = 0
         self.heals = 0
         self.partitions = 0
+        #: sweep-orchestrator cells: engine runs vs cache-served cells.
+        self.sweep_cells_computed = 0
+        self.sweep_cache_hits = 0
 
     def ingest(self, event: dict) -> None:
         """Fold one event into the counters."""
@@ -98,6 +101,11 @@ class ObsCounters:
             self.heals += len(event.get("nodes", ()))
         elif ev == "partition":
             self.partitions += 1
+        elif ev == "cell_cache_hit":
+            self.sweep_cache_hits += 1
+        elif ev == "cell_finish":
+            if not event.get("cached", False):
+                self.sweep_cells_computed += 1
 
     # -- cross-checks against engine-computed results -----------------------
 
@@ -262,6 +270,16 @@ class ObsCounters:
                 ('{kind="partition"}', float(self.partitions)),
             ]
             if (self.crashes or self.heals or self.partitions)
+            else [],
+        )
+        family(
+            "repro_sweep_cells_total",
+            "Sweep cells evaluated, by how they were served.",
+            [
+                ('{source="engine"}', float(self.sweep_cells_computed)),
+                ('{source="cache"}', float(self.sweep_cache_hits)),
+            ]
+            if (self.sweep_cells_computed or self.sweep_cache_hits)
             else [],
         )
         return "\n".join(lines) + ("\n" if lines else "")

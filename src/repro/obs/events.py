@@ -36,6 +36,17 @@ continuous-time stacks.  Remaining keys by type:
     A partition cut activated (``nodes`` = side A) / healed.
 ``run_end``
     Terminal summary: ``delivered`` (final holder count), ``rounds``.
+``sweep_start`` / ``sweep_end``
+    Sweep-orchestrator lifecycle (:mod:`repro.sweep`): ``name``,
+    ``cells``, ``pending`` on start; ``computed``, ``cache_hits`` on
+    end.
+``cell_start`` / ``cell_finish``
+    One grid cell's evaluation: ``index``, ``series``, ``x`` on start;
+    ``index``, ``value``, ``cached`` on finish.
+``cell_cache_hit``
+    The cell was served without an engine run: ``index`` plus
+    ``source`` (``"store"`` — content-addressed hit — or
+    ``"manifest"`` — trusted done entry from a prior sweep).
 
 Sharded Monte-Carlo execution annotates re-emitted events with
 ``shard`` (fast engine) or ``run`` (exact engine) indices; the
@@ -57,6 +68,11 @@ EV_HEAL = "heal"
 EV_PARTITION = "partition"
 EV_PARTITION_HEAL = "partition_heal"
 EV_RUN_END = "run_end"
+EV_SWEEP_START = "sweep_start"
+EV_SWEEP_END = "sweep_end"
+EV_CELL_START = "cell_start"
+EV_CELL_CACHE_HIT = "cell_cache_hit"
+EV_CELL_FINISH = "cell_finish"
 
 #: Every event type a conforming tracer consumer must accept.
 EVENT_TYPES = frozenset(
@@ -73,6 +89,11 @@ EVENT_TYPES = frozenset(
         EV_PARTITION,
         EV_PARTITION_HEAL,
         EV_RUN_END,
+        EV_SWEEP_START,
+        EV_SWEEP_END,
+        EV_CELL_START,
+        EV_CELL_CACHE_HIT,
+        EV_CELL_FINISH,
     }
 )
 

@@ -172,3 +172,67 @@ class Tracer:
 
     def partition_heal(self, **extra) -> None:
         self.emit(self._ctx({"ev": "partition_heal"}, extra))
+
+    # -- sweep orchestration -------------------------------------------------
+    #
+    # Emitted by :class:`repro.sweep.SweepRunner` in cell-index order —
+    # a pure function of the cell list, never of the worker count or
+    # completion order — so sweep event streams are as deterministic as
+    # the figures they describe.  Sweeps carry no round context.
+
+    def sweep_start(self, *, name: str, cells: int, pending: int, **extra) -> None:
+        self._round = None
+        self.emit(
+            self._ctx(
+                {
+                    "ev": "sweep_start",
+                    "name": name,
+                    "cells": cells,
+                    "pending": pending,
+                },
+                extra,
+            )
+        )
+
+    def sweep_end(self, *, computed: int, cache_hits: int, **extra) -> None:
+        self.emit(
+            self._ctx(
+                {
+                    "ev": "sweep_end",
+                    "computed": computed,
+                    "cache_hits": cache_hits,
+                },
+                extra,
+            )
+        )
+
+    def cell_start(self, *, index: int, series: str, x: float, **extra) -> None:
+        self.emit(
+            self._ctx(
+                {"ev": "cell_start", "index": index, "series": series, "x": x},
+                extra,
+            )
+        )
+
+    def cell_cache_hit(self, *, index: int, source: str, **extra) -> None:
+        self.emit(
+            self._ctx(
+                {"ev": "cell_cache_hit", "index": index, "source": source},
+                extra,
+            )
+        )
+
+    def cell_finish(
+        self, *, index: int, value: float, cached: bool, **extra
+    ) -> None:
+        self.emit(
+            self._ctx(
+                {
+                    "ev": "cell_finish",
+                    "index": index,
+                    "value": value,
+                    "cached": cached,
+                },
+                extra,
+            )
+        )

@@ -24,9 +24,6 @@ partially-written entry silently falls back to recomputation.
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
 import math
 import multiprocessing
 import os
@@ -43,6 +40,7 @@ from repro.sim.fast import run_fast
 from repro.sim.results import MonteCarloResult
 from repro.sim.scenario import Scenario
 from repro.util import spawn_seeds
+from repro.util.canonical import canonical_key
 from repro.util.rng import SeedLike
 
 #: Runs per fast-engine shard.  The shard layout is a function of the
@@ -329,35 +327,12 @@ def run_sharded(
 #: Bump when result semantics change so stale entries never resurface.
 #: v2: scenarios carry a ``faults`` plan and results a per-run
 #: ``reachable_holders`` array.
-CACHE_VERSION = 2
-
-
-def _seed_token(seed: SeedLike):
-    """A JSON-able fingerprint of ``seed``, or None if uncacheable.
-
-    ``None`` seeds (fresh entropy) and generators (stateful streams)
-    have no stable identity, so results keyed on them are never cached.
-    """
-    if isinstance(seed, bool) or isinstance(seed, np.random.Generator):
-        return None
-    if isinstance(seed, (int, np.integer)):
-        return ["int", int(seed)]
-    if isinstance(seed, np.random.SeedSequence):
-        if seed.entropy is None:
-            return None
-        return [
-            "seq",
-            str(seed.entropy),
-            [int(k) for k in seed.spawn_key],
-            int(seed.pool_size),
-        ]
-    return None
-
-
-def _scenario_token(scenario: Scenario) -> dict:
-    token = dataclasses.asdict(scenario)
-    token["protocol"] = scenario.protocol.value
-    return token
+#: v3: keys are canonical tokens (:mod:`repro.util.canonical`) — the
+#: old encoding fell back to ``default=repr`` for any non-JSON leaf
+#: (attack/fault dataclasses flattened by ``dataclasses.asdict``, numpy
+#: scalars), and ``repr`` output is not stable across processes or
+#: numpy versions, so keys could silently change and permanently miss.
+CACHE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -385,20 +360,30 @@ class ResultCache:
         engine: str = "fast",
         horizon: Optional[int] = None,
     ) -> Optional[str]:
-        """The entry key, or None when the experiment is uncacheable."""
-        seed_token = _seed_token(seed)
-        if seed_token is None:
+        """The entry key, or None when the experiment is uncacheable.
+
+        Keys are canonical-token digests (:func:`repro.util.canonical
+        .canonical_key`): byte-identical across processes for the same
+        experiment, with *no* lossy fallback — a scenario carrying a
+        value the canonical encoder does not recognise is treated as
+        uncacheable (None) rather than keyed unstably.  ``None`` seeds
+        (fresh entropy), ``bool`` seeds, and generator seeds have no
+        stable identity and are never cached.
+        """
+        if seed is None or isinstance(seed, (bool, np.random.Generator)):
             return None
         payload = {
             "version": CACHE_VERSION,
-            "scenario": _scenario_token(scenario),
+            "scenario": scenario,
             "runs": int(runs),
-            "seed": seed_token,
+            "seed": seed,
             "engine": engine,
-            "horizon": horizon,
+            "horizon": None if horizon is None else int(horizon),
         }
-        blob = json.dumps(payload, sort_keys=True, default=repr)
-        return hashlib.sha256(blob.encode()).hexdigest()
+        try:
+            return canonical_key(payload)
+        except TypeError:
+            return None
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.npz"
@@ -425,8 +410,17 @@ class ResultCache:
             or counts.shape != non_attacked.shape
         ):
             return None
+        # A poisoned entry (float or object dtype smuggled in under a
+        # valid shape) must not masquerade as a real count matrix:
+        # downstream thresholding would silently produce garbage.
+        if any(
+            arr.dtype.kind not in "iu"
+            for arr in (counts, attacked, non_attacked)
+        ):
+            return None
         if reachable_holders is not None and (
             reachable_holders.shape != (counts.shape[0],)
+            or reachable_holders.dtype.kind not in "iu"
         ):
             return None
         return MonteCarloResult(

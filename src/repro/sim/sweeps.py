@@ -14,99 +14,92 @@ interactive use::
     )
     print(report.to_json())
 
-``workers`` (default: the ``REPRO_WORKERS`` env var) spreads the grid's
-(protocol, point) cells over a process pool.  Every cell's seed is
+Grids are built by :mod:`repro.sweep.grid` and executed by the
+:class:`~repro.sweep.orchestrator.SweepRunner`: every cell's seed is
 derived in the parent before anything runs, so the report is
-byte-identical JSON for any worker count.  ``cache`` threads an on-disk
-:class:`~repro.sim.parallel.ResultCache` through to each cell, letting
-figures that share points (e.g. the rate-0 baseline) compute them once.
+byte-identical JSON for any worker count (``workers`` defaults to the
+``REPRO_WORKERS`` env var).  ``store`` (a directory path or
+:class:`~repro.sweep.store.ResultStore`) makes the sweep *resumable* —
+completed cells persist content-addressed, a per-sweep manifest records
+cell status, and re-running an interrupted sweep recomputes only
+unfinished cells.  ``cache`` (the legacy spelling: an on-disk
+:class:`~repro.sim.parallel.ResultCache` or its path) provides the same
+persistence without a distinct argument — a store is layered over the
+same directory.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
-from repro.adversary.attacks import AttackSpec
 from repro.core.config import ProtocolKind
 from repro.metrics.report import SeriesReport
-from repro.sim.parallel import (
-    ResultCache,
-    as_cache,
-    check_workers,
-    default_workers,
-    parallel_map,
-)
-from repro.sim.runner import monte_carlo
-from repro.sim.scenario import Scenario
-from repro.util import spawn_seeds
+from repro.sim.parallel import ResultCache, as_cache
 from repro.util.rng import SeedLike
 
 ProtocolName = Union[str, ProtocolKind]
 
-#: One sweep cell: everything a worker needs to compute one data point.
-_Cell = Tuple
 
+def _resolve_store(cache, store):
+    """Layer the sweep store over whichever persistence arg was given."""
+    from repro.sweep.store import as_store
 
-def _mean_rounds(
-    protocol: ProtocolName,
-    n: int,
-    attack: Optional[AttackSpec],
-    *,
-    malicious_fraction: float,
-    runs: Optional[int],
-    seed,
-    max_rounds: int,
-    cache: Optional[ResultCache] = None,
-) -> float:
-    scenario = Scenario(
-        protocol=protocol,
-        n=n,
-        malicious_fraction=malicious_fraction if attack else 0.0,
-        attack=attack,
-        max_rounds=max_rounds,
-    )
-    # Cells already run on the pool; keep each cell single-process so a
-    # parallel sweep never nests pools (REPRO_WORKERS is ignored here).
-    return monte_carlo(
-        scenario, runs=runs, seed=seed, workers=1, cache=cache
-    ).mean_rounds()
+    store = as_store(store)
+    if store is not None:
+        return store
+    cache = as_cache(cache)
+    if cache is not None:
+        from repro.sweep.store import ResultStore
 
-
-def _run_cell(cell: _Cell) -> float:
-    protocol, n, attack, malicious_fraction, runs, seed, max_rounds, cache = cell
-    return _mean_rounds(
-        protocol,
-        n,
-        attack,
-        malicious_fraction=malicious_fraction,
-        runs=runs,
-        seed=seed,
-        max_rounds=max_rounds,
-        cache=cache,
-    )
+        return ResultStore(cache.root)
+    return None
 
 
 def _sweep_grid(
     report: SeriesReport,
     protocols: Sequence[ProtocolName],
-    cells: List[List[_Cell]],
+    cells: List[list],
     *,
     workers: Optional[int],
+    cache=None,
+    store=None,
+    tracer=None,
+    resume: bool = True,
+    name: Optional[str] = None,
 ) -> SeriesReport:
     """Evaluate a protocol-major cell grid and fill ``report``'s series.
 
     Seeds inside ``cells`` were derived before this call, so the worker
-    count only affects scheduling — never values.
+    count only affects scheduling — never values.  The grid must be
+    rectangular with one row per protocol: an empty protocol list or a
+    ragged grid would otherwise mis-slice series silently, so both are
+    rejected up front.
     """
-    workers = default_workers() if workers is None else check_workers(workers)
-    flat = [cell for row in cells for cell in row]
-    values = parallel_map(_run_cell, flat, workers=workers)
-    points_per_protocol = len(cells[0]) if cells else 0
-    for i, protocol in enumerate(protocols):
-        row = values[i * points_per_protocol:(i + 1) * points_per_protocol]
-        report.add_series(str(ProtocolKind(protocol).value), row)
-    return report
+    from repro.sweep.orchestrator import SweepRunner
+
+    if not protocols:
+        raise ValueError("protocols must be a non-empty sequence")
+    if len(cells) != len(protocols):
+        raise ValueError(
+            f"cell grid has {len(cells)} rows for {len(protocols)} "
+            f"protocols; expected one row per protocol"
+        )
+    widths = {len(row) for row in cells}
+    if len(widths) != 1 or widths != {len(report.x_values)}:
+        raise ValueError(
+            f"ragged cell grid: row lengths {sorted(widths)} must all "
+            f"equal the {len(report.x_values)}-point x-axis"
+        )
+    runner = SweepRunner(
+        store=_resolve_store(cache, store), workers=workers, tracer=tracer
+    )
+    result = runner.run(
+        name or report.name,
+        [cell for row in cells for cell in row],
+        resume=resume,
+    )
+    return result.fill_report(report)
 
 
 def rate_sweep(
@@ -121,33 +114,28 @@ def rate_sweep(
     max_rounds: int = 400,
     workers: Optional[int] = None,
     cache: Union[None, str, Path, ResultCache] = None,
+    store=None,
+    tracer=None,
+    resume: bool = True,
+    name: Optional[str] = None,
 ) -> SeriesReport:
     """Propagation time vs the per-victim attack rate ``x`` (Figure 3a)."""
-    report = SeriesReport(
-        name="rate_sweep",
-        x_label="x (fabricated msgs/victim/round)",
-        x_values=[float(x) for x in rates],
-        metadata={"n": n, "alpha": alpha},
+    from repro.sweep.grid import rate_grid
+
+    report, cells = rate_grid(
+        protocols,
+        rates,
+        n=n,
+        alpha=alpha,
+        malicious_fraction=malicious_fraction,
+        runs=runs,
+        seed=seed,
+        max_rounds=max_rounds,
     )
-    cache = as_cache(cache)
-    seeds = spawn_seeds(seed, len(protocols))
-    cells = [
-        [
-            (
-                protocol,
-                n,
-                AttackSpec(alpha=alpha, x=float(x)) if x > 0 else None,
-                malicious_fraction,
-                runs,
-                proto_seed,
-                max_rounds,
-                cache,
-            )
-            for x in rates
-        ]
-        for protocol, proto_seed in zip(protocols, seeds)
-    ]
-    return _sweep_grid(report, protocols, cells, workers=workers)
+    return _sweep_grid(
+        report, protocols, cells, workers=workers, cache=cache,
+        store=store, tracer=tracer, resume=resume, name=name,
+    )
 
 
 def extent_sweep(
@@ -162,33 +150,28 @@ def extent_sweep(
     max_rounds: int = 400,
     workers: Optional[int] = None,
     cache: Union[None, str, Path, ResultCache] = None,
+    store=None,
+    tracer=None,
+    resume: bool = True,
+    name: Optional[str] = None,
 ) -> SeriesReport:
     """Propagation time vs the attack extent ``α`` (Figure 3b)."""
-    report = SeriesReport(
-        name="extent_sweep",
-        x_label="alpha (fraction of processes attacked)",
-        x_values=[float(a) for a in alphas],
-        metadata={"n": n, "x": x},
+    from repro.sweep.grid import extent_grid
+
+    report, cells = extent_grid(
+        protocols,
+        alphas,
+        x=x,
+        n=n,
+        malicious_fraction=malicious_fraction,
+        runs=runs,
+        seed=seed,
+        max_rounds=max_rounds,
     )
-    cache = as_cache(cache)
-    seeds = spawn_seeds(seed, len(protocols))
-    cells = [
-        [
-            (
-                protocol,
-                n,
-                AttackSpec(alpha=float(a), x=x),
-                malicious_fraction,
-                runs,
-                proto_seed,
-                max_rounds,
-                cache,
-            )
-            for a in alphas
-        ]
-        for protocol, proto_seed in zip(protocols, seeds)
-    ]
-    return _sweep_grid(report, protocols, cells, workers=workers)
+    return _sweep_grid(
+        report, protocols, cells, workers=workers, cache=cache,
+        store=store, tracer=tracer, resume=resume, name=name,
+    )
 
 
 def budget_sweep(
@@ -203,31 +186,26 @@ def budget_sweep(
     max_rounds: int = 400,
     workers: Optional[int] = None,
     cache: Union[None, str, Path, ResultCache] = None,
+    store=None,
+    tracer=None,
+    resume: bool = True,
+    name: Optional[str] = None,
 ) -> SeriesReport:
     """Fixed-budget strategy sweep: ``B = budget_per_process · n``
     split over each extent in ``alphas`` (Figures 7–8)."""
-    report = SeriesReport(
-        name="budget_sweep",
-        x_label="alpha (fraction of processes attacked)",
-        x_values=[float(a) for a in alphas],
-        metadata={"n": n, "budget_per_process": budget_per_process},
+    from repro.sweep.grid import budget_grid
+
+    report, cells = budget_grid(
+        protocols,
+        alphas,
+        budget_per_process=budget_per_process,
+        n=n,
+        malicious_fraction=malicious_fraction,
+        runs=runs,
+        seed=seed,
+        max_rounds=max_rounds,
     )
-    cache = as_cache(cache)
-    seeds = spawn_seeds(seed, len(protocols))
-    cells = [
-        [
-            (
-                protocol,
-                n,
-                AttackSpec.fixed_budget(budget_per_process * n, float(a), n),
-                malicious_fraction,
-                runs,
-                proto_seed,
-                max_rounds,
-                cache,
-            )
-            for a in alphas
-        ]
-        for protocol, proto_seed in zip(protocols, seeds)
-    ]
-    return _sweep_grid(report, protocols, cells, workers=workers)
+    return _sweep_grid(
+        report, protocols, cells, workers=workers, cache=cache,
+        store=store, tracer=tracer, resume=resume, name=name,
+    )

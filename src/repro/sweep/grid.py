@@ -1,0 +1,249 @@
+"""Sweep cells and grid builders.
+
+A :class:`Cell` pins down one grid point completely — config, run
+count, seed, engine, metric — in the parent process, before anything
+executes.  That is what makes a sweep deterministic (values are a pure
+function of the cell list, never of scheduling) and resumable (a cell's
+content-address is computable without running it).
+
+Two cell kinds share the class:
+
+- **monte_carlo** (``scenario`` set): a
+  :func:`~repro.sim.runner.monte_carlo` experiment on the fast or
+  exact round engine; results persist in the store's npz tier.
+- **measurement** (``config`` set): a DES
+  :func:`~repro.des.measurement.run_throughput_experiment` streaming
+  experiment; results persist in the store's envelope-JSON tier.
+
+The grid builders produce the paper's three sweep shapes as
+protocol-major cell rows plus a matching empty
+:class:`~repro.metrics.report.SeriesReport`, deriving one child seed
+per protocol exactly like the historical ``repro.sim.sweeps`` helpers
+(so seeded sweep values are unchanged by the orchestration refactor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.adversary.attacks import AttackSpec
+from repro.core.config import ProtocolKind
+from repro.metrics.report import SeriesReport
+from repro.sim.scenario import Scenario
+from repro.util import spawn_seeds
+from repro.util.rng import SeedLike
+
+ProtocolName = Union[str, ProtocolKind]
+
+#: Metrics a monte_carlo cell can extract.
+MONTE_CARLO_METRICS = ("mean_rounds", "std_rounds", "reliability")
+#: Metrics a measurement cell can extract.
+MEASUREMENT_METRICS = ("delivery_ratio", "throughput", "mean_latency_ms")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One sweep grid point, fully determined before execution.
+
+    ``series`` and ``x`` locate the cell in the output figure;
+    exactly one of ``scenario`` (round-engine Monte-Carlo) or
+    ``config`` (DES measurement cluster) describes the experiment.
+    """
+
+    series: str
+    x: float
+    scenario: Optional[Scenario] = None
+    runs: Optional[int] = None
+    seed: SeedLike = None
+    engine: str = "fast"
+    horizon: Optional[int] = None
+    metric: str = "mean_rounds"
+    #: A :class:`repro.des.ClusterConfig` for measurement cells (typed
+    #: loosely to keep the DES stack out of sweep imports).
+    config: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "series", str(self.series))
+        object.__setattr__(self, "x", float(self.x))
+        if (self.scenario is None) == (self.config is None):
+            raise ValueError(
+                "a Cell needs exactly one of scenario= (monte_carlo) "
+                "or config= (measurement)"
+            )
+        if self.scenario is not None:
+            if not isinstance(self.scenario, Scenario):
+                raise TypeError(
+                    f"scenario must be a Scenario, got {self.scenario!r}"
+                )
+            if self.engine not in ("fast", "exact"):
+                raise ValueError(
+                    f"unknown engine {self.engine!r}; use 'fast' or 'exact'"
+                )
+            if self.metric not in MONTE_CARLO_METRICS:
+                raise ValueError(
+                    f"unknown monte_carlo metric {self.metric!r}; "
+                    f"use one of {', '.join(MONTE_CARLO_METRICS)}"
+                )
+        else:
+            if self.metric not in MEASUREMENT_METRICS:
+                raise ValueError(
+                    f"unknown measurement metric {self.metric!r}; "
+                    f"use one of {', '.join(MEASUREMENT_METRICS)}"
+                )
+
+    @property
+    def kind(self) -> str:
+        """``"monte_carlo"`` or ``"measurement"``."""
+        return "monte_carlo" if self.scenario is not None else "measurement"
+
+
+GridRows = List[List[Cell]]
+
+
+def _protocol_rows(
+    protocols: Sequence[ProtocolName],
+    seed: SeedLike,
+    cell_for,
+) -> GridRows:
+    """Protocol-major rows with the historical per-protocol seeds."""
+    seeds = spawn_seeds(seed, len(protocols))
+    return [
+        [cell_for(protocol, proto_seed, x) for x in cell_for.x_values]
+        for protocol, proto_seed in zip(protocols, seeds)
+    ]
+
+
+@dataclass
+class _CellFactory:
+    """Builds one cell per (protocol, x) for a sweep shape."""
+
+    x_values: Tuple[float, ...]
+    runs: Optional[int]
+    max_rounds: int
+    engine: str
+    metric: str
+    attack_for: object = field(repr=False, default=None)
+    malicious_fraction: float = 0.0
+    n: int = 120
+
+    def __call__(self, protocol: ProtocolName, seed, x: float) -> Cell:
+        attack = self.attack_for(x)
+        scenario = Scenario(
+            protocol=protocol,
+            n=self.n,
+            malicious_fraction=self.malicious_fraction if attack else 0.0,
+            attack=attack,
+            max_rounds=self.max_rounds,
+        )
+        return Cell(
+            series=str(ProtocolKind(protocol).value),
+            x=float(x),
+            scenario=scenario,
+            runs=self.runs,
+            seed=seed,
+            engine=self.engine,
+            metric=self.metric,
+        )
+
+
+def rate_grid(
+    protocols: Sequence[ProtocolName],
+    rates: Sequence[float],
+    *,
+    n: int = 120,
+    alpha: float = 0.1,
+    malicious_fraction: float = 0.1,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+    engine: str = "fast",
+    metric: str = "mean_rounds",
+) -> Tuple[SeriesReport, GridRows]:
+    """Figure 3(a)'s grid: propagation time vs per-victim rate ``x``."""
+    report = SeriesReport(
+        name="rate_sweep",
+        x_label="x (fabricated msgs/victim/round)",
+        x_values=[float(x) for x in rates],
+        metadata={"n": n, "alpha": alpha},
+    )
+    factory = _CellFactory(
+        x_values=tuple(float(x) for x in rates),
+        runs=runs,
+        max_rounds=max_rounds,
+        engine=engine,
+        metric=metric,
+        attack_for=lambda x: AttackSpec(alpha=alpha, x=x) if x > 0 else None,
+        malicious_fraction=malicious_fraction,
+        n=n,
+    )
+    return report, _protocol_rows(protocols, seed, factory)
+
+
+def extent_grid(
+    protocols: Sequence[ProtocolName],
+    alphas: Sequence[float],
+    *,
+    x: float = 128.0,
+    n: int = 120,
+    malicious_fraction: float = 0.1,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+    engine: str = "fast",
+    metric: str = "mean_rounds",
+) -> Tuple[SeriesReport, GridRows]:
+    """Figure 3(b)'s grid: propagation time vs attack extent ``α``."""
+    report = SeriesReport(
+        name="extent_sweep",
+        x_label="alpha (fraction of processes attacked)",
+        x_values=[float(a) for a in alphas],
+        metadata={"n": n, "x": x},
+    )
+    factory = _CellFactory(
+        x_values=tuple(float(a) for a in alphas),
+        runs=runs,
+        max_rounds=max_rounds,
+        engine=engine,
+        metric=metric,
+        attack_for=lambda a: AttackSpec(alpha=a, x=x),
+        malicious_fraction=malicious_fraction,
+        n=n,
+    )
+    return report, _protocol_rows(protocols, seed, factory)
+
+
+def budget_grid(
+    protocols: Sequence[ProtocolName],
+    alphas: Sequence[float],
+    *,
+    budget_per_process: float = 7.2,
+    n: int = 120,
+    malicious_fraction: float = 0.1,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+    engine: str = "fast",
+    metric: str = "mean_rounds",
+) -> Tuple[SeriesReport, GridRows]:
+    """Figures 7–8's grid: a fixed budget ``B = budget_per_process · n``
+    split over each extent in ``alphas``."""
+    report = SeriesReport(
+        name="budget_sweep",
+        x_label="alpha (fraction of processes attacked)",
+        x_values=[float(a) for a in alphas],
+        metadata={"n": n, "budget_per_process": budget_per_process},
+    )
+    factory = _CellFactory(
+        x_values=tuple(float(a) for a in alphas),
+        runs=runs,
+        max_rounds=max_rounds,
+        engine=engine,
+        metric=metric,
+        attack_for=lambda a: AttackSpec.fixed_budget(
+            budget_per_process * n, a, n
+        ),
+        malicious_fraction=malicious_fraction,
+        n=n,
+    )
+    return report, _protocol_rows(protocols, seed, factory)

@@ -1,0 +1,363 @@
+"""The resumable sweep orchestrator.
+
+:class:`SweepRunner` evaluates a list of :class:`~repro.sweep.grid.Cell`
+grid points cache-aside through a :class:`~repro.sweep.store.ResultStore`
+and records a **manifest** — per-cell status, key, and value — so an
+interrupted sweep resumes by recomputing only unfinished cells:
+
+1. The sweep's *identity* is the canonical-token digest of ``(name,
+   cells)``.  A manifest whose identity matches is trusted; one that
+   does not (the grid changed) is discarded and rebuilt.
+2. Cells already ``done`` in the manifest are served from their
+   recorded value without touching an engine or the store.
+3. Remaining cells run over the process pool in deterministic chunks;
+   each worker first consults the store (an interrupted sweep's
+   completed cells live there even when the manifest never saw them
+   finish — store writes happen cell-by-cell *in the worker*), and the
+   manifest is checkpointed after every chunk.
+
+Every cell's seed is fixed in the parent before anything executes, so
+the figure a sweep produces is byte-identical for any worker count and
+for any interrupt/resume pattern — resuming changes *where* values come
+from (engine, store, or manifest), never what they are.
+
+Observability: with a ``tracer``, the runner emits ``sweep_start``,
+per-cell ``cell_start`` / ``cell_cache_hit`` / ``cell_finish``, and
+``sweep_end`` events in cell-index order (a pure function of the cell
+list — never of workers or completion order).  Cell *execution* itself
+is untraced: engine-level tracing bypasses result caches by design
+(see :func:`repro.sim.runner.monte_carlo`), and the orchestrator's job
+is precisely to make cache hits the common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.metrics.report import SeriesReport
+from repro.sim.parallel import check_workers, default_workers, parallel_map
+from repro.sweep.grid import Cell
+from repro.sweep.store import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ResultStore,
+    as_store,
+)
+from repro.util.canonical import canonical_key
+
+#: Cells per scheduling chunk, as a multiple of the worker count.  The
+#: manifest checkpoints after every chunk, so this bounds how much
+#: *finished* work a kill can hide from the manifest (the store still
+#: has it; resume would re-load, not re-run).  Chunking never affects
+#: values — seeds are pre-derived per cell.
+CHUNK_FACTOR = 4
+
+
+def _metric_value(cell: Cell, result) -> float:
+    """Extract ``cell.metric`` from a result object."""
+    metric = cell.metric
+    if metric == "mean_rounds":
+        return float(result.mean_rounds())
+    if metric == "std_rounds":
+        return float(result.std_rounds())
+    if metric == "reliability":
+        return float(np.mean(result.residual_reliability()))
+    if metric == "delivery_ratio":
+        return float(result.delivery_ratio())
+    if metric == "throughput":
+        return float(result.throughput().mean_msgs_per_sec)
+    if metric == "mean_latency_ms":
+        samples = [
+            latency
+            for values in result.latencies_by_process().values()
+            for latency in values
+        ]
+        return float(np.mean(samples)) if samples else float("nan")
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def _evaluate_cell(task) -> Tuple[float, bool]:
+    """Worker entry point: ``(value, served_from_store)`` for one cell.
+
+    Runs on the pool, so the store consultation and the cache-aside
+    write both happen *here* — a killed sweep keeps every completed
+    cell's result on disk even though the parent never saw it finish.
+    Cells run single-process (``workers=1``) so a parallel sweep never
+    nests pools.
+    """
+    cell, store = task
+    key = store.key_for(cell) if store is not None else None
+    if cell.scenario is not None:
+        if key is not None:
+            hit = store.cache.load(key, cell.scenario)
+            if hit is not None:
+                return _metric_value(cell, hit), True
+        from repro.sim.runner import monte_carlo
+
+        result = monte_carlo(
+            cell.scenario,
+            runs=cell.runs,
+            seed=cell.seed,
+            engine=cell.engine,
+            horizon=cell.horizon,
+            workers=1,
+            cache=store.cache if store is not None else None,
+        )
+        return _metric_value(cell, result), False
+    if key is not None:
+        hit = store.load_envelope(key)
+        if hit is not None:
+            return _metric_value(cell, hit), True
+    from repro.des.cluster import run_throughput_experiment
+
+    result = run_throughput_experiment(cell.config, seed=cell.seed)
+    if store is not None and key is not None:
+        store.store_envelope(key, result)
+    return _metric_value(cell, result), False
+
+
+def sweep_identity(name: str, cells: Sequence[Cell]) -> Optional[str]:
+    """The sweep's canonical identity, or None when any cell resists
+    canonicalisation (a generator-seeded cell, say) — such sweeps still
+    run, they just cannot carry a trustworthy manifest."""
+    try:
+        return canonical_key(["sweep", name, list(cells)])
+    except TypeError:
+        return None
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One evaluated cell: where its value came from and what it was."""
+
+    index: int
+    cell: Cell
+    value: float
+    #: ``"engine"`` (computed this run), ``"store"`` (content-addressed
+    #: hit), or ``"manifest"`` (trusted done entry from a prior run).
+    source: str
+    key: Optional[str]
+
+    @property
+    def cached(self) -> bool:
+        return self.source != "engine"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything a completed sweep produced."""
+
+    name: str
+    outcomes: Tuple[CellOutcome, ...]
+
+    @property
+    def values(self) -> List[float]:
+        return [outcome.value for outcome in self.outcomes]
+
+    @property
+    def computed(self) -> int:
+        """Cells that ran an engine this invocation."""
+        return sum(1 for o in self.outcomes if o.source == "engine")
+
+    @property
+    def cache_hits(self) -> int:
+        """Cells served from the store or the manifest."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    def series(self) -> Dict[str, List[float]]:
+        """Values grouped by series label, in cell order."""
+        out: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            out.setdefault(outcome.cell.series, []).append(outcome.value)
+        return out
+
+    def fill_report(self, report: SeriesReport) -> SeriesReport:
+        """Attach every series to ``report`` (x-axes must align)."""
+        for label, values in self.series().items():
+            report.add_series(label, values)
+        return report
+
+
+class SweepRunner:
+    """Evaluates cell grids through a store, manifest-checkpointed.
+
+    ``store`` may be None (ephemeral sweep: no persistence, no
+    manifest), a directory path, or a :class:`ResultStore`.  ``workers``
+    follows the ``REPRO_WORKERS`` convention used everywhere else.
+    """
+
+    def __init__(
+        self,
+        store: Union[None, str, Path, ResultStore] = None,
+        *,
+        workers: Optional[int] = None,
+        tracer=None,
+    ):
+        self.store = as_store(store)
+        self.workers = (
+            default_workers() if workers is None else check_workers(workers)
+        )
+        self.tracer = tracer
+
+    def run(
+        self, name: str, cells: Sequence[Cell], *, resume: bool = True
+    ) -> SweepResult:
+        """Evaluate ``cells``, resuming from ``name``'s manifest.
+
+        With ``resume=False`` the manifest is rebuilt from scratch —
+        completed cells still short-circuit through the content-
+        addressed store, so even a fresh manifest never re-burns
+        compute the store already holds.
+        """
+        cells = [self._check_cell(i, c) for i, c in enumerate(cells)]
+        if not cells:
+            raise ValueError("a sweep needs at least one cell")
+        identity = sweep_identity(name, cells)
+        keys = [
+            self.store.key_for(cell) if self.store is not None else None
+            for cell in cells
+        ]
+
+        manifest_values = self._manifest_values(name, cells, identity, resume)
+        pending = [i for i in range(len(cells)) if i not in manifest_values]
+        self._checkpoint(name, cells, identity, keys, manifest_values, {})
+
+        computed: Dict[int, Tuple[float, bool]] = {}
+        chunk = max(1, self.workers * CHUNK_FACTOR)
+        for start in range(0, len(pending), chunk):
+            batch = pending[start:start + chunk]
+            results = parallel_map(
+                _evaluate_cell,
+                [(cells[i], self.store) for i in batch],
+                workers=self.workers,
+            )
+            computed.update(dict(zip(batch, results)))
+            self._checkpoint(
+                name, cells, identity, keys, manifest_values, computed
+            )
+
+        outcomes = []
+        for i, cell in enumerate(cells):
+            if i in manifest_values:
+                outcomes.append(
+                    CellOutcome(i, cell, manifest_values[i], "manifest", keys[i])
+                )
+            else:
+                value, from_store = computed[i]
+                source = "store" if from_store else "engine"
+                outcomes.append(CellOutcome(i, cell, value, source, keys[i]))
+        result = SweepResult(name=name, outcomes=tuple(outcomes))
+        self._emit_events(result, pending=len(pending))
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _check_cell(index: int, cell) -> Cell:
+        if not isinstance(cell, Cell):
+            raise TypeError(f"cells[{index}] is not a Cell: {cell!r}")
+        return cell
+
+    def _manifest_values(
+        self,
+        name: str,
+        cells: Sequence[Cell],
+        identity: Optional[str],
+        resume: bool,
+    ) -> Dict[int, float]:
+        """Trusted ``{index: value}`` entries from a prior manifest."""
+        if not resume or self.store is None or identity is None:
+            return {}
+        manifest = self.store.load_manifest(name)
+        if manifest is None or manifest.get("identity") != identity:
+            return {}
+        done: Dict[int, float] = {}
+        for entry in manifest.get("cells", []):
+            index = entry.get("index")
+            if (
+                entry.get("status") == "done"
+                and isinstance(index, int)
+                and 0 <= index < len(cells)
+                and isinstance(entry.get("value"), (int, float))
+            ):
+                done[index] = float(entry["value"])
+        return done
+
+    def _checkpoint(
+        self,
+        name: str,
+        cells: Sequence[Cell],
+        identity: Optional[str],
+        keys: Sequence[Optional[str]],
+        manifest_values: Dict[int, float],
+        computed: Dict[int, Tuple[float, bool]],
+    ) -> None:
+        """Write the manifest reflecting current per-cell status."""
+        if self.store is None or identity is None:
+            return
+        entries = []
+        for i, cell in enumerate(cells):
+            if keys[i] is None:
+                # No stable content-address (seedless or generator-
+                # seeded cell): its value is not reproducible, so it is
+                # recomputed every run and never recorded as done.
+                status, value = "uncacheable", None
+            elif i in manifest_values:
+                status, value = "done", manifest_values[i]
+            elif i in computed:
+                status, value = "done", computed[i][0]
+            else:
+                status, value = "pending", None
+            entries.append(
+                {
+                    "index": i,
+                    "series": cell.series,
+                    "x": cell.x,
+                    "kind": cell.kind,
+                    "metric": cell.metric,
+                    "key": keys[i],
+                    "status": status,
+                    "value": value,
+                }
+            )
+        self.store.store_manifest(
+            name,
+            {
+                "schema": MANIFEST_SCHEMA,
+                "version": MANIFEST_VERSION,
+                "name": name,
+                "identity": identity,
+                "cells": entries,
+            },
+        )
+
+    def _emit_events(self, result: SweepResult, *, pending: int) -> None:
+        """Re-emit the sweep lifecycle in deterministic cell order."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        tracer.sweep_start(
+            name=result.name, cells=len(result.outcomes), pending=pending
+        )
+        for outcome in result.outcomes:
+            tracer.cell_start(
+                index=outcome.index,
+                series=outcome.cell.series,
+                x=outcome.cell.x,
+            )
+            if outcome.cached:
+                tracer.cell_cache_hit(
+                    index=outcome.index, source=outcome.source
+                )
+            tracer.cell_finish(
+                index=outcome.index,
+                value=outcome.value,
+                cached=outcome.cached,
+            )
+        tracer.sweep_end(
+            computed=result.computed, cache_hits=result.cache_hits
+        )

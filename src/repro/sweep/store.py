@@ -1,0 +1,172 @@
+"""The persistent, content-addressed sweep result store.
+
+Layout (everything lives under one ``root`` directory)::
+
+    <root>/<key>.npz            # npz tier: full MonteCarloResult arrays
+    <root>/<key>.json           # envelope tier: repro.result JSON
+    <root>/manifests/<name>.json  # per-sweep cell-status manifests
+
+``<key>`` is the sha256 canonical-token digest of the cell's complete
+experiment identity (config, runs, seed, engine, horizon, and
+:data:`~repro.sim.parallel.CACHE_VERSION`), so a key can never collide
+across differing inputs and never drifts between processes.  The npz
+tier *is* the existing :class:`~repro.sim.parallel.ResultCache` — the
+orchestrator's cache-aside writes and ``monte_carlo(cache=...)`` hits
+share entries byte-for-byte.  The envelope tier stores the unified
+versioned result envelope (see :mod:`repro.api.results`) for results
+that are not Monte-Carlo count matrices: DES measurement results today,
+live-cluster results when those grow a ``from_dict``.
+
+Reads are best-effort exactly like :class:`ResultCache`: a missing,
+corrupted, or wrong-schema entry behaves as a miss and the cell
+recomputes.  Writes are atomic (tempfile + rename) so a killed sweep
+never leaves a truncated entry that a resume would trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.sim.parallel import CACHE_VERSION, ResultCache
+from repro.util.canonical import canonical_key
+
+#: Manifest document identity (see :class:`ResultStore.store_manifest`).
+MANIFEST_SCHEMA = "repro.sweep_manifest"
+MANIFEST_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResultStore:
+    """Content-addressed result store with npz and envelope tiers."""
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "root", Path(self.root))
+
+    @property
+    def cache(self) -> ResultCache:
+        """The npz tier, as the :class:`ResultCache` it is."""
+        return ResultCache(self.root)
+
+    # -- keying --------------------------------------------------------------
+
+    def key_for(self, cell) -> Optional[str]:
+        """``cell``'s content-address, or None when it is uncacheable
+        (no stable seed, or a config the canonical encoder rejects)."""
+        if cell.scenario is not None:
+            runs = cell.runs
+            if runs is None:
+                from repro.sim.runner import default_runs
+
+                runs = default_runs()
+            return self.cache.key(
+                cell.scenario,
+                runs,
+                seed=cell.seed,
+                engine=cell.engine,
+                horizon=cell.horizon,
+            )
+        import numpy as np
+
+        if cell.seed is None or isinstance(
+            cell.seed, (bool, np.random.Generator)
+        ):
+            return None
+        try:
+            return canonical_key(
+                {
+                    "version": CACHE_VERSION,
+                    "kind": "measurement",
+                    "config": cell.config,
+                    "seed": cell.seed,
+                }
+            )
+        except TypeError:
+            return None
+
+    # -- envelope tier -------------------------------------------------------
+
+    def envelope_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load_envelope(self, key: str):
+        """The stored result object, or None on miss / any read failure."""
+        from repro.api.results import decode_envelope
+
+        try:
+            return decode_envelope(self.envelope_path(key).read_text())
+        except Exception:
+            return None
+
+    def store_envelope(self, key: str, result) -> None:
+        """Persist ``result``'s envelope atomically; failures are
+        swallowed (the store is an accelerator, never a correctness
+        dependency)."""
+        from repro.api.results import encode_envelope
+
+        try:
+            self._write_atomic(self.envelope_path(key), encode_envelope(result))
+        except OSError:
+            pass
+
+    # -- manifests -----------------------------------------------------------
+
+    def manifest_path(self, name: str) -> Path:
+        return self.root / "manifests" / f"{name}.json"
+
+    def load_manifest(self, name: str) -> Optional[dict]:
+        """The stored manifest dict, or None on miss / wrong schema /
+        any read failure."""
+        try:
+            data = json.loads(self.manifest_path(name).read_text())
+        except Exception:
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != MANIFEST_SCHEMA
+            or data.get("version") != MANIFEST_VERSION
+        ):
+            return None
+        return data
+
+    def store_manifest(self, name: str, manifest: dict) -> None:
+        """Persist ``manifest`` atomically; failures are swallowed."""
+        try:
+            self._write_atomic(
+                self.manifest_path(name),
+                json.dumps(manifest, sort_keys=True, indent=1),
+            )
+        except OSError:
+            pass
+
+    # -- internals -----------------------------------------------------------
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+
+
+def as_store(
+    store: Union[None, str, Path, ResultStore]
+) -> Optional[ResultStore]:
+    """Coerce a store argument: None, a directory path, or a store."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return ResultStore(Path(store))
+    raise TypeError(
+        f"store must be None, a path, or a ResultStore, got {store!r}"
+    )

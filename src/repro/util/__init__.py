@@ -1,5 +1,6 @@
 """Shared utilities: seeded RNG plumbing, validation, and table rendering."""
 
+from repro.util.canonical import canonical_json, canonical_key, canonical_token
 from repro.util.rng import SeedSequenceFactory, derive_rng, spawn_seeds
 from repro.util.tables import Table
 from repro.util.validation import (
@@ -12,6 +13,9 @@ from repro.util.validation import (
 __all__ = [
     "SeedSequenceFactory",
     "Table",
+    "canonical_json",
+    "canonical_key",
+    "canonical_token",
     "check_fraction",
     "check_non_negative",
     "check_positive",

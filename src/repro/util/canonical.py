@@ -1,0 +1,127 @@
+"""Canonical, process-stable tokens for cache and store keys.
+
+:func:`canonical_token` recursively lowers an experiment-description
+object graph — scenarios, attack specs, fault plans, seeds, and the
+plain values they are built from — into a JSON document whose bytes are
+identical in every process, interpreter session, and numpy version.
+That is the property content-addressed result stores need: a cache key
+must never depend on ``repr`` (whose output for e.g. ``np.float64``
+changed between numpy 1.x and 2.x) or on anything else that can drift
+between the process that wrote an entry and the process that reads it.
+
+The encoder is *strict*: any type it does not positively recognise
+raises ``TypeError`` instead of falling back to a lossy string.  A
+caller that wants "uncacheable" semantics catches the ``TypeError`` and
+skips caching — it never stores under an unstable key.
+
+Composite values encode as tagged lists so structurally different
+inputs can never collide (a user-supplied list ``["dc", ...]`` encodes
+as ``["l", ["l", [...]]]``-style nesting, distinct from a dataclass
+token):
+
+- ``["l", [...]]`` — list or tuple (order-preserving);
+- ``["d", [[key, value], ...]]`` — dict, keys sorted (string keys only);
+- ``["dc", "module.QualName", [[field, value], ...]]`` — any dataclass
+  instance, fields sorted by name, so two dataclass types with
+  identical field sets still produce distinct tokens;
+- ``["e", "module.QualName", value]`` — an :class:`enum.Enum` member;
+- ``["ss", entropy, [spawn_key...], pool_size]`` — a
+  ``numpy.random.SeedSequence`` with explicit entropy (one without is
+  fresh randomness and therefore *raises*: it has no stable identity).
+
+Scalars pass through: ``None``, ``bool``, ``int``, ``str`` unchanged;
+floats (and numpy floating scalars) as Python floats, which
+``json.dumps`` renders via ``repr`` — shortest round-trip notation,
+stable across CPython processes; numpy integer/bool scalars as their
+Python equivalents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+
+def _type_name(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def canonical_token(obj: Any) -> Any:
+    """A JSON-able token of ``obj``; raises ``TypeError`` when unstable.
+
+    Equal inputs (up to list/tuple interchange and numpy/Python scalar
+    interchange) produce equal tokens; unequal inputs of recognised
+    types produce unequal tokens.  Unrecognised types — generators,
+    arrays, arbitrary objects — raise ``TypeError`` rather than encode
+    unstably.
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ["e", _type_name(obj), canonical_token(obj.value)]
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.random.SeedSequence):
+        if obj.entropy is None:
+            raise TypeError(
+                "SeedSequence without explicit entropy has no stable "
+                "identity and cannot be canonicalised"
+            )
+        return [
+            "ss",
+            canonical_token(obj.entropy),
+            [int(k) for k in obj.spawn_key],
+            int(obj.pool_size),
+        ]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dc",
+            _type_name(obj),
+            [
+                [f.name, canonical_token(getattr(obj, f.name))]
+                for f in sorted(dataclasses.fields(obj), key=lambda f: f.name)
+            ],
+        ]
+    if isinstance(obj, (list, tuple)):
+        return ["l", [canonical_token(item) for item in obj]]
+    if isinstance(obj, dict):
+        pairs = []
+        for key in sorted(obj):
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical dicts need string keys, got {key!r}"
+                )
+            pairs.append([key, canonical_token(obj[key])])
+        return ["d", pairs]
+    raise TypeError(
+        f"cannot build a canonical token for {_type_name(obj)} "
+        f"instance {obj!r}"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON encoding of ``obj``'s token (one line,
+    sorted keys, no whitespace) — byte-identical across processes."""
+    return json.dumps(
+        canonical_token(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_key(obj: Any) -> str:
+    """The sha256 hex digest of :func:`canonical_json` — the
+    content-address used by result caches and sweep stores."""
+    return hashlib.sha256(canonical_json(obj).encode("ascii")).hexdigest()

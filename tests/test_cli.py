@@ -131,3 +131,61 @@ class TestParser:
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--protocol", "carrier-pigeon"])
+
+
+class TestSweep:
+    def test_basic_rate_sweep(self, capsys):
+        code = main([
+            "sweep", "--kind", "rate", "--protocols", "drum,push",
+            "--values", "0,16", "--n", "50", "--runs", "10", "--seed", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rate_sweep" in out
+        assert "2 computed" not in out  # 4 cells, all computed
+        assert "4 computed" in out
+
+    def test_store_makes_second_run_all_hits(self, capsys, tmp_path):
+        args = [
+            "sweep", "--protocols", "drum", "--values", "0,16",
+            "--n", "50", "--runs", "10", "--seed", "2",
+            "--store", str(tmp_path), "--json",
+        ]
+        main(args)
+        first = json.loads(capsys.readouterr().out)
+        assert first["sweep"]["computed"] == 2
+        main(args)
+        second = json.loads(capsys.readouterr().out)
+        assert second["sweep"]["computed"] == 0
+        assert second["sweep"]["cache_hits"] == 2
+        assert second["series"] == first["series"]
+
+    def test_out_writes_report_json(self, capsys, tmp_path):
+        out_file = tmp_path / "figure.json"
+        code = main([
+            "sweep", "--kind", "extent", "--protocols", "drum",
+            "--values", "0.1,0.2", "-x", "32", "--n", "50",
+            "--runs", "10", "--seed", "3", "--out", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["name"] == "extent_sweep"
+        assert "drum" in payload["series"]
+
+    def test_budget_kind(self, capsys):
+        code = main([
+            "sweep", "--kind", "budget", "--protocols", "drum",
+            "--values", "0.2,0.8", "--budget-per-process", "7.2",
+            "--n", "50", "--runs", "10", "--seed", "4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "budget_sweep"
+
+    def test_empty_protocols_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--protocols", ",", "--values", "0"])
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--protocols", "drum", "--values", "0,zap"])

@@ -328,3 +328,98 @@ class TestResultCache:
             cache=ResultCache(tmp_path), workers=1,
         )
         assert cold.to_json() == warm.to_json()
+
+
+class TestKeyStability:
+    """Regression tests for the v2 repr-fallback key bug: keys must be
+    a pure function of experiment content, stable across processes."""
+
+    def test_numpy_scalar_inputs_key_like_python(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plain = Scenario(
+            protocol="drum", n=40, malicious_fraction=0.1,
+            attack=AttackSpec(alpha=0.2, x=64.0),
+        )
+        numpied = Scenario(
+            protocol="drum", n=int(np.int64(40)),
+            malicious_fraction=float(np.float64(0.1)),
+            attack=AttackSpec(
+                alpha=np.float64(0.2), x=np.float32(64.0)
+            ),
+        )
+        assert cache.key(plain, 20, seed=9) == cache.key(numpied, 20, seed=9)
+
+    def test_key_stable_in_fresh_subprocess(self, tmp_path, dos_scenario):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        snippet = (
+            "from repro.adversary import AttackSpec\n"
+            "from repro.sim import ResultCache, Scenario\n"
+            "scenario = Scenario(\n"
+            "    protocol='drum', n=40, malicious_fraction=0.1,\n"
+            "    attack=AttackSpec(alpha=0.25, x=64.0), max_rounds=200,\n"
+            "    faults='crash@5:0.1;partition@8-15:0.4',\n"
+            ")\n"
+            "print(ResultCache('unused').key(scenario, 50, seed=9))\n"
+        )
+        src = Path(__file__).parent.parent / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, cwd=tmp_path,
+            env={**os.environ, "PYTHONPATH": str(src)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        scenario = Scenario(
+            protocol="drum", n=40, malicious_fraction=0.1,
+            attack=AttackSpec(alpha=0.25, x=64.0), max_rounds=200,
+            faults="crash@5:0.1;partition@8-15:0.4",
+        )
+        here = ResultCache("unused").key(scenario, 50, seed=9)
+        assert proc.stdout.strip() == here
+
+    def test_uncanonicalisable_scenario_is_uncacheable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = Scenario(protocol="drum", n=40)
+        sneaky = scenario.with_(n=40)
+        object.__setattr__(sneaky, "n", object())  # resists encoding
+        assert cache.key(scenario, 10, seed=1) is not None
+        assert cache.key(sneaky, 10, seed=1) is None
+
+
+class TestPoisonedEntries:
+    def test_float_dtype_counts_recompute(self, tmp_path, dos_scenario):
+        # A poisoned entry with float counts must be rejected, not
+        # silently returned as a count matrix.
+        cache = ResultCache(tmp_path)
+        cold = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        key = cache.key(dos_scenario, 20, seed=9)
+        np.savez_compressed(
+            cache.path_for(key),
+            counts=np.asarray(cold.counts, dtype=np.float64),
+            counts_attacked=cold.counts_attacked,
+            counts_non_attacked=cold.counts_non_attacked,
+        )
+        assert cache.load(key, dos_scenario) is None
+        recomputed = monte_carlo(dos_scenario, runs=20, seed=9, cache=cache)
+        assert recomputed.counts.dtype.kind in "iu"
+        assert np.array_equal(cold.counts, recomputed.counts)
+
+    def test_bad_reachable_holders_recompute(self, tmp_path):
+        scenario = Scenario(
+            protocol="drum", n=40, faults="crash@3:0.2", max_rounds=100
+        )
+        cache = ResultCache(tmp_path)
+        cold = monte_carlo(scenario, runs=10, seed=4, cache=cache)
+        key = cache.key(scenario, 10, seed=4)
+        with np.load(cache.path_for(key)) as entry:
+            arrays = dict(entry)
+        arrays["reachable_holders"] = arrays["reachable_holders"].astype(
+            np.float64
+        )
+        np.savez_compressed(cache.path_for(key), **arrays)
+        assert cache.load(key, scenario) is None
+        recomputed = monte_carlo(scenario, runs=10, seed=4, cache=cache)
+        assert np.array_equal(cold.counts, recomputed.counts)

@@ -63,3 +63,44 @@ class TestBudgetSweep:
         report = budget_sweep(["drum"], [0.5], n=50, runs=10, seed=8)
         clone = SeriesReport.from_json(report.to_json())
         assert clone.series == report.series
+
+
+class TestGridGuards:
+    """The v2 grid runner crashed with IndexError on an empty protocol
+    list and silently mis-sliced ragged grids; both now fail loudly."""
+
+    def test_empty_protocols_rejected(self):
+        for sweep in (rate_sweep, extent_sweep, budget_sweep):
+            with pytest.raises(ValueError, match="non-empty"):
+                sweep([], [0.1], n=50, runs=10, seed=1)
+
+    def test_row_count_mismatch_rejected(self):
+        from repro.metrics.report import SeriesReport
+        from repro.sim.sweeps import _sweep_grid
+        from repro.sweep.grid import rate_grid
+
+        report, rows = rate_grid(["drum", "push"], [0.0], n=50, seed=1)
+        with pytest.raises(ValueError, match="one row per protocol"):
+            _sweep_grid(report, ["drum", "push"], rows[:1], workers=1)
+
+    def test_ragged_grid_rejected(self):
+        from repro.metrics.report import SeriesReport
+        from repro.sim.sweeps import _sweep_grid
+        from repro.sweep.grid import rate_grid
+
+        report, rows = rate_grid(
+            ["drum", "push"], [0.0, 16.0], n=50, seed=1
+        )
+        rows[1] = rows[1][:1]  # one series shorter than the x-axis
+        with pytest.raises(ValueError, match="ragged"):
+            _sweep_grid(report, ["drum", "push"], rows, workers=1)
+
+    def test_resumable_sweep_through_store(self, tmp_path):
+        first = rate_sweep(
+            ["drum"], [0, 16], n=40, runs=10, seed=2, store=tmp_path
+        )
+        again = rate_sweep(
+            ["drum"], [0, 16], n=40, runs=10, seed=2, store=tmp_path
+        )
+        assert again.to_json() == first.to_json()
+        assert (tmp_path / "manifests" / "rate_sweep.json").exists()
