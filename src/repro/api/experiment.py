@@ -24,7 +24,7 @@ from repro.adversary.attacks import AttackSpec
 from repro.faults.plan import FaultPlan
 
 #: Engines ``Experiment.run`` accepts.
-ENGINES = ("exact", "fast", "des", "live")
+ENGINES = ("exact", "fast", "mega", "des", "live")
 
 
 @dataclass(frozen=True)
@@ -139,6 +139,9 @@ class Experiment:
           :class:`~repro.sim.results.MonteCarloResult` over ``runs``
           object-level runs;
         - ``"fast"``: a :class:`~repro.sim.results.MonteCarloResult`;
+        - ``"mega"``: a :class:`~repro.sim.mega.MegaResult` from the
+          packed-bitset engine — same aggregate metrics, built for
+          group sizes the dense engines cannot hold (n up to 10⁶);
         - ``"des"``: a :class:`~repro.des.measurement.MeasurementResult`
           from one streamed throughput experiment;
         - ``"live"``: a :class:`~repro.des.measurement.MeasurementResult`
@@ -162,11 +165,11 @@ class Experiment:
                 self.scenario(), self.runs, seed=seed, engine="exact",
                 workers=workers, tracer=tracer,
             )
-        if engine == "fast":
+        if engine in ("fast", "mega"):
             from repro.sim.runner import monte_carlo
 
             return monte_carlo(
-                self.scenario(), self.runs, seed=seed, engine="fast",
+                self.scenario(), self.runs, seed=seed, engine=engine,
                 workers=workers, tracer=tracer,
             )
         if engine == "des":

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 
 from repro.des.measurement import MeasurementResult
+from repro.sim.mega import MegaResult
 from repro.sim.results import (
     SCHEMA,
     SCHEMA_VERSION,
@@ -35,6 +36,7 @@ from repro.sim.results import (
 KINDS = {
     "run": RunResult,
     "monte_carlo": MonteCarloResult,
+    "mega": MegaResult,
     "measurement": MeasurementResult,
 }
 

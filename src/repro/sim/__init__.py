@@ -18,6 +18,7 @@ from repro.sim.scenario import Scenario
 from repro.sim.results import MonteCarloResult, RunResult
 from repro.sim.engine import RoundSimulator, run_exact
 from repro.sim.fast import run_fast
+from repro.sim.mega import MegaResult, run_mega
 from repro.sim.parallel import (
     ResultCache,
     default_workers,
@@ -28,6 +29,7 @@ from repro.sim.runner import default_runs, monte_carlo
 from repro.sim.sweeps import budget_sweep, extent_sweep, rate_sweep
 
 __all__ = [
+    "MegaResult",
     "MonteCarloResult",
     "ResultCache",
     "RoundSimulator",
@@ -42,5 +44,6 @@ __all__ = [
     "rate_sweep",
     "run_exact",
     "run_fast",
+    "run_mega",
     "run_sharded",
 ]

@@ -38,6 +38,14 @@ from repro.sim.scenario import Scenario
 from repro.util import derive_rng
 from repro.util.rng import SeedLike
 
+#: Largest group size the dense layout accepts.  The engine stacks runs
+#: into (runs, n) state and (runs, senders, F) view matrices; past this
+#: point one 64-run shard's per-round draws alone run to hundreds of MB
+#: and the next power of ten would try multi-GB allocations.  Larger
+#: groups belong on the packed engine (``engine="mega"``), which holds
+#: per-node state in bitmaps and streams the node axis.
+FAST_MAX_N = 100_000
+
 
 def _draw_views(
     rng: np.random.Generator, runs: int, senders: np.ndarray, n: int, v: int
@@ -145,6 +153,14 @@ def run_fast(
     """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
+    if scenario.n > FAST_MAX_N:
+        raise ValueError(
+            f"n={scenario.n} exceeds the fast engine's dense-layout limit "
+            f"of {FAST_MAX_N}: its per-round view matrices would need "
+            f"multi-GB allocations at this size; run mega-scale groups "
+            f'with engine="mega" (repro.sim.mega), which packs per-node '
+            f"state into bitmaps and streams the node axis"
+        )
     rng = derive_rng(seed)
     n = scenario.n
     cfg = scenario.protocol_config()

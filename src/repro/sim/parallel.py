@@ -299,8 +299,24 @@ def run_sharded(
             (row[None, :], att[None, :], non[None, :], holders)
             for row, att, non, holders, _events in per_run
         ]
+    elif engine == "mega":
+        # The packed engine owns its own run fan-out (one run per task,
+        # node axis streamed in shards) and result type; delegate whole.
+        # Imported lazily: mega imports this module's seed plumbing.
+        from repro.sim.mega import run_mega
+
+        return run_mega(
+            scenario,
+            runs,
+            seed=seed,
+            horizon=horizon,
+            workers=workers,
+            tracer=tracer,
+        )
     else:
-        raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'exact'")
+        raise ValueError(
+            f"unknown engine {engine!r}; use 'fast', 'exact', or 'mega'"
+        )
 
     width = max(counts.shape[1] for counts, _, _, _ in triples)
     if horizon is not None:
@@ -332,7 +348,12 @@ def run_sharded(
 #: (attack/fault dataclasses flattened by ``dataclasses.asdict``, numpy
 #: scalars), and ``repr`` output is not stable across processes or
 #: numpy versions, so keys could silently change and permanently miss.
-CACHE_VERSION = 3
+#: v4: the packed ``mega`` engine joins the cache (entries may carry a
+#: ``mega_meta`` side-car and deserialise to ``MegaResult``), and
+#: scenarios normalise integer-like numpy values for ``n``/``fan_out``/
+#: ``max_rounds`` to built-in ints, which changes the canonical token
+#: of any grid that previously smuggled numpy scalars through.
+CACHE_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -400,6 +421,11 @@ class ResultCache:
                     if "reachable_holders" in data.files
                     else None
                 )
+                mega_meta = (
+                    np.asarray(data["mega_meta"])
+                    if "mega_meta" in data.files
+                    else None
+                )
         except Exception:
             # Missing, truncated, corrupted, or wrong-format entry:
             # behave exactly like a miss and let the caller recompute.
@@ -423,6 +449,24 @@ class ResultCache:
             or reachable_holders.dtype.kind not in "iu"
         ):
             return None
+        if mega_meta is not None:
+            # Self-describing packed-engine entry: the side-car records
+            # (shard_nodes, blocks, peak_state_bytes) and selects the
+            # MegaResult envelope kind on the way back out.
+            if mega_meta.shape != (3,) or mega_meta.dtype.kind not in "iu":
+                return None
+            from repro.sim.mega import MegaResult
+
+            return MegaResult(
+                scenario=scenario,
+                counts=counts,
+                counts_attacked=attacked,
+                counts_non_attacked=non_attacked,
+                reachable_holders=reachable_holders,
+                shard_nodes=int(mega_meta[0]),
+                blocks=int(mega_meta[1]),
+                peak_state_bytes=int(mega_meta[2]),
+            )
         return MonteCarloResult(
             scenario=scenario,
             counts=counts,
@@ -445,6 +489,8 @@ class ResultCache:
                     )
                     if result.reachable_holders is not None:
                         arrays["reachable_holders"] = result.reachable_holders
+                    if hasattr(result, "mega_meta"):
+                        arrays["mega_meta"] = result.mega_meta()
                     np.savez_compressed(handle, **arrays)
                 os.replace(tmp, self.path_for(key))
             except BaseException:

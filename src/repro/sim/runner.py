@@ -80,8 +80,10 @@ def monte_carlo(
     """
     if runs is None:
         runs = default_runs()
-    if engine not in ("fast", "exact"):
-        raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'exact'")
+    if engine not in ("fast", "exact", "mega"):
+        raise ValueError(
+            f"unknown engine {engine!r}; use 'fast', 'exact', or 'mega'"
+        )
     workers = default_workers() if workers is None else check_workers(workers)
 
     cache = as_cache(cache) if tracer is None else None

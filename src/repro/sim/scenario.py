@@ -22,7 +22,7 @@ from typing import List, Optional, Union
 from repro.adversary.attacks import AttackSpec
 from repro.core.config import ProtocolConfig, ProtocolKind
 from repro.faults.plan import FaultPlan
-from repro.util import check_fraction, check_probability
+from repro.util import check_fraction, check_probability, coerce_int
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,15 @@ class Scenario:
     def __post_init__(self) -> None:
         if isinstance(self.protocol, str):
             object.__setattr__(self, "protocol", ProtocolKind(self.protocol))
+        # Integer-like inputs (numpy scalars from np.logspace grids,
+        # exact-valued floats) normalise to built-in ints so engines get
+        # valid array shapes and the strict canonical cache-key encoder
+        # sees the same token however the number was produced.
+        object.__setattr__(self, "n", coerce_int("n", self.n))
+        object.__setattr__(self, "fan_out", coerce_int("fan_out", self.fan_out))
+        object.__setattr__(
+            self, "max_rounds", coerce_int("max_rounds", self.max_rounds)
+        )
         if self.n < 2:
             raise ValueError(f"n must be >= 2, got {self.n}")
         if self.fan_out < 1:

@@ -31,7 +31,13 @@ benchmark harness (``benchmarks/_common.py``) shares one store across
 figures so common points compute once, ever.
 """
 
-from repro.sweep.grid import Cell, budget_grid, extent_grid, rate_grid
+from repro.sweep.grid import (
+    Cell,
+    budget_grid,
+    extent_grid,
+    rate_grid,
+    scale_grid,
+)
 from repro.sweep.orchestrator import CellOutcome, SweepResult, SweepRunner
 from repro.sweep.store import ResultStore, as_store
 
@@ -45,4 +51,5 @@ __all__ = [
     "budget_grid",
     "extent_grid",
     "rate_grid",
+    "scale_grid",
 ]

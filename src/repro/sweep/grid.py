@@ -31,7 +31,7 @@ from repro.adversary.attacks import AttackSpec
 from repro.core.config import ProtocolKind
 from repro.metrics.report import SeriesReport
 from repro.sim.scenario import Scenario
-from repro.util import spawn_seeds
+from repro.util import coerce_int, spawn_seeds
 from repro.util.rng import SeedLike
 
 ProtocolName = Union[str, ProtocolKind]
@@ -76,9 +76,10 @@ class Cell:
                 raise TypeError(
                     f"scenario must be a Scenario, got {self.scenario!r}"
                 )
-            if self.engine not in ("fast", "exact"):
+            if self.engine not in ("fast", "exact", "mega"):
                 raise ValueError(
-                    f"unknown engine {self.engine!r}; use 'fast' or 'exact'"
+                    f"unknown engine {self.engine!r}; "
+                    "use 'fast', 'exact', or 'mega'"
                 )
             if self.metric not in MONTE_CARLO_METRICS:
                 raise ValueError(
@@ -161,6 +162,7 @@ def rate_grid(
     metric: str = "mean_rounds",
 ) -> Tuple[SeriesReport, GridRows]:
     """Figure 3(a)'s grid: propagation time vs per-victim rate ``x``."""
+    n = coerce_int("n", n)
     report = SeriesReport(
         name="rate_sweep",
         x_label="x (fabricated msgs/victim/round)",
@@ -194,6 +196,7 @@ def extent_grid(
     metric: str = "mean_rounds",
 ) -> Tuple[SeriesReport, GridRows]:
     """Figure 3(b)'s grid: propagation time vs attack extent ``α``."""
+    n = coerce_int("n", n)
     report = SeriesReport(
         name="extent_sweep",
         x_label="alpha (fraction of processes attacked)",
@@ -228,6 +231,7 @@ def budget_grid(
 ) -> Tuple[SeriesReport, GridRows]:
     """Figures 7–8's grid: a fixed budget ``B = budget_per_process · n``
     split over each extent in ``alphas``."""
+    n = coerce_int("n", n)
     report = SeriesReport(
         name="budget_sweep",
         x_label="alpha (fraction of processes attacked)",
@@ -247,3 +251,60 @@ def budget_grid(
         n=n,
     )
     return report, _protocol_rows(protocols, seed, factory)
+
+
+def scale_grid(
+    protocols: Sequence[ProtocolName],
+    ns: Sequence[int],
+    *,
+    budget_per_node: float = 8.0,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 600,
+    engine: str = "mega",
+    metric: str = "mean_rounds",
+) -> Tuple[SeriesReport, GridRows]:
+    """The Section 6 asymptotics grid: propagation time vs group size.
+
+    Unlike the other sweep shapes, the x-axis is ``n`` itself, and the
+    attack is a *single-victim targeted* one: the adversary concentrates
+    its whole budget ``B = budget_per_node · n`` on the source
+    (``α = 1/n``).  That is the regime of the paper's asymptotic
+    analysis — Drum keeps pushing M outward and propagates in O(log n)
+    rounds however hard the source is hit, while pull must wait for the
+    source to win a pull-request slot against the flood, which takes
+    Θ(n) expected rounds.  ``ns`` accepts integer-like numpy values
+    (``np.logspace`` output included) so log-spaced mega-scale grids
+    stay cacheable.
+    """
+    ns = [coerce_int("n", value) for value in ns]
+    report = SeriesReport(
+        name="scale_sweep",
+        x_label="n (group size)",
+        x_values=[float(value) for value in ns],
+        metadata={"budget_per_node": budget_per_node},
+    )
+    seeds = spawn_seeds(seed, len(protocols))
+    rows: GridRows = []
+    for protocol, proto_seed in zip(protocols, seeds):
+        row = []
+        for n in ns:
+            scenario = Scenario(
+                protocol=protocol,
+                n=n,
+                attack=AttackSpec(alpha=1.0 / n, x=budget_per_node * n),
+                max_rounds=max_rounds,
+            )
+            row.append(
+                Cell(
+                    series=str(ProtocolKind(protocol).value),
+                    x=float(n),
+                    scenario=scenario,
+                    runs=runs,
+                    seed=proto_seed,
+                    engine=engine,
+                    metric=metric,
+                )
+            )
+        rows.append(row)
+    return report, rows

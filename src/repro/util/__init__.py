@@ -8,6 +8,7 @@ from repro.util.validation import (
     check_non_negative,
     check_positive,
     check_probability,
+    coerce_int,
 )
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "check_non_negative",
     "check_positive",
     "check_probability",
+    "coerce_int",
     "derive_rng",
     "spawn_seeds",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from numbers import Real
+from numbers import Integral, Real
 
 
 def check_positive(name: str, value: Real) -> None:
@@ -29,3 +29,26 @@ def check_fraction(name: str, value: Real, *, allow_zero: bool = False) -> None:
     if not (low_ok and value <= 1.0):
         bound = "[0, 1]" if allow_zero else "(0, 1]"
         raise ValueError(f"{name} must be in {bound}, got {value!r}")
+
+
+def coerce_int(name: str, value) -> int:
+    """``value`` as an exact built-in ``int``, or ``ValueError``.
+
+    Accepts any :class:`numbers.Integral` (``int``, numpy integer
+    scalars) and any real number whose value is exactly integral —
+    ``np.float64(1000.0)`` from ``np.logspace`` counts, ``1000.5`` does
+    not.  Returning a built-in ``int`` keeps downstream consumers (array
+    shapes, the strict canonical cache-key encoder) type-stable no
+    matter how the caller produced the number.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Integral):
+        return int(value)
+    if isinstance(value, Real):
+        coerced = int(value)
+        if coerced == value:
+            return coerced
+    raise ValueError(f"{name} must be an integer, got {value!r}")

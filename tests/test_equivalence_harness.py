@@ -1,0 +1,300 @@
+"""Self-tests for the statistical-equivalence harness.
+
+The harness (:mod:`equivalence`) is itself test infrastructure, so it
+gets the treatment any measurement instrument needs before use:
+
+1. the hand-rolled special functions and test statistics are
+   cross-checked against scipy (which the engines themselves never
+   import — scipy is a *test-time* oracle only);
+2. each test demonstrably **rejects** a deliberately biased sampler —
+   an instrument that can't fail would make the equivalence gate
+   meaningless;
+3. seeded p-values are stable, so a green gate today is a green gate on
+   every rerun of the same commit.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import equivalence as eq
+from repro.adversary.attacks import AttackSpec
+from repro.sim.fast import run_fast
+from repro.sim.scenario import Scenario
+
+scipy_stats = pytest.importorskip(
+    "scipy.stats", reason="scipy is the cross-check oracle for this module"
+)
+
+
+# ---------------------------------------------------------------------------
+# special functions vs scipy
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("df", [1, 2, 5, 10, 37, 120])
+@pytest.mark.parametrize("x", [0.1, 1.0, 4.2, 17.0, 80.0, 250.0])
+def test_chi2_sf_matches_scipy(df, x):
+    assert eq.chi2_sf(x, df) == pytest.approx(
+        scipy_stats.chi2.sf(x, df), rel=1e-10, abs=1e-14
+    )
+
+
+def test_chi2_sf_edges():
+    assert eq.chi2_sf(0.0, 3) == 1.0
+    assert eq.chi2_sf(-1.0, 3) == 1.0
+    assert eq.chi2_sf(1e4, 3) == pytest.approx(0.0, abs=1e-12)
+    with pytest.raises(ValueError):
+        eq.chi2_sf(1.0, 0)
+
+
+def test_kolmogorov_sf_matches_scipy():
+    for t in (0.3, 0.5, 0.8, 1.0, 1.5, 2.0):
+        assert eq.kolmogorov_sf(t) == pytest.approx(
+            scipy_stats.kstwobign.sf(t), rel=1e-8, abs=1e-12
+        )
+    assert eq.kolmogorov_sf(0.0) == 1.0
+    assert eq.kolmogorov_sf(-1.0) == 1.0
+
+
+def test_ks_2samp_matches_scipy_asymptotic():
+    rng = np.random.default_rng(7)
+    a = rng.normal(size=300)
+    b = rng.normal(0.15, size=250)
+    stat, p = eq.ks_2samp(a, b)
+    ref = scipy_stats.ks_2samp(a, b, method="asymp")
+    assert stat == pytest.approx(ref.statistic, abs=1e-12)
+    # Same statistic, slightly different asymptotic tail formulas: scipy
+    # evaluates the raw Kolmogorov limit, the harness applies the small-
+    # sample en-correction.  They must agree to a few percent here.
+    assert p == pytest.approx(ref.pvalue, rel=0.15, abs=1e-4)
+
+
+def test_ks_2samp_rejects_empty():
+    with pytest.raises(ValueError):
+        eq.ks_2samp([], [1.0])
+
+
+def test_chi2_homogeneity_matches_scipy_contingency():
+    counts_a = np.array([40.0, 35.0, 20.0, 30.0, 12.0])
+    counts_b = np.array([30.0, 42.0, 25.0, 21.0, 18.0])
+    stat, p = eq.chi2_homogeneity(counts_a, counts_b, min_count=1.0)
+    ref = scipy_stats.chi2_contingency(
+        np.vstack([counts_a, counts_b]), correction=False
+    )
+    assert stat == pytest.approx(ref.statistic, rel=1e-12)
+    assert p == pytest.approx(ref.pvalue, rel=1e-10)
+
+
+def test_chi2_homogeneity_validation():
+    with pytest.raises(ValueError, match="align"):
+        eq.chi2_homogeneity([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError, match="non-negative"):
+        eq.chi2_homogeneity([1.0, -2.0], [1.0, 2.0])
+    with pytest.raises(ValueError, match="observation"):
+        eq.chi2_homogeneity([0.0, 0.0], [1.0, 2.0])
+    # One informative pooled bin: degenerate, never rejects.
+    assert eq.chi2_homogeneity([3.0, 2.0], [2.0, 3.0]) == (0.0, 1.0)
+
+
+def test_pool_bins_reaches_min_count_everywhere():
+    a = np.array([1.0, 1.0, 1.0, 50.0, 1.0, 1.0])
+    b = np.array([2.0, 1.0, 1.0, 40.0, 1.0, 1.0])
+    pa, pb = eq.pool_bins(a, b, min_count=10.0)
+    assert pa.sum() == a.sum() and pb.sum() == b.sum()
+    assert np.all(pa + pb >= 10.0)
+
+
+def test_wilson_ci_properties():
+    lo, hi = eq.wilson_ci(95, 100)
+    assert 0.0 <= lo < 0.95 < hi <= 1.0
+    # Wilson never quite reaches the boundary from degenerate counts,
+    # but must stay within it and hug it closely.
+    assert 0.0 <= eq.wilson_ci(0, 10)[0] < 0.01
+    assert 0.99 < eq.wilson_ci(10, 10)[1] <= 1.0
+    # Wider z, wider interval.
+    lo1, hi1 = eq.wilson_ci(50, 100, z=1.0)
+    lo3, hi3 = eq.wilson_ci(50, 100, z=3.0)
+    assert lo3 < lo1 and hi1 < hi3
+    with pytest.raises(ValueError):
+        eq.wilson_ci(1, 0)
+    with pytest.raises(ValueError):
+        eq.wilson_ci(11, 10)
+
+
+def test_wilson_ci_matches_closed_form():
+    successes, trials, z = 37, 120, 2.0
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = z * math.sqrt(
+        p * (1 - p) / trials + z * z / (4 * trials ** 2)
+    ) / denom
+    assert eq.wilson_ci(successes, trials, z=z) == pytest.approx(
+        (centre - half, centre + half)
+    )
+
+
+# ---------------------------------------------------------------------------
+# the instrument must reject a biased sampler
+# ---------------------------------------------------------------------------
+
+def _poisson_curves(rng, runs, rounds, centre, amplitude=40.0, jitter=1):
+    """Synthetic per-run infection curves: a wave centred on ``centre``
+    whose start round jitters per run (the cluster correlation the real
+    engines exhibit)."""
+    curves = np.zeros((runs, rounds), dtype=np.int64)
+    for r in range(runs):
+        shift = int(rng.integers(-jitter, jitter + 1))
+        wave = rng.poisson(
+            amplitude
+            * np.exp(-0.5 * (np.arange(rounds) - centre - shift) ** 2)
+        )
+        curves[r] = wave
+    return curves
+
+
+def test_curve_test_rejects_shifted_wave():
+    rng = np.random.default_rng(0)
+    honest = _poisson_curves(rng, 80, 30, centre=8.0)
+    biased = _poisson_curves(rng, 80, 30, centre=10.0)
+    stat, p = eq.curve_permutation_test(honest, biased, seed=1)
+    assert p <= 1.0 / (eq.DEFAULT_PERMUTATIONS + 1) + 1e-12
+    assert stat > 0
+
+
+def test_curve_test_accepts_identical_distribution():
+    rng = np.random.default_rng(3)
+    a = _poisson_curves(rng, 80, 30, centre=8.0)
+    b = _poisson_curves(rng, 80, 30, centre=8.0)
+    _, p = eq.curve_permutation_test(a, b, seed=1)
+    assert p > eq.DEFAULT_ALPHA
+
+
+def test_curve_test_pvalue_floor_and_determinism():
+    rng = np.random.default_rng(5)
+    a = _poisson_curves(rng, 40, 25, centre=6.0)
+    b = _poisson_curves(rng, 40, 25, centre=12.0)
+    stat1, p1 = eq.curve_permutation_test(a, b, permutations=99, seed=9)
+    stat2, p2 = eq.curve_permutation_test(a, b, permutations=99, seed=9)
+    assert (stat1, p1) == (stat2, p2)
+    assert p1 == pytest.approx(1.0 / 100.0)  # the floor, reached
+
+
+def test_curve_test_pads_unequal_widths():
+    rng = np.random.default_rng(11)
+    a = _poisson_curves(rng, 60, 30, centre=8.0)
+    b = _poisson_curves(rng, 60, 24, centre=8.0)[:, :24]
+    _, p = eq.curve_permutation_test(a, b, seed=2)
+    assert 0.0 < p <= 1.0
+
+
+def test_curve_test_validation():
+    with pytest.raises(ValueError, match="matrices"):
+        eq.curve_permutation_test(np.zeros(5), np.zeros((2, 5)))
+    with pytest.raises(ValueError, match="permutations"):
+        eq.curve_permutation_test(
+            np.zeros((2, 5)), np.zeros((2, 5)), permutations=0
+        )
+
+
+def test_ks_rejects_biased_sampler():
+    rng = np.random.default_rng(17)
+    honest = rng.poisson(9.0, size=200).astype(float)
+    biased = honest + 2.0
+    _, p = eq.ks_2samp(honest, biased)
+    assert p < eq.DEFAULT_ALPHA
+
+
+def test_naive_pooled_chi2_is_anticonservative_on_clustered_runs():
+    """Why the curve test is permutation-calibrated: pooling clustered
+    per-run curves and reading the nominal chi-square tail rejects even
+    identically distributed engines.  This pins the failure mode that
+    motivated :func:`equivalence.curve_permutation_test`."""
+    rng = np.random.default_rng(23)
+    a = _poisson_curves(rng, 80, 30, centre=8.0, amplitude=400.0, jitter=2)
+    b = _poisson_curves(rng, 80, 30, centre=8.0, amplitude=400.0, jitter=2)
+    _, p_naive = eq.chi2_homogeneity(a.sum(axis=0), b.sum(axis=0))
+    _, p_perm = eq.curve_permutation_test(a, b, seed=4)
+    assert p_naive < eq.DEFAULT_ALPHA  # the broken reading: false alarm
+    assert p_perm > eq.DEFAULT_ALPHA  # the calibrated reading: no alarm
+
+
+# ---------------------------------------------------------------------------
+# result plumbing and the combined report
+# ---------------------------------------------------------------------------
+
+def _small_result(protocol="drum", seed=0, runs=30):
+    scenario = Scenario(
+        protocol=protocol,
+        n=60,
+        malicious_fraction=0.1,
+        attack=AttackSpec(alpha=0.1, x=16.0),
+        max_rounds=120,
+    )
+    return run_fast(scenario, runs, seed=seed)
+
+
+def test_delivery_round_samples_censors_at_max_rounds():
+    result = _small_result()
+    samples = eq.delivery_round_samples(result)
+    assert samples.shape == (result.runs,)
+    assert not np.any(np.isnan(samples))
+    assert np.all(samples <= result.scenario.max_rounds)
+
+
+def test_per_run_curves_sum_to_final_coverage():
+    result = _small_result()
+    curves = eq.per_run_curves(result)
+    assert curves.shape[0] == result.runs
+    totals = curves.sum(axis=1) + result.counts[:, 0]
+    assert np.array_equal(totals, result.counts[:, -1])
+
+
+def test_new_infection_curve_pads_to_width():
+    result = _small_result()
+    native = result.counts.shape[1] - 1
+    curve = eq.new_infection_curve(result, native + 5)
+    assert curve.shape == (native + 5,)
+    assert np.all(curve[native:] == 0)
+
+
+def test_delivery_successes_counts_threshold_runs():
+    result = _small_result()
+    successes, trials = eq.delivery_successes(result)
+    assert trials == result.runs
+    assert 0 <= successes <= trials
+
+
+def test_compare_results_same_engine_passes():
+    report = eq.compare_results(
+        _small_result(seed=1), _small_result(seed=2)
+    )
+    assert report.passed
+    assert "PASS" in report.describe()
+
+
+def test_compare_results_seeded_pvalues_are_stable():
+    a, b = _small_result(seed=3), _small_result(seed=4)
+    assert eq.compare_results(a, b) == eq.compare_results(a, b)
+
+
+def test_compare_results_rejects_scenario_mismatch():
+    drum = _small_result("drum", seed=1)
+    pull = _small_result("pull", seed=1)
+    with pytest.raises(ValueError, match="different scenarios"):
+        eq.compare_results(drum, pull)
+
+
+def test_compare_results_fails_on_different_protocol_dynamics():
+    """Force two result sets from genuinely different dynamics through
+    the gate (by faking a matching scenario label) and the report must
+    say FAIL — the end-to-end biased-sampler check."""
+    import dataclasses
+
+    drum = _small_result("drum", seed=5, runs=60)
+    pull = _small_result("pull", seed=6, runs=60)
+    disguised = dataclasses.replace(pull, scenario=drum.scenario)
+    report = eq.compare_results(drum, disguised)
+    assert not report.passed
+    assert "FAIL" in report.describe()
