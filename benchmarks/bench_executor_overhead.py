@@ -1,0 +1,152 @@
+"""Benchmark and contract-check of the persistent zero-copy executor.
+
+Measures what the executor rework claims to have removed:
+
+- **pool spawns** — the whole Figure 3(a) sweep must fork exactly one
+  ``ProcessPoolExecutor``, and a second sweep in the same process must
+  fork none (the pool is persistent);
+- **pickled result bytes** — zero ndarray bytes may travel back through
+  task-result pickles: shard arrays arrive via shared memory;
+- **per-task scheduling overhead** — the round-trip cost of a no-op
+  task on the warm pool (pure submit/collect overhead, no engine work);
+- **byte-identity** — two identical sweeps through the executor must
+  render byte-identical report JSON.
+
+With ``--check`` the three contracts above are *gates*: any violation
+exits non-zero (CI runs this with ``--reduced`` for a small grid).
+Every run appends its measurement to ``BENCH_executor.json`` at the
+repository root.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_executor_overhead.py --reduced --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.sim.executor import _noop, close_pool, get_pool, stats
+from repro.sim.parallel import default_workers
+from repro.sim.runner import default_runs
+from repro.sim.sweeps import rate_sweep
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_executor.json"
+
+PROTOCOLS = ["drum", "push", "pull"]
+
+
+def _sweep(rates, workers, sweep_kwargs):
+    report = rate_sweep(PROTOCOLS, rates, workers=workers, **sweep_kwargs)
+    return report.to_json()
+
+
+def _noop_overhead(workers: int, tasks: int = 200) -> float:
+    """Mean seconds per no-op task round-trip on the warm pool."""
+    pool = get_pool(workers)
+    pool.run_calls([(_noop, None)])  # ensure the executor is spawned
+    start = time.perf_counter()
+    pool.run_calls([(_noop, i) for i in range(tasks)])
+    return (time.perf_counter() - start) / tasks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="small grid and run count (CI smoke scale)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) if any executor contract is violated",
+    )
+    args = parser.parse_args(argv)
+
+    if args.reduced:
+        rates = [0, 64]
+        runs = default_runs(20)
+        n = 40
+    else:
+        rates = [0, 16, 32, 64, 128]
+        runs = default_runs(1000)
+        n = 120
+    workers = max(2, default_workers(4))
+    sweep_kwargs = dict(n=n, alpha=0.1, runs=runs, seed=30, max_rounds=400)
+
+    close_pool()
+    stats().reset()
+
+    start = time.perf_counter()
+    first = _sweep(rates, workers, sweep_kwargs)
+    first_s = time.perf_counter() - start
+    after_first = stats().snapshot()
+
+    start = time.perf_counter()
+    second = _sweep(rates, workers, sweep_kwargs)
+    second_s = time.perf_counter() - start
+    after_second = stats().snapshot()
+
+    overhead_s = _noop_overhead(workers)
+
+    checks = {
+        "one_pool_spawn_per_sweep": after_first["pool_spawns"] == 1,
+        "no_respawn_for_second_sweep": after_second["pool_spawns"] == 1,
+        "zero_pickled_result_array_bytes": (
+            after_second["result_array_bytes"] == 0
+        ),
+        "byte_identical_repeat": first == second,
+    }
+    tasks = after_second["tasks_completed"]
+    entry = {
+        "name": "executor_overhead",
+        "reduced": bool(args.reduced),
+        "protocols": PROTOCOLS,
+        "rates": rates,
+        "n": n,
+        "runs": runs,
+        "workers": workers,
+        "first_sweep_seconds": round(first_s, 3),
+        "second_sweep_seconds": round(second_s, 3),
+        "pool_spawns": after_second["pool_spawns"],
+        "pool_respawns": after_second["respawns"],
+        "tasks_scheduled": after_second["tasks_scheduled"],
+        "tasks_completed": tasks,
+        "pickled_result_array_bytes": after_second["result_array_bytes"],
+        "pickled_bytes_per_task": (
+            round(after_second["result_array_bytes"] / tasks, 1) if tasks else 0
+        ),
+        "shm_result_bytes": after_second["shm_bytes"],
+        "noop_task_overhead_us": round(overhead_s * 1e6, 1),
+        "checks": checks,
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+    entries = []
+    if BENCH_PATH.exists():
+        try:
+            entries = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            entries = []
+    entries.append(entry)
+    BENCH_PATH.write_text(json.dumps(entries, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    close_pool()
+    if args.check and not all(checks.values()):
+        failed = sorted(name for name, ok in checks.items() if not ok)
+        print(f"ERROR: executor contract(s) violated: {failed}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

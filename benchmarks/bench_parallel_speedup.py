@@ -26,6 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+from repro.sim.executor import stats
 from repro.sim.parallel import default_workers
 from repro.sim.runner import default_runs
 from repro.sim.sweeps import rate_sweep
@@ -45,9 +46,12 @@ def main() -> int:
     serial = rate_sweep(PROTOCOLS, RATES, workers=1, **sweep_kwargs)
     serial_s = time.perf_counter() - start
 
+    stats().reset()
     start = time.perf_counter()
     parallel = rate_sweep(PROTOCOLS, RATES, workers=workers, **sweep_kwargs)
     parallel_s = time.perf_counter() - start
+    executor = stats().snapshot()
+    tasks = executor["tasks_completed"]
 
     identical = serial.to_json() == parallel.to_json()
     entry = {
@@ -61,6 +65,13 @@ def main() -> int:
         "parallel_seconds": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3),
         "byte_identical": identical,
+        "tasks_scheduled": executor["tasks_scheduled"],
+        "mean_task_seconds": (
+            round(parallel_s / tasks, 6) if tasks else None
+        ),
+        "pickled_result_array_bytes": executor["result_array_bytes"],
+        "shm_result_bytes": executor["shm_bytes"],
+        "pool_spawns": executor["pool_spawns"],
         "cpu_count": os.cpu_count(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }

@@ -149,10 +149,14 @@ class Experiment:
           messages at :attr:`send_rate` (wall-clock: takes
           ``messages / send_rate`` seconds plus drain time).
 
-        ``tracer`` (a :class:`repro.obs.Tracer`) attaches the unified
-        observability layer on every engine; pass
-        ``Tracer(..., thread_safe=True)`` for ``"live"``.  Every result
-        class exposes the same versioned ``to_dict()`` envelope.
+        ``workers`` fans Monte-Carlo shards over the process-wide
+        persistent pool (:mod:`repro.sim.executor`) — spawned on first
+        use, reused by every subsequent ``run`` — and never changes
+        values, only wall-clock.  ``tracer`` (a
+        :class:`repro.obs.Tracer`) attaches the unified observability
+        layer on every engine; pass ``Tracer(..., thread_safe=True)``
+        for ``"live"``.  Every result class exposes the same versioned
+        ``to_dict()`` envelope.
         """
         if engine == "exact":
             if self.runs is None:

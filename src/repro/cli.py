@@ -449,8 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--max-rounds", type=int, default=400)
     p_sim.add_argument(
         "--workers", type=int, default=None,
-        help="process-pool workers for the run fan-out (default: "
-             "REPRO_WORKERS or 1; results are identical for any count)",
+        help="workers on the persistent process pool for the run "
+             "fan-out (default: REPRO_WORKERS or 1; results are "
+             "identical for any count; REPRO_START_METHOD picks "
+             "fork/spawn/forkserver)",
     )
     _add_profile(p_sim, "one seeded exact-engine pass")
     _add_trace(p_sim)
@@ -516,8 +518,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--max-rounds", type=int, default=400)
     p_sweep.add_argument(
         "--workers", type=int, default=None,
-        help="process-pool workers for the cell fan-out (default: "
-             "REPRO_WORKERS or 1; results are identical for any count)",
+        help="workers on the persistent process pool draining the "
+             "global (cell, shard) work queue (default: REPRO_WORKERS "
+             "or 1; results are identical for any count; "
+             "REPRO_START_METHOD picks fork/spawn/forkserver)",
     )
     p_sweep.add_argument(
         "--store", default=None, metavar="DIR",

@@ -52,6 +52,12 @@ class ObsCounters:
         #: sweep-orchestrator cells: engine runs vs cache-served cells.
         self.sweep_cells_computed = 0
         self.sweep_cache_hits = 0
+        #: result-cache consultations (npz + envelope tiers), by outcome.
+        #: ``cache_corrupt`` counts entries that existed but failed to
+        #: decode/validate — the silent-fallback case made observable.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_corrupt = 0
 
     def ingest(self, event: dict) -> None:
         """Fold one event into the counters."""
@@ -103,6 +109,12 @@ class ObsCounters:
             self.partitions += 1
         elif ev == "cell_cache_hit":
             self.sweep_cache_hits += 1
+        elif ev == "cache_hit":
+            self.cache_hits += 1
+        elif ev == "cache_miss":
+            self.cache_misses += 1
+        elif ev == "cache_corrupt":
+            self.cache_corrupt += 1
         elif ev == "cell_finish":
             if not event.get("cached", False):
                 self.sweep_cells_computed += 1
@@ -280,6 +292,17 @@ class ObsCounters:
                 ('{source="cache"}', float(self.sweep_cache_hits)),
             ]
             if (self.sweep_cells_computed or self.sweep_cache_hits)
+            else [],
+        )
+        family(
+            "repro_result_cache_total",
+            "Result-cache consultations, by outcome.",
+            [
+                ('{status="hit"}', float(self.cache_hits)),
+                ('{status="miss"}', float(self.cache_misses)),
+                ('{status="corrupt"}', float(self.cache_corrupt)),
+            ]
+            if (self.cache_hits or self.cache_misses or self.cache_corrupt)
             else [],
         )
         return "\n".join(lines) + ("\n" if lines else "")

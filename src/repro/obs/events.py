@@ -47,6 +47,13 @@ continuous-time stacks.  Remaining keys by type:
     The cell was served without an engine run: ``index`` plus
     ``source`` (``"store"`` — content-addressed hit — or
     ``"manifest"`` — trusted done entry from a prior sweep).
+``cache_hit`` / ``cache_miss`` / ``cache_corrupt``
+    One result-cache consultation (:class:`repro.sim.parallel
+    .ResultCache` npz tier or the :class:`repro.sweep.store.ResultStore`
+    envelope tier): ``key`` (the content-address) and ``tier`` (``"npz"``
+    / ``"envelope"``).  ``cache_corrupt`` is the case that used to be
+    silent — an entry exists but failed to decode or validate, and the
+    caller fell back to recomputation.
 
 Sharded Monte-Carlo execution annotates re-emitted events with
 ``shard`` (fast engine) or ``run`` (exact engine) indices; the
@@ -73,6 +80,9 @@ EV_SWEEP_END = "sweep_end"
 EV_CELL_START = "cell_start"
 EV_CELL_CACHE_HIT = "cell_cache_hit"
 EV_CELL_FINISH = "cell_finish"
+EV_CACHE_HIT = "cache_hit"
+EV_CACHE_MISS = "cache_miss"
+EV_CACHE_CORRUPT = "cache_corrupt"
 
 #: Every event type a conforming tracer consumer must accept.
 EVENT_TYPES = frozenset(
@@ -94,6 +104,9 @@ EVENT_TYPES = frozenset(
         EV_CELL_START,
         EV_CELL_CACHE_HIT,
         EV_CELL_FINISH,
+        EV_CACHE_HIT,
+        EV_CACHE_MISS,
+        EV_CACHE_CORRUPT,
     }
 )
 

@@ -236,3 +236,20 @@ class Tracer:
                 extra,
             )
         )
+
+    def cache_hit(self, *, key: str, tier: str, **extra) -> None:
+        self.emit(
+            self._ctx({"ev": "cache_hit", "key": key, "tier": tier}, extra)
+        )
+
+    def cache_miss(self, *, key: str, tier: str, **extra) -> None:
+        self.emit(
+            self._ctx({"ev": "cache_miss", "key": key, "tier": tier}, extra)
+        )
+
+    def cache_corrupt(self, *, key: str, tier: str, **extra) -> None:
+        self.emit(
+            self._ctx(
+                {"ev": "cache_corrupt", "key": key, "tier": tier}, extra
+            )
+        )

@@ -12,6 +12,12 @@ Two engines share one :class:`~repro.sim.scenario.Scenario` description:
 
 :func:`repro.sim.runner.monte_carlo` dispatches between them and
 aggregates :class:`~repro.sim.results.MonteCarloResult` statistics.
+
+Parallel execution runs on the process-wide persistent worker pool
+(:mod:`repro.sim.executor`): workers are forked once and reused across
+every ``monte_carlo`` call and sweep cell, with shard results returned
+through shared memory instead of pickles.  :func:`close_pool` tears the
+pool down explicitly (it is also registered atexit).
 """
 
 from repro.sim.scenario import Scenario
@@ -19,6 +25,12 @@ from repro.sim.results import MonteCarloResult, RunResult
 from repro.sim.engine import RoundSimulator, run_exact
 from repro.sim.fast import run_fast
 from repro.sim.mega import MegaResult, run_mega
+from repro.sim.executor import (
+    WorkerPool,
+    close_pool,
+    pool_override,
+    stats as executor_stats,
+)
 from repro.sim.parallel import (
     ResultCache,
     default_workers,
@@ -35,12 +47,16 @@ __all__ = [
     "RoundSimulator",
     "RunResult",
     "Scenario",
+    "WorkerPool",
     "budget_sweep",
+    "close_pool",
     "default_runs",
     "default_workers",
+    "executor_stats",
     "extent_sweep",
     "monte_carlo",
     "parallel_map",
+    "pool_override",
     "rate_sweep",
     "run_exact",
     "run_fast",

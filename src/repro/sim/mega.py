@@ -704,6 +704,173 @@ def _mega_task(task):
     )
 
 
+def _mega_task_shm(task):
+    """One packed run on the zero-copy path: the trajectory lands in the
+    parent's shared-memory row, only ``(width, peak_bytes)`` pickles."""
+    scenario, seed, horizon, shard_nodes, descriptor, row = task
+    counts, attacked, reachable, peak = _run_one(
+        scenario, seed=seed, horizon=horizon, shard_nodes=shard_nodes
+    )
+    from repro.sim.executor import SharedArrays
+
+    shm, views = SharedArrays.attach(descriptor)
+    try:
+        k = counts.shape[0]
+        views["counts"][row, :k] = counts
+        views["counts"][row, k:] = counts[-1]
+        views["attacked"][row, :k] = attacked
+        views["attacked"][row, k:] = attacked[-1]
+        if reachable is not None:
+            views["holders"][row] = reachable
+        return (int(k), int(peak))
+    finally:
+        views = None
+        shm.close()
+
+
+class MegaJob:
+    """``runs`` packed runs as an executor job (one task per run).
+
+    Node-block shards stream *inside* each task; the run fan-out rides
+    the same persistent pool and zero-copy result path as the dense
+    engines (see :class:`repro.sim.parallel._DenseJob` for the two-path
+    contract).  ``runs == 1`` passes the caller's seed straight through,
+    mirroring the fast engine's single-shard behaviour.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        runs: int = 1,
+        *,
+        seed: SeedLike = None,
+        horizon: Optional[int] = None,
+        shard_nodes: Optional[int] = None,
+    ):
+        from repro.sim.parallel import child_seeds
+
+        if runs < 1:
+            raise ValueError(f"runs must be >= 1, got {runs}")
+        if shard_nodes is None:
+            shard_nodes = DEFAULT_SHARD_NODES
+        if isinstance(shard_nodes, bool) or not isinstance(
+            shard_nodes, (int, np.integer)
+        ) or shard_nodes < 1:
+            raise ValueError(
+                f"shard_nodes must be a positive integer, got {shard_nodes!r}"
+            )
+        # Shard boundaries must land on the atomic block grid —
+        # otherwise a block would straddle two shards and the per-block
+        # generators would collide.  Rounding up preserves the
+        # contract: any requested width maps to a block-aligned one,
+        # and *all* widths give identical results because draws are per
+        # block, never per shard.
+        self.shard_nodes = max(
+            MEGA_BLOCK_NODES,
+            ((int(shard_nodes) + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES)
+            * MEGA_BLOCK_NODES,
+        )
+        self.scenario = scenario
+        self.runs = int(runs)
+        self.horizon = horizon
+        self.has_holders = scenario.fault_schedule() is not None
+        self.width_cap = max(scenario.max_rounds, horizon or 0) + 1
+        self.blocks = (scenario.n + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES
+        self._seeds: List[SeedLike]
+        if self.runs == 1:
+            self._seeds = [seed]
+        else:
+            self._seeds = list(child_seeds(seed, self.runs))
+
+    # -- pickled-result path -------------------------------------------------
+
+    def pickle_calls(self, trace: bool):
+        return [
+            (
+                _mega_task,
+                (self.scenario, run_seed, self.horizon, self.shard_nodes,
+                 trace),
+            )
+            for run_seed in self._seeds
+        ]
+
+    def assemble_pickled(self, rows, tracer) -> "MegaResult":
+        if tracer is not None:
+            for run_ix, row in enumerate(rows):
+                for event in row[4]:
+                    event["run"] = run_ix
+                    tracer.emit(event)
+        width = max(row[0].shape[0] for row in rows)
+        if self.horizon is not None:
+            width = max(width, self.horizon + 1)
+        counts = np.zeros((self.runs, width), dtype=np.int32)
+        attacked = np.zeros((self.runs, width), dtype=np.int32)
+        for i, row in enumerate(rows):
+            k = row[0].shape[0]
+            counts[i, :k] = row[0]
+            counts[i, k:] = row[0][-1]
+            attacked[i, :k] = row[1]
+            attacked[i, k:] = row[1][-1]
+        reachable_holders = None
+        if all(row[2] is not None for row in rows):
+            reachable_holders = np.array(
+                [row[2] for row in rows], dtype=np.int32
+            )
+        return self._result(
+            counts, attacked, reachable_holders,
+            peak=max(row[3] for row in rows),
+        )
+
+    # -- zero-copy path ------------------------------------------------------
+
+    def layout(self):
+        spec = [
+            ("counts", (self.runs, self.width_cap), np.int32),
+            ("attacked", (self.runs, self.width_cap), np.int32),
+        ]
+        if self.has_holders:
+            spec.append(("holders", (self.runs,), np.int32))
+        return spec
+
+    def shm_calls(self, descriptor):
+        return [
+            (
+                _mega_task_shm,
+                (self.scenario, run_seed, self.horizon, self.shard_nodes,
+                 descriptor, row),
+            )
+            for row, run_seed in enumerate(self._seeds)
+        ]
+
+    def assemble_shm(self, shared, metas) -> "MegaResult":
+        width = max(meta[0] for meta in metas)
+        if self.horizon is not None:
+            width = max(width, self.horizon + 1)
+        views = shared.arrays()
+        counts = np.array(views["counts"][:, :width])
+        attacked = np.array(views["attacked"][:, :width])
+        reachable_holders = (
+            np.array(views["holders"]) if self.has_holders else None
+        )
+        views = None
+        return self._result(
+            counts, attacked, reachable_holders,
+            peak=max(meta[1] for meta in metas),
+        )
+
+    def _result(self, counts, attacked, reachable_holders, *, peak):
+        return MegaResult(
+            scenario=self.scenario,
+            counts=counts,
+            counts_attacked=attacked,
+            counts_non_attacked=counts - attacked,
+            reachable_holders=reachable_holders,
+            shard_nodes=self.shard_nodes,
+            blocks=self.blocks,
+            peak_state_bytes=peak,
+        )
+
+
 def run_mega(
     scenario: Scenario,
     runs: int = 1,
@@ -718,77 +885,17 @@ def run_mega(
 
     One child seed per run is derived positionally (``runs == 1`` passes
     the caller's seed straight through, mirroring the fast engine's
-    single-shard behaviour), runs fan out over ``workers`` pool
-    processes, and each run streams the node axis in ``shard_nodes``-wide
-    shards — the result is byte-identical for every ``workers`` *and*
-    every ``shard_nodes``.  ``tracer`` attaches aggregate per-round
-    events (run-ordered and worker-count invariant, like the fast
-    engine's sharded stream).
+    single-shard behaviour), runs fan out over ``workers`` persistent
+    pool processes with shared-memory result rows, and each run streams
+    the node axis in ``shard_nodes``-wide shards — the result is
+    byte-identical for every ``workers`` *and* every ``shard_nodes``.
+    ``tracer`` attaches aggregate per-round events (run-ordered and
+    worker-count invariant, like the fast engine's sharded stream).
     """
-    from repro.sim.parallel import check_workers, child_seeds, parallel_map
+    from repro.sim.parallel import check_workers, execute_job
 
-    if runs < 1:
-        raise ValueError(f"runs must be >= 1, got {runs}")
     workers = check_workers(workers)
-    if shard_nodes is None:
-        shard_nodes = DEFAULT_SHARD_NODES
-    if isinstance(shard_nodes, bool) or not isinstance(
-        shard_nodes, (int, np.integer)
-    ) or shard_nodes < 1:
-        raise ValueError(
-            f"shard_nodes must be a positive integer, got {shard_nodes!r}"
-        )
-    # Shard boundaries must land on the atomic block grid — otherwise a
-    # block would straddle two shards and the per-block generators would
-    # collide.  Rounding up preserves the contract: any requested width
-    # maps to a block-aligned one, and *all* widths give identical
-    # results because draws are per block, never per shard.
-    shard_nodes = max(
-        MEGA_BLOCK_NODES,
-        ((int(shard_nodes) + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES)
-        * MEGA_BLOCK_NODES,
+    job = MegaJob(
+        scenario, runs, seed=seed, horizon=horizon, shard_nodes=shard_nodes
     )
-    trace = tracer is not None
-
-    seeds: List[SeedLike]
-    if runs == 1:
-        seeds = [seed]
-    else:
-        seeds = list(child_seeds(seed, runs))
-    tasks = [
-        (scenario, run_seed, horizon, shard_nodes, trace)
-        for run_seed in seeds
-    ]
-    rows = parallel_map(_mega_task, tasks, workers=workers)
-    if trace:
-        for run_ix, row in enumerate(rows):
-            for event in row[4]:
-                event["run"] = run_ix
-                tracer.emit(event)
-
-    width = max(row[0].shape[0] for row in rows)
-    if horizon is not None:
-        width = max(width, horizon + 1)
-    counts = np.zeros((runs, width), dtype=np.int32)
-    attacked = np.zeros((runs, width), dtype=np.int32)
-    for i, row in enumerate(rows):
-        k = row[0].shape[0]
-        counts[i, :k] = row[0]
-        counts[i, k:] = row[0][-1]
-        attacked[i, :k] = row[1]
-        attacked[i, k:] = row[1][-1]
-    reachable_holders = None
-    if all(row[2] is not None for row in rows):
-        reachable_holders = np.array(
-            [row[2] for row in rows], dtype=np.int32
-        )
-    return MegaResult(
-        scenario=scenario,
-        counts=counts,
-        counts_attacked=attacked,
-        counts_non_attacked=counts - attacked,
-        reachable_holders=reachable_holders,
-        shard_nodes=shard_nodes,
-        blocks=(scenario.n + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES,
-        peak_state_bytes=max(row[3] for row in rows),
-    )
+    return execute_job(job, workers=workers, tracer=tracer)

@@ -1,8 +1,8 @@
 """Parallel, deterministic Monte-Carlo execution.
 
-This module shards Monte-Carlo work across a process pool while keeping
-every result a pure function of the root seed, *independent of the
-worker count*:
+This module shards Monte-Carlo work across the process-wide persistent
+pool (:mod:`repro.sim.executor`) while keeping every result a pure
+function of the root seed, *independent of the worker count*:
 
 - the run fan-out of :func:`~repro.sim.runner.monte_carlo` is split into
   shards whose layout and seeds depend only on ``(runs, seed)`` — never
@@ -12,30 +12,55 @@ worker count*:
   cell's seed in the parent and only *schedule* cells on the pool, so
   sweep reports are byte-identical JSON for any worker count.
 
+Execution is organised as **jobs** (:func:`make_job` /
+:func:`execute_job`): a job knows its deterministic shard layout up
+front, which is what enables the zero-copy result path — the parent
+preallocates one shared-memory segment shaped by that layout
+(:class:`~repro.sim.executor.SharedArrays`), each worker writes its
+shard's trajectory rows directly into its slice (padded with each row's
+final value, exactly the :func:`_stack_padded` rule), and the parent
+assembles the result without any array travelling through a pickle.
+Traced runs, serial runs, and platforms without shared memory fall back
+to the historical pickled-shard path; both paths assemble positionally
+and are byte-identical.
+
 The worker count defaults to the ``REPRO_WORKERS`` environment variable
 (validated exactly like ``REPRO_RUNS``; fallback 1 = serial in-process).
+The pool's start method honours ``REPRO_START_METHOD`` — see
+:func:`repro.sim.executor.start_method`.
 
 :class:`ResultCache` adds an on-disk memo keyed by ``(scenario, runs,
 seed, engine, horizon)`` so benchmark figures that share sweep points
 (e.g. the rate-0 baseline reused across Figures 2, 3, and 7) compute
-each point once.  Cache reads are best-effort: a missing, corrupted, or
-partially-written entry silently falls back to recomputation.
+each point once.  Decoded entries are additionally held in a
+process-wide LRU (validated against the file's stat signature), so the
+figures sharing a point decode its npz once per process rather than
+once per figure.  Cache reads are best-effort — a missing, corrupted,
+or partially-written entry falls back to recomputation — but no longer
+*silently*: :meth:`ResultCache.load_ex` distinguishes ``hit`` /
+``miss`` / ``corrupt``, and a ``tracer`` turns those into
+``cache_hit`` / ``cache_miss`` / ``cache_corrupt`` events.
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.sim.engine import run_exact
+from repro.sim.executor import (
+    SharedArrays,
+    get_pool,
+    mp_context,
+    try_shared,
+)
 from repro.sim.fast import run_fast
 from repro.sim.results import MonteCarloResult
 from repro.sim.scenario import Scenario
@@ -80,27 +105,30 @@ def default_workers(fallback: int = 1) -> int:
 
 
 def _mp_context():
-    # fork is far cheaper than spawn and available everywhere we support
-    # parallelism; fall back to the platform default elsewhere.
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    """The pool's multiprocessing context (kept as the historical name).
+
+    Delegates to :func:`repro.sim.executor.mp_context`: ``fork`` where
+    available and safe (no live non-daemon threads), overridable via
+    ``REPRO_START_METHOD``.
+    """
+    return mp_context()
 
 
 def parallel_map(fn: Callable, tasks: Sequence, workers: int = 1) -> List:
-    """``[fn(t) for t in tasks]``, optionally across a process pool.
+    """``[fn(t) for t in tasks]``, optionally across the persistent pool.
 
     Output order always matches input order, so callers see identical
     results for any ``workers``; with one task (or one worker) the work
-    runs serially in-process.
+    runs serially in-process.  Parallel calls ride the process-wide
+    :class:`~repro.sim.executor.WorkerPool` — the pool is forked once
+    and reused, not per call.
     """
     tasks = list(tasks)
     workers = check_workers(workers)
     if workers <= 1 or len(tasks) <= 1:
         return [fn(task) for task in tasks]
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)), mp_context=_mp_context()
-    ) as pool:
-        return list(pool.map(fn, tasks))
+    pool = get_pool(min(workers, len(tasks)))
+    return pool.run_calls([(fn, task) for task in tasks])
 
 
 # ---------------------------------------------------------------------------
@@ -212,6 +240,71 @@ def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optiona
     return out
 
 
+def _write_rows(dest: np.ndarray, row0: int, block: np.ndarray) -> None:
+    """Write a 2-D trajectory block into ``dest`` starting at ``row0``,
+    padding each row's tail columns with that row's final value (the
+    :func:`_stack_padded` rule, applied at write time)."""
+    rows, cols = block.shape
+    dest[row0:row0 + rows, :cols] = block
+    if cols < dest.shape[1]:
+        dest[row0:row0 + rows, cols:] = block[:, -1:]
+
+
+def _fast_shard_shm(task) -> int:
+    """Fast shard on the zero-copy path: arrays land in shared memory,
+    only the shard's trajectory width returns through the pickle."""
+    scenario, shard_runs, seed, horizon, descriptor, row0 = task
+    result = run_fast(scenario, shard_runs, seed=seed, horizon=horizon)
+    shm, views = SharedArrays.attach(descriptor)
+    try:
+        _write_rows(views["counts"], row0, result.counts)
+        _write_rows(views["attacked"], row0, result.counts_attacked)
+        _write_rows(views["non_attacked"], row0, result.counts_non_attacked)
+        if result.reachable_holders is not None:
+            views["holders"][row0:row0 + shard_runs] = (
+                result.reachable_holders
+            )
+        return int(result.counts.shape[1])
+    finally:
+        views = None
+        shm.close()
+
+
+def _exact_shard_shm(task) -> List[int]:
+    """Exact chunk on the zero-copy path: per-run trajectory widths are
+    the only thing pickled back."""
+    scenario, seeds, descriptor, row0 = task
+    schedule = scenario.fault_schedule()
+    reachable = (
+        None
+        if schedule is None
+        else len(schedule.reachable_ids(scenario.max_rounds))
+    )
+    widths: List[int] = []
+    shm, views = SharedArrays.attach(descriptor)
+    try:
+        for offset, seed in enumerate(seeds):
+            result = run_exact(scenario, seed=seed)
+            row = row0 + offset
+            _write_rows(views["counts"], row, result.counts[None, :])
+            _write_rows(
+                views["attacked"], row, result.counts_attacked[None, :]
+            )
+            _write_rows(
+                views["non_attacked"], row,
+                result.counts_non_attacked[None, :],
+            )
+            if reachable is not None:
+                views["holders"][row] = int(
+                    round(result.residual_reliability * reachable)
+                )
+            widths.append(int(result.counts.shape[0]))
+        return widths
+    finally:
+        views = None
+        shm.close()
+
+
 def _stack_padded(blocks: List[np.ndarray], width: int) -> np.ndarray:
     """Stack 2-D trajectory blocks, padding columns with the final value."""
     total = sum(block.shape[0] for block in blocks)
@@ -224,6 +317,239 @@ def _stack_padded(blocks: List[np.ndarray], width: int) -> np.ndarray:
             out[row:row + rows, cols:] = block[:, -1:]
         row += rows
     return out
+
+
+class _DenseJob:
+    """One fast/exact Monte-Carlo invocation as an executor job.
+
+    A job exposes the same work in two interchangeable forms, both
+    derived from the same deterministic layout so their assembled
+    results are byte-identical:
+
+    - :meth:`pickle_calls` + :meth:`assemble_pickled` — the historical
+      path: shards return their arrays through the future (used serial,
+      traced, and as the no-shared-memory fallback);
+    - :meth:`layout` + :meth:`shm_calls` + :meth:`assemble_shm` — the
+      zero-copy path: workers write rows straight into the
+      :class:`~repro.sim.executor.SharedArrays` slice assigned by the
+      positional layout and return only their trajectory widths.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        runs: int,
+        *,
+        seed: SeedLike,
+        engine: str,
+        horizon: Optional[int],
+        workers: int,
+    ):
+        if runs < 1:
+            raise ValueError(f"runs must be >= 1, got {runs}")
+        self.scenario = scenario
+        self.runs = int(runs)
+        self.engine = engine
+        self.horizon = horizon
+        self.has_holders = scenario.fault_schedule() is not None
+        #: Upper bound on any shard's trajectory width: the engines
+        #: never run past max(max_rounds, horizon) rounds.  Shared rows
+        #: are pre-padded to this and trimmed to the realised global
+        #: maximum at assembly.
+        self.width_cap = max(scenario.max_rounds, horizon or 0) + 1
+        if engine == "fast":
+            sizes = fast_shard_sizes(self.runs)
+            if len(sizes) == 1:
+                # Single shard: pass the caller's seed straight through
+                # so small experiments replay the historical serial
+                # stream.
+                seeds: List[SeedLike] = [seed]
+            else:
+                seeds = list(child_seeds(seed, len(sizes)))
+            self._sizes = sizes
+            self._seeds = seeds
+            self._rows = [0] * len(sizes)
+            row = 0
+            for i, size in enumerate(sizes):
+                self._rows[i] = row
+                row += size
+        elif engine == "exact":
+            run_seeds = child_seeds(seed, self.runs)
+            # Result order is fixed by the per-run seeds, so the
+            # chunking here only affects scheduling and may depend on
+            # workers.
+            chunk = max(1, math.ceil(self.runs / max(1, workers * 4)))
+            self._chunks = [
+                run_seeds[i:i + chunk] for i in range(0, self.runs, chunk)
+            ]
+            self._rows = list(range(0, self.runs, chunk))
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r}; use 'fast', 'exact', or 'mega'"
+            )
+
+    # -- pickled-result path -------------------------------------------------
+
+    def pickle_calls(self, trace: bool) -> List[Tuple[Callable, tuple]]:
+        if self.engine == "fast":
+            return [
+                (_fast_shard, (self.scenario, size, seed, self.horizon, trace))
+                for size, seed in zip(self._sizes, self._seeds)
+            ]
+        return [
+            (_exact_shard, (self.scenario, chunk, trace))
+            for chunk in self._chunks
+        ]
+
+    def assemble_pickled(self, shards: List, tracer) -> MonteCarloResult:
+        trace = tracer is not None
+        if self.engine == "fast":
+            triples = [shard[:4] for shard in shards]
+            if trace:
+                for shard_ix, shard in enumerate(shards):
+                    for event in shard[4]:
+                        event["shard"] = shard_ix
+                        tracer.emit(event)
+        else:
+            per_run = [triple for shard in shards for triple in shard]
+            if trace:
+                for run_ix, row in enumerate(per_run):
+                    for event in row[4]:
+                        event["run"] = run_ix
+                        tracer.emit(event)
+            triples = [
+                (row[None, :], att[None, :], non[None, :], holders)
+                for row, att, non, holders, _events in per_run
+            ]
+        width = max(counts.shape[1] for counts, _, _, _ in triples)
+        if self.horizon is not None:
+            width = max(width, self.horizon + 1)
+        counts = _stack_padded([t[0] for t in triples], width)
+        attacked = _stack_padded([t[1] for t in triples], width)
+        non_attacked = _stack_padded([t[2] for t in triples], width)
+        reachable_holders = None
+        if all(t[3] is not None for t in triples):
+            reachable_holders = np.concatenate([t[3] for t in triples])
+        return MonteCarloResult(
+            scenario=self.scenario,
+            counts=counts,
+            counts_attacked=attacked,
+            counts_non_attacked=non_attacked,
+            reachable_holders=reachable_holders,
+        )
+
+    # -- zero-copy path ------------------------------------------------------
+
+    def layout(self) -> List[Tuple[str, tuple, object]]:
+        spec = [
+            (name, (self.runs, self.width_cap), np.int32)
+            for name in ("counts", "attacked", "non_attacked")
+        ]
+        if self.has_holders:
+            spec.append(("holders", (self.runs,), np.int32))
+        return spec
+
+    def shm_calls(self, descriptor) -> List[Tuple[Callable, tuple]]:
+        if self.engine == "fast":
+            return [
+                (
+                    _fast_shard_shm,
+                    (self.scenario, size, seed, self.horizon, descriptor, row),
+                )
+                for size, seed, row in zip(
+                    self._sizes, self._seeds, self._rows
+                )
+            ]
+        return [
+            (_exact_shard_shm, (self.scenario, chunk, descriptor, row))
+            for chunk, row in zip(self._chunks, self._rows)
+        ]
+
+    def assemble_shm(self, shared: SharedArrays, metas: List) -> MonteCarloResult:
+        widths = (
+            metas
+            if self.engine == "fast"
+            else [w for chunk in metas for w in chunk]
+        )
+        width = max(widths)
+        if self.horizon is not None:
+            width = max(width, self.horizon + 1)
+        views = shared.arrays()
+        counts = np.array(views["counts"][:, :width])
+        attacked = np.array(views["attacked"][:, :width])
+        non_attacked = np.array(views["non_attacked"][:, :width])
+        reachable_holders = (
+            np.array(views["holders"]) if self.has_holders else None
+        )
+        views = None
+        return MonteCarloResult(
+            scenario=self.scenario,
+            counts=counts,
+            counts_attacked=attacked,
+            counts_non_attacked=non_attacked,
+            reachable_holders=reachable_holders,
+        )
+
+
+def make_job(
+    scenario: Scenario,
+    runs: int,
+    *,
+    seed: SeedLike = None,
+    engine: str = "fast",
+    horizon: Optional[int] = None,
+    workers: int = 1,
+):
+    """The executor job for one Monte-Carlo invocation.
+
+    ``engine="mega"`` returns a :class:`repro.sim.mega.MegaJob` (one
+    task per packed run); ``"fast"``/``"exact"`` return a
+    :class:`_DenseJob`.  Feed the job to :func:`execute_job` — the
+    sweep orchestrator instead splices many jobs' calls into one global
+    work queue and assembles each as its calls complete.
+    """
+    if engine == "mega":
+        from repro.sim.mega import MegaJob
+
+        return MegaJob(
+            scenario, runs, seed=seed, horizon=horizon
+        )
+    return _DenseJob(
+        scenario, runs, seed=seed, engine=engine, horizon=horizon,
+        workers=workers,
+    )
+
+
+def execute_job(job, *, workers: int = 1, tracer=None, pool=None) -> MonteCarloResult:
+    """Run ``job``'s calls and assemble its result.
+
+    Serial (``workers=1``) and single-call jobs run in-process on the
+    pickled path — byte-identical to the historical serial behaviour.
+    Traced jobs also take the pickled path (events ride back with the
+    arrays).  Everything else goes zero-copy through the persistent
+    pool, falling back to pickled shards when shared memory is
+    unavailable.  All paths assemble positionally, so the result is
+    byte-identical regardless of path, worker count, or completion
+    order.
+    """
+    workers = check_workers(workers)
+    trace = tracer is not None
+    calls = job.pickle_calls(trace)
+    if workers <= 1 or len(calls) <= 1:
+        shards = [fn(payload) for fn, payload in calls]
+        return job.assemble_pickled(shards, tracer)
+    if pool is None:
+        pool = get_pool(min(workers, len(calls)))
+    if trace:
+        return job.assemble_pickled(pool.run_calls(calls), tracer)
+    shared = try_shared(job.layout())
+    if shared is None:
+        return job.assemble_pickled(pool.run_calls(calls), None)
+    try:
+        metas = pool.run_calls(job.shm_calls(shared.descriptor))
+        return job.assemble_shm(shared, metas)
+    finally:
+        shared.destroy()
 
 
 def run_sharded(
@@ -255,51 +581,7 @@ def run_sharded(
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     workers = check_workers(workers)
-    trace = tracer is not None
-
-    if engine == "fast":
-        sizes = fast_shard_sizes(runs)
-        if len(sizes) == 1:
-            # Single shard: pass the caller's seed straight through so
-            # small experiments replay the historical serial stream.
-            seeds: List[SeedLike] = [seed]
-        else:
-            seeds = list(child_seeds(seed, len(sizes)))
-        tasks = [
-            (scenario, size, shard_seed, horizon, trace)
-            for size, shard_seed in zip(sizes, seeds)
-        ]
-        shards = parallel_map(_fast_shard, tasks, workers=workers)
-        triples = [shard[:4] for shard in shards]
-        if trace:
-            for shard_ix, shard in enumerate(shards):
-                for event in shard[4]:
-                    event["shard"] = shard_ix
-                    tracer.emit(event)
-    elif engine == "exact":
-        run_seeds = child_seeds(seed, runs)
-        # Result order is fixed by the per-run seeds, so the chunking
-        # here only affects scheduling and may depend on workers.
-        chunk = max(1, math.ceil(runs / max(1, workers * 4)))
-        tasks = [
-            (scenario, run_seeds[i:i + chunk], trace)
-            for i in range(0, runs, chunk)
-        ]
-        per_run = [
-            triple
-            for shard in parallel_map(_exact_shard, tasks, workers=workers)
-            for triple in shard
-        ]
-        if trace:
-            for run_ix, row in enumerate(per_run):
-                for event in row[4]:
-                    event["run"] = run_ix
-                    tracer.emit(event)
-        triples = [
-            (row[None, :], att[None, :], non[None, :], holders)
-            for row, att, non, holders, _events in per_run
-        ]
-    elif engine == "mega":
+    if engine == "mega":
         # The packed engine owns its own run fan-out (one run per task,
         # node axis streamed in shards) and result type; delegate whole.
         # Imported lazily: mega imports this module's seed plumbing.
@@ -313,27 +595,11 @@ def run_sharded(
             workers=workers,
             tracer=tracer,
         )
-    else:
-        raise ValueError(
-            f"unknown engine {engine!r}; use 'fast', 'exact', or 'mega'"
-        )
-
-    width = max(counts.shape[1] for counts, _, _, _ in triples)
-    if horizon is not None:
-        width = max(width, horizon + 1)
-    counts = _stack_padded([t[0] for t in triples], width)
-    attacked = _stack_padded([t[1] for t in triples], width)
-    non_attacked = _stack_padded([t[2] for t in triples], width)
-    reachable_holders = None
-    if all(t[3] is not None for t in triples):
-        reachable_holders = np.concatenate([t[3] for t in triples])
-    return MonteCarloResult(
-        scenario=scenario,
-        counts=counts,
-        counts_attacked=attacked,
-        counts_non_attacked=non_attacked,
-        reachable_holders=reachable_holders,
+    job = make_job(
+        scenario, runs, seed=seed, engine=engine, horizon=horizon,
+        workers=workers,
     )
+    return execute_job(job, workers=workers, tracer=tracer)
 
 
 # ---------------------------------------------------------------------------
@@ -354,6 +620,39 @@ def run_sharded(
 #: ``max_rounds`` to built-in ints, which changes the canonical token
 #: of any grid that previously smuggled numpy scalars through.
 CACHE_VERSION = 4
+
+#: Decoded npz entries kept in the process-wide LRU.  Sweeps revisit
+#: shared points (the rate-0 baseline appears in Figures 2, 3, and 7);
+#: the LRU makes each entry decode once per process instead of once per
+#: figure.  Entries are validated against the backing file's stat
+#: signature, so an overwritten/corrupted file is never served stale.
+NPZ_LRU_ENTRIES = 128
+
+#: ``(root, key) -> (stat_signature, decoded result)``, LRU-ordered.
+_NPZ_LRU: "OrderedDict[Tuple[Path, str], Tuple[tuple, object]]" = (
+    OrderedDict()
+)
+
+
+def _npz_lru_clear() -> None:
+    """Drop every memoised entry (test hook)."""
+    _NPZ_LRU.clear()
+
+
+def _npz_lru_put(root: Path, key: str, sig: tuple, result) -> None:
+    _NPZ_LRU[(root, key)] = (sig, result)
+    _NPZ_LRU.move_to_end((root, key))
+    while len(_NPZ_LRU) > NPZ_LRU_ENTRIES:
+        _NPZ_LRU.popitem(last=False)
+
+
+def _stat_signature(path: Path) -> Optional[tuple]:
+    """The file identity an LRU entry is valid for, or None if missing."""
+    try:
+        st = path.stat()
+    except OSError:
+        return None
+    return (st.st_mtime_ns, st.st_size, st.st_ino)
 
 
 @dataclass(frozen=True)
@@ -409,10 +708,60 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.npz"
 
-    def load(self, key: str, scenario: Scenario) -> Optional[MonteCarloResult]:
-        """The cached result, or None on miss *or any read failure*."""
+    def load(
+        self, key: str, scenario: Scenario, tracer=None
+    ) -> Optional[MonteCarloResult]:
+        """The cached result, or None on miss *or any read failure*.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) observes the outcome as
+        a ``cache_hit`` / ``cache_miss`` / ``cache_corrupt`` event — the
+        corrupt case is a real read failure falling back to
+        recomputation, which used to be indistinguishable from a miss.
+        """
+        result, status = self.load_ex(key, scenario)
+        if tracer is not None:
+            if status == "hit":
+                tracer.cache_hit(key=key, tier="npz")
+            elif status == "corrupt":
+                tracer.cache_corrupt(key=key, tier="npz")
+            else:
+                tracer.cache_miss(key=key, tier="npz")
+        return result
+
+    def load_ex(
+        self, key: str, scenario: Scenario
+    ) -> Tuple[Optional[MonteCarloResult], str]:
+        """``(result, status)`` with status ``"hit"`` / ``"miss"`` /
+        ``"corrupt"``; result is None unless status is ``"hit"``.
+
+        Hits are served from the process-wide decoded-entry LRU when the
+        backing file's stat signature still matches (so an entry shared
+        by several figures decodes once); any signature change forces a
+        re-decode, and a failed decode or validation evicts the entry
+        and reports ``"corrupt"``.
+        """
+        path = self.path_for(key)
+        sig = _stat_signature(path)
+        if sig is None:
+            _NPZ_LRU.pop((self.root, key), None)
+            return None, "miss"
+        entry = _NPZ_LRU.get((self.root, key))
+        if entry is not None and entry[0] == sig:
+            _NPZ_LRU.move_to_end((self.root, key))
+            return entry[1], "hit"
+        result = self._decode(path, scenario)
+        if result is None:
+            _NPZ_LRU.pop((self.root, key), None)
+            return None, "corrupt"
+        _npz_lru_put(self.root, key, sig, result)
+        return result, "hit"
+
+    def _decode(
+        self, path: Path, scenario: Scenario
+    ) -> Optional[MonteCarloResult]:
+        """Decode and validate one npz entry; None on any failure."""
         try:
-            with np.load(self.path_for(key)) as data:
+            with np.load(path) as data:
                 counts = np.asarray(data["counts"])
                 attacked = np.asarray(data["counts_attacked"])
                 non_attacked = np.asarray(data["counts_non_attacked"])
@@ -427,8 +776,9 @@ class ResultCache:
                     else None
                 )
         except Exception:
-            # Missing, truncated, corrupted, or wrong-format entry:
-            # behave exactly like a miss and let the caller recompute.
+            # Truncated, corrupted, or wrong-format entry: behave like
+            # a miss and let the caller recompute (load_ex reports it
+            # as "corrupt" so the fallback is at least observable).
             return None
         if (
             counts.ndim != 2
@@ -496,6 +846,11 @@ class ResultCache:
             except BaseException:
                 os.unlink(tmp)
                 raise
+            # The entry just written is about to be this process's
+            # hottest: seed the LRU so the first load never re-decodes.
+            sig = _stat_signature(self.path_for(key))
+            if sig is not None:
+                _npz_lru_put(self.root, key, sig, result)
         except OSError:
             pass
 

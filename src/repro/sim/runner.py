@@ -7,11 +7,15 @@ mechanism really executes) and aggregates identically — tests use both
 and compare.
 
 Execution is sharded by :mod:`repro.sim.parallel`: ``workers`` (default:
-the ``REPRO_WORKERS`` env var, else 1) spreads the shards over a process
-pool, and because shard layout and seed derivation depend only on the
-run count and root seed, the result is bit-identical for every worker
-count.  An optional on-disk :class:`~repro.sim.parallel.ResultCache`
-memoises results by ``(scenario, runs, seed, engine, horizon)``.
+the ``REPRO_WORKERS`` env var, else 1) spreads the shards over the
+process-wide persistent pool (:mod:`repro.sim.executor` — forked once,
+reused across calls, shard results returned through shared memory
+rather than pickles; ``REPRO_START_METHOD`` overrides the fork/spawn
+choice), and because shard layout and seed derivation depend only on
+the run count and root seed, the result is bit-identical for every
+worker count.  An optional on-disk
+:class:`~repro.sim.parallel.ResultCache` memoises results by
+``(scenario, runs, seed, engine, horizon)``.
 
 The run count honours the ``REPRO_RUNS`` environment variable so the
 benchmark harness can be dialled between quick smoke sweeps and
@@ -69,11 +73,12 @@ def monte_carlo(
 ) -> MonteCarloResult:
     """Run ``scenario`` ``runs`` times and aggregate the trajectories.
 
-    ``workers`` shards the runs over a process pool (``None`` reads
-    ``REPRO_WORKERS``, defaulting to serial); any worker count yields
-    bit-identical results.  ``cache`` (a directory path or
-    :class:`ResultCache`) memoises the result on disk when the seed has
-    a stable identity — ``None``/generator seeds always recompute.
+    ``workers`` shards the runs over the persistent process pool
+    (``None`` reads ``REPRO_WORKERS``, defaulting to serial); any
+    worker count yields bit-identical results.  ``cache`` (a directory
+    path or :class:`ResultCache`) memoises the result on disk when the
+    seed has a stable identity — ``None``/generator seeds always
+    recompute.
     ``tracer`` attaches a :class:`repro.obs.Tracer` to every run; traced
     experiments bypass the cache entirely (a cache hit would produce no
     events), and the merged event stream is worker-count invariant.

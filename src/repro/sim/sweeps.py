@@ -15,10 +15,13 @@ interactive use::
     print(report.to_json())
 
 Grids are built by :mod:`repro.sweep.grid` and executed by the
-:class:`~repro.sweep.orchestrator.SweepRunner`: every cell's seed is
-derived in the parent before anything runs, so the report is
-byte-identical JSON for any worker count (``workers`` defaults to the
-``REPRO_WORKERS`` env var).  ``store`` (a directory path or
+:class:`~repro.sweep.orchestrator.SweepRunner` on the process-wide
+persistent worker pool (:mod:`repro.sim.executor`): all cells' shard
+tasks are flattened into one global work queue, so no cell waits on a
+barrier behind another.  Every cell's seed is derived in the parent
+before anything runs, so the report is byte-identical JSON for any
+worker count and any task completion order (``workers`` defaults to
+the ``REPRO_WORKERS`` env var).  ``store`` (a directory path or
 :class:`~repro.sweep.store.ResultStore`) makes the sweep *resumable* —
 completed cells persist content-addressed, a per-sweep manifest records
 cell status, and re-running an interrupted sweep recomputes only

@@ -10,19 +10,29 @@ interrupted sweep resumes by recomputing only unfinished cells:
    does not (the grid changed) is discarded and rebuilt.
 2. Cells already ``done`` in the manifest are served from their
    recorded value without touching an engine or the store.
-3. Remaining cells run over the process pool in deterministic chunks;
-   each worker first consults the store (an interrupted sweep's
-   completed cells live there even when the manifest never saw them
-   finish — store writes happen cell-by-cell *in the worker*), and the
-   manifest is checkpointed after every chunk.
+3. The parent consults the store for every remaining cell (an
+   interrupted sweep's completed cells live there even when the
+   manifest never saw them finish), recording hit/miss/corrupt per
+   consultation.
+4. The misses are flattened into **one global work queue** of (cell,
+   shard) tasks on the process-wide persistent pool
+   (:mod:`repro.sim.executor`): every cell's shard calls are submitted
+   up front, cells complete out of order with no inter-cell barrier,
+   and each cell is assembled, written to the store, and folded into
+   the manifest the moment its last shard lands.  The manifest is
+   checkpointed every :data:`CHUNK_FACTOR` × ``workers`` completions,
+   bounding how much *finished* work a kill can hide from it.
 
-Every cell's seed is fixed in the parent before anything executes, so
-the figure a sweep produces is byte-identical for any worker count and
-for any interrupt/resume pattern — resuming changes *where* values come
-from (engine, store, or manifest), never what they are.
+Every cell's seed is fixed in the parent before anything executes, and
+results are assembled positionally from the deterministic shard layout,
+so the figure a sweep produces is byte-identical for any worker count,
+completion order, and interrupt/resume pattern — resuming changes
+*where* values come from (engine, store, or manifest), never what they
+are.
 
 Observability: with a ``tracer``, the runner emits ``sweep_start``,
-per-cell ``cell_start`` / ``cell_cache_hit`` / ``cell_finish``, and
+per-cell ``cell_start`` / ``cache_hit|cache_miss|cache_corrupt`` (one
+per store consultation) / ``cell_cache_hit`` / ``cell_finish``, and
 ``sweep_end`` events in cell-index order (a pure function of the cell
 list — never of workers or completion order).  Cell *execution* itself
 is untraced: engine-level tracing bypasses result caches by design
@@ -39,7 +49,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.metrics.report import SeriesReport
-from repro.sim.parallel import check_workers, default_workers, parallel_map
+from repro.sim.executor import get_pool, try_shared
+from repro.sim.parallel import check_workers, default_workers, make_job
 from repro.sweep.grid import Cell
 from repro.sweep.store import (
     MANIFEST_SCHEMA,
@@ -49,11 +60,12 @@ from repro.sweep.store import (
 )
 from repro.util.canonical import canonical_key
 
-#: Cells per scheduling chunk, as a multiple of the worker count.  The
-#: manifest checkpoints after every chunk, so this bounds how much
-#: *finished* work a kill can hide from the manifest (the store still
-#: has it; resume would re-load, not re-run).  Chunking never affects
-#: values — seeds are pre-derived per cell.
+#: Manifest checkpoint cadence, as a multiple of the worker count: the
+#: manifest is rewritten after every ``CHUNK_FACTOR * workers`` cell
+#: completions (plus once before and once after the queue drains).
+#: This bounds how much *finished* work a kill can hide from the
+#: manifest (the store still has it; resume would re-load, not re-run).
+#: Cadence never affects values — seeds are pre-derived per cell.
 CHUNK_FACTOR = 4
 
 
@@ -80,44 +92,82 @@ def _metric_value(cell: Cell, result) -> float:
     raise ValueError(f"unknown metric {metric!r}")
 
 
-def _evaluate_cell(task) -> Tuple[float, bool]:
-    """Worker entry point: ``(value, served_from_store)`` for one cell.
-
-    Runs on the pool, so the store consultation and the cache-aside
-    write both happen *here* — a killed sweep keeps every completed
-    cell's result on disk even though the parent never saw it finish.
-    Cells run single-process (``workers=1``) so a parallel sweep never
-    nests pools.
-    """
-    cell, store = task
-    key = store.key_for(cell) if store is not None else None
-    if cell.scenario is not None:
-        if key is not None:
-            hit = store.cache.load(key, cell.scenario)
-            if hit is not None:
-                return _metric_value(cell, hit), True
-        from repro.sim.runner import monte_carlo
-
-        result = monte_carlo(
-            cell.scenario,
-            runs=cell.runs,
-            seed=cell.seed,
-            engine=cell.engine,
-            horizon=cell.horizon,
-            workers=1,
-            cache=store.cache if store is not None else None,
-        )
-        return _metric_value(cell, result), False
-    if key is not None:
-        hit = store.load_envelope(key)
-        if hit is not None:
-            return _metric_value(cell, hit), True
+def _des_cell_task(task):
+    """Pool entry point for a measurement cell: one DES experiment."""
     from repro.des.cluster import run_throughput_experiment
 
-    result = run_throughput_experiment(cell.config, seed=cell.seed)
-    if store is not None and key is not None:
-        store.store_envelope(key, result)
-    return _metric_value(cell, result), False
+    config, seed = task
+    return run_throughput_experiment(config, seed=seed)
+
+
+def _cell_runs(cell: Cell) -> Optional[int]:
+    """The cell's Monte-Carlo run count with the REPRO_RUNS default
+    applied (None for measurement cells)."""
+    if cell.scenario is None:
+        return None
+    if cell.runs is not None:
+        return cell.runs
+    from repro.sim.runner import default_runs
+
+    return default_runs()
+
+
+class _CellJob:
+    """One pending cell's calls, spliceable into the global work queue.
+
+    Monte-Carlo cells expand to their deterministic shard calls
+    (zero-copy through a :class:`~repro.sim.executor.SharedArrays`
+    segment when the platform provides one, pickled shards otherwise);
+    measurement cells are a single DES call.  ``deliver`` collects
+    completions positionally, so assembly is independent of the order
+    the pool finishes them in.
+    """
+
+    def __init__(self, cell: Cell, *, workers: int):
+        self.cell = cell
+        self.job = None
+        self.shared = None
+        if cell.scenario is not None:
+            self.job = make_job(
+                cell.scenario,
+                _cell_runs(cell),
+                seed=cell.seed,
+                engine=cell.engine,
+                horizon=cell.horizon,
+                workers=workers,
+            )
+            self.shared = try_shared(self.job.layout())
+            if self.shared is not None:
+                self.calls = self.job.shm_calls(self.shared.descriptor)
+            else:
+                self.calls = self.job.pickle_calls(False)
+        else:
+            self.calls = [(_des_cell_task, (cell.config, cell.seed))]
+        self._results: List = [None] * len(self.calls)
+        self._missing = len(self.calls)
+
+    def deliver(self, local_index: int, result) -> bool:
+        """Record one call's completion; True when the cell is whole."""
+        self._results[local_index] = result
+        self._missing -= 1
+        return self._missing == 0
+
+    def result(self):
+        """Assemble the completed cell's result (frees shared memory)."""
+        if self.job is None:
+            return self._results[0]
+        if self.shared is not None:
+            try:
+                return self.job.assemble_shm(self.shared, self._results)
+            finally:
+                self.destroy()
+        return self.job.assemble_pickled(self._results, None)
+
+    def destroy(self) -> None:
+        """Release the cell's shared-memory segment, if any (idempotent)."""
+        shared, self.shared = self.shared, None
+        if shared is not None:
+            shared.destroy()
 
 
 def sweep_identity(name: str, cells: Sequence[Cell]) -> Optional[str]:
@@ -187,7 +237,8 @@ class SweepRunner:
 
     ``store`` may be None (ephemeral sweep: no persistence, no
     manifest), a directory path, or a :class:`ResultStore`.  ``workers``
-    follows the ``REPRO_WORKERS`` convention used everywhere else.
+    follows the ``REPRO_WORKERS`` convention used everywhere else;
+    parallel sweeps share the process-wide persistent pool.
     """
 
     def __init__(
@@ -226,19 +277,31 @@ class SweepRunner:
         pending = [i for i in range(len(cells)) if i not in manifest_values]
         self._checkpoint(name, cells, identity, keys, manifest_values, {})
 
+        # Parent-side store consultation, in cell order.  Hits resolve
+        # immediately; the statuses feed the cache_* event stream.
         computed: Dict[int, Tuple[float, bool]] = {}
-        chunk = max(1, self.workers * CHUNK_FACTOR)
-        for start in range(0, len(pending), chunk):
-            batch = pending[start:start + chunk]
-            results = parallel_map(
-                _evaluate_cell,
-                [(cells[i], self.store) for i in batch],
-                workers=self.workers,
+        cache_status: Dict[int, str] = {}
+        to_run: List[int] = []
+        for i in pending:
+            value, status = self._consult_store(cells[i], keys[i])
+            if status is not None:
+                cache_status[i] = status
+            if value is not None:
+                computed[i] = (value, True)
+            else:
+                to_run.append(i)
+
+        if to_run:
+            checkpoint_every = max(1, self.workers * CHUNK_FACTOR)
+            run_args = (
+                name, cells, identity, keys, manifest_values, computed,
+                to_run, checkpoint_every,
             )
-            computed.update(dict(zip(batch, results)))
-            self._checkpoint(
-                name, cells, identity, keys, manifest_values, computed
-            )
+            if self.workers <= 1:
+                self._run_serial(*run_args)
+            else:
+                self._run_queue(*run_args)
+        self._checkpoint(name, cells, identity, keys, manifest_values, computed)
 
         outcomes = []
         for i, cell in enumerate(cells):
@@ -251,7 +314,9 @@ class SweepRunner:
                 source = "store" if from_store else "engine"
                 outcomes.append(CellOutcome(i, cell, value, source, keys[i]))
         result = SweepResult(name=name, outcomes=tuple(outcomes))
-        self._emit_events(result, pending=len(pending))
+        self._emit_events(
+            result, pending=len(pending), cache_status=cache_status
+        )
         return result
 
     # -- internals -----------------------------------------------------------
@@ -261,6 +326,101 @@ class SweepRunner:
         if not isinstance(cell, Cell):
             raise TypeError(f"cells[{index}] is not a Cell: {cell!r}")
         return cell
+
+    def _consult_store(
+        self, cell: Cell, key: Optional[str]
+    ) -> Tuple[Optional[float], Optional[str]]:
+        """``(value, status)`` from the store; value None on miss/corrupt,
+        status None when the cell was never consultable."""
+        if self.store is None or key is None:
+            return None, None
+        if cell.scenario is not None:
+            result, status = self.store.cache.load_ex(key, cell.scenario)
+        else:
+            result, status = self.store.load_envelope_ex(key)
+        if result is None:
+            return None, status
+        return _metric_value(cell, result), status
+
+    def _store_result(self, cell: Cell, key: Optional[str], result) -> None:
+        """Cache-aside write of one computed cell (parent-side)."""
+        if self.store is None or key is None:
+            return
+        if cell.scenario is not None:
+            self.store.cache.store(key, result)
+        else:
+            self.store.store_envelope(key, result)
+
+    def _compute_cell(self, cell: Cell, key: Optional[str]) -> float:
+        """Serial in-process evaluation of one cell."""
+        if cell.scenario is not None:
+            from repro.sim.parallel import execute_job
+
+            job = make_job(
+                cell.scenario,
+                _cell_runs(cell),
+                seed=cell.seed,
+                engine=cell.engine,
+                horizon=cell.horizon,
+                workers=1,
+            )
+            result = execute_job(job, workers=1)
+        else:
+            result = _des_cell_task((cell.config, cell.seed))
+        self._store_result(cell, key, result)
+        return _metric_value(cell, result)
+
+    def _run_serial(
+        self, name, cells, identity, keys, manifest_values, computed,
+        to_run, checkpoint_every,
+    ) -> None:
+        done_since = 0
+        for i in to_run:
+            computed[i] = (self._compute_cell(cells[i], keys[i]), False)
+            done_since += 1
+            if done_since >= checkpoint_every:
+                self._checkpoint(
+                    name, cells, identity, keys, manifest_values, computed
+                )
+                done_since = 0
+
+    def _run_queue(
+        self, name, cells, identity, keys, manifest_values, computed,
+        to_run, checkpoint_every,
+    ) -> None:
+        """Drain every pending cell through one global (cell, shard)
+        work queue on the persistent pool — no inter-cell barrier."""
+        pool = get_pool(self.workers)
+        jobs: Dict[int, _CellJob] = {}
+        calls: List = []
+        owners: List[Tuple[int, int]] = []
+        for i in to_run:
+            job = _CellJob(cells[i], workers=self.workers)
+            jobs[i] = job
+            for local_index, call in enumerate(job.calls):
+                owners.append((i, local_index))
+                calls.append(call)
+        done_since = 0
+        try:
+            for call_index, result in pool.imap_calls(calls):
+                i, local_index = owners[call_index]
+                if not jobs[i].deliver(local_index, result):
+                    continue
+                job = jobs.pop(i)
+                cell_result = job.result()
+                self._store_result(cells[i], keys[i], cell_result)
+                computed[i] = (_metric_value(cells[i], cell_result), False)
+                done_since += 1
+                if done_since >= checkpoint_every:
+                    self._checkpoint(
+                        name, cells, identity, keys, manifest_values, computed
+                    )
+                    done_since = 0
+        finally:
+            # On an interrupt mid-queue, free every unfinished cell's
+            # shared-memory segment before propagating.
+            for job in jobs.values():
+                job.destroy()
 
     def _manifest_values(
         self,
@@ -335,7 +495,13 @@ class SweepRunner:
             },
         )
 
-    def _emit_events(self, result: SweepResult, *, pending: int) -> None:
+    def _emit_events(
+        self,
+        result: SweepResult,
+        *,
+        pending: int,
+        cache_status: Dict[int, str],
+    ) -> None:
         """Re-emit the sweep lifecycle in deterministic cell order."""
         tracer = self.tracer
         if tracer is None:
@@ -349,6 +515,17 @@ class SweepRunner:
                 series=outcome.cell.series,
                 x=outcome.cell.x,
             )
+            status = cache_status.get(outcome.index)
+            if status is not None:
+                tier = (
+                    "npz" if outcome.cell.scenario is not None else "envelope"
+                )
+                if status == "hit":
+                    tracer.cache_hit(key=outcome.key, tier=tier)
+                elif status == "corrupt":
+                    tracer.cache_corrupt(key=outcome.key, tier=tier)
+                else:
+                    tracer.cache_miss(key=outcome.key, tier=tier)
             if outcome.cached:
                 tracer.cell_cache_hit(
                     index=outcome.index, source=outcome.source

@@ -19,8 +19,11 @@ live-cluster results when those grow a ``from_dict``.
 
 Reads are best-effort exactly like :class:`ResultCache`: a missing,
 corrupted, or wrong-schema entry behaves as a miss and the cell
-recomputes.  Writes are atomic (tempfile + rename) so a killed sweep
-never leaves a truncated entry that a resume would trust.
+recomputes — but the fallback is observable, not silent: the ``_ex``
+variants distinguish ``hit`` / ``miss`` / ``corrupt`` and a ``tracer``
+turns consultations into ``cache_*`` events.  Writes are atomic
+(tempfile + rename) so a killed sweep never leaves a truncated entry
+that a resume would trust.
 """
 
 from __future__ import annotations
@@ -95,14 +98,42 @@ class ResultStore:
     def envelope_path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def load_envelope(self, key: str):
-        """The stored result object, or None on miss / any read failure."""
+    def load_envelope(self, key: str, tracer=None):
+        """The stored result object, or None on miss / any read failure.
+
+        ``tracer`` observes the consultation as a ``cache_hit`` /
+        ``cache_miss`` / ``cache_corrupt`` event on the ``envelope``
+        tier (see :meth:`load_envelope_ex` for the distinction).
+        """
+        result, status = self.load_envelope_ex(key)
+        if tracer is not None:
+            if status == "hit":
+                tracer.cache_hit(key=key, tier="envelope")
+            elif status == "corrupt":
+                tracer.cache_corrupt(key=key, tier="envelope")
+            else:
+                tracer.cache_miss(key=key, tier="envelope")
+        return result
+
+    def load_envelope_ex(self, key: str):
+        """``(result, status)`` with status ``"hit"`` / ``"miss"`` /
+        ``"corrupt"`` — corrupt meaning the entry exists but failed to
+        decode (the fallback that used to be indistinguishable from a
+        miss); result is None unless status is ``"hit"``."""
         from repro.api.results import decode_envelope
 
+        path = self.envelope_path(key)
         try:
-            return decode_envelope(self.envelope_path(key).read_text())
+            text = path.read_text()
+        except OSError:
+            return None, "miss"
+        try:
+            result = decode_envelope(text)
         except Exception:
-            return None
+            return None, "corrupt"
+        if result is None:
+            return None, "corrupt"
+        return result, "hit"
 
     def store_envelope(self, key: str, result) -> None:
         """Persist ``result``'s envelope atomically; failures are
