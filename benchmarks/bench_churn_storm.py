@@ -1,0 +1,158 @@
+"""Churn-storm harness: dynamic membership across the round engines.
+
+Subjects a Drum group to the canonical churn storm — a 20% join wave,
+a 10% logout, a 10% expulsion — optionally on top of a targeted DoS
+attack, and pins the two properties the churn layer promises:
+
+- **determinism**: repeated same-seed runs on the exact, fast, and mega
+  engines are byte-identical (full result envelope, churn stats
+  included), so the resolved membership timeline is reproducible on
+  every stack;
+- **robustness**: Drum's residual reliability over the certified-and-
+  alive set stays above a recorded floor while the storm is in flight.
+
+Without ``--reduced`` the harness also regenerates the churn-storm
+figure (Drum vs push vs pull, reliability vs churn fraction under a
+concurrent attack) through the resumable sweep runner.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_churn_storm.py --reduced --check
+
+``--check`` exits non-zero on any mismatch or floor violation; without
+it the results are printed and recorded only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from _common import RESULTS_DIR, record, runs, store, workers
+
+from repro.sim import Scenario, run_fast, run_mega
+from repro.sim.engine import RoundSimulator
+from repro.sim.sweeps import churn_sweep
+
+#: The canonical storm: a join wave mid-propagation, a logout while the
+#: joiners are still catching up, an expulsion on its heels.
+STORM = "join@4:0.2; leave@9:0.1; expel@13:0.1"
+SEED = 2026
+
+#: Minimum mean residual reliability (over the certified-and-alive set)
+#: Drum must sustain through the storm, per engine.  Membership events
+#: ride the multicast itself, so these floors also bound how much the
+#: storm may disturb payload dissemination.
+FLOORS = {"exact": 0.95, "fast": 0.97, "mega": 0.97}
+
+
+def scenario(n: int) -> Scenario:
+    return Scenario(
+        protocol="drum", n=n, fan_out=4, loss=0.01, max_rounds=60,
+        faults=STORM,
+    )
+
+
+def envelope(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, default=float)
+
+
+def run_exact(n: int) -> dict:
+    sc = scenario(n)
+    a = RoundSimulator(sc, seed=SEED).run()
+    b = RoundSimulator(sc, seed=SEED).run()
+    return {
+        "deterministic": envelope(a) == envelope(b),
+        "residual_reliability": float(a.residual_reliability),
+        "timeline": a.churn["timeline"],
+        "join_latency": a.churn["join_latency"],
+    }
+
+
+def run_vectorised(engine, n: int, run_count: int) -> dict:
+    sc = scenario(n)
+    a = engine(sc, run_count, seed=SEED)
+    b = engine(sc, run_count, seed=SEED)
+    return {
+        "deterministic": envelope(a) == envelope(b),
+        "residual_reliability": float(a.residual_reliability().mean()),
+        "join_latency": float(np.nanmean(a.join_latency())),
+    }
+
+
+def run_figure(reduced: bool) -> None:
+    """Reliability vs churn fraction, Drum vs push vs pull, under DoS."""
+    report = churn_sweep(
+        ["drum", "push", "pull"],
+        [0.0, 0.05, 0.1, 0.2, 0.3],
+        x=64.0,
+        alpha=0.1,
+        n=80 if reduced else 120,
+        runs=runs(4 if reduced else 1),
+        seed=SEED,
+        max_rounds=250,
+        workers=workers(),
+        store=store(),
+        name="churn_storm_figure",
+    )
+    record("churn_storm", report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="small groups and run counts; skip the sweep figure",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on nondeterminism or residual reliability below floor",
+    )
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    n = 40 if args.reduced else 120
+    results = {
+        "exact": run_exact(30 if args.reduced else 60),
+        "fast": run_vectorised(run_fast, n, 20 if args.reduced else 100),
+        "mega": run_vectorised(run_mega, n, 8 if args.reduced else 40),
+    }
+    payload = {"storm": STORM, "seed": SEED, **results}
+    print(json.dumps(payload, indent=2))
+
+    out = args.output or RESULTS_DIR / "BENCH_churn.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+    if not args.reduced:
+        run_figure(reduced=False)
+
+    if args.check:
+        failures = []
+        for stack, data in results.items():
+            if not data["deterministic"]:
+                failures.append(f"{stack}: repeated seeded runs differ")
+            if data["residual_reliability"] < FLOORS[stack]:
+                failures.append(
+                    f"{stack}: residual reliability "
+                    f"{data['residual_reliability']:.4f} < {FLOORS[stack]}"
+                )
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: engines deterministic and above floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,7 @@ from repro.sim import (
     RunResult,
     Scenario,
     budget_sweep,
+    churn_sweep,
     default_runs,
     default_workers,
     extent_sweep,
@@ -97,6 +98,7 @@ __all__ = [
     "Tracer",
     "__version__",
     "budget_sweep",
+    "churn_sweep",
     "default_runs",
     "default_workers",
     "extent_sweep",

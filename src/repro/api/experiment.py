@@ -179,9 +179,12 @@ class Experiment:
         if engine == "des":
             from repro.des.cluster import run_throughput_experiment
 
-            return run_throughput_experiment(
-                self.cluster_config(), seed=seed, tracer=tracer
-            )
+            config = self.cluster_config()
+            if config.faults is not None and config.faults.has_churn:
+                from repro.des.churn import run_churn_experiment
+
+                return run_churn_experiment(config, seed=seed, tracer=tracer)
+            return run_throughput_experiment(config, seed=seed, tracer=tracer)
         if engine == "live":
             return self._run_live(seed=seed, tracer=tracer)
         raise ValueError(

@@ -85,9 +85,30 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
         help="inject faults, e.g. "
              "'crash@5:0.1;partition@8-15:0.4;gilbert:0.01,0.3,0.05,0.25' "
              "(clauses: crash@R[-R]:F, partition@R-R:F, stall@R-R:F, "
+             "join@R[-R]:F, leave@R[-R]:F, expel@R:F, "
              "loss:P, gilbert:LG,LB,PGB,PBG, delay:MS[~JIT], reorder:P, "
              "dup:P)",
     )
+    parser.add_argument(
+        "--churn", type=float, default=None, metavar="F",
+        help="churn-storm shorthand: a fraction F of the group joins at "
+             "round 5 and a fraction F of the correct members logs out "
+             "at round 12 (appended to --faults as 'join@5:F; "
+             "leave@12:F'; the same plan resolves identically on every "
+             "engine)",
+    )
+
+
+def _faults_spec(args) -> Optional[str]:
+    """Merge ``--faults`` and the ``--churn`` shorthand into one spec."""
+    spec = getattr(args, "faults", None)
+    churn = getattr(args, "churn", None)
+    if churn is not None:
+        if not 0 < churn < 1:
+            raise SystemExit(f"--churn must be in (0, 1), got {churn}")
+        tokens = f"join@5:{churn:g}; leave@12:{churn:g}"
+        spec = f"{spec}; {tokens}" if spec else tokens
+    return spec
 
 
 def _add_profile(parser: argparse.ArgumentParser, what: str) -> None:
@@ -147,7 +168,7 @@ def cmd_simulate(args) -> int:
         malicious_fraction=args.malicious if attack else 0.0,
         attack=attack,
         max_rounds=args.max_rounds,
-        faults=args.faults,
+        faults=_faults_spec(args),
     )
     tracer, sink = _open_tracer(args)
     try:
@@ -172,6 +193,15 @@ def cmd_simulate(args) -> int:
             finite = heal[~np.isnan(heal)]
             payload["mean rounds to heal"] = (
                 float(finite.mean()) if finite.size else float("nan")
+            )
+        latency = result.join_latency()
+        if latency is not None:
+            finite = latency[~np.isnan(latency)]
+            payload["mean join latency [rounds]"] = (
+                float(finite.mean()) if finite.size else float("nan")
+            )
+            payload["mean view convergence [rounds]"] = float(
+                np.mean(result.view_convergence())
             )
     profiler = None
     if args.profile or profiling_enabled(False):
@@ -258,7 +288,7 @@ def cmd_measure(args) -> int:
         messages=args.messages,
         send_rate=args.send_rate,
         round_duration_ms=args.round_ms,
-        faults=args.faults,
+        faults=_faults_spec(args),
     )
     profiler = (
         Profiler()
@@ -269,7 +299,14 @@ def cmd_measure(args) -> int:
     try:
         if profiler is not None:
             profiler.phase_start("experiment")
-        result = run_throughput_experiment(config, seed=args.seed, tracer=tracer)
+        if config.faults is not None and config.faults.has_churn:
+            from repro.des.churn import run_churn_experiment
+
+            result = run_churn_experiment(config, seed=args.seed, tracer=tracer)
+        else:
+            result = run_throughput_experiment(
+                config, seed=args.seed, tracer=tracer
+            )
         if profiler is not None:
             profiler.phase_stop("experiment")
     finally:
@@ -291,6 +328,17 @@ def cmd_measure(args) -> int:
     }
     if result.faults is not None:
         payload["residual reliability"] = result.residual_reliability()
+    if result.churn is not None:
+        payload["joined/left/expelled"] = (
+            f"{result.churn['joined']}/{result.churn['left']}/"
+            f"{result.churn['expelled']}"
+        )
+        if result.churn["join_latency"] is not None:
+            payload["mean join latency [rounds]"] = result.churn["join_latency"]
+        if result.churn["view_convergence"] is not None:
+            payload["mean view convergence [rounds]"] = result.churn[
+                "view_convergence"
+            ]
     if profiler is not None:
         profiler.phase_stop("summarize")
         if args.json:
@@ -312,7 +360,12 @@ def cmd_measure(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.sim.sweeps import budget_sweep, extent_sweep, rate_sweep
+    from repro.sim.sweeps import (
+        budget_sweep,
+        churn_sweep,
+        extent_sweep,
+        rate_sweep,
+    )
 
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     if not protocols:
@@ -350,6 +403,12 @@ def cmd_sweep(args) -> int:
         elif args.kind == "extent":
             report = extent_sweep(
                 protocols, values, x=args.rate or 128.0, **common
+            )
+        elif args.kind == "churn":
+            report = churn_sweep(
+                protocols, values,
+                alpha=args.alpha or 0.1, x=args.rate or 0.0,
+                metric=args.metric, **common
             )
         else:
             report = budget_sweep(
@@ -483,9 +542,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="resumable multi-protocol figure sweep through the result store",
     )
     p_sweep.add_argument(
-        "--kind", default="rate", choices=["rate", "extent", "budget"],
+        "--kind", default="rate",
+        choices=["rate", "extent", "budget", "churn"],
         help="sweep shape: x-axis is the attack rate x, the extent "
-             "alpha, or the extent under a fixed total budget",
+             "alpha, the extent under a fixed total budget, or the "
+             "churn-storm fraction (joins+leaves per storm; pair with "
+             "--alpha/-x for churn under DoS)",
     )
     p_sweep.add_argument(
         "--protocols", default="drum,push,pull",
@@ -512,6 +574,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--budget-per-process", type=float, default=7.2,
         help="for --kind budget: total budget B = this times n",
+    )
+    p_sweep.add_argument(
+        "--metric", default="reliability",
+        choices=[
+            "mean_rounds", "std_rounds", "reliability",
+            "join_latency", "view_convergence",
+        ],
+        help="for --kind churn: the per-cell metric to chart "
+             "(default: residual reliability over the "
+             "certified-and-alive set)",
     )
     p_sweep.add_argument("--runs", type=int, default=None)
     p_sweep.add_argument("--seed", type=int, default=None)

@@ -79,6 +79,14 @@ class GossipProcess:
         #: How M arrived: "source", "push", or "pull".
         self.delivery_path: Optional[str] = "source" if has_message else None
 
+        #: Optional ``(observer_pid, peer_pid)`` callback fired whenever
+        #: an accepted inbound message reveals a live peer — the hook the
+        #: exact engine's membership layer uses to feed failure
+        #: detectors and disseminate awareness along *realized* gossip
+        #: contacts.  None (the default) costs one predicate test per
+        #: ingested message.
+        self.on_contact = None
+
         self.round = 0
         self._ports = RandomPortAllocator(
             config.random_port_lifetime, seed=self.rng
@@ -137,6 +145,24 @@ class GossipProcess:
     def learn_keys(self, keys: Dict[int, object]) -> None:
         """Install the public keys of the other group members."""
         self.peer_keys = dict(keys)
+
+    # -- dynamic membership --------------------------------------------------
+
+    def set_gossip_candidates(self, candidates) -> None:
+        """Replace the target pool views are drawn from.
+
+        The dynamic-membership layer calls this when the process's local
+        view changes (join/leave/expel applied, failure-detector
+        suspicion or rehabilitation).  The well-known destination tables
+        are keyed by pid and already cover the full id universe the
+        engine constructed the process with, so only the candidate list
+        and its derived caches change.  Static runs never call this —
+        their hot path is untouched.
+        """
+        members = sorted(set(candidates) | {self.pid})
+        self.members = members
+        self._others = [m for m in members if m != self.pid]
+        self._disjoint_ok = len(self._others) >= self._total_view
 
     # -- round phases --------------------------------------------------------
 
@@ -313,6 +339,8 @@ class GossipProcess:
     def _ingest_push(self, payload: PushData) -> None:
         if not isinstance(payload, PushData):
             return  # junk on the push port: fails sanity checks
+        if self.on_contact is not None:
+            self.on_contact(self.pid, payload.sender)
         for message in payload.messages:
             self._deliver(message, via="push")
 
@@ -340,6 +368,8 @@ class GossipProcess:
         reply_port = self._unseal_port(payload.reply_port)
         if reply_port is None:
             return
+        if self.on_contact is not None:
+            self.on_contact(self.pid, payload.sender)
         # A reply is sent even when we have nothing new: real processes
         # always have *other* traffic, and the reply itself loads the
         # requester's reply channel in the no-random-ports ablation.
@@ -359,6 +389,8 @@ class GossipProcess:
     def _ingest_pull_reply(self, payload: PullReply) -> None:
         if not isinstance(payload, PullReply):
             return
+        if self.on_contact is not None:
+            self.on_contact(self.pid, payload.sender)
         for message in payload.messages:
             self._deliver(message, via="pull")
 

@@ -48,6 +48,12 @@ class MeasurementResult:
     #: The fault plan's spec string (``FaultPlan.describe()``), for
     #: reports; None on faultless experiments.
     faults: Optional[str] = None
+    #: Churn-aware metrics from :func:`repro.des.churn.run_churn_experiment`:
+    #: the resolved membership ``timeline`` (the cross-stack determinism
+    #: witness), realised ``join_latency`` and ``view_convergence`` in
+    #: rounds, and joined/left/expelled counts.  None on churn-free
+    #: experiments, keeping their envelopes byte-unchanged.
+    churn: Optional[Dict[str, object]] = None
 
     # -- throughput (Figure 10) -----------------------------------------------
 
@@ -189,6 +195,8 @@ class MeasurementResult:
             out["residual_reliability"] = self.residual_reliability()
             if self.reachable_receivers is not None:
                 out["reachable_receivers"] = list(self.reachable_receivers)
+        if self.churn is not None:
+            out["churn"] = dict(self.churn)
         return out
 
     def to_dict(self) -> Dict[str, object]:
@@ -238,6 +246,8 @@ class MeasurementResult:
             else list(self.reachable_receivers),
             "faults": self.faults,
         }
+        if self.churn is not None:
+            data["churn"] = dict(self.churn)
         config = {
             "protocol": self.protocol,
             "n": self.n,
@@ -284,4 +294,5 @@ class MeasurementResult:
             ],
             reachable_receivers=body.get("reachable_receivers"),
             faults=body.get("faults"),
+            churn=body.get("churn"),
         )

@@ -243,9 +243,107 @@ class SenderStall:
         )
 
 
-FaultEvent = Union[CrashNodes, Partition, SenderStall]
+@dataclass(frozen=True)
+class JoinNodes:
+    """A fraction (of ``n``) of *new* processes join at round ``at_round``.
 
-_EVENT_TYPES = (CrashNodes, Partition, SenderStall)
+    Joiners take fresh ids above the initial group (``n, n+1, ...``,
+    consecutive ascending blocks per event in plan order — seedless, so
+    every stack resolves the same joiner ids).  Each joiner obtains a
+    CA certificate and the CA's initial membership view; the join event
+    is then disseminated over the multicast protocol under test, so join
+    propagation itself is subject to any concurrent attack.  With
+    ``leave_round`` set the same block logs out again at that round.
+    """
+
+    at_round: int
+    fraction: float
+    leave_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_round("at_round", self.at_round)
+        check_fraction("fraction", self.fraction)
+        if self.leave_round is not None:
+            _check_round("leave_round", self.leave_round)
+            if self.leave_round <= self.at_round:
+                raise ValueError(
+                    f"leave_round ({self.leave_round}) must be after "
+                    f"at_round ({self.at_round})"
+                )
+
+    def describe(self) -> str:
+        window = (
+            f"@{self.at_round}"
+            if self.leave_round is None
+            else f"@{self.at_round}-{self.leave_round}"
+        )
+        return f"join{window}:{self.fraction:g}"
+
+
+@dataclass(frozen=True)
+class LeaveNodes:
+    """A fraction of the alive correct processes (never the source) log
+    out at round ``at_round``: the CA revokes their certificates and a
+    leave event spreads over the multicast.
+
+    With ``rejoin_round`` set the same block re-joins (fresh
+    certificates) at that round; otherwise they are gone for good.
+    Victims come from the top of the alive correct id block, descending,
+    with an independent cursor from crash/stall events.
+    """
+
+    at_round: int
+    fraction: float
+    rejoin_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_round("at_round", self.at_round)
+        check_fraction("fraction", self.fraction)
+        if self.rejoin_round is not None:
+            _check_round("rejoin_round", self.rejoin_round)
+            if self.rejoin_round <= self.at_round:
+                raise ValueError(
+                    f"rejoin_round ({self.rejoin_round}) must be after "
+                    f"at_round ({self.at_round})"
+                )
+
+    def describe(self) -> str:
+        window = (
+            f"@{self.at_round}"
+            if self.rejoin_round is None
+            else f"@{self.at_round}-{self.rejoin_round}"
+        )
+        return f"leave{window}:{self.fraction:g}"
+
+
+@dataclass(frozen=True)
+class ExpelNodes:
+    """The CA expels a fraction (of ``n``) of the group at ``at_round``
+    on suspicion of malbehaviour — permanently.
+
+    Victims descend from the top of the *full* id block (the malicious
+    block first, mirroring who a CA would actually expel), never the
+    source.
+    """
+
+    at_round: int
+    fraction: float
+
+    def __post_init__(self) -> None:
+        _check_round("at_round", self.at_round)
+        check_fraction("fraction", self.fraction)
+
+    def describe(self) -> str:
+        return f"expel@{self.at_round}:{self.fraction:g}"
+
+
+FaultEvent = Union[
+    CrashNodes, Partition, SenderStall, JoinNodes, LeaveNodes, ExpelNodes
+]
+
+_EVENT_TYPES = (
+    CrashNodes, Partition, SenderStall, JoinNodes, LeaveNodes, ExpelNodes
+)
 
 
 @dataclass(frozen=True)
@@ -284,6 +382,26 @@ class FaultPlan:
     def stalls(self) -> Tuple[SenderStall, ...]:
         return tuple(e for e in self.events if isinstance(e, SenderStall))
 
+    @property
+    def joins(self) -> Tuple[JoinNodes, ...]:
+        return tuple(e for e in self.events if isinstance(e, JoinNodes))
+
+    @property
+    def leaves(self) -> Tuple[LeaveNodes, ...]:
+        return tuple(e for e in self.events if isinstance(e, LeaveNodes))
+
+    @property
+    def expels(self) -> Tuple[ExpelNodes, ...]:
+        return tuple(e for e in self.events if isinstance(e, ExpelNodes))
+
+    @property
+    def has_churn(self) -> bool:
+        """True when the plan changes group membership (join/leave/expel)."""
+        return any(
+            isinstance(e, (JoinNodes, LeaveNodes, ExpelNodes))
+            for e in self.events
+        )
+
     def last_event_round(self) -> int:
         """The last round at which any event changes state (0 if none)."""
         last = 0
@@ -292,6 +410,12 @@ class FaultPlan:
                 last = max(last, event.recover_round or event.at_round)
             elif isinstance(event, Partition):
                 last = max(last, event.heal_round)
+            elif isinstance(event, JoinNodes):
+                last = max(last, event.leave_round or event.at_round)
+            elif isinstance(event, LeaveNodes):
+                last = max(last, event.rejoin_round or event.at_round)
+            elif isinstance(event, ExpelNodes):
+                last = max(last, event.at_round)
             else:
                 last = max(last, event.stop_round)
         return last
@@ -335,6 +459,11 @@ class FaultPlan:
             crash@R1-R2:F       ... recovering at round R2
             partition@R1-R2:F   split F/(1-F) for rounds R1..R2-1
             stall@R1-R2:F       fraction F stops sending for R1..R2-1
+            join@R:F            F*n new processes join at round R
+            join@R1-R2:F        ... leaving again at round R2
+            leave@R:F           fraction F of members log out at R
+            leave@R1-R2:F       ... re-joining at round R2
+            expel@R:F           the CA expels F*n members at round R
             loss:P              i.i.d. loss P on every link
             gilbert:LG,LB,PGB,PBG   Gilbert–Elliott bursty loss
             delay:MS or delay:MS~JIT   per-packet delay (+- jitter)
@@ -379,6 +508,28 @@ class FaultPlan:
                     start, stop = head[len("stall@"):].split("-", 1)
                     events.append(
                         SenderStall(int(start), int(stop), float(arg))
+                    )
+                elif head.startswith("join@"):
+                    window = head[len("join@"):]
+                    if "-" in window:
+                        start, stop = window.split("-", 1)
+                        events.append(
+                            JoinNodes(int(start), float(arg), int(stop))
+                        )
+                    else:
+                        events.append(JoinNodes(int(window), float(arg)))
+                elif head.startswith("leave@"):
+                    window = head[len("leave@"):]
+                    if "-" in window:
+                        start, stop = window.split("-", 1)
+                        events.append(
+                            LeaveNodes(int(start), float(arg), int(stop))
+                        )
+                    else:
+                        events.append(LeaveNodes(int(window), float(arg)))
+                elif head.startswith("expel@"):
+                    events.append(
+                        ExpelNodes(int(head[len("expel@"):]), float(arg))
                     )
                 elif head == "loss":
                     merge(loss_good=float(arg))
@@ -446,6 +597,41 @@ class FaultPlan:
                         f"{event.describe()} leaves one side of the "
                         f"partition empty in a group of {n}"
                     )
+            elif isinstance(event, JoinNodes):
+                count = int(round(event.fraction * n))
+                if count < 1:
+                    raise ValueError(
+                        f"{event.describe()} adds no processes in a group "
+                        f"of {n} (fraction rounds to zero); churn tokens "
+                        "must resolve to at least one process"
+                    )
+            elif isinstance(event, LeaveNodes):
+                count = int(round(event.fraction * num_alive_correct))
+                if count < 1:
+                    raise ValueError(
+                        f"{event.describe()} removes no processes "
+                        "(fraction rounds to zero); churn tokens must "
+                        "resolve to at least one process"
+                    )
+                if count > pool:
+                    raise ValueError(
+                        f"{event.describe()} would log out {count} "
+                        f"processes but only {pool} are eligible (the "
+                        "source never leaves)"
+                    )
+            elif isinstance(event, ExpelNodes):
+                count = int(round(event.fraction * n))
+                if count < 1:
+                    raise ValueError(
+                        f"{event.describe()} expels no processes in a "
+                        f"group of {n} (fraction rounds to zero); churn "
+                        "tokens must resolve to at least one process"
+                    )
+                if count > n - 1:
+                    raise ValueError(
+                        f"{event.describe()} would expel {count} of {n} "
+                        "processes; the source can never be expelled"
+                    )
             if self.last_event_round() > max_rounds:
                 # A plan reaching past the horizon is usually a typo'd
                 # round number; partitions that never heal in-horizon
@@ -456,7 +642,9 @@ class FaultPlan:
         for event in self.events:
             start = (
                 event.at_round
-                if isinstance(event, CrashNodes)
+                if isinstance(
+                    event, (CrashNodes, JoinNodes, LeaveNodes, ExpelNodes)
+                )
                 else event.start_round
             )
             if start > max_rounds:

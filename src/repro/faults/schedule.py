@@ -18,17 +18,46 @@ Layout conventions:
   stall events allocate the same way, independently.
 - Partition side A is the **lowest** ``fraction·n`` ids, so the source
   is always in side A.
+- Joiners take fresh ids **above** the initial group: ``n, n+1, ...``
+  in consecutive ascending blocks, one block per join event in plan
+  order, so ``total_n`` and every joiner id are a pure function of the
+  plan.  Leave victims descend from the top of the alive correct block
+  (an independent cursor, like stalls); expel victims descend from the
+  top of the *full* group — the malicious block first.
 
 Round convention (shared with :mod:`repro.faults.plan`): an event with
 ``at_round=r`` is in effect during the round that produces ``counts[r]``;
 a ``start–stop`` window covers rounds ``start .. stop-1``.
+
+The failure-detector aggregate (:meth:`FaultSchedule.suspected_at`)
+models Section 10's local responsiveness probe deterministically: a
+present member answers probes exactly when it is neither crashed nor
+stalled, so every correct process's detector suspects the same set —
+members silent for :data:`FD_TIMEOUT_ROUNDS` consecutive rounds — and
+rehabilitates them one round after they speak again.  The aggregate is
+seedless, which is what lets the exact, fast, and mega engines filter
+gossip views through *identical* suspect sets.
 """
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, List, Optional, Tuple
+import math
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.faults.plan import CrashNodes, FaultPlan, Partition, SenderStall
+from repro.faults.plan import (
+    CrashNodes,
+    ExpelNodes,
+    FaultPlan,
+    JoinNodes,
+    LeaveNodes,
+    Partition,
+    SenderStall,
+)
+
+#: Rounds of continuous silence before the local failure detector
+#: suspects a peer (and stops drawing it into gossip views).  One round
+#: of responsiveness rehabilitates the suspect.
+FD_TIMEOUT_ROUNDS = 3
 
 
 class FaultSchedule:
@@ -43,10 +72,16 @@ class FaultSchedule:
         "plan",
         "n",
         "num_alive_correct",
+        "total_n",
+        "has_churn",
         "_crash_windows",
         "_stall_windows",
         "_partitions",
+        "_join_events",
+        "_leave_windows",
+        "_expel_events",
         "_round_cache",
+        "_churn_cache",
     )
 
     def __init__(self, plan: FaultPlan, *, n: int, num_alive_correct: int):
@@ -94,9 +129,59 @@ class FaultSchedule:
             partitions.append((event.start_round, event.heal_round, side_a))
         self._partitions = tuple(partitions)
 
+        # Joiners: one consecutive ascending id block per join event, in
+        # plan order, starting at n.  total_n is the full id universe
+        # (initial group plus every joiner that ever exists).
+        join_events: List[Tuple[int, Optional[int], FrozenSet[int]]] = []
+        next_id = n
+        for event in plan.joins:
+            count = int(round(event.fraction * n))
+            ids = frozenset(range(next_id, next_id + count))
+            next_id += count
+            join_events.append((event.at_round, event.leave_round, ids))
+        self._join_events = tuple(join_events)
+        self.total_n = next_id
+
+        # Leave victims: descending blocks from the top of the alive
+        # correct ids, an independent cursor (same precedent as stalls —
+        # leave sets may overlap crash/stall sets, never the source).
+        leave_windows: List[Tuple[int, Optional[int], FrozenSet[int]]] = []
+        cursor = num_alive_correct
+        for event in plan.leaves:
+            count = int(round(event.fraction * num_alive_correct))
+            ids = frozenset(range(cursor - count, cursor))
+            cursor -= count
+            if 0 in ids:
+                raise ValueError(
+                    f"{event.describe()}: leave set reaches the source "
+                    "(too many leave events for this group size)"
+                )
+            leave_windows.append((event.at_round, event.rejoin_round, ids))
+        self._leave_windows = tuple(leave_windows)
+
+        # Expel victims: descending blocks from the top of the *full*
+        # group, so the malicious block is expelled first (the paper's
+        # motivating use of expulsion).
+        expel_events: List[Tuple[int, FrozenSet[int]]] = []
+        cursor = n
+        for event in plan.expels:
+            count = int(round(event.fraction * n))
+            ids = frozenset(range(cursor - count, cursor))
+            cursor -= count
+            if 0 in ids:
+                raise ValueError(
+                    f"{event.describe()}: expel set reaches the source "
+                    "(too many expel events for this group size)"
+                )
+            expel_events.append((event.at_round, ids))
+        self._expel_events = tuple(expel_events)
+
+        self.has_churn = bool(join_events or leave_windows or expel_events)
+
         # blocks() runs on the per-packet hot path of the exact engine;
         # memoise the per-round state (crashed set, stalled set, side A).
         self._round_cache: dict = {}
+        self._churn_cache: dict = {}
 
     # -- per-round state -----------------------------------------------------
 
@@ -181,24 +266,36 @@ class FaultSchedule:
         return self.plan.last_event_round()
 
     def doomed_ids(self, horizon: int) -> FrozenSet[int]:
-        """Ids crashed with no recovery within ``horizon``: the only
-        processes whose ``has_message`` can never change again once they
-        are down."""
+        """Ids whose ``has_message`` can never change again by
+        ``horizon``: crashed with no in-horizon recovery, left with no
+        in-horizon rejoin, or expelled."""
         doomed = set()
         for start, stop, ids in self._crash_windows:
             if start <= horizon and (stop is None or stop > horizon):
                 doomed |= ids
+        for start, stop, ids in self._leave_windows:
+            if start <= horizon and (stop is None or stop > horizon):
+                doomed |= ids
+        for at, ids in self._expel_events:
+            if at <= horizon:
+                doomed |= ids
         return frozenset(doomed)
 
     def reachable_ids(self, horizon: int) -> FrozenSet[int]:
-        """Alive correct ids that can possibly hold M by ``horizon``.
+        """Correct ids that can possibly hold M by ``horizon``.
 
-        Excludes processes crashed without an in-horizon recovery and
+        Excludes processes crashed without an in-horizon recovery,
+        departed members (left without rejoining, or expelled), and
         processes separated from the source's component by a partition
-        that never heals within the horizon.  Everything else is
-        reachable — the residual-reliability denominator.
+        that never heals within the horizon.  Joiners present at the
+        horizon are included — they had at least one gossip round to
+        catch up.  This is the residual-reliability denominator: the
+        certified-and-alive set of the churn-aware metrics.
         """
         reachable = set(range(self.num_alive_correct))
+        for at, stop, ids in self._join_events:
+            if at <= horizon and (stop is None or stop > horizon):
+                reachable |= ids
         reachable -= self.doomed_ids(horizon)
         for start, stop, side_a in self._partitions:
             if start <= horizon and stop > horizon:
@@ -206,6 +303,181 @@ class FaultSchedule:
                 # only.  (M that crossed the cut before ``start`` can
                 # still spread inside side B — residual reliability is
                 # deliberately coverage of the source's component.)
-                reachable &= set(side_a)
+                # Joiners (ids >= n) live outside the partitioned id
+                # space and stay with the source's side.
+                reachable = {
+                    i for i in reachable if i >= self.n or i in side_a
+                }
         reachable.add(0)  # the source always holds its own message
         return frozenset(reachable)
+
+    # -- membership churn ----------------------------------------------------
+
+    def join_blocks(self) -> Tuple[Tuple[int, Optional[int], int, int], ...]:
+        """Per join event: ``(at_round, leave_round, first_id, count)``.
+
+        The contiguous-block form the vectorised engines index with.
+        """
+        blocks = []
+        for at, stop, ids in self._join_events:
+            first = min(ids)
+            blocks.append((at, stop, first, len(ids)))
+        return tuple(blocks)
+
+    def present_at(self, round_no: int) -> FrozenSet[int]:
+        """Group members during ``round_no``: the initial group plus
+        joined joiners, minus departed (left/expelled) members.
+
+        Crashed and stalled members are still *present* (their
+        certificates remain valid); presence is the membership view a
+        perfectly synchronised member would hold.
+        """
+        if not self.has_churn:
+            return frozenset(range(self.n))
+        key = ("present", round_no)
+        cached = self._churn_cache.get(key)
+        if cached is not None:
+            return cached
+        present = set(range(self.n))
+        for at, stop, ids in self._join_events:
+            if at <= round_no and (stop is None or round_no < stop):
+                present |= ids
+        for at, stop, ids in self._leave_windows:
+            if at <= round_no and (stop is None or round_no < stop):
+                present -= ids
+        for at, ids in self._expel_events:
+            if at <= round_no:
+                present -= ids
+        result = frozenset(present)
+        self._churn_cache[key] = result
+        return result
+
+    def churn_events_at(
+        self, round_no: int
+    ) -> Tuple[Tuple[str, FrozenSet[int]], ...]:
+        """Membership events firing at the start of ``round_no``, as
+        ``(kind, ids)`` with kind in join/leave/rejoin/expel.  Join-block
+        departures surface as ``leave`` too."""
+        if not self.has_churn:
+            return ()
+        key = ("events", round_no)
+        cached = self._churn_cache.get(key)
+        if cached is not None:
+            return cached
+        fired: List[Tuple[str, FrozenSet[int]]] = []
+        for at, stop, ids in self._join_events:
+            if at == round_no:
+                fired.append(("join", ids))
+            if stop is not None and stop == round_no:
+                fired.append(("leave", ids))
+        for at, stop, ids in self._leave_windows:
+            if at == round_no:
+                fired.append(("leave", ids))
+            if stop is not None and stop == round_no:
+                fired.append(("rejoin", ids))
+        for at, ids in self._expel_events:
+            if at == round_no:
+                fired.append(("expel", ids))
+        result = tuple(fired)
+        self._churn_cache[key] = result
+        return result
+
+    def suspected_at(self, round_no: int) -> FrozenSet[int]:
+        """The aggregate failure-detector verdict during ``round_no``.
+
+        A present member is suspected when it answered no probe for the
+        :data:`FD_TIMEOUT_ROUNDS` rounds before ``round_no`` — i.e. it
+        was crashed or stalled throughout — and is rehabilitated one
+        round after it speaks again.  Deterministic and identical for
+        every correct observer (the probe model: a live present member
+        always answers).  Empty when the plan has no churn tokens, so
+        fault-only plans keep their exact legacy behaviour.
+        """
+        if not self.has_churn:
+            return frozenset()
+        if round_no - FD_TIMEOUT_ROUNDS < 1:
+            return frozenset()
+        key = ("suspect", round_no)
+        cached = self._churn_cache.get(key)
+        if cached is not None:
+            return cached
+        window = range(round_no - FD_TIMEOUT_ROUNDS, round_no)
+        silent: Optional[set] = None
+        for w in window:
+            unresponsive = set(self.crashed_at(w)) | set(self.stalled_at(w))
+            silent = unresponsive if silent is None else (silent & unresponsive)
+            if not silent:
+                break
+        suspects = frozenset((silent or set()) & self.present_at(round_no))
+        self._churn_cache[key] = suspects
+        return suspects
+
+    def awareness_lag(self, fan_out: int) -> int:
+        """Rounds for a membership event, multicast over the gossip
+        protocol itself, to reach essentially the whole group: the
+        epidemic doubling time ``ceil(log(total_n) / log(fan_out + 1))``
+        plus one round of slack.  Used by the vectorised engines'
+        deterministic awareness model (the exact engine disseminates
+        events for real)."""
+        population = max(2, self.total_n)
+        growth = max(2, fan_out + 1)
+        return int(math.ceil(math.log(population) / math.log(growth))) + 1
+
+    def aware_targets_at(self, round_no: int, lag: int) -> FrozenSet[int]:
+        """Ids the group at large draws into gossip views during
+        ``round_no``, under an awareness lag of ``lag`` rounds: joiners
+        become targets ``lag`` rounds after their join announcement,
+        departures keep receiving (stale views) for ``lag`` rounds, and
+        failure-detector suspects are filtered out."""
+        if not self.has_churn:
+            return frozenset(range(self.n))
+        key = ("aware", round_no, lag)
+        cached = self._churn_cache.get(key)
+        if cached is not None:
+            return cached
+        ids = set(range(self.n))
+        for at, stop, block in self._join_events:
+            if at + lag <= round_no and (
+                stop is None or round_no < stop + lag
+            ):
+                ids |= block
+        for at, stop, block in self._leave_windows:
+            if at + lag <= round_no and (
+                stop is None or round_no < stop + lag
+            ):
+                ids -= block
+        for at, block in self._expel_events:
+            if at + lag <= round_no:
+                ids -= block
+        ids -= self.suspected_at(round_no)
+        result = frozenset(ids)
+        self._churn_cache[key] = result
+        return result
+
+    def churn_timeline(self) -> Tuple[Dict[str, object], ...]:
+        """The resolved membership timeline as jsonable records, one per
+        fired event, sorted by round: the cross-stack determinism
+        witness (every engine must realise exactly this sequence)."""
+        records: List[Dict[str, object]] = []
+        for at, stop, ids in self._join_events:
+            records.append(
+                {"round": at, "kind": "join", "first_id": min(ids), "count": len(ids)}
+            )
+            if stop is not None:
+                records.append(
+                    {"round": stop, "kind": "leave", "first_id": min(ids), "count": len(ids)}
+                )
+        for at, stop, ids in self._leave_windows:
+            records.append(
+                {"round": at, "kind": "leave", "first_id": min(ids), "count": len(ids)}
+            )
+            if stop is not None:
+                records.append(
+                    {"round": stop, "kind": "rejoin", "first_id": min(ids), "count": len(ids)}
+                )
+        for at, ids in self._expel_events:
+            records.append(
+                {"round": at, "kind": "expel", "first_id": min(ids), "count": len(ids)}
+            )
+        records.sort(key=lambda r: (r["round"], str(r["kind"]), r["first_id"]))
+        return tuple(records)

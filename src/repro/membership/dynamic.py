@@ -70,6 +70,7 @@ class DynamicMembership:
             member_cert = ca.current_certificate(member)
             if member_cert is not None:
                 self._certs[member] = member_cert
+                self.failure_detector.track(member, now)
         return cert
 
     def install_certificate(self, cert: Certificate, now: float) -> bool:
@@ -81,6 +82,7 @@ class DynamicMembership:
         if current is not None and current.serial >= cert.serial:
             return False  # already have it (or something newer)
         self._certs[cert.subject] = cert
+        self.failure_detector.track(cert.subject, now)
         return True
 
     # -- event handling -------------------------------------------------------
@@ -97,6 +99,7 @@ class DynamicMembership:
                 self.rejected_events += 1
                 return False
             self._certs[event.subject] = event.certificate
+            self.failure_detector.track(event.subject, now)
             return True
         if isinstance(event, (LeaveEvent, ExpelEvent)):
             # The certificate authenticates the event even though it has
@@ -113,6 +116,7 @@ class DynamicMembership:
                 self.rejected_events += 1
                 return False
             self._certs.pop(event.subject, None)
+            self.failure_detector.untrack(event.subject)
             return True
         self.rejected_events += 1
         return False

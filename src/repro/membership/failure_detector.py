@@ -29,6 +29,23 @@ class FailureDetector:
         self._last_heard: Dict[int, float] = {}
         self._suspected: Set[int] = set()
 
+    def track(self, peer: int, now: float) -> None:
+        """Start the responsiveness clock for ``peer`` without treating
+        this as traffic.
+
+        Must be called when a peer enters the local view (initial view
+        install, join event): a member that crashes before ever sending
+        a byte has no ``heard_from`` record, and without a clock it
+        would stay "responsive" forever.  Idempotent — an existing
+        record (and any standing suspicion) is left untouched.
+        """
+        self._last_heard.setdefault(peer, now)
+
+    def untrack(self, peer: int) -> None:
+        """Forget ``peer`` entirely (it left or was expelled)."""
+        self._last_heard.pop(peer, None)
+        self._suspected.discard(peer)
+
     def heard_from(self, peer: int, now: float) -> None:
         """Record any inbound traffic from ``peer`` (implicit heartbeat)."""
         self._last_heard[peer] = now

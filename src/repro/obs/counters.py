@@ -45,10 +45,20 @@ class ObsCounters:
         self.delivered_by_round: Counter = Counter()
         self.delivery_round_by_node: Dict[int, int] = {}
         self.delivered_by_via: Counter = Counter()
+        #: deliveries to mid-run joiners (``via="joiner"``) by round —
+        #: kept apart because ``RunResult.counts`` tracks the initial
+        #: group only.
+        self.joiner_delivered_by_round: Counter = Counter()
         #: fault transitions seen.
         self.crashes = 0
         self.heals = 0
         self.partitions = 0
+        #: membership lifecycle transitions seen.
+        self.joins = 0
+        self.leaves = 0
+        self.expels = 0
+        self.suspects = 0
+        self.rehabilitations = 0
         #: sweep-orchestrator cells: engine runs vs cache-served cells.
         self.sweep_cells_computed = 0
         self.sweep_cache_hits = 0
@@ -101,12 +111,24 @@ class ObsCounters:
             via = event.get("via")
             if via is not None:
                 self.delivered_by_via[via] += count
+                if via == "joiner" and rnd is not None:
+                    self.joiner_delivered_by_round[rnd] += count
         elif ev == "crash":
             self.crashes += len(event.get("nodes", ()))
         elif ev == "heal":
             self.heals += len(event.get("nodes", ()))
         elif ev == "partition":
             self.partitions += 1
+        elif ev == "member_join":
+            self.joins += len(event.get("nodes", ()))
+        elif ev == "member_leave":
+            self.leaves += len(event.get("nodes", ()))
+        elif ev == "member_expel":
+            self.expels += len(event.get("nodes", ()))
+        elif ev == "suspect":
+            self.suspects += len(event.get("nodes", ()))
+        elif ev == "rehabilitate":
+            self.rehabilitations += len(event.get("nodes", ()))
         elif ev == "cell_cache_hit":
             self.sweep_cache_hits += 1
         elif ev == "cache_hit":
@@ -135,6 +157,14 @@ class ObsCounters:
             out.append(total)
         return out
 
+    def _joiner_infection_counts(self, rounds: int) -> List[int]:
+        out = []
+        total = 0
+        for r in range(rounds + 1):
+            total += self.joiner_delivered_by_round.get(r, 0)
+            out.append(total)
+        return out
+
     def reconcile_run(self, result) -> List[str]:
         """Cross-check the counters against a :class:`RunResult`.
 
@@ -147,12 +177,21 @@ class ObsCounters:
         problems: List[str] = []
         counts = [int(v) for v in result.counts]
         final = counts[-1]
-        if self.delivered_total != final:
+        # Mid-run joiners sit outside the initial group counts track, so
+        # their deliveries (tagged via="joiner") are reconciled apart.
+        joiner_total = self.delivered_by_via.get("joiner", 0)
+        if self.delivered_total - joiner_total != final:
             problems.append(
-                f"delivered events total {self.delivered_total} != final "
-                f"holder count {final}"
+                f"delivered events total {self.delivered_total - joiner_total}"
+                f" (joiner deliveries excluded) != final holder count {final}"
             )
-        implied = self.infection_counts(len(counts) - 1)
+        implied = [
+            base - joiners
+            for base, joiners in zip(
+                self.infection_counts(len(counts) - 1),
+                self._joiner_infection_counts(len(counts) - 1),
+            )
+        ]
         if implied != counts:
             problems.append(
                 f"per-round infection counts diverge: trace {implied} vs "
@@ -282,6 +321,26 @@ class ObsCounters:
                 ('{kind="partition"}', float(self.partitions)),
             ]
             if (self.crashes or self.heals or self.partitions)
+            else [],
+        )
+        membership_total = (
+            self.joins
+            + self.leaves
+            + self.expels
+            + self.suspects
+            + self.rehabilitations
+        )
+        family(
+            "repro_membership_events_total",
+            "Membership lifecycle transitions observed.",
+            [
+                ('{kind="join"}', float(self.joins)),
+                ('{kind="leave"}', float(self.leaves)),
+                ('{kind="expel"}', float(self.expels)),
+                ('{kind="suspect"}', float(self.suspects)),
+                ('{kind="rehabilitate"}', float(self.rehabilitations)),
+            ]
+            if membership_total
             else [],
         )
         family(

@@ -173,6 +173,33 @@ class Tracer:
     def partition_heal(self, **extra) -> None:
         self.emit(self._ctx({"ev": "partition_heal"}, extra))
 
+    # -- membership lifecycle -------------------------------------------------
+
+    def member_join(self, nodes: Iterable[int], **extra) -> None:
+        self.emit(
+            self._ctx({"ev": "member_join", "nodes": sorted(nodes)}, extra)
+        )
+
+    def member_leave(self, nodes: Iterable[int], **extra) -> None:
+        self.emit(
+            self._ctx({"ev": "member_leave", "nodes": sorted(nodes)}, extra)
+        )
+
+    def member_expel(self, nodes: Iterable[int], **extra) -> None:
+        self.emit(
+            self._ctx({"ev": "member_expel", "nodes": sorted(nodes)}, extra)
+        )
+
+    def suspect(self, nodes: Iterable[int], **extra) -> None:
+        """Failure-detector verdicts: ``nodes`` newly suspected."""
+        self.emit(self._ctx({"ev": "suspect", "nodes": sorted(nodes)}, extra))
+
+    def rehabilitate(self, nodes: Iterable[int], **extra) -> None:
+        """Failure-detector verdicts: ``nodes`` responsive again."""
+        self.emit(
+            self._ctx({"ev": "rehabilitate", "nodes": sorted(nodes)}, extra)
+        )
+
     # -- sweep orchestration -------------------------------------------------
     #
     # Emitted by :class:`repro.sweep.SweepRunner` in cell-index order —

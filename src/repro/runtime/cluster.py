@@ -76,6 +76,16 @@ class LiveClusterConfig:
             if self.faults.is_empty:
                 object.__setattr__(self, "faults", None)
             else:
+                if self.faults.has_churn:
+                    raise ValueError(
+                        "the live runtime cannot honour churn tokens "
+                        "(join/leave/expel): it runs a fixed membership "
+                        "with no certification authority.  Drop the "
+                        "churn tokens from the fault spec "
+                        f"({self.faults.describe()!r}) or run the "
+                        "scenario on the exact/fast/mega/des engines, "
+                        "which realise dynamic membership."
+                    )
                 self.faults.validate_for(
                     n=self.n,
                     num_alive_correct=self.num_correct,

@@ -38,7 +38,12 @@ from repro.sim.parallel import (
     run_sharded,
 )
 from repro.sim.runner import default_runs, monte_carlo
-from repro.sim.sweeps import budget_sweep, extent_sweep, rate_sweep
+from repro.sim.sweeps import (
+    budget_sweep,
+    churn_sweep,
+    extent_sweep,
+    rate_sweep,
+)
 
 __all__ = [
     "MegaResult",
@@ -49,6 +54,7 @@ __all__ = [
     "Scenario",
     "WorkerPool",
     "budget_sweep",
+    "churn_sweep",
     "close_pool",
     "default_runs",
     "default_workers",

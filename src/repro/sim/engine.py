@@ -99,7 +99,18 @@ class RoundSimulator:
         )
         config = scenario.protocol_config()
         process_cls = PROCESS_CLASSES[scenario.protocol]
-        members = list(range(scenario.n))
+        # The schedule itself is seedless, so resolving it early (the
+        # full id universe is needed before processes are built under a
+        # churn plan) consumes no seed positions; the conditional
+        # Gilbert-Elliott seed draw stays in its original place below.
+        self._schedule = scenario.fault_schedule()
+        has_churn = self._schedule is not None and self._schedule.has_churn
+        # Under churn the shared destination tables must cover every id
+        # that will ever exist; the director immediately narrows each
+        # process's candidate pool to the current membership view.
+        members = list(
+            range(self._schedule.total_n if has_churn else scenario.n)
+        )
 
         # Malicious and crashed nodes exist as addresses with no open
         # ports: gossip sent to them is silently wasted.
@@ -128,7 +139,6 @@ class RoundSimulator:
         # Fault wiring comes last so its (conditional) seed draw never
         # shifts the positions faultless runs consume — the golden
         # traces pin those.
-        self._schedule = scenario.fault_schedule()
         if self._schedule is not None:
             link = scenario.faults.link
             if link is not None and link.affects_loss:
@@ -161,6 +171,15 @@ class RoundSimulator:
                     self.network,
                     seed=seeds.next_seed(),
                 )
+
+        # Membership churn wiring comes after the attacker: its joiner
+        # seed pre-draws are gated on churn tokens, so fault-only and
+        # faultless runs consume exactly the positions they always did.
+        self._churn = None
+        if has_churn:
+            from repro.sim.churn import ChurnDirector
+
+            self._churn = ChurnDirector(self, seeds)
 
         # Trace bookkeeping (fault-transition edge detection); emitting
         # run_start last means every seed position above is already
@@ -210,6 +229,17 @@ class RoundSimulator:
             # No perturbation draws ever happen, so the stable process
             # list is reused instead of being rebuilt every round.
             procs = self._all_procs
+        if self._churn is not None:
+            # Fire scheduled membership events, settle failure-detector
+            # verdicts, and refresh every process's gossip candidates
+            # before views are drawn.
+            self._churn.begin_round(self.round_no)
+            departed = self._churn.departed
+            if departed:
+                procs = [p for p in procs if p.pid not in departed]
+            joiners = self._churn.active_joiners()
+            if joiners:
+                procs = procs + joiners
         send_procs = procs
         if self._schedule is not None:
             self.network.set_block(self._schedule.blocks_fn(self.round_no))
@@ -239,6 +269,8 @@ class RoundSimulator:
             self.network.end_round()
             for p in procs:
                 p.end_round()
+            if self._churn is not None:
+                self._churn.end_round(self.round_no)
             if tr is not None:
                 self._emit_deliveries(tr)
             return
@@ -270,6 +302,8 @@ class RoundSimulator:
         for p in procs:
             p.end_round()
         prof.phase_stop("end_round")
+        if self._churn is not None:
+            self._churn.end_round(self.round_no)
         if tr is not None:
             self._emit_deliveries(tr)
 
@@ -295,6 +329,10 @@ class RoundSimulator:
         for pid, process in self.processes.items():
             if process.delivery_round == self.round_no:
                 tr.delivered(node=pid, via=process.delivery_path)
+        if self._churn is not None:
+            # Joiners count their rounds locally (from their own join),
+            # so their deliveries are detected by state edge instead.
+            self._churn.emit_joiner_deliveries(tr, self.round_no)
 
     def _attacker_step(self) -> None:
         """Let the attacker observe the group and inject its flood."""
@@ -326,7 +364,13 @@ class RoundSimulator:
             if self._schedule is not None
             else None
         )
-        while counts[-1] < target and len(counts) <= scenario.max_rounds:
+        # Under churn the run must outlive the last scheduled membership
+        # event (plus dissemination slack): a threshold met early would
+        # otherwise skip joins entirely and no churn metric could exist.
+        min_rounds = self._churn.min_rounds if self._churn is not None else 0
+        while (
+            counts[-1] < target or self.round_no < min_rounds
+        ) and len(counts) <= scenario.max_rounds:
             self.step_round()
             total = self.holders()
             in_attacked = sum(
@@ -335,15 +379,27 @@ class RoundSimulator:
             counts.append(total)
             counts_attacked.append(in_attacked)
             counts_non.append(total - in_attacked)
+            if self.round_no < min_rounds:
+                continue
             if total >= alive:
                 # Every alive correct process holds M: no further round
                 # can change any trajectory, so stop simulating even if
                 # a (mis)configured threshold exceeds the group size.
                 break
-            if doomed and all(
-                p.has_message
-                for pid, p in self.processes.items()
-                if pid not in doomed
+            if (
+                doomed
+                and all(
+                    p.has_message
+                    for pid, p in self.processes.items()
+                    if pid not in doomed
+                )
+                and (
+                    self._churn is None
+                    or all(
+                        p.has_message
+                        for p in self._churn.active_joiners()
+                    )
+                )
             ):
                 break
 
@@ -361,9 +417,15 @@ class RoundSimulator:
         )
         if self._schedule is not None:
             reachable = self._schedule.reachable_ids(scenario.max_rounds)
-            result.residual_reliability = sum(
-                self.processes[pid].has_message for pid in reachable
-            ) / len(reachable)
+            if self._churn is not None:
+                result.residual_reliability = sum(
+                    self._churn.holder(pid) for pid in reachable
+                ) / len(reachable)
+                result.churn = self._churn.finalize(len(counts) - 1)
+            else:
+                result.residual_reliability = sum(
+                    self.processes[pid].has_message for pid in reachable
+                ) / len(reachable)
             heal = self._schedule.last_heal_round()
             if heal:
                 rtt = result.rounds_to_threshold()

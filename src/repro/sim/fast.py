@@ -107,6 +107,56 @@ def _fabricated_counts(
     return counts
 
 
+def _draw_views_from_pool(
+    rng: np.random.Generator,
+    r_count: int,
+    sender_ids: np.ndarray,
+    pool: np.ndarray,
+    v: int,
+) -> np.ndarray:
+    """(runs, S, v) gossip targets drawn from a membership pool.
+
+    The churn-mode analogue of :func:`_draw_views`: targets are uniform
+    distinct ``v``-subsets of ``pool`` (a sorted id array — the current
+    aware-and-responsive membership view), excluding the sender itself
+    when it appears in the pool.
+    """
+    k = len(pool)
+    pos = np.searchsorted(pool, sender_ids)
+    in_pool = (pos < k) & (pool[np.minimum(pos, k - 1)] == sender_ids)
+    high = k - in_pool.astype(np.int64)  # per-sender candidate count
+    if np.any(high < v):
+        raise ValueError(
+            f"membership view too small for {v} distinct gossip targets "
+            f"(churn left only {int(high.min())} candidates)"
+        )
+    if v * (v - 1) >= int(high.min()) - 1:
+        # Dense fan-out relative to the pool: permutation draw, with the
+        # sender's own slot pushed past every candidate.
+        keys = rng.random((r_count, len(sender_ids), k))
+        rows = np.flatnonzero(in_pool)
+        if len(rows):
+            keys[:, rows, pos[rows]] = np.inf
+        idx = np.argsort(keys, axis=2)[:, :, :v]
+        return pool[idx]
+    idx = rng.integers(0, high[None, :, None], size=(r_count, len(sender_ids), v))
+    idx += in_pool[None, :, None] & (idx >= pos[None, :, None])
+    if v > 1:
+        while True:
+            ordered = np.sort(idx, axis=2)
+            dup_rows = (ordered[:, :, 1:] == ordered[:, :, :-1]).any(axis=2)
+            if not dup_rows.any():
+                break
+            count = int(dup_rows.sum())
+            high_of = np.broadcast_to(high[None, :], dup_rows.shape)[dup_rows]
+            redraw = rng.integers(0, high_of[:, None], size=(count, v))
+            pos_of = np.broadcast_to(pos[None, :], dup_rows.shape)[dup_rows]
+            inp_of = np.broadcast_to(in_pool[None, :], dup_rows.shape)[dup_rows]
+            redraw += inp_of[:, None] & (redraw >= pos_of[:, None])
+            idx[dup_rows] = redraw
+    return pool[idx]
+
+
 def _accept_any(
     rng: np.random.Generator,
     m_arrivals: np.ndarray,
@@ -161,6 +211,13 @@ def run_fast(
             f'with engine="mega" (repro.sim.mega), which packs per-node '
             f"state into bitmaps and streams the node axis"
         )
+    # Resolve the fault plan up front (seedless): churn plans run on a
+    # dedicated loop whose state spans the extended id universe.
+    schedule = scenario.fault_schedule()
+    if schedule is not None and schedule.has_churn:
+        return _run_fast_churn(
+            scenario, runs, schedule, seed=seed, horizon=horizon, tracer=tracer
+        )
     rng = derive_rng(seed)
     n = scenario.n
     cfg = scenario.protocol_config()
@@ -201,7 +258,6 @@ def run_fast(
     # per-packet chain, but the same stationary loss; cross-engine
     # equivalence under faults is statistical only.  None of this block
     # touches the RNG unless the scenario carries faults.
-    schedule = scenario.fault_schedule()
     ge = None
     ge_bad = None
     nondoomed_cols = None
@@ -482,4 +538,403 @@ def run_fast(
         counts_attacked=counts_attacked,
         counts_non_attacked=counts - counts_attacked,
         reachable_holders=reachable_holders,
+    )
+
+
+def _run_fast_churn(
+    scenario: Scenario,
+    runs: int,
+    schedule,
+    *,
+    seed: SeedLike,
+    horizon: Optional[int],
+    tracer,
+) -> MonteCarloResult:
+    """Churn-mode vectorised loop over the extended id universe.
+
+    Joiners occupy ids ``n .. total_n - 1`` and the state arrays span
+    ``total_n`` columns.  Membership is the deterministic awareness-lag
+    model shared with the mega engine: every node's gossip candidate
+    list at round ``r`` is ``schedule.aware_targets_at(r, lag)`` with
+    ``lag = schedule.awareness_lag(fan_out)`` — a membership event
+    becomes globally visible after the logarithmic dissemination delay
+    an epidemic of the event record needs, and failure-detector
+    suspicions drop unresponsive members from the pool after
+    ``FD_TIMEOUT_ROUNDS`` silent rounds.  The exact engine realises the
+    same sequence of join / leave / expel / suspect transitions through
+    object-level certificates and per-process detectors; the fast model
+    keeps the *sequence* identical (it is resolved seedlessly by the
+    schedule) and approximates only the propagation jitter.
+
+    This loop is only entered for plans with churn tokens, so the
+    faultless and crash/partition-only RNG streams of :func:`run_fast`
+    are untouched.
+    """
+    rng = derive_rng(seed)
+    n = scenario.n
+    total_n = schedule.total_n
+    if total_n > FAST_MAX_N:
+        raise ValueError(
+            f"churn plan grows the group to {total_n} ids, over the fast "
+            f'engine\'s dense-layout limit of {FAST_MAX_N}; use engine="mega"'
+        )
+    cfg = scenario.protocol_config()
+    loss = scenario.loss
+    num_alive = scenario.num_alive_correct
+    num_attacked = scenario.num_attacked
+    lag = schedule.awareness_lag(scenario.fan_out)
+
+    # Correct processes: the initial alive-correct block plus every
+    # joiner id.  Malicious and crashed-block ids never accept M.
+    correct = np.zeros(total_n, dtype=bool)
+    correct[:num_alive] = True
+    correct[n:] = True
+
+    v_push = cfg.view_push_size
+    v_pull = cfg.view_pull_size
+    shared_bound = cfg.shared_in_bound
+    if v_push + v_pull > n - 1:
+        raise ValueError(
+            f"group of {n} is too small for a combined fan-out of "
+            f"{v_push + v_pull} distinct targets"
+        )
+
+    if scenario.attack is not None:
+        load = scenario.attack.port_load(scenario.protocol)
+    else:
+        load = PortLoad()
+
+    num_perturbed = scenario.num_perturbed
+    perturb_lo = num_alive - num_perturbed
+    perturb_prob = scenario.perturbation_prob
+
+    ge = None
+    ge_bad = None
+    link = scenario.faults.link if scenario.faults is not None else None
+    if link is not None and link.affects_loss:
+        ge = link
+        ge_bad = np.zeros(runs, dtype=bool)
+
+    # Joiner bookkeeping: spawn rounds and first-delivery rounds feed
+    # the join-latency metric.
+    join_round_of = {}
+    for at, _stop, first_id, count in schedule.join_blocks():
+        for j in range(first_id, first_id + count):
+            join_round_of[j] = at
+    joiner_ids = np.array(sorted(join_round_of), dtype=np.int64)
+    join_rounds = np.array(
+        [join_round_of[j] for j in joiner_ids], dtype=np.int64
+    )
+    deliv = np.full((runs, len(joiner_ids)), -1, dtype=np.int32)
+
+    doomed = schedule.doomed_ids(scenario.max_rounds)
+    nondoomed_cols = None
+    if doomed:
+        nondoomed_cols = np.array(
+            sorted(
+                (set(range(num_alive)) | set(joiner_ids.tolist())) - doomed
+            ),
+            dtype=np.int64,
+        )
+
+    # Runs stay active until every membership event has both fired and
+    # propagated, mirroring the exact engine's minimum-round floor.
+    min_rounds = max(e["round"] for e in schedule.churn_timeline()) + lag
+
+    has = np.zeros((runs, total_n), dtype=bool)
+    has[:, scenario.source] = True
+
+    target = scenario.threshold_count()
+    max_rounds = horizon if horizon is not None else scenario.max_rounds
+
+    cur_total = np.ones(runs, dtype=np.int32)
+    cur_attacked = np.ones(runs, dtype=np.int32)
+    if num_attacked == 0:
+        cur_attacked = np.zeros(runs, dtype=np.int32)
+    hist_total: List[np.ndarray] = [cur_total.copy()]
+    hist_attacked: List[np.ndarray] = [cur_attacked.copy()]
+
+    active = np.ones(runs, dtype=bool)
+    end_round = np.zeros(runs, dtype=np.int32)
+
+    if tracer is not None:
+        tracer.run_start(
+            "fast", protocol=scenario.protocol.value, n=n, runs=runs
+        )
+        tracer.delivered(
+            node=scenario.source, via="source", count=int(cur_total.sum())
+        )
+
+    for round_no in range(1, max_rounds + 1):
+        if not active.any():
+            break
+        act = np.flatnonzero(active)
+        r_count = len(act)
+        if tracer is not None:
+            tracer.round_start(round_no, active_runs=r_count)
+        has_start = has[act]
+        new_has = has_start.copy()
+
+        if ge is not None:
+            flip = np.where(ge_bad, ge.p_bad_to_good, ge.p_good_to_bad)
+            ge_bad ^= rng.random(runs) < flip
+            loss_run = np.where(ge_bad, ge.loss_bad, ge.loss_good)[act]
+            loss2 = loss_run[:, None]
+            loss3 = loss_run[:, None, None]
+        else:
+            loss2 = loss3 = loss
+
+        # ---- deterministic membership state for this round ------------------
+        present = schedule.present_at(round_no)
+        crashed = schedule.crashed_at(round_no)
+        stalled = schedule.stalled_at(round_no)
+        pool = np.fromiter(
+            sorted(schedule.aware_targets_at(round_no, lag)),
+            dtype=np.int64,
+        )
+        present_mask = np.zeros(total_n, dtype=bool)
+        present_mask[list(present)] = True
+        can_recv = correct & present_mask
+        sender_ids = np.array(
+            sorted(
+                i
+                for i in present
+                if (i < num_alive or i >= n)
+                and i not in crashed
+                and i not in stalled
+            ),
+            dtype=np.int64,
+        )
+
+        views = _draw_views_from_pool(
+            rng, r_count, sender_ids, pool, v_push + v_pull
+        )
+        t_push = views[:, :, :v_push]
+        t_pull = views[:, :, v_push:]
+
+        awake = np.ones((r_count, total_n), dtype=bool)
+        if num_perturbed and perturb_prob > 0:
+            awake[:, perturb_lo:num_alive] = (
+                rng.random((r_count, num_perturbed)) >= perturb_prob
+            )
+        if crashed:
+            awake[:, list(crashed)] = False
+        stall_ok = None
+        if stalled:
+            stall_ok = np.ones(total_n, dtype=bool)
+            stall_ok[list(stalled)] = False
+        in_a = None
+        side_a = schedule.partition_at(round_no)
+        if side_a is not None:
+            # Joiners sit with the source's side of the split, matching
+            # the schedule's reachability accounting.
+            in_a = np.zeros(total_n, dtype=bool)
+            in_a[list(side_a)] = True
+            in_a[n:] = in_a[scenario.source]
+
+        sender_awake = awake[:, sender_ids, None]
+        if stall_ok is not None:
+            sender_awake = sender_awake & stall_ok[sender_ids][None, :, None]
+
+        push_valid = push_m = fab_push = None
+        if v_push:
+            sent = (rng.random(t_push.shape) >= loss3) & sender_awake
+            if in_a is not None:
+                sent &= in_a[sender_ids][None, :, None] == in_a[t_push]
+            run_ix = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_push.shape
+            )
+            push_valid = _bincount(
+                run_ix[sent], t_push[sent], r_count, total_n
+            )
+            holder = sent & has_start[:, sender_ids][:, :, None]
+            push_m = _bincount(
+                run_ix[holder], t_push[holder], r_count, total_n
+            )
+            fab_push = np.zeros((r_count, total_n), dtype=np.int64)
+            if load.push > 0 and num_attacked:
+                fab_push[:, :num_attacked] = _fabricated_counts(
+                    rng, load.push, (r_count, num_attacked), loss2
+                )
+
+        req_valid = fab_req = req_sent = None
+        fab_reply = None
+        if v_pull:
+            req_sent = (rng.random(t_pull.shape) >= loss3) & sender_awake
+            if in_a is not None:
+                req_sent &= in_a[sender_ids][None, :, None] == in_a[t_pull]
+            run_ix_q = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_pull.shape
+            )
+            req_valid = _bincount(
+                run_ix_q[req_sent], t_pull[req_sent], r_count, total_n
+            )
+            fab_req = np.zeros((r_count, total_n), dtype=np.int64)
+            if load.pull_request > 0 and num_attacked:
+                fab_req[:, :num_attacked] = _fabricated_counts(
+                    rng, load.pull_request, (r_count, num_attacked), loss2
+                )
+
+        p_pool = None
+        if shared_bound is not None:
+            pool_load = (push_valid + fab_push + req_valid + fab_req).astype(
+                float
+            )
+            pool_load[:, sender_ids] += v_push
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_pool = np.where(
+                    pool_load > 0,
+                    np.minimum(1.0, shared_bound / pool_load),
+                    1.0,
+                )
+            p_pool = p_pool * can_recv[None, :] * awake
+
+        if v_push and shared_bound is None:
+            total = push_valid + fab_push
+            got_push = _accept_any(rng, push_m, total, cfg.push_in_bound)
+            got_push &= can_recv[None, :] & awake
+            new_has |= got_push
+        elif v_push:
+            run_ix = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_push.shape
+            )
+            offer_ok = (rng.random(t_push.shape) >= loss3) & sender_awake
+            if in_a is not None:
+                offer_ok &= in_a[sender_ids][None, :, None] == in_a[t_push]
+            offer_acc = offer_ok & (
+                rng.random(t_push.shape) < p_pool[run_ix, t_push]
+            )
+            if stall_ok is not None:
+                offer_acc &= stall_ok[t_push]
+            reply_acc = (
+                offer_acc
+                & (rng.random(t_push.shape) >= loss3)
+                & (rng.random(t_push.shape) < p_pool[:, sender_ids, None])
+            )
+            data_ok = reply_acc & (rng.random(t_push.shape) >= loss3)
+            m_data = data_ok & has_start[:, sender_ids][:, :, None]
+            arrivals = _bincount(
+                run_ix[m_data], t_push[m_data], r_count, total_n
+            )
+            got_push = (arrivals >= 1) & can_recv[None, :] & awake
+            new_has |= got_push
+
+        if v_pull:
+            if shared_bound is not None:
+                accept_prob = p_pool * awake
+            else:
+                denom = req_valid + fab_req
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    accept_prob = np.where(
+                        denom > 0,
+                        np.minimum(1.0, cfg.pull_in_bound / denom),
+                        1.0,
+                    )
+                accept_prob = accept_prob * can_recv[None, :] * awake
+
+            run_ix_q = np.broadcast_to(
+                np.arange(r_count)[:, None, None], t_pull.shape
+            )
+            accepted = req_sent & (
+                rng.random(t_pull.shape) < accept_prob[run_ix_q, t_pull]
+            )
+            if stall_ok is not None:
+                accepted &= stall_ok[t_pull]
+            reply_ok = accepted & (rng.random(t_pull.shape) >= loss3)
+            m_reply = reply_ok & has_start[run_ix_q, t_pull]
+
+            if cfg.uses_random_ports:
+                got_pull = m_reply.any(axis=2)
+            else:
+                replies = reply_ok.sum(axis=2)
+                m_replies = m_reply.sum(axis=2)
+                fab_reply = np.zeros(
+                    (r_count, len(sender_ids)), dtype=np.int64
+                )
+                rows_attacked = np.flatnonzero(sender_ids < num_attacked)
+                if load.pull_reply > 0 and len(rows_attacked):
+                    fab_reply[:, rows_attacked] = _fabricated_counts(
+                        rng,
+                        load.pull_reply,
+                        (r_count, len(rows_attacked)),
+                        loss2,
+                    )
+                got_pull = _accept_any(
+                    rng, m_replies, replies + fab_reply, cfg.pull_in_bound
+                )
+            new_has[:, sender_ids] = new_has[:, sender_ids] | got_pull
+
+        has[act] = new_has
+        cur_total[act] = new_has[:, :num_alive].sum(axis=1, dtype=np.int32)
+        cur_attacked[act] = new_has[:, :num_attacked].sum(
+            axis=1, dtype=np.int32
+        )
+        hist_total.append(cur_total.copy())
+        hist_attacked.append(cur_attacked.copy())
+        end_round[act] = round_no
+
+        if len(joiner_ids):
+            fresh = new_has[:, joiner_ids] & (deliv[act] == -1)
+            if fresh.any():
+                block = deliv[act]
+                block[fresh] = round_no
+                deliv[act] = block
+
+        if tracer is not None:
+            attempts = int(sender_awake.sum()) * (v_push + v_pull)
+            if attempts:
+                tracer.gossip_sent(-1, -1, count=attempts)
+            fab_total = 0
+            for fab in (fab_push, fab_req, fab_reply):
+                if fab is not None:
+                    fab_total += int(fab.sum())
+            if fab_total:
+                tracer.flood_sent(-1, -1, count=fab_total)
+            delivered_now = int(new_has.sum() - has_start.sum())
+            if delivered_now:
+                tracer.delivered(count=delivered_now)
+
+        if horizon is None and round_no >= min_rounds:
+            still = cur_total[act] < target
+            if nondoomed_cols is not None:
+                still &= ~new_has[:, nondoomed_cols].all(axis=1)
+            active[act] = still
+
+    if tracer is not None:
+        tracer.run_end(
+            rounds=len(hist_total) - 1,
+            delivered=int(cur_total.sum()),
+            runs=runs,
+        )
+    counts = np.stack(hist_total, axis=1)
+    counts_attacked = np.stack(hist_attacked, axis=1)
+    reachable = schedule.reachable_ids(scenario.max_rounds)
+    reachable_holders = (
+        has[:, sorted(reachable)].sum(axis=1).astype(np.int32)
+    )
+
+    # churn_stats[:, 0]: mean join latency (rounds from spawn to first
+    # copy of M) over joiners still reachable at the horizon, censored
+    # at each run's final simulated round.  churn_stats[:, 1]: view
+    # convergence — deterministic ``lag`` under the awareness model.
+    churn_stats = np.full((runs, 2), np.nan, dtype=np.float64)
+    reach_mask = np.array(
+        [int(j) in reachable for j in joiner_ids], dtype=bool
+    )
+    if reach_mask.any():
+        # Latency counts joiner-local rounds starting at 1 (delivery in
+        # the spawn round itself is latency 1), matching the exact
+        # engine's per-process round clock.
+        d = deliv[:, reach_mask].astype(np.float64)
+        jr = join_rounds[reach_mask].astype(np.float64)
+        latency = np.where(d >= 0, d - jr, end_round[:, None] - jr) + 1.0
+        churn_stats[:, 0] = np.maximum(latency, 1.0).mean(axis=1)
+    churn_stats[:, 1] = float(lag)
+    return MonteCarloResult(
+        scenario=scenario,
+        counts=counts,
+        counts_attacked=counts_attacked,
+        counts_non_attacked=counts - counts_attacked,
+        reachable_holders=reachable_holders,
+        churn_stats=churn_stats,
     )

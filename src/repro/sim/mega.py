@@ -146,6 +146,7 @@ class MegaResult(MonteCarloResult):
         counts_attacked: np.ndarray,
         counts_non_attacked: np.ndarray,
         reachable_holders: Optional[np.ndarray] = None,
+        churn_stats: Optional[np.ndarray] = None,
         shard_nodes: int = 0,
         blocks: int = 0,
         peak_state_bytes: int = 0,
@@ -156,6 +157,7 @@ class MegaResult(MonteCarloResult):
             counts_attacked=counts_attacked,
             counts_non_attacked=counts_non_attacked,
             reachable_holders=reachable_holders,
+            churn_stats=churn_stats,
         )
         self.shard_nodes = int(shard_nodes)
         self.blocks = int(blocks)
@@ -183,6 +185,7 @@ class MegaResult(MonteCarloResult):
         check_envelope(data, "mega")
         body = data["data"]
         holders = body.get("reachable_holders")
+        churn_stats = body.get("churn_stats")
         meta = body.get("mega") or {}
         return cls(
             scenario=Scenario.from_dict(data["config"]),
@@ -196,6 +199,9 @@ class MegaResult(MonteCarloResult):
             reachable_holders=None
             if holders is None
             else np.asarray(holders, dtype=np.int32),
+            churn_stats=None
+            if churn_stats is None
+            else np.asarray(churn_stats, dtype=np.float64),
             shard_nodes=meta.get("shard_nodes", 0),
             blocks=meta.get("blocks", 0),
             peak_state_bytes=meta.get("peak_state_bytes", 0),
@@ -320,8 +326,24 @@ def _run_one(
     horizon: Optional[int],
     shard_nodes: int,
     tracer=None,
-) -> Tuple[np.ndarray, np.ndarray, Optional[int], int]:
-    """One packed run: ``(counts, counts_attacked, reachable, peak_bytes)``."""
+) -> Tuple[np.ndarray, np.ndarray, Optional[int], int, Optional[tuple]]:
+    """One packed run.
+
+    Returns ``(counts, counts_attacked, reachable, peak_bytes, churn)``
+    where ``churn`` is ``None`` for static plans and ``(join_latency,
+    view_convergence)`` for churn plans (handled by the dedicated loop
+    in :func:`_run_one_churn`).
+    """
+    schedule = scenario.fault_schedule()
+    if schedule is not None and schedule.has_churn:
+        return _run_one_churn(
+            scenario,
+            schedule,
+            seed=seed,
+            horizon=horizon,
+            shard_nodes=shard_nodes,
+            tracer=tracer,
+        )
     root = _run_root(seed)
     n = scenario.n
     cfg = scenario.protocol_config()
@@ -351,7 +373,6 @@ def _run_one(
     n_blocks = (n + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES
     sender_blocks = (num_alive + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES
 
-    schedule = scenario.fault_schedule()
     ge = None
     ge_bad = False
     mask_cache: dict = {}
@@ -674,6 +695,491 @@ def _run_one(
         np.array(hist_attacked, dtype=np.int32),
         reachable_holders,
         peak_bytes,
+        None,
+    )
+
+
+def _block_views_pool(
+    g: np.random.Generator, senders: np.ndarray, pool: np.ndarray, v: int
+) -> np.ndarray:
+    """(block, v) gossip targets drawn from a sorted membership pool.
+
+    The churn-mode analogue of :func:`_block_views`, matching the fast
+    engine's :func:`repro.sim.fast._draw_views_from_pool` distribution:
+    uniform distinct ``v``-subsets of ``pool`` excluding the sender
+    itself where it appears.
+    """
+    k = len(pool)
+    pos = np.searchsorted(pool, senders)
+    in_pool = (pos < k) & (pool[np.minimum(pos, k - 1)] == senders)
+    high = k - in_pool.astype(np.int64)
+    if np.any(high < v):
+        raise ValueError(
+            f"membership view too small for {v} distinct gossip targets "
+            f"(churn left only {int(high.min())} candidates)"
+        )
+    if v * (v - 1) >= int(high.min()) - 1:
+        keys = g.random((len(senders), k))
+        rows = np.flatnonzero(in_pool)
+        if len(rows):
+            keys[rows, pos[rows]] = np.inf
+        idx = np.argsort(keys, axis=1)[:, :v]
+        return pool[idx]
+    idx = g.integers(0, high[:, None], size=(len(senders), v))
+    idx += in_pool[:, None] & (idx >= pos[:, None])
+    if v > 1:
+        while True:
+            ordered = np.sort(idx, axis=1)
+            dup = (ordered[:, 1:] == ordered[:, :-1]).any(axis=1)
+            if not dup.any():
+                break
+            redraw = g.integers(
+                0, high[dup][:, None], size=(int(dup.sum()), v)
+            )
+            redraw += in_pool[dup][:, None] & (redraw >= pos[dup][:, None])
+            idx[dup] = redraw
+    return pool[idx]
+
+
+def _bit_or_ids(packed: np.ndarray, ids: np.ndarray) -> None:
+    """Set the (arbitrary, possibly unaligned) bits ``ids`` in ``packed``."""
+    if len(ids) == 0:
+        return
+    np.bitwise_or.at(
+        packed, ids >> 3, (np.uint8(1) << (ids & 7).astype(np.uint8))
+    )
+
+
+def _run_one_churn(
+    scenario: Scenario,
+    schedule,
+    *,
+    seed: SeedLike,
+    horizon: Optional[int],
+    shard_nodes: int,
+    tracer=None,
+) -> Tuple[np.ndarray, np.ndarray, Optional[int], int, Optional[tuple]]:
+    """One packed run under a churn plan.
+
+    State spans the extended id universe ``total_n`` (joiners at ids
+    ``n ..``) and membership follows the same deterministic
+    awareness-lag model as the fast engine's churn loop: view draws are
+    restricted to ``schedule.aware_targets_at(round, lag)`` and sender
+    participation to the present, unsuspected, responsive membership.
+    Randomness stays positional per ``(round, node-block)`` — the
+    sender set of each block is schedule-determined, never
+    shard-determined — so any ``shard_nodes`` and any worker count
+    yield byte-identical results.
+    """
+    root = _run_root(seed)
+    n = scenario.n
+    nm = schedule.total_n
+    cfg = scenario.protocol_config()
+    loss = scenario.loss
+    num_alive = scenario.num_alive_correct
+    num_attacked = scenario.num_attacked
+    num_perturbed = scenario.num_perturbed
+    perturb_lo = num_alive - num_perturbed
+    perturb_prob = scenario.perturbation_prob
+    lag = schedule.awareness_lag(scenario.fan_out)
+
+    v_push = cfg.view_push_size
+    v_pull = cfg.view_pull_size
+    v = v_push + v_pull
+    shared_bound = cfg.shared_in_bound
+    if v > n - 1:
+        raise ValueError(
+            f"group of {n} is too small for a combined fan-out of "
+            f"{v} distinct targets"
+        )
+
+    load = (
+        scenario.attack.port_load(scenario.protocol)
+        if scenario.attack is not None
+        else PortLoad()
+    )
+
+    n_blocks = (nm + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES
+
+    ge = None
+    ge_bad = False
+    link = scenario.faults.link if scenario.faults is not None else None
+    if link is not None and link.affects_loss:
+        ge = link
+
+    correct = np.zeros(nm, dtype=bool)
+    correct[:num_alive] = True
+    correct[n:] = True
+
+    join_round_of = {}
+    for at, _stop, first_id, count in schedule.join_blocks():
+        for j in range(first_id, first_id + count):
+            join_round_of[j] = at
+    joiner_ids = np.array(sorted(join_round_of), dtype=np.int64)
+    join_rounds = np.array(
+        [join_round_of[j] for j in joiner_ids], dtype=np.int64
+    )
+    deliv = np.full(len(joiner_ids), -1, dtype=np.int32)
+
+    doomed = schedule.doomed_ids(scenario.max_rounds)
+    nondoomed_packed = None
+    nondoomed_count = 0
+    if doomed:
+        nondoomed = sorted(
+            (set(range(num_alive)) | set(joiner_ids.tolist())) - doomed
+        )
+        nondoomed_packed = mask_to_packed(nm, nondoomed)
+        nondoomed_count = len(nondoomed)
+
+    min_rounds = max(e["round"] for e in schedule.churn_timeline()) + lag
+
+    has = np.zeros(packed_size(nm), dtype=np.uint8)
+    has[0] |= 1  # the source (id 0) holds M
+    alive_awake = np.zeros(nm, dtype=bool)
+    push_valid = np.zeros(nm, dtype=np.int64) if v_push else None
+    push_m = np.zeros(nm, dtype=np.int64) if v_push else None
+    req_valid = np.zeros(nm, dtype=np.int64) if v_pull else None
+    fab_push = (
+        np.zeros(num_attacked, dtype=np.int64)
+        if v_push and num_attacked
+        else None
+    )
+    fab_req = (
+        np.zeros(num_attacked, dtype=np.int64)
+        if v_pull and num_attacked
+        else None
+    )
+
+    target = scenario.threshold_count()
+    max_rounds = horizon if horizon is not None else scenario.max_rounds
+
+    cur_total = 1
+    cur_attacked = 1 if num_attacked else 0
+    hist_total = [cur_total]
+    hist_attacked = [cur_attacked]
+    active = True
+    end_round = 0
+    peak_bytes = 0
+
+    if tracer is not None:
+        tracer.run_start(
+            "mega", protocol=scenario.protocol.value, n=n, runs=1
+        )
+        tracer.delivered(node=scenario.source, via="source", count=1)
+
+    for round_no in range(1, max_rounds + 1):
+        if not active:
+            break
+        if tracer is not None:
+            tracer.round_start(round_no, active_runs=1)
+        rngs = _BlockRngs(root, round_no)
+
+        if ge is not None:
+            g_run = rngs(n_blocks)
+            flip = ge.p_bad_to_good if ge_bad else ge.p_good_to_bad
+            ge_bad ^= bool(g_run.random() < flip)
+            loss_round = ge.loss_bad if ge_bad else ge.loss_good
+        else:
+            loss_round = loss
+
+        # ---- deterministic membership state for this round ------------------
+        present = schedule.present_at(round_no)
+        crashed_set = schedule.crashed_at(round_no)
+        stalled_set = schedule.stalled_at(round_no)
+        pool = np.fromiter(
+            sorted(schedule.aware_targets_at(round_no, lag)),
+            dtype=np.int64,
+        )
+        present_mask = np.zeros(nm, dtype=bool)
+        present_mask[list(present)] = True
+        sender_mask = np.zeros(nm, dtype=bool)
+        sender_mask[
+            [
+                i
+                for i in present
+                if (i < num_alive or i >= n)
+                and i not in crashed_set
+                and i not in stalled_set
+            ]
+        ] = True
+        stall_ok = None
+        if stalled_set:
+            stall_ok = np.ones(nm, dtype=bool)
+            stall_ok[list(stalled_set)] = False
+        in_a = None
+        side_a = schedule.partition_at(round_no)
+        if side_a is not None:
+            in_a = np.zeros(nm, dtype=bool)
+            in_a[list(side_a)] = True
+            in_a[n:] = in_a[scenario.source]
+
+        alive_awake[:] = correct & present_mask
+        if crashed_set:
+            alive_awake[list(crashed_set)] = False
+        new_has = has.copy()
+        round_bytes = (
+            has.nbytes + new_has.nbytes + alive_awake.nbytes
+            + present_mask.nbytes + sender_mask.nbytes + pool.nbytes
+        )
+
+        # -- phase A: sender draws, arrival counters -------------------------
+        if push_valid is not None:
+            push_valid[:] = 0
+            push_m[:] = 0
+        if req_valid is not None:
+            req_valid[:] = 0
+        pull_stash: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        push_stash: List[Tuple[np.ndarray, np.ndarray]] = []
+        sender_attempts = 0
+        for start, stop in _shard_ranges(nm, shard_nodes):
+            for b_start in range(start, stop, MEGA_BLOCK_NODES):
+                b_stop = min(b_start + MEGA_BLOCK_NODES, stop, nm)
+                block = b_start // MEGA_BLOCK_NODES
+                b_senders = np.flatnonzero(
+                    sender_mask[b_start:b_stop]
+                ) + b_start
+                lo = max(b_start, perturb_lo)
+                hi = min(b_stop, num_alive)
+                needs_perturb = (
+                    num_perturbed and perturb_prob > 0 and lo < hi
+                )
+                if not len(b_senders) and not needs_perturb:
+                    continue  # positional seeding: skipping burns no draws
+                g = rngs(block)
+                if needs_perturb:
+                    asleep = g.random(hi - lo) < perturb_prob
+                    alive_awake[lo:hi] &= ~asleep
+                if not len(b_senders):
+                    continue
+                send_ok = alive_awake[b_senders]
+                views = _block_views_pool(g, b_senders, pool, v)
+                t_push = views[:, :v_push]
+                t_pull = views[:, v_push:]
+                has_b = bit_get(has, b_senders)
+                if v_push:
+                    sent = (
+                        (g.random(t_push.shape) >= loss_round)
+                        & send_ok[:, None]
+                    )
+                    if in_a is not None:
+                        sent &= in_a[b_senders][:, None] == in_a[t_push]
+                    push_valid += np.bincount(
+                        t_push[sent], minlength=nm
+                    )
+                    holder = sent & has_b[:, None]
+                    push_m += np.bincount(t_push[holder], minlength=nm)
+                    if shared_bound is not None:
+                        push_stash.append((b_senders, t_push))
+                if v_pull:
+                    req_sent = (
+                        (g.random(t_pull.shape) >= loss_round)
+                        & send_ok[:, None]
+                    )
+                    if in_a is not None:
+                        req_sent &= in_a[b_senders][:, None] == in_a[t_pull]
+                    req_valid += np.bincount(
+                        t_pull[req_sent], minlength=nm
+                    )
+                    pull_stash.append((b_senders, t_pull, req_sent))
+                sender_attempts += int(send_ok.sum()) * v
+        round_bytes += sum(
+            s.nbytes + t.nbytes + m.nbytes for s, t, m in pull_stash
+        ) + sum(s.nbytes + t.nbytes for s, t in push_stash)
+        if push_valid is not None:
+            round_bytes += push_valid.nbytes + push_m.nbytes
+        if req_valid is not None:
+            round_bytes += req_valid.nbytes
+
+        # -- phase B: fabricated floods at attacked nodes --------------------
+        for fab, rate in ((fab_push, load.push), (fab_req, load.pull_request)):
+            if fab is None:
+                continue
+            fab[:] = 0
+            if rate <= 0:
+                continue
+            for b_start in range(0, num_attacked, MEGA_BLOCK_NODES):
+                b_stop = min(b_start + MEGA_BLOCK_NODES, num_attacked)
+                g = rngs(b_start // MEGA_BLOCK_NODES)
+                fab[b_start:b_stop] = _fabricated_counts(
+                    g, rate, (b_stop - b_start,), loss_round
+                )
+
+        # -- shared-bounds pool ---------------------------------------------
+        p_pool = None
+        if shared_bound is not None:
+            pool_load = (push_valid + req_valid).astype(float)
+            if fab_push is not None:
+                pool_load[:num_attacked] += fab_push
+            if fab_req is not None:
+                pool_load[:num_attacked] += fab_req
+            pool_load[sender_mask] += v_push
+            with np.errstate(divide="ignore", invalid="ignore"):
+                p_pool = np.where(
+                    pool_load > 0,
+                    np.minimum(1.0, shared_bound / pool_load),
+                    1.0,
+                )
+            p_pool *= alive_awake
+            round_bytes += p_pool.nbytes
+
+        # -- phase C: push acceptance ---------------------------------------
+        fab_total = 0
+        if fab_push is not None:
+            fab_total += int(fab_push.sum())
+        if fab_req is not None:
+            fab_total += int(fab_req.sum())
+        if v_push and shared_bound is None:
+            total = push_valid.copy()
+            if fab_push is not None:
+                total[:num_attacked] += fab_push
+            for start, stop in _shard_ranges(nm, shard_nodes):
+                for b_start in range(start, stop, MEGA_BLOCK_NODES):
+                    b_stop = min(b_start + MEGA_BLOCK_NODES, stop)
+                    g = rngs(b_start // MEGA_BLOCK_NODES)
+                    got = _accept_any(
+                        g,
+                        push_m[b_start:b_stop],
+                        total[b_start:b_stop],
+                        cfg.push_in_bound,
+                    )
+                    got &= alive_awake[b_start:b_stop]
+                    bit_or_block(new_has, b_start, got)
+        elif v_push:
+            arrivals = np.zeros(nm, dtype=np.int64)
+            for b_senders, t_push in push_stash:
+                g = rngs(int(b_senders[0]) // MEGA_BLOCK_NODES)
+                send_ok = alive_awake[b_senders]
+                offer_ok = (
+                    (g.random(t_push.shape) >= loss_round)
+                    & send_ok[:, None]
+                )
+                if in_a is not None:
+                    offer_ok &= in_a[b_senders][:, None] == in_a[t_push]
+                offer_acc = offer_ok & (
+                    g.random(t_push.shape) < p_pool[t_push]
+                )
+                if stall_ok is not None:
+                    offer_acc &= stall_ok[t_push]
+                reply_acc = (
+                    offer_acc
+                    & (g.random(t_push.shape) >= loss_round)
+                    & (g.random(t_push.shape) < p_pool[b_senders][:, None])
+                )
+                data_ok = reply_acc & (g.random(t_push.shape) >= loss_round)
+                m_data = data_ok & bit_get(has, b_senders)[:, None]
+                arrivals += np.bincount(t_push[m_data], minlength=nm)
+            got_all = (arrivals >= 1) & alive_awake
+            for b_start in range(0, nm, MEGA_BLOCK_NODES):
+                b_stop = min(b_start + MEGA_BLOCK_NODES, nm)
+                bit_or_block(new_has, b_start, got_all[b_start:b_stop])
+            round_bytes += arrivals.nbytes
+
+        # -- phase D: pull requests and replies -------------------------------
+        if v_pull:
+            if shared_bound is not None:
+                accept_prob = p_pool
+            else:
+                denom = req_valid.astype(float)
+                if fab_req is not None:
+                    denom[:num_attacked] += fab_req
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    accept_prob = np.where(
+                        denom > 0,
+                        np.minimum(1.0, cfg.pull_in_bound / denom),
+                        1.0,
+                    )
+                accept_prob *= alive_awake
+                round_bytes += accept_prob.nbytes
+            wkr = not cfg.uses_random_ports
+            for b_senders, t_pull, req_sent in pull_stash:
+                g = rngs(int(b_senders[0]) // MEGA_BLOCK_NODES)
+                accepted = req_sent & (
+                    g.random(t_pull.shape) < accept_prob[t_pull]
+                )
+                if stall_ok is not None:
+                    accepted &= stall_ok[t_pull]
+                reply_ok = accepted & (g.random(t_pull.shape) >= loss_round)
+                m_reply = reply_ok & bit_get(has, t_pull)
+                if not wkr:
+                    got_pull = m_reply.any(axis=1)
+                else:
+                    replies = reply_ok.sum(axis=1)
+                    m_replies = m_reply.sum(axis=1)
+                    rows_attacked = np.flatnonzero(
+                        b_senders < num_attacked
+                    )
+                    if load.pull_reply > 0 and len(rows_attacked):
+                        fab_reply = _fabricated_counts(
+                            g,
+                            load.pull_reply,
+                            (len(rows_attacked),),
+                            loss_round,
+                        )
+                        fab_total += int(fab_reply.sum())
+                        replies = replies.copy()
+                        replies[rows_attacked] += fab_reply
+                    got_pull = _accept_any(
+                        g, m_replies, replies, cfg.pull_in_bound
+                    )
+                _bit_or_ids(new_has, b_senders[got_pull])
+
+        # -- end of round -----------------------------------------------------
+        has = new_has
+        cur_total = popcount_prefix(has, num_alive)
+        cur_attacked = popcount_prefix(has, num_attacked)
+        hist_total.append(cur_total)
+        hist_attacked.append(cur_attacked)
+        peak_bytes = max(peak_bytes, round_bytes)
+        end_round = round_no
+
+        if len(joiner_ids):
+            jb = bit_get(has, joiner_ids)
+            fresh = jb & (deliv == -1)
+            if fresh.any():
+                deliv[fresh] = round_no
+
+        if tracer is not None:
+            if sender_attempts:
+                tracer.gossip_sent(-1, -1, count=sender_attempts)
+            if fab_total:
+                tracer.flood_sent(-1, -1, count=fab_total)
+            delivered_now = hist_total[-1] - hist_total[-2]
+            if delivered_now:
+                tracer.delivered(count=delivered_now)
+
+        if horizon is None and round_no >= min_rounds:
+            active = cur_total < target
+            if active and nondoomed_packed is not None:
+                settled = (
+                    popcount(has & nondoomed_packed) == nondoomed_count
+                )
+                active = not settled
+
+    if tracer is not None:
+        tracer.run_end(
+            rounds=len(hist_total) - 1, delivered=cur_total, runs=1
+        )
+
+    reachable = schedule.reachable_ids(scenario.max_rounds)
+    reachable_holders = popcount(has & mask_to_packed(nm, sorted(reachable)))
+
+    # Same conventions as the fast engine: latency counts joiner-local
+    # rounds starting at 1, view convergence is the deterministic lag.
+    join_latency = float("nan")
+    reach_mask = np.array(
+        [int(j) in reachable for j in joiner_ids], dtype=bool
+    )
+    if reach_mask.any():
+        d = deliv[reach_mask].astype(np.float64)
+        jr = join_rounds[reach_mask].astype(np.float64)
+        latency = np.where(d >= 0, d - jr, float(end_round) - jr) + 1.0
+        join_latency = float(np.maximum(latency, 1.0).mean())
+    return (
+        np.array(hist_total, dtype=np.int32),
+        np.array(hist_attacked, dtype=np.int32),
+        reachable_holders,
+        peak_bytes,
+        (join_latency, float(lag)),
     )
 
 
@@ -688,7 +1194,7 @@ def _mega_task(task):
         from repro.sim.parallel import _shard_tracer
 
         tracer, sink = _shard_tracer()
-    counts, attacked, reachable, peak = _run_one(
+    counts, attacked, reachable, peak, churn = _run_one(
         scenario,
         seed=seed,
         horizon=horizon,
@@ -700,6 +1206,7 @@ def _mega_task(task):
         attacked,
         reachable,
         peak,
+        churn,
         sink.events if sink is not None else None,
     )
 
@@ -708,7 +1215,7 @@ def _mega_task_shm(task):
     """One packed run on the zero-copy path: the trajectory lands in the
     parent's shared-memory row, only ``(width, peak_bytes)`` pickles."""
     scenario, seed, horizon, shard_nodes, descriptor, row = task
-    counts, attacked, reachable, peak = _run_one(
+    counts, attacked, reachable, peak, churn = _run_one(
         scenario, seed=seed, horizon=horizon, shard_nodes=shard_nodes
     )
     from repro.sim.executor import SharedArrays
@@ -722,6 +1229,9 @@ def _mega_task_shm(task):
         views["attacked"][row, k:] = attacked[-1]
         if reachable is not None:
             views["holders"][row] = reachable
+        if churn is not None:
+            views["churn"][row, 0] = churn[0]
+            views["churn"][row, 1] = churn[1]
         return (int(k), int(peak))
     finally:
         views = None
@@ -773,9 +1283,12 @@ class MegaJob:
         self.scenario = scenario
         self.runs = int(runs)
         self.horizon = horizon
-        self.has_holders = scenario.fault_schedule() is not None
+        schedule = scenario.fault_schedule()
+        self.has_holders = schedule is not None
+        self.has_churn = schedule is not None and schedule.has_churn
         self.width_cap = max(scenario.max_rounds, horizon or 0) + 1
-        self.blocks = (scenario.n + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES
+        id_universe = schedule.total_n if self.has_churn else scenario.n
+        self.blocks = (id_universe + MEGA_BLOCK_NODES - 1) // MEGA_BLOCK_NODES
         self._seeds: List[SeedLike]
         if self.runs == 1:
             self._seeds = [seed]
@@ -797,7 +1310,7 @@ class MegaJob:
     def assemble_pickled(self, rows, tracer) -> "MegaResult":
         if tracer is not None:
             for run_ix, row in enumerate(rows):
-                for event in row[4]:
+                for event in row[5]:
                     event["run"] = run_ix
                     tracer.emit(event)
         width = max(row[0].shape[0] for row in rows)
@@ -816,8 +1329,14 @@ class MegaJob:
             reachable_holders = np.array(
                 [row[2] for row in rows], dtype=np.int32
             )
+        churn_stats = None
+        if self.has_churn:
+            churn_stats = np.array(
+                [row[4] for row in rows], dtype=np.float64
+            )
         return self._result(
             counts, attacked, reachable_holders,
+            churn_stats=churn_stats,
             peak=max(row[3] for row in rows),
         )
 
@@ -830,6 +1349,8 @@ class MegaJob:
         ]
         if self.has_holders:
             spec.append(("holders", (self.runs,), np.int32))
+        if self.has_churn:
+            spec.append(("churn", (self.runs, 2), np.float64))
         return spec
 
     def shm_calls(self, descriptor):
@@ -852,19 +1373,26 @@ class MegaJob:
         reachable_holders = (
             np.array(views["holders"]) if self.has_holders else None
         )
+        churn_stats = (
+            np.array(views["churn"]) if self.has_churn else None
+        )
         views = None
         return self._result(
             counts, attacked, reachable_holders,
+            churn_stats=churn_stats,
             peak=max(meta[1] for meta in metas),
         )
 
-    def _result(self, counts, attacked, reachable_holders, *, peak):
+    def _result(
+        self, counts, attacked, reachable_holders, *, churn_stats=None, peak
+    ):
         return MegaResult(
             scenario=self.scenario,
             counts=counts,
             counts_attacked=attacked,
             counts_non_attacked=counts - attacked,
             reachable_holders=reachable_holders,
+            churn_stats=churn_stats,
             shard_nodes=self.shard_nodes,
             blocks=self.blocks,
             peak_state_bytes=peak,

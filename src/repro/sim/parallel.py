@@ -189,7 +189,7 @@ def _shard_tracer():
     return Tracer(sink), sink
 
 
-def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], Optional[list]]:
+def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray], Optional[list]]:
     scenario, shard_runs, seed, horizon, trace = task
     tracer = sink = None
     if trace:
@@ -202,11 +202,26 @@ def _fast_shard(task) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.n
         result.counts_attacked,
         result.counts_non_attacked,
         result.reachable_holders,
+        result.churn_stats,
         sink.events if sink is not None else None,
     )
 
 
-def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], Optional[list]]]:
+def _run_churn_row(result) -> np.ndarray:
+    """One exact run's ``[join_latency, view_convergence]`` row."""
+    churn = result.churn or {}
+    return np.array(
+        [
+            [
+                float(churn.get("join_latency", float("nan"))),
+                float(churn.get("view_convergence", float("nan"))),
+            ]
+        ],
+        dtype=np.float64,
+    )
+
+
+def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray], Optional[list]]]:
     scenario, seeds, trace = task
     schedule = scenario.fault_schedule()
     reachable = (
@@ -214,6 +229,7 @@ def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optiona
         if schedule is None
         else len(schedule.reachable_ids(scenario.max_rounds))
     )
+    has_churn = schedule is not None and schedule.has_churn
     out = []
     for seed in seeds:
         tracer = sink = None
@@ -228,12 +244,14 @@ def _exact_shard(task) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, Optiona
                 [int(round(result.residual_reliability * reachable))],
                 dtype=np.int32,
             )
+        churn = _run_churn_row(result) if has_churn else None
         out.append(
             (
                 result.counts,
                 result.counts_attacked,
                 result.counts_non_attacked,
                 holders,
+                churn,
                 sink.events if sink is not None else None,
             )
         )
@@ -264,6 +282,8 @@ def _fast_shard_shm(task) -> int:
             views["holders"][row0:row0 + shard_runs] = (
                 result.reachable_holders
             )
+        if result.churn_stats is not None:
+            views["churn"][row0:row0 + shard_runs] = result.churn_stats
         return int(result.counts.shape[1])
     finally:
         views = None
@@ -280,6 +300,7 @@ def _exact_shard_shm(task) -> List[int]:
         if schedule is None
         else len(schedule.reachable_ids(scenario.max_rounds))
     )
+    has_churn = schedule is not None and schedule.has_churn
     widths: List[int] = []
     shm, views = SharedArrays.attach(descriptor)
     try:
@@ -298,6 +319,8 @@ def _exact_shard_shm(task) -> List[int]:
                 views["holders"][row] = int(
                     round(result.residual_reliability * reachable)
                 )
+            if has_churn:
+                views["churn"][row] = _run_churn_row(result)[0]
             widths.append(int(result.counts.shape[0]))
         return widths
     finally:
@@ -351,7 +374,9 @@ class _DenseJob:
         self.runs = int(runs)
         self.engine = engine
         self.horizon = horizon
-        self.has_holders = scenario.fault_schedule() is not None
+        schedule = scenario.fault_schedule()
+        self.has_holders = schedule is not None
+        self.has_churn = schedule is not None and schedule.has_churn
         #: Upper bound on any shard's trajectory width: the engines
         #: never run past max(max_rounds, horizon) rounds.  Shared rows
         #: are pre-padded to this and trimmed to the realised global
@@ -404,24 +429,24 @@ class _DenseJob:
     def assemble_pickled(self, shards: List, tracer) -> MonteCarloResult:
         trace = tracer is not None
         if self.engine == "fast":
-            triples = [shard[:4] for shard in shards]
+            triples = [shard[:5] for shard in shards]
             if trace:
                 for shard_ix, shard in enumerate(shards):
-                    for event in shard[4]:
+                    for event in shard[5]:
                         event["shard"] = shard_ix
                         tracer.emit(event)
         else:
             per_run = [triple for shard in shards for triple in shard]
             if trace:
                 for run_ix, row in enumerate(per_run):
-                    for event in row[4]:
+                    for event in row[5]:
                         event["run"] = run_ix
                         tracer.emit(event)
             triples = [
-                (row[None, :], att[None, :], non[None, :], holders)
-                for row, att, non, holders, _events in per_run
+                (row[None, :], att[None, :], non[None, :], holders, churn)
+                for row, att, non, holders, churn, _events in per_run
             ]
-        width = max(counts.shape[1] for counts, _, _, _ in triples)
+        width = max(t[0].shape[1] for t in triples)
         if self.horizon is not None:
             width = max(width, self.horizon + 1)
         counts = _stack_padded([t[0] for t in triples], width)
@@ -430,12 +455,16 @@ class _DenseJob:
         reachable_holders = None
         if all(t[3] is not None for t in triples):
             reachable_holders = np.concatenate([t[3] for t in triples])
+        churn_stats = None
+        if self.has_churn and all(t[4] is not None for t in triples):
+            churn_stats = np.concatenate([t[4] for t in triples])
         return MonteCarloResult(
             scenario=self.scenario,
             counts=counts,
             counts_attacked=attacked,
             counts_non_attacked=non_attacked,
             reachable_holders=reachable_holders,
+            churn_stats=churn_stats,
         )
 
     # -- zero-copy path ------------------------------------------------------
@@ -447,6 +476,8 @@ class _DenseJob:
         ]
         if self.has_holders:
             spec.append(("holders", (self.runs,), np.int32))
+        if self.has_churn:
+            spec.append(("churn", (self.runs, 2), np.float64))
         return spec
 
     def shm_calls(self, descriptor) -> List[Tuple[Callable, tuple]]:
@@ -481,6 +512,9 @@ class _DenseJob:
         reachable_holders = (
             np.array(views["holders"]) if self.has_holders else None
         )
+        churn_stats = (
+            np.array(views["churn"]) if self.has_churn else None
+        )
         views = None
         return MonteCarloResult(
             scenario=self.scenario,
@@ -488,6 +522,7 @@ class _DenseJob:
             counts_attacked=attacked,
             counts_non_attacked=non_attacked,
             reachable_holders=reachable_holders,
+            churn_stats=churn_stats,
         )
 
 
@@ -770,6 +805,11 @@ class ResultCache:
                     if "reachable_holders" in data.files
                     else None
                 )
+                churn_stats = (
+                    np.asarray(data["churn_stats"])
+                    if "churn_stats" in data.files
+                    else None
+                )
                 mega_meta = (
                     np.asarray(data["mega_meta"])
                     if "mega_meta" in data.files
@@ -799,6 +839,11 @@ class ResultCache:
             or reachable_holders.dtype.kind not in "iu"
         ):
             return None
+        if churn_stats is not None and (
+            churn_stats.shape != (counts.shape[0], 2)
+            or churn_stats.dtype.kind != "f"
+        ):
+            return None
         if mega_meta is not None:
             # Self-describing packed-engine entry: the side-car records
             # (shard_nodes, blocks, peak_state_bytes) and selects the
@@ -813,6 +858,7 @@ class ResultCache:
                 counts_attacked=attacked,
                 counts_non_attacked=non_attacked,
                 reachable_holders=reachable_holders,
+                churn_stats=churn_stats,
                 shard_nodes=int(mega_meta[0]),
                 blocks=int(mega_meta[1]),
                 peak_state_bytes=int(mega_meta[2]),
@@ -823,6 +869,7 @@ class ResultCache:
             counts_attacked=attacked,
             counts_non_attacked=non_attacked,
             reachable_holders=reachable_holders,
+            churn_stats=churn_stats,
         )
 
     def store(self, key: str, result: MonteCarloResult) -> None:
@@ -839,6 +886,8 @@ class ResultCache:
                     )
                     if result.reachable_holders is not None:
                         arrays["reachable_holders"] = result.reachable_holders
+                    if result.churn_stats is not None:
+                        arrays["churn_stats"] = result.churn_stats
                     if hasattr(result, "mega_meta"):
                         arrays["mega_meta"] = result.mega_meta()
                     np.savez_compressed(handle, **arrays)

@@ -92,6 +92,17 @@ class RunResult:
     #: (0 when the threshold was met during the partition; nan when the
     #: run was censored).  None when the plan has no partition.
     rounds_to_heal: Optional[float] = None
+    #: Churn metrics, filled only when the plan has join/leave/expel
+    #: tokens: ``{"timeline": [...], "join_latency": float|None,
+    #: "view_convergence": float|None, "joiner_holders": int,
+    #: "joiner_count": int}``.  ``timeline`` is the resolved membership
+    #: event sequence (``FaultSchedule.churn_timeline``) — the
+    #: cross-stack determinism witness; ``join_latency`` averages, over
+    #: joiners reachable at the horizon, the rounds from join to first
+    #: delivery (censored joiners count at the horizon);
+    #: ``view_convergence`` averages the rounds until the whole group's
+    #: views reflect a membership event.
+    churn: Optional[dict] = None
 
     def rounds_to_threshold(self) -> float:
         """Rounds until the scenario's coverage threshold was met."""
@@ -131,6 +142,8 @@ class RunResult:
                 if math.isnan(self.rounds_to_heal)
                 else float(self.rounds_to_heal)
             )
+        if self.churn is not None:
+            out["churn"] = self.churn
         return out
 
     def to_dict(self) -> dict:
@@ -167,6 +180,14 @@ class RunResult:
             data["residual_reliability"] = float(self.residual_reliability)
         if self.rounds_to_heal is not None:
             data["rounds_to_heal"] = _none_if_nan(self.rounds_to_heal)
+        if self.churn is not None:
+            data["churn"] = self.churn
+            metrics["join_latency"] = _none_if_nan(
+                self.churn.get("join_latency")
+            )
+            metrics["view_convergence"] = _none_if_nan(
+                self.churn.get("view_convergence")
+            )
         return {
             "schema": SCHEMA,
             "version": SCHEMA_VERSION,
@@ -203,6 +224,7 @@ class RunResult:
             )
             if "rounds_to_heal" in body
             else None,
+            churn=body.get("churn"),
         )
 
 
@@ -221,6 +243,12 @@ class MonteCarloResult:
     #: :meth:`residual_reliability` falls back to clipping the final
     #: totals when it is absent (e.g. results from an old cache entry).
     reachable_holders: Optional[np.ndarray] = None
+    #: (runs, 2) float64 churn metrics per run — column 0 the mean
+    #: join latency (rounds from a joiner's join to its first delivery,
+    #: censored joiners counted at the horizon), column 1 the mean
+    #: view-convergence time (rounds until all correct members' views
+    #: reflect a membership event).  Filled only under churn plans.
+    churn_stats: Optional[np.ndarray] = None
 
     @property
     def runs(self) -> int:
@@ -310,6 +338,20 @@ class MonteCarloResult:
             self.rounds_to_threshold() - schedule.last_heal_round(), 0.0
         )
 
+    def join_latency(self) -> Optional[np.ndarray]:
+        """Per-run mean rounds from join to a joiner's first delivery
+        (None when the plan has no churn)."""
+        if self.churn_stats is None:
+            return None
+        return self.churn_stats[:, 0]
+
+    def view_convergence(self) -> Optional[np.ndarray]:
+        """Per-run mean rounds until every correct member's view
+        reflects a membership event (None when the plan has no churn)."""
+        if self.churn_stats is None:
+            return None
+        return self.churn_stats[:, 1]
+
     # -- coverage CDFs --------------------------------------------------------
 
     def coverage_by_round(self) -> np.ndarray:
@@ -363,6 +405,16 @@ class MonteCarloResult:
             if self.reachable_holders is None
             else [int(v) for v in self.reachable_holders],
         }
+        if self.churn_stats is not None:
+            data["churn_stats"] = [
+                [float(v) for v in row] for row in self.churn_stats
+            ]
+            metrics["join_latency"] = _none_if_nan(
+                np.nanmean(self.churn_stats[:, 0])
+            )
+            metrics["view_convergence"] = _none_if_nan(
+                np.nanmean(self.churn_stats[:, 1])
+            )
         return {
             "schema": SCHEMA,
             "version": SCHEMA_VERSION,
@@ -378,6 +430,7 @@ class MonteCarloResult:
         check_envelope(data, "monte_carlo")
         body = data["data"]
         holders = body.get("reachable_holders")
+        churn_stats = body.get("churn_stats")
         return cls(
             scenario=Scenario.from_dict(data["config"]),
             counts=np.asarray(body["counts"], dtype=np.int32),
@@ -390,6 +443,9 @@ class MonteCarloResult:
             reachable_holders=None
             if holders is None
             else np.asarray(holders, dtype=np.int32),
+            churn_stats=None
+            if churn_stats is None
+            else np.asarray(churn_stats, dtype=np.float64),
         )
 
     # -- internals -------------------------------------------------------------

@@ -177,6 +177,59 @@ def extent_sweep(
     )
 
 
+def churn_sweep(
+    protocols: Sequence[ProtocolName],
+    churn_fractions: Sequence[float],
+    *,
+    x: float = 0.0,
+    alpha: float = 0.1,
+    n: int = 120,
+    malicious_fraction: float = 0.1,
+    join_round: int = 5,
+    leave_round: int = 12,
+    metric: str = "reliability",
+    engine: str = "fast",
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+    workers: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+    store=None,
+    tracer=None,
+    resume: bool = True,
+    name: Optional[str] = None,
+) -> SeriesReport:
+    """Residual reliability vs churn fraction (the churn-storm figure).
+
+    Each grid point subjects the group to a symmetric churn storm
+    (``join@J:c; leave@L:c``), optionally on top of a DoS attack when
+    ``x > 0`` — see :func:`repro.sweep.grid.churn_grid`.  ``metric``
+    accepts the churn-aware ``join_latency`` / ``view_convergence`` in
+    addition to the standard monte_carlo metrics.
+    """
+    from repro.sweep.grid import churn_grid
+
+    report, cells = churn_grid(
+        protocols,
+        churn_fractions,
+        x=x,
+        alpha=alpha,
+        n=n,
+        malicious_fraction=malicious_fraction,
+        join_round=join_round,
+        leave_round=leave_round,
+        metric=metric,
+        engine=engine,
+        runs=runs,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+    return _sweep_grid(
+        report, protocols, cells, workers=workers, cache=cache,
+        store=store, tracer=tracer, resume=resume, name=name,
+    )
+
+
 def budget_sweep(
     protocols: Sequence[ProtocolName],
     alphas: Sequence[float],

@@ -34,6 +34,7 @@ figures so common points compute once, ever.
 from repro.sweep.grid import (
     Cell,
     budget_grid,
+    churn_grid,
     extent_grid,
     rate_grid,
     scale_grid,
@@ -49,6 +50,7 @@ __all__ = [
     "SweepRunner",
     "as_store",
     "budget_grid",
+    "churn_grid",
     "extent_grid",
     "rate_grid",
     "scale_grid",

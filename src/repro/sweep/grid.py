@@ -36,8 +36,15 @@ from repro.util.rng import SeedLike
 
 ProtocolName = Union[str, ProtocolKind]
 
-#: Metrics a monte_carlo cell can extract.
-MONTE_CARLO_METRICS = ("mean_rounds", "std_rounds", "reliability")
+#: Metrics a monte_carlo cell can extract.  ``join_latency`` and
+#: ``view_convergence`` are churn-aware (NaN on churn-free cells).
+MONTE_CARLO_METRICS = (
+    "mean_rounds",
+    "std_rounds",
+    "reliability",
+    "join_latency",
+    "view_convergence",
+)
 #: Metrics a measurement cell can extract.
 MEASUREMENT_METRICS = ("delivery_ratio", "throughput", "mean_latency_ms")
 
@@ -251,6 +258,87 @@ def budget_grid(
         n=n,
     )
     return report, _protocol_rows(protocols, seed, factory)
+
+
+def churn_grid(
+    protocols: Sequence[ProtocolName],
+    churn_fractions: Sequence[float],
+    *,
+    n: int = 120,
+    x: float = 0.0,
+    alpha: float = 0.1,
+    malicious_fraction: float = 0.1,
+    join_round: int = 5,
+    leave_round: int = 12,
+    runs: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: int = 400,
+    engine: str = "fast",
+    metric: str = "reliability",
+) -> Tuple[SeriesReport, GridRows]:
+    """The churn-storm grid: residual reliability vs churn fraction.
+
+    Each x-axis point ``c`` runs the scenario under a symmetric churn
+    storm — a fraction ``c`` of the group joins at ``join_round`` and a
+    fraction ``c`` of the correct members logs out at ``leave_round``
+    (the plan ``join@J:c; leave@L:c``, resolved identically on every
+    engine).  With ``x > 0`` the storm lands on top of a DoS attack of
+    extent ``alpha`` and per-victim rate ``x``, which is the paper's
+    hard case: Section 10's membership layer rides the protocol under
+    test, so a protocol that melts under the flood also loses its
+    membership traffic.  ``metric`` may be any monte_carlo metric,
+    including the churn-aware ``join_latency`` / ``view_convergence``.
+    """
+    n = coerce_int("n", n)
+    fractions = [float(c) for c in churn_fractions]
+    if any(c < 0 or c >= 1 for c in fractions):
+        raise ValueError(
+            f"churn fractions must be in [0, 1), got {fractions}"
+        )
+    report = SeriesReport(
+        name="churn_sweep",
+        x_label="churn fraction (joins and leaves per storm)",
+        x_values=fractions,
+        metadata={
+            "n": n,
+            "alpha": alpha,
+            "x": x,
+            "join_round": join_round,
+            "leave_round": leave_round,
+        },
+    )
+    attack = AttackSpec(alpha=alpha, x=x) if x > 0 else None
+    seeds = spawn_seeds(seed, len(protocols))
+    rows: GridRows = []
+    for protocol, proto_seed in zip(protocols, seeds):
+        row = []
+        for c in fractions:
+            faults = (
+                f"join@{join_round}:{c:g}; leave@{leave_round}:{c:g}"
+                if c > 0
+                else None
+            )
+            scenario = Scenario(
+                protocol=protocol,
+                n=n,
+                malicious_fraction=malicious_fraction if attack else 0.0,
+                attack=attack,
+                max_rounds=max_rounds,
+                faults=faults,
+            )
+            row.append(
+                Cell(
+                    series=str(ProtocolKind(protocol).value),
+                    x=c,
+                    scenario=scenario,
+                    runs=runs,
+                    seed=proto_seed,
+                    engine=engine,
+                    metric=metric,
+                )
+            )
+        rows.append(row)
+    return report, rows
 
 
 def scale_grid(

@@ -78,6 +78,13 @@ def _metric_value(cell: Cell, result) -> float:
         return float(result.std_rounds())
     if metric == "reliability":
         return float(np.mean(result.residual_reliability()))
+    if metric in ("join_latency", "view_convergence"):
+        values = getattr(result, metric)()
+        if values is None:
+            return float("nan")  # churn-free cell: metric undefined
+        values = np.asarray(values, dtype=np.float64)
+        finite = values[~np.isnan(values)]
+        return float(finite.mean()) if finite.size else float("nan")
     if metric == "delivery_ratio":
         return float(result.delivery_ratio())
     if metric == "throughput":

@@ -4,7 +4,10 @@ import pytest
 
 from repro.faults import (
     CrashNodes,
+    ExpelNodes,
     FaultPlan,
+    JoinNodes,
+    LeaveNodes,
     LinkFaults,
     Partition,
     SenderStall,
@@ -120,6 +123,67 @@ class TestFaultPlan:
     def test_validate_accepts_sane_plan(self):
         plan = FaultPlan.parse("crash@5:0.1;partition@8-15:0.4")
         plan.validate_for(n=50, num_alive_correct=45, max_rounds=100)
+
+    def test_churn_tokens_round_trip_describe(self):
+        spec = "join@4-12:0.2;leave@9-20:0.1;expel@13:0.1"
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(plan.describe()) == plan
+        assert plan.describe() == "join@4-12:0.2;leave@9-20:0.1;expel@13:0.1"
+
+    def test_churn_accessors_and_flag(self):
+        plan = FaultPlan.parse("join@4:0.2; leave@9:0.1; expel@13:0.1")
+        assert plan.has_churn
+        assert len(plan.joins) == 1
+        assert len(plan.leaves) == 1
+        assert len(plan.expels) == 1
+        assert not FaultPlan.parse("crash@5:0.1").has_churn
+        assert not FaultPlan().has_churn
+
+    def test_join_window_covers_last_event_round(self):
+        plan = FaultPlan.parse("join@4-25:0.2")
+        assert plan.last_event_round() == 25
+
+    def test_join_departure_must_follow_arrival(self):
+        with pytest.raises(ValueError):
+            JoinNodes(at_round=5, fraction=0.1, leave_round=5)
+
+    def test_leave_rejoin_must_follow_departure(self):
+        with pytest.raises(ValueError):
+            LeaveNodes(at_round=9, fraction=0.1, rejoin_round=8)
+
+    def test_churn_fractions_bounded(self):
+        with pytest.raises(ValueError):
+            JoinNodes(at_round=4, fraction=1.5)
+        with pytest.raises(ValueError):
+            ExpelNodes(at_round=4, fraction=-0.1)
+
+    def test_validate_rejects_zero_resolving_churn(self):
+        # A churn token the group cannot realise must fail loudly, not
+        # silently resolve to zero processes.
+        plan = FaultPlan.parse("join@4:0.001")
+        with pytest.raises(ValueError, match="at least one"):
+            plan.validate_for(n=20, num_alive_correct=18, max_rounds=50)
+
+    def test_validate_rejects_leaving_everyone(self):
+        plan = FaultPlan.parse("leave@4:0.999")
+        with pytest.raises(ValueError):
+            plan.validate_for(n=20, num_alive_correct=20, max_rounds=50)
+
+    def test_validate_rejects_expelling_everyone(self):
+        plan = FaultPlan.parse("expel@4:0.999")
+        with pytest.raises(ValueError):
+            plan.validate_for(n=20, num_alive_correct=20, max_rounds=50)
+
+    def test_validate_accepts_sane_churn_plan(self):
+        plan = FaultPlan.parse("join@4:0.2; leave@9:0.1; expel@13:0.1")
+        plan.validate_for(n=40, num_alive_correct=36, max_rounds=60)
+
+    def test_churn_to_jsonable(self):
+        import json
+
+        plan = FaultPlan.parse("join@4-12:0.2; expel@13:0.1")
+        blob = json.dumps(plan.to_jsonable(), sort_keys=True)
+        assert "join@4-12:0.2" in blob and "expel@13:0.1" in blob
 
     def test_with_replaces_fields(self):
         plan = FaultPlan.parse("crash@5:0.1")

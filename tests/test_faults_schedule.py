@@ -120,6 +120,95 @@ class TestBlocksFn:
                 assert fn(src, dst) == sched.blocks(3, src, dst)
 
 
+class TestChurnResolution:
+    def test_join_ids_ascend_from_n_in_plan_order(self):
+        sched = schedule("join@4:0.2;join@6:0.1")  # 4 then 2 joiners
+        assert sched.join_blocks() == ((4, None, 20, 4), (6, None, 24, 2))
+        assert sched.total_n == 26
+
+    def test_leave_victims_descend_from_alive_correct(self):
+        sched = schedule("leave@9:0.1")  # round(0.1 * 18) = 2 victims
+        assert sched.present_at(8) == frozenset(range(20))
+        assert sched.present_at(9) == frozenset(range(20)) - {16, 17}
+
+    def test_expel_victims_descend_from_full_group(self):
+        # The malicious block (ids 18, 19 here) sits at the top of the
+        # full id range, so expulsion hits it first — mirroring who a
+        # CA would actually expel.
+        sched = schedule("expel@13:0.1")  # round(0.1 * 20) = 2 victims
+        assert sched.present_at(12) == frozenset(range(20))
+        assert sched.present_at(13) == frozenset(range(18))
+
+    def test_leave_cursor_independent_of_crash_cursor(self):
+        # Crash and leave draw from independent descending cursors, so
+        # one plan can crash {16,17} and log out the *next* block down.
+        sched = schedule("crash@3:0.1;leave@5:0.1")
+        assert sched.crashed_at(3) == frozenset({16, 17})
+        assert sched.present_at(5) == frozenset(range(20)) - {16, 17}
+
+    def test_join_window_departs_at_stop(self):
+        sched = schedule("join@4-12:0.2")
+        assert sched.present_at(3) == frozenset(range(20))
+        assert sched.present_at(4) == frozenset(range(24))
+        assert sched.present_at(12) == frozenset(range(20))
+
+    def test_churn_events_at_reports_fired_kinds(self):
+        sched = schedule("join@4-12:0.2;leave@9-15:0.1;expel@13:0.1")
+        assert sched.churn_events_at(4) == (("join", frozenset(range(20, 24))),)
+        assert sched.churn_events_at(9) == (("leave", frozenset({16, 17})),)
+        kinds_13 = [kind for kind, _ in sched.churn_events_at(13)]
+        assert kinds_13 == ["expel"]
+        kinds_12 = [kind for kind, _ in sched.churn_events_at(12)]
+        assert kinds_12 == ["leave"]
+        kinds_15 = [kind for kind, _ in sched.churn_events_at(15)]
+        assert kinds_15 == ["rejoin"]
+        assert sched.churn_events_at(5) == ()
+
+    def test_churn_timeline_is_sorted_and_seedless(self):
+        spec = "join@4-12:0.2;leave@9:0.1;expel@13:0.1"
+        a = schedule(spec).churn_timeline()
+        b = schedule(spec).churn_timeline()
+        assert a == b
+        rounds = [record["round"] for record in a]
+        assert rounds == sorted(rounds)
+        assert [record["kind"] for record in a] == [
+            "join", "leave", "leave", "expel"
+        ]
+
+    def test_suspected_after_fd_timeout_rounds_of_silence(self):
+        # The aggregate probe model: crashed members become suspects
+        # after FD_TIMEOUT_ROUNDS silent rounds, and rehabilitate one
+        # round after recovery.  (Churn token present so the failure
+        # detector is armed.)
+        sched = schedule("crash@2-8:0.1;join@4:0.1")
+        assert sched.suspected_at(4) == frozenset()
+        assert sched.suspected_at(5) == frozenset({16, 17})
+        assert sched.suspected_at(8) == frozenset({16, 17})
+        assert sched.suspected_at(9) == frozenset()
+
+    def test_fault_only_plan_has_no_suspects(self):
+        # Without churn tokens the legacy engines' behaviour is frozen:
+        # the schedule never reports suspects.
+        sched = schedule("crash@2:0.1")
+        assert sched.suspected_at(10) == frozenset()
+
+    def test_aware_targets_lag_behind_presence(self):
+        sched = schedule("join@4:0.2")
+        lag = sched.awareness_lag(4)
+        joiners = frozenset(range(20, 24))
+        assert joiners <= sched.present_at(4)
+        assert not (joiners & sched.aware_targets_at(4, lag))
+        assert joiners <= sched.aware_targets_at(4 + lag, lag)
+
+    def test_reachable_ids_tracks_final_membership(self):
+        sched = schedule("join@4:0.2;leave@9:0.1;expel@13:0.1")
+        reachable = sched.reachable_ids(60)
+        assert frozenset(range(20, 24)) <= reachable  # surviving joiners
+        assert not ({16, 17} & reachable)             # logged out
+        assert not ({18, 19} & reachable)             # expelled
+        assert 0 in reachable
+
+
 def test_crashing_into_the_source_rejected():
     plan = FaultPlan.parse("crash@2:0.5;crash@3:0.5")
     with pytest.raises(ValueError):

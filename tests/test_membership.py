@@ -66,6 +66,39 @@ class TestFailureDetector:
         with pytest.raises(ValueError):
             FailureDetector(timeout=0)
 
+    def test_tracked_but_never_heard_peer_is_suspected(self):
+        # Regression: a member that crashes before ever sending a byte
+        # has no heard_from record; without track() starting its clock
+        # it would stay "responsive" forever and never leave the view.
+        fd = FailureDetector(timeout=5.0)
+        fd.track(1, now=0.0)
+        assert fd.check(now=4.0) == []
+        assert fd.check(now=6.0) == [1]
+        assert fd.is_suspected(1)
+
+    def test_track_is_idempotent(self):
+        # Re-announcing a peer must not reset its responsiveness clock,
+        # or a malicious process could stay in views by re-joining talk.
+        fd = FailureDetector(timeout=5.0)
+        fd.track(1, now=0.0)
+        fd.track(1, now=100.0)
+        assert fd.check(now=6.0) == [1]
+
+    def test_track_does_not_rehabilitate(self):
+        fd = FailureDetector(timeout=5.0)
+        fd.track(1, now=0.0)
+        fd.check(now=10.0)
+        fd.track(1, now=10.0)
+        assert fd.is_suspected(1)
+
+    def test_untrack_forgets_peer_and_suspicion(self):
+        fd = FailureDetector(timeout=5.0)
+        fd.track(1, now=0.0)
+        fd.check(now=10.0)
+        fd.untrack(1)
+        assert not fd.is_suspected(1)
+        assert fd.check(now=100.0) == []
+
 
 class TestDynamicMembership:
     def _setup(self, n=4):
@@ -177,3 +210,20 @@ class TestDynamicMembership:
         cert = ca.current_certificate(1)
         stranger = DynamicMembership(8, ca.public_key)
         assert not stranger.install_certificate(cert, now=500.0)
+
+    def test_silent_newcomer_ages_out_of_gossip_views(self):
+        # End-to-end never-heard path: a join event installs the
+        # newcomer *and* starts its failure-detector clock, so a member
+        # that joins and then never speaks is eventually filtered from
+        # gossip candidates (though it stays a certified member).
+        ca, keys, services = self._setup()
+        service = services[0]
+        newcomer = DynamicMembership(9, ca.public_key)
+        cert = newcomer.join(ca, KeyPair(owner=9).public, now=1.0)
+        assert service.handle_event(JoinEvent(9, cert), now=1.0)
+        for peer in service.current_members(1.0):
+            if peer != 9:
+                service.failure_detector.heard_from(peer, now=15.0)
+        service.failure_detector.check(now=15.0)
+        assert 9 in service.current_members(15.0)
+        assert 9 not in service.gossip_candidates(15.0)
