@@ -1,0 +1,52 @@
+"""The asyncio gossip service runtime.
+
+One :mod:`asyncio` event loop hosts thousands of
+:class:`~repro.des.node.GossipNode` instances — the same protocol class
+the discrete-event and threaded stacks run — as cooperatively scheduled
+tasks over an in-process datagram loopback
+(:class:`~repro.aio.transport.AioLoopbackTransport`) or real UDP sockets
+(:class:`~repro.aio.transport.AioUdpBridge` over
+:class:`~repro.net.transport.UdpTransport`).
+
+Where the threaded runtime spends one OS thread per node (and tops out
+around a few hundred nodes), the asyncio runtime spends one timer handle
+per node round, so group sizes in the thousands fit in a single process.
+Wall-clock contention shows up as uniform time dilation — every node's
+round stretches together, and purging counts *local* rounds — so
+reliability measurements survive a saturated loop.
+
+Entry points:
+
+- :class:`~repro.aio.cluster.AioCluster` /
+  :func:`~repro.aio.cluster.run_aio_experiment` — programmatic runs;
+- ``Experiment.run(engine="aio")`` — the registry path
+  (:mod:`repro.aio.engine` registers the stack);
+- :class:`~repro.aio.service.GossipService` / ``repro serve`` — a live
+  control plane: start/stop clusters, inject faults and attacks, scrape
+  Prometheus metrics, stream observability events as JSONL.
+
+Import note: the engine registry imports :mod:`repro.aio.engine` during
+bootstrap, so nothing in this package may call back into the registry at
+module scope (capability refusals import it lazily, inside the raise
+path).
+"""
+
+from repro.aio.cluster import AioCluster, AioClusterConfig, run_aio_experiment
+from repro.aio.env import AsyncEnvironment
+from repro.aio.service import EventStreamSink, GossipService
+from repro.aio.transport import AioLoopbackTransport, AioUdpBridge
+
+# Self-registration with the engine registry (also triggered by the
+# registry's bootstrap, whichever happens first).
+import repro.aio.engine  # noqa: E402,F401
+
+__all__ = [
+    "AioCluster",
+    "AioClusterConfig",
+    "AioLoopbackTransport",
+    "AioUdpBridge",
+    "AsyncEnvironment",
+    "EventStreamSink",
+    "GossipService",
+    "run_aio_experiment",
+]

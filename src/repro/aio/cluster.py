@@ -1,0 +1,681 @@
+"""The asyncio cluster: thousands of protocol nodes on one event loop.
+
+:class:`AioCluster` mirrors :class:`~repro.runtime.cluster.LiveCluster`
+— same node class, same fault layer, same delivery log and
+:class:`~repro.des.measurement.MeasurementResult` packaging — but every
+node runs as timers on a single :mod:`asyncio` loop instead of owning
+OS threads.  The per-node cost drops from a thread stack to a timer
+handle, so group sizes in the thousands fit one process.
+
+Wall-clock fidelity: a saturated loop stretches *every* node's round
+uniformly (time dilation), and purging counts local rounds, so
+reliability survives; latency in milliseconds dilates with the load.
+This is the same weakened determinism contract as the threaded runtime
+— the fault/attack *plan* is seed-exact, packet interleaving is not.
+
+Runtime injection (for :class:`~repro.aio.service.GossipService`):
+:meth:`AioCluster.inject_faults` wraps the cluster's transport in a
+:class:`~repro.faults.live.FaultyTransport` mid-run, and
+:meth:`AioCluster.inject_attack` spawns an
+:class:`~repro.des.attacker.AttackerProcess` on its own environment —
+the identical attacker the discrete-event stack runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.adversary.attacks import AttackSpec
+from repro.aio.env import AsyncEnvironment
+from repro.aio.transport import AioLoopbackTransport, AioUdpBridge
+from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.message import MessageIdFactory
+from repro.crypto.signatures import SignatureRegistry
+from repro.des.attacker import AttackerProcess
+from repro.des.measurement import DeliveryRecord, MeasurementResult
+from repro.des.node import GossipNode
+from repro.faults.live import FaultyTransport
+from repro.faults.plan import FaultPlan
+from repro.faults.schedule import FaultSchedule
+from repro.net.link import LossModel
+from repro.net.transport import Transport, UdpTransport
+from repro.util import SeedSequenceFactory, check_fraction, check_probability
+from repro.util.rng import SeedLike
+
+#: Transports the config can name.
+TRANSPORTS = ("loopback", "udp")
+
+
+@dataclass(frozen=True)
+class AioClusterConfig:
+    """One asyncio-cluster configuration.
+
+    Field-compatible with :class:`~repro.des.cluster.ClusterConfig`'s
+    shared surface so :meth:`repro.api.Experiment.aio_config` is a
+    straight translation; defaults favour sub-second demo rounds like
+    the threaded runtime.
+    """
+
+    protocol: Union[ProtocolKind, str] = ProtocolKind.DRUM
+    n: int = 50
+    malicious_fraction: float = 0.0
+    attack: Optional[AttackSpec] = None
+    fan_out: int = 4
+    loss: float = 0.0
+    round_duration_ms: float = 200.0
+    round_jitter: float = 0.1
+    purge_rounds: int = 20
+    max_sends_per_partner: int = 80
+    #: Source send rate in messages per second.
+    send_rate: float = 40.0
+    #: Stream length for :func:`run_aio_experiment`.
+    messages: int = 40
+    #: Extra drain after the stream tail is awaited, in round durations —
+    #: lets earlier messages' tails finish spreading before teardown.
+    drain_rounds: float = 0.0
+    #: ``"loopback"`` (in-process datagrams) or ``"udp"`` (real sockets
+    #: via :class:`~repro.net.transport.UdpTransport`).
+    transport: str = "loopback"
+    #: Injected faults, same plans and global fault clock as every other
+    #: stack.  Churn tokens are refused — this runtime keeps a fixed
+    #: membership, like the threaded one.
+    faults: Optional[Union[FaultPlan, str]] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.protocol, str):
+            object.__setattr__(self, "protocol", ProtocolKind(self.protocol))
+        if self.n < 2:
+            raise ValueError(f"n must be >= 2, got {self.n}")
+        check_fraction(
+            "malicious_fraction", self.malicious_fraction, allow_zero=True
+        )
+        check_probability("loss", self.loss)
+        if self.send_rate <= 0:
+            raise ValueError(f"send_rate must be > 0, got {self.send_rate}")
+        if self.messages < 1:
+            raise ValueError(f"messages must be >= 1, got {self.messages}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got "
+                f"{self.transport!r}"
+            )
+        from repro.aio.engine import AIO_MAX_N
+
+        if self.n > AIO_MAX_N:
+            from repro.api.engines import group_size_refusal
+
+            raise ValueError(group_size_refusal("aio", self.n))
+        if self.attack is not None:
+            victims = self.attack.victim_count(self.n)
+            if not 1 <= victims <= self.num_correct:
+                raise ValueError(
+                    f"attack targets {victims} processes; only "
+                    f"{self.num_correct} are correct"
+                )
+        if isinstance(self.faults, str):
+            object.__setattr__(self, "faults", FaultPlan.parse(self.faults))
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultPlan):
+                raise TypeError(
+                    f"faults must be a FaultPlan or spec string, got "
+                    f"{self.faults!r}"
+                )
+            if self.faults.is_empty:
+                object.__setattr__(self, "faults", None)
+            else:
+                if self.faults.has_churn:
+                    from repro.api.engines import churn_refusal
+
+                    raise ValueError(churn_refusal("aio", self.faults))
+                self.faults.validate_for(
+                    n=self.n,
+                    num_alive_correct=self.num_correct,
+                    max_rounds=10**9,
+                )
+
+    # -- group layout (mirrors ClusterConfig) --------------------------------
+
+    @property
+    def num_malicious(self) -> int:
+        return int(round(self.malicious_fraction * self.n))
+
+    @property
+    def num_correct(self) -> int:
+        return self.n - self.num_malicious
+
+    @property
+    def source(self) -> int:
+        return 0
+
+    def correct_ids(self) -> List[int]:
+        return list(range(self.num_correct))
+
+    def attacked_ids(self) -> List[int]:
+        if self.attack is None:
+            return []
+        return list(range(self.attack.victim_count(self.n)))
+
+    def receiver_ids(self) -> List[int]:
+        return [pid for pid in self.correct_ids() if pid != self.source]
+
+    def protocol_config(self) -> ProtocolConfig:
+        return ProtocolConfig(
+            kind=self.protocol,
+            fan_out=self.fan_out,
+            purge_rounds=self.purge_rounds,
+            max_sends_per_partner=self.max_sends_per_partner,
+            round_duration_ms=self.round_duration_ms,
+            round_jitter=self.round_jitter,
+        )
+
+    def with_(self, **changes) -> "AioClusterConfig":
+        return replace(self, **changes)
+
+
+class AioFaultDriver:
+    """Runs a plan's crash / recover windows as loop timers.
+
+    The asyncio analogue of :class:`~repro.faults.live.LiveFaultDriver`:
+    the same ``((round-1)·round_ms, action, ids)`` event list, fired
+    with ``loop.call_later`` instead of a timer thread — flips execute
+    on the loop, serialised with protocol callbacks for free.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        nodes: Dict[int, object],
+        *,
+        round_duration_ms: float,
+        tracer=None,
+    ):
+        if round_duration_ms <= 0:
+            raise ValueError(
+                f"round_duration_ms must be > 0, got {round_duration_ms}"
+            )
+        self.schedule = schedule
+        self.nodes = nodes
+        self.tracer = tracer
+        self.round_duration_ms = float(round_duration_ms)
+        events: List[Tuple[float, str, frozenset]] = []
+        for start, stop, ids in schedule._crash_windows:
+            events.append(((start - 1) * self.round_duration_ms, "crash", ids))
+            if stop is not None:
+                events.append(
+                    ((stop - 1) * self.round_duration_ms, "recover", ids)
+                )
+        self.events = sorted(events, key=lambda e: (e[0], e[1]))
+        self._handles: List[object] = []
+        self._origin: Optional[float] = None
+
+    def start(self) -> None:
+        if self._handles:
+            raise RuntimeError("fault driver already started")
+        loop = asyncio.get_running_loop()
+        self._origin = loop.time()
+        for at_ms, action, ids in self.events:
+            self._handles.append(
+                loop.call_later(at_ms / 1000.0, self._flip, action, ids)
+            )
+
+    def _flip(self, action: str, ids: frozenset) -> None:
+        flipped = []
+        for pid in sorted(ids):
+            node = self.nodes.get(pid)
+            if node is None:
+                continue
+            if action == "crash" and node.running:
+                node.stop()
+                flipped.append(pid)
+            elif action == "recover" and not node.running:
+                node.start()
+                flipped.append(pid)
+        if self.tracer is not None and flipped:
+            t = (asyncio.get_running_loop().time() - self._origin) * 1000.0
+            if action == "crash":
+                self.tracer.crash(flipped, t=t)
+            else:
+                self.tracer.heal(flipped, t=t)
+
+    def stop(self) -> None:
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+
+class AioCluster:
+    """Asyncio cluster lifecycle: build → ``await start()`` → multicast
+    → ``await stop()``.
+
+    Construction is loop-free (it only records the config and draws no
+    seeds); :meth:`start` must run on the event loop and builds every
+    environment and node there.  All other methods assume loop context
+    unless noted.
+    """
+
+    def __init__(
+        self,
+        config: AioClusterConfig,
+        *,
+        seed: SeedLike = None,
+        tracer=None,
+        transport: Optional[Transport] = None,
+    ):
+        self.config = config
+        # Observability: a repro.obs Tracer or None.  Events are
+        # wall-clock ``t``-stamped (ms).  Node callbacks all run on the
+        # loop, but a service may scrape from other threads — pass
+        # ``Tracer(..., thread_safe=True)`` when sharing one.
+        self.tracer = tracer
+        self._seeds = SeedSequenceFactory(seed)
+        self._given_transport = transport
+        self.transport: Optional[Transport] = None
+        self._fault_transport: Optional[FaultyTransport] = None
+        self._fault_driver: Optional[AioFaultDriver] = None
+        self.envs: Dict[int, AsyncEnvironment] = {}
+        self.nodes: Dict[int, GossipNode] = {}
+        self.registry = SignatureRegistry()
+        #: Cluster-scoped serial counter (see des/cluster.py).
+        self.msg_ids = MessageIdFactory()
+        self.attackers: List[AttackerProcess] = []
+        self._attacker_env: Optional[AsyncEnvironment] = None
+        self.deliveries: List[DeliveryRecord] = []
+        self.created_at: Dict[Tuple[int, int], float] = {}
+        #: msg_id -> receivers that delivered it (incremental, so
+        #: :meth:`await_delivery` polls in O(1) instead of scanning the
+        #: log — the log can hold messages × thousands of records).
+        self._got: Dict[Tuple[int, int], Set[int]] = {}
+        self.node_errors: List[Tuple[int, BaseException]] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_at: Optional[float] = None
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Build environments, nodes, faults, and attacker, then start.
+
+        Seed draw order (documented so seeded plans replay): transport
+        loss → fault layer (only with a plan) → per node (environment,
+        node) → attacker (only with an attack).
+        """
+        if self._stopped:
+            raise RuntimeError("cluster already stopped")
+        if self._loop is not None:
+            raise RuntimeError("cluster already started")
+        config = self.config
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+
+        transport = self._given_transport
+        if transport is None:
+            if config.transport == "udp":
+                transport = AioUdpBridge(
+                    UdpTransport(
+                        LossModel(config.loss, seed=self._seeds.next_seed())
+                    )
+                )
+            else:
+                transport = AioLoopbackTransport(
+                    LossModel(config.loss, seed=self._seeds.next_seed())
+                )
+        attach = getattr(transport, "attach", None)
+        if attach is not None:
+            attach(loop)
+        if config.faults is not None:
+            transport = self._fault_transport = FaultyTransport(
+                transport,
+                config.faults,
+                n=config.n,
+                num_alive_correct=config.num_correct,
+                round_duration_ms=config.round_duration_ms,
+                seed=self._seeds.next_seed(),
+                tracer=self.tracer,
+            )
+        self.transport = transport
+
+        proto_cfg = config.protocol_config()
+        members = list(range(config.n))
+        for pid in config.correct_ids():
+            env = AsyncEnvironment(
+                transport,
+                loop=loop,
+                seed=self._seeds.next_seed(),
+                on_error=lambda exc, pid=pid: self._record_node_error(
+                    pid, exc
+                ),
+            )
+            self.envs[pid] = env
+            self.nodes[pid] = GossipNode(
+                env,
+                pid,
+                proto_cfg,
+                members,
+                seed=self._seeds.next_seed(),
+                on_deliver=self._record,
+                registry=self.registry,
+                id_factory=self.msg_ids,
+            )
+        # One shared key directory (learn_keys(copy=False)): per-node
+        # copies would be n² dict entries at this scale.
+        keys = {pid: node.keys.public for pid, node in self.nodes.items()}
+        for node in self.nodes.values():
+            node.learn_keys(keys, copy=False)
+
+        if (
+            self._fault_transport is not None
+            and self._fault_transport.schedule is not None
+        ):
+            self._fault_driver = AioFaultDriver(
+                self._fault_transport.schedule,
+                self.nodes,
+                round_duration_ms=config.round_duration_ms,
+                tracer=self.tracer,
+            )
+
+        if config.attack is not None:
+            self._spawn_attacker(
+                config.attack, seed=self._seeds.next_seed()
+            )
+
+        # run_start last: every seed position above is already consumed.
+        if self.tracer is not None:
+            self.tracer.run_start(
+                "aio", continuous=True,
+                protocol=config.protocol.value, n=config.n,
+            )
+
+        self._started_at = loop.time() * 1000.0
+        for node in self.nodes.values():
+            node.start()
+        if self._fault_transport is not None:
+            self._fault_transport.start_clock()
+        if self._fault_driver is not None:
+            self._fault_driver.start()
+        for attacker in self.attackers:
+            attacker.start()
+        # Yield once so the first batch of round timers is registered
+        # before the caller starts multicasting.
+        await asyncio.sleep(0)
+
+    async def stop(self) -> None:
+        """Tear down.  Idempotent; environments close even on failure."""
+        if self._stopped:
+            return
+        self._stopped = True
+        first_error: Optional[BaseException] = None
+        if self._fault_driver is not None:
+            self._fault_driver.stop()
+        for attacker in self.attackers:
+            if attacker.running:
+                attacker.stop()
+        try:
+            for node in self.nodes.values():
+                try:
+                    if node.running:
+                        node.stop()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+        finally:
+            for env in self.envs.values():
+                env.close()
+            if self._attacker_env is not None:
+                self._attacker_env.close()
+            if self.transport is not None:
+                self.transport.close()
+        if self.tracer is not None:
+            self.tracer.run_end(delivered=len(self.deliveries))
+        # Let cancelled callbacks drain before the loop is torn down.
+        await asyncio.sleep(0)
+        if first_error is not None:
+            raise first_error
+
+    # -- delivery log / watchdog ---------------------------------------------
+
+    def _record_node_error(self, pid: int, exc: BaseException) -> None:
+        self.node_errors.append((pid, exc))
+
+    def _check_node_errors(self) -> None:
+        if not self.node_errors:
+            return
+        pid, exc = self.node_errors[0]
+        raise RuntimeError(
+            f"{len(self.node_errors)} node callback error(s); first from "
+            f"node {pid}: {exc!r}"
+        ) from exc
+
+    def _record(self, pid: int, message, now_ms: float) -> None:
+        created = self.created_at.get(message.msg_id)
+        if created is None:
+            return
+        wall = self._loop.time() * 1000.0
+        self.deliveries.append(
+            DeliveryRecord(
+                receiver=pid,
+                msg_id=message.msg_id,
+                delivered_at_ms=wall,
+                latency_ms=wall - created,
+                round_counter=message.round_counter,
+            )
+        )
+        self._got[message.msg_id].add(pid)
+        if self.tracer is not None:
+            self.tracer.delivered(
+                node=pid, t=wall, round_counter=message.round_counter
+            )
+
+    # -- runtime injection (the service's control plane) ----------------------
+
+    def inject_faults(self, plan: Union[FaultPlan, str]) -> None:
+        """Apply a fault plan to a *running* cluster.
+
+        Wraps the live transport in a
+        :class:`~repro.faults.live.FaultyTransport` (fault round 1
+        anchored now) and re-points every environment's sends through
+        it; crash windows run on an :class:`AioFaultDriver`.  One plan
+        at a time — stack refinements by describing them in one spec.
+        """
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        if plan.has_churn:
+            from repro.api.engines import churn_refusal
+
+            raise ValueError(churn_refusal("aio", plan))
+        if plan.is_empty:
+            return
+        if self._fault_transport is not None:
+            raise RuntimeError(
+                "a fault plan is already installed; describe the whole "
+                "condition in one spec"
+            )
+        if self._loop is None or self._stopped:
+            raise RuntimeError("cluster is not running")
+        config = self.config
+        plan.validate_for(
+            n=config.n,
+            num_alive_correct=config.num_correct,
+            max_rounds=10**9,
+        )
+        faulty = FaultyTransport(
+            self.transport,
+            plan,
+            n=config.n,
+            num_alive_correct=config.num_correct,
+            round_duration_ms=config.round_duration_ms,
+            seed=self._seeds.next_seed(),
+            tracer=self.tracer,
+        )
+        self._fault_transport = faulty
+        self.transport = faulty
+        # Handlers stay bound on the inner transport; only the send
+        # path needs re-pointing.
+        for env in self.envs.values():
+            env.transport = faulty
+        if self._attacker_env is not None:
+            self._attacker_env.transport = faulty
+        faulty.start_clock()
+        if faulty.schedule is not None:
+            self._fault_driver = AioFaultDriver(
+                faulty.schedule,
+                self.nodes,
+                round_duration_ms=config.round_duration_ms,
+                tracer=self.tracer,
+            )
+            self._fault_driver.start()
+        # The *post-injection* config carries the plan so result()
+        # reports faults and reachability like a configured run.
+        self.config = replace(config, faults=plan)
+
+    def inject_attack(self, spec: AttackSpec) -> AttackerProcess:
+        """Start a DoS attacker against a running cluster."""
+        if self._loop is None or self._stopped:
+            raise RuntimeError("cluster is not running")
+        attacker = self._spawn_attacker(spec, seed=self._seeds.next_seed())
+        attacker.start()
+        return attacker
+
+    def _spawn_attacker(self, spec: AttackSpec, *, seed) -> AttackerProcess:
+        if self._attacker_env is None:
+            self._attacker_env = AsyncEnvironment(
+                self.transport, loop=self._loop, seed=None
+            )
+        attacker = AttackerProcess(
+            self._attacker_env,
+            spec,
+            self.config.protocol,
+            list(range(spec.victim_count(self.config.n))),
+            round_duration_ms=self.config.round_duration_ms,
+            seed=seed,
+        )
+        self.attackers.append(attacker)
+        return attacker
+
+    # -- application API ------------------------------------------------------
+
+    def multicast(self, source: int, payload: object) -> Tuple[int, int]:
+        """Multicast ``payload`` from ``source`` and track deliveries."""
+        wall = self._loop.time() * 1000.0
+        msg = self.nodes[source].multicast(payload)
+        self.created_at[msg.msg_id] = wall
+        self._got[msg.msg_id] = {source}
+        self.deliveries.append(
+            DeliveryRecord(
+                receiver=source,
+                msg_id=msg.msg_id,
+                delivered_at_ms=wall,
+                latency_ms=0.0,
+                round_counter=0,
+            )
+        )
+        if self.tracer is not None:
+            self.tracer.delivered(node=source, via="source", t=wall)
+        return msg.msg_id
+
+    async def await_delivery(
+        self,
+        msg_id: Tuple[int, int],
+        *,
+        fraction: float = 1.0,
+        timeout_s: float = 30.0,
+    ) -> bool:
+        """Wait until ``fraction`` of correct processes delivered ``msg_id``.
+
+        Raises :class:`RuntimeError` if any node callback has died —
+        waiting out the timeout against a dead node would just report a
+        bogus delivery failure.
+        """
+        receivers = set(self.config.correct_ids())
+        needed = max(1, int(fraction * len(receivers)))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while True:
+            self._check_node_errors()
+            got = self._got.get(msg_id, ())
+            if len(got) >= needed:
+                return True
+            if loop.time() >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+
+    def delivered_counts(self) -> Dict[Tuple[int, int], int]:
+        """Receivers reached per tracked message (status queries)."""
+        return {mid: len(got) for mid, got in self._got.items()}
+
+    def result(self, send_rate: float, messages_sent: int) -> MeasurementResult:
+        """Package the delivery log as a :class:`MeasurementResult`."""
+        if self._started_at is None:
+            raise RuntimeError("cluster was never started")
+        sources = {mid[0] for mid in self.created_at} or {0}
+        receivers = [
+            pid for pid in self.config.correct_ids() if pid not in sources
+        ]
+        reachable: Optional[List[int]] = None
+        faults_desc: Optional[str] = None
+        if self.config.faults is not None:
+            faults_desc = self.config.faults.describe()
+            schedule = self._fault_transport.schedule
+            if schedule is not None:
+                horizon = self._fault_transport.current_round()
+                reachable_ids = schedule.reachable_ids(horizon)
+                reachable = [
+                    pid for pid in receivers if pid in reachable_ids
+                ]
+            else:
+                reachable = list(receivers)
+        return MeasurementResult(
+            protocol=self.config.protocol.value,
+            n=self.config.n,
+            correct_receivers=receivers,
+            send_rate=send_rate,
+            messages_sent=messages_sent,
+            experiment_start_ms=self._started_at,
+            experiment_end_ms=self._loop.time() * 1000.0,
+            deliveries=list(self.deliveries),
+            reachable_receivers=reachable,
+            faults=faults_desc,
+        )
+
+
+def run_aio_experiment(
+    config: AioClusterConfig, *, seed: SeedLike = None, tracer=None
+) -> MeasurementResult:
+    """Stream ``config.messages`` through an asyncio cluster.
+
+    The synchronous entry point (``asyncio.run`` inside): build and
+    start the cluster, stream from the source at ``send_rate``, await
+    the stream tail reaching half the group, drain ``drain_rounds``
+    extra round durations, tear down, and package the measurement.
+    """
+
+    async def _run() -> MeasurementResult:
+        cluster = AioCluster(config, seed=seed, tracer=tracer)
+        await cluster.start()
+        try:
+            interval_s = 1.0 / config.send_rate
+            last_id = None
+            for i in range(config.messages):
+                last_id = cluster.multicast(
+                    config.source, f"msg-{i}".encode()
+                )
+                if i + 1 < config.messages:
+                    await asyncio.sleep(interval_s)
+            if last_id is not None:
+                await cluster.await_delivery(
+                    last_id,
+                    fraction=0.5,
+                    timeout_s=max(
+                        2.0, 10 * config.round_duration_ms / 1000.0
+                    ),
+                )
+            if config.drain_rounds > 0:
+                await asyncio.sleep(
+                    config.drain_rounds * config.round_duration_ms / 1000.0
+                )
+        finally:
+            await cluster.stop()
+        return cluster.result(config.send_rate, config.messages)
+
+    return asyncio.run(_run())

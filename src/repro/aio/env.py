@@ -1,0 +1,111 @@
+"""Asyncio implementation of the node environment.
+
+:class:`AsyncEnvironment` gives one :class:`~repro.des.node.GossipNode`
+(or :class:`~repro.des.attacker.AttackerProcess`) a clock, timers, and a
+datagram service backed by a running :mod:`asyncio` event loop.  All
+callbacks execute on the loop, so — unlike the threaded
+:class:`~repro.runtime.env.RealTimeEnvironment` — no lock is needed to
+serialise protocol logic: cooperative scheduling *is* the lock.
+
+Timers are ``loop.call_later`` handles; time is ``loop.time()`` (a
+monotonic clock) rebased to the environment's creation, in milliseconds,
+matching the contract of :class:`~repro.des.environment.Environment`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.des.environment import Environment, Handler
+from repro.net.address import Address
+from repro.net.transport import Transport
+from repro.util import derive_rng
+from repro.util.rng import SeedLike
+
+
+class AsyncEnvironment(Environment):
+    """One node's view of loop time and a shared transport.
+
+    Must be constructed on (or handed) the running event loop; every
+    scheduled callback and every bound handler fires on that loop.
+    ``on_error`` receives exceptions escaping a timer or receive
+    callback — the loop would otherwise swallow them into its exception
+    handler and the node would just go quiet (see the cluster's node
+    watchdog).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        seed: SeedLike = None,
+        on_error: Optional[Callable[[BaseException], None]] = None,
+    ):
+        self.transport = transport
+        self.loop = loop if loop is not None else asyncio.get_running_loop()
+        self._rng = derive_rng(seed)
+        self._origin = self.loop.time()
+        self._timers: set = set()
+        self._closed = False
+        self.on_error = on_error
+
+    def now(self) -> float:
+        return (self.loop.time() - self._origin) * 1000.0
+
+    def schedule(self, delay_ms: float, fn: Callable[[], None]) -> object:
+        handle_box = []
+
+        def _fire() -> None:
+            if handle_box:
+                self._timers.discard(handle_box[0])
+            if self._closed:
+                return
+            try:
+                fn()
+            except Exception as exc:
+                if self.on_error is None:
+                    raise
+                self.on_error(exc)
+
+        handle = self.loop.call_later(max(0.0, delay_ms) / 1000.0, _fire)
+        handle_box.append(handle)
+        self._timers.add(handle)
+        return handle
+
+    def cancel(self, handle: object) -> None:
+        handle.cancel()
+        self._timers.discard(handle)
+
+    def bind(self, addr: Address, handler: Handler) -> None:
+        def _guarded(src: Address, payload: object) -> None:
+            if self._closed:
+                return
+            try:
+                handler(src, payload)
+            except Exception as exc:
+                if self.on_error is None:
+                    raise
+                self.on_error(exc)
+
+        self.transport.bind(addr, _guarded)
+
+    def unbind(self, addr: Address) -> None:
+        self.transport.unbind(addr)
+
+    def send(self, src: Address, dst: Address, payload: object) -> None:
+        self.transport.send(src, dst, payload)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def close(self) -> None:
+        """Cancel outstanding timers and refuse further callbacks."""
+        self._closed = True
+        for handle in list(self._timers):
+            handle.cancel()
+        self._timers.clear()

@@ -1,0 +1,132 @@
+"""Datagram transports for the asyncio runtime.
+
+Two ways onto the event loop:
+
+- :class:`AioLoopbackTransport` — in-process delivery via
+  ``loop.call_soon``.  Sends from the loop itself (the common case:
+  every node callback runs on the loop) enqueue directly; sends from
+  foreign threads (a :class:`~repro.faults.live.FaultyTransport` delay
+  timer, a test harness) marshal through ``call_soon_threadsafe``.
+  Handler lookup happens at *dispatch* time, so a random port unbound
+  between send and delivery dead-letters exactly like a closed socket.
+- :class:`AioUdpBridge` — wraps the existing
+  :class:`~repro.net.transport.UdpTransport`: real UDP datagrams on
+  localhost, with the receiver threads' callbacks marshalled onto the
+  loop so node logic still runs single-threaded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional
+
+from repro.net.address import Address
+from repro.net.link import LossModel
+from repro.net.transport import Handler, Transport
+
+
+class AioLoopbackTransport(Transport):
+    """Loopback transport dispatching every delivery on the event loop.
+
+    Construct anywhere; call :meth:`attach` from loop context (the
+    cluster does this in ``start()``) before traffic flows.  Sends
+    before attachment are dropped like packets on a downed interface.
+    """
+
+    def __init__(self, loss: Optional[LossModel] = None):
+        super().__init__(loss)
+        self._handlers: Dict[Address, Handler] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[int] = None
+        self._closed = False
+        self.delivered = 0
+        self.dropped = 0
+
+    def attach(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        """Bind the transport to ``loop`` (default: the running loop)."""
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._loop_thread = threading.get_ident()
+
+    def bind(self, addr: Address, handler: Handler) -> None:
+        self._handlers[addr] = handler
+
+    def unbind(self, addr: Address) -> None:
+        self._handlers.pop(addr, None)
+
+    def _dispatch(self, src: Address, dst: Address, payload: object) -> None:
+        if self._closed:
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        handler(src, payload)
+
+    def send(self, src: Address, dst: Address, payload: object) -> None:
+        loop = self._loop
+        if self._closed or loop is None or loop.is_closed():
+            self.dropped += 1
+            return
+        if self.loss is not None and not self.loss.delivered():
+            self.dropped += 1
+            return
+        if threading.get_ident() == self._loop_thread:
+            loop.call_soon(self._dispatch, src, dst, payload)
+        else:
+            # Off-loop producer (FaultyTransport delay timers, tests).
+            try:
+                loop.call_soon_threadsafe(self._dispatch, src, dst, payload)
+            except RuntimeError:
+                self.dropped += 1  # loop shut down mid-send
+
+    def close(self) -> None:
+        self._closed = True
+        self._handlers.clear()
+
+
+class AioUdpBridge(Transport):
+    """Marshals a :class:`~repro.net.transport.UdpTransport` onto a loop.
+
+    ``bind`` wraps each handler so the UDP receiver thread's callback is
+    re-queued with ``call_soon_threadsafe``; ``send`` goes straight to
+    the socket (sending is thread-agnostic).  The node logic therefore
+    keeps the single-threaded execution model while the datagrams ride a
+    real network stack.
+    """
+
+    def __init__(self, inner: Transport):
+        super().__init__(loss=None)
+        self.inner = inner
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        self.dropped = 0
+
+    def attach(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+
+    def bind(self, addr: Address, handler: Handler) -> None:
+        def _to_loop(src: Address, payload: object) -> None:
+            loop = self._loop
+            if self._closed or loop is None or loop.is_closed():
+                self.dropped += 1
+                return
+            try:
+                loop.call_soon_threadsafe(handler, src, payload)
+            except RuntimeError:
+                self.dropped += 1
+
+        self.inner.bind(addr, _to_loop)
+
+    def unbind(self, addr: Address) -> None:
+        self.inner.unbind(addr)
+
+    def send(self, src: Address, dst: Address, payload: object) -> None:
+        if self._closed:
+            return
+        self.inner.send(src, dst, payload)
+
+    def close(self) -> None:
+        self._closed = True
+        self.inner.close()

@@ -2,47 +2,99 @@
 
 :class:`Experiment` is one declarative description of a gossip
 experiment — group, protocol, attack, faults, timing — that runs on any
-of the four execution stacks with ``.run(engine=...)``:
+registered execution stack with ``.run(engine=...)``:
 
 - ``"exact"`` — the object-level round simulator (every protocol
   mechanism really executes; golden-traced);
 - ``"fast"`` — the vectorised Monte-Carlo engine (paper-strength
   1000-run sweeps);
+- ``"mega"`` — the packed-bitset engine for mega-scale groups;
 - ``"des"`` — the discrete-event measurement platform (throughput /
   latency streams, Section 8 methodology);
-- ``"live"`` — the threaded wall-clock runtime.
+- ``"live"`` — the threaded wall-clock runtime;
+- ``"aio"`` — the asyncio service runtime (thousands of nodes per
+  process; see :mod:`repro.aio`).
+
+Engines dispatch through the declared registry in
+:mod:`repro.api.engines`; each registers an
+:class:`~repro.api.engines.EngineSpec` with capability flags (faults /
+churn / tracing / determinism class / group-size ceiling), and
+capability mismatches raise one uniform
+:class:`~repro.api.engines.EngineCapabilityError` naming the engines
+that *can*.
 
 Attach a :class:`repro.obs.Tracer` via ``.run(..., tracer=t)`` and every
 stack emits the same typed event taxonomy (see :mod:`repro.obs`).
 
-The legacy constructors — :class:`~repro.sim.scenario.Scenario`,
-:class:`~repro.des.cluster.ClusterConfig`,
-:class:`~repro.runtime.cluster.LiveClusterConfig` — are re-exported here
-for compatibility.  They remain fully supported as the per-stack
-configuration objects (``Experiment`` builds them for you), but direct
-construction is the *legacy* entry point for running experiments:
-prefer ``Experiment(...).run(engine=...)``, which guarantees the same
-description means the same thing on every stack.
-
 :func:`result_from_dict` deserialises any result produced by the
 unified ``to_dict()`` envelope (``RunResult``, ``MonteCarloResult``,
 ``MeasurementResult``) back into the right class.
+
+.. deprecated::
+   Importing :class:`ClusterConfig` / :class:`LiveClusterConfig` from
+   ``repro.api`` for direct construction is deprecated — those are the
+   per-stack native configs, and running experiments through them
+   bypasses the engine registry's capability checks.  Build experiments
+   with :class:`Experiment` (it constructs the native configs for you
+   via ``.cluster_config()`` / ``.live_config()`` / ``.aio_config()``),
+   or import the classes from their home modules
+   (:mod:`repro.des.cluster`, :mod:`repro.runtime.cluster`) if you
+   really need the stack-level API.  The re-exports here emit
+   :class:`DeprecationWarning` and will be dropped in a future major
+   version.
 """
 
+import warnings
+
+from repro.api import engines
+from repro.api.engines import (
+    EngineCapabilities,
+    EngineCapabilityError,
+    EngineSpec,
+)
 from repro.api.experiment import Experiment
 from repro.api.results import (
     decode_envelope,
     encode_envelope,
     result_from_dict,
 )
-from repro.des.cluster import ClusterConfig
 from repro.des.measurement import MeasurementResult
-from repro.runtime.cluster import LiveClusterConfig
 from repro.sim.results import MonteCarloResult, RunResult
 from repro.sim.scenario import Scenario
 
+#: Legacy per-stack config re-exports served lazily (PEP 562) so the
+#: deprecation warning fires at *import-from-api* time, not for users
+#: importing them from their home modules.
+_LEGACY = {
+    "ClusterConfig": ("repro.des.cluster", "engine=\"des\""),
+    "LiveClusterConfig": ("repro.runtime.cluster", "engine=\"live\""),
+}
+
+
+def __getattr__(name: str):
+    legacy = _LEGACY.get(name)
+    if legacy is not None:
+        module_name, engine = legacy
+        warnings.warn(
+            f"importing {name} from repro.api for direct construction is "
+            f"deprecated: build experiments with repro.api.Experiment "
+            f"(.run({engine})) so they dispatch through the engine "
+            f"registry, or import {name} from {module_name} for the "
+            f"stack-level API",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "ClusterConfig",
+    "EngineCapabilities",
+    "EngineCapabilityError",
+    "EngineSpec",
     "Experiment",
     "LiveClusterConfig",
     "MeasurementResult",
@@ -51,5 +103,6 @@ __all__ = [
     "Scenario",
     "decode_envelope",
     "encode_envelope",
+    "engines",
     "result_from_dict",
 ]

@@ -1,4 +1,4 @@
-"""The :class:`Experiment` builder: one config, four engines.
+"""The :class:`Experiment` builder: one config, every registered engine.
 
 An :class:`Experiment` holds the protocol-level description shared by
 every stack (group composition, fan-out, loss, attack, faults) plus the
@@ -23,8 +23,16 @@ from typing import Optional, Union
 from repro.adversary.attacks import AttackSpec
 from repro.faults.plan import FaultPlan
 
-#: Engines ``Experiment.run`` accepts.
-ENGINES = ("exact", "fast", "mega", "des", "live")
+
+def __getattr__(name: str):
+    # Kept for compatibility: the engine list now lives in the registry
+    # (``repro.api.engines.engines()``), where stacks register
+    # themselves; a static tuple here would go stale.
+    if name == "ENGINES":
+        from repro.api.engines import engines
+
+        return engines()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -122,6 +130,25 @@ class Experiment:
             faults=self.faults,
         )
 
+    def aio_config(self):
+        """The asyncio :class:`~repro.aio.cluster.AioClusterConfig`."""
+        from repro.aio.cluster import AioClusterConfig
+
+        return AioClusterConfig(
+            protocol=self.protocol,
+            n=self.n,
+            malicious_fraction=self.malicious_fraction,
+            attack=self.attack,
+            fan_out=self.fan_out,
+            loss=self.loss,
+            round_duration_ms=self.round_duration_ms,
+            round_jitter=self.round_jitter,
+            purge_rounds=self.purge_rounds,
+            send_rate=self.send_rate,
+            messages=self.messages,
+            faults=self.faults,
+        )
+
     # -- execution -----------------------------------------------------------
 
     def run(
@@ -147,7 +174,11 @@ class Experiment:
         - ``"live"``: a :class:`~repro.des.measurement.MeasurementResult`
           from a real threaded cluster streaming :attr:`messages`
           messages at :attr:`send_rate` (wall-clock: takes
-          ``messages / send_rate`` seconds plus drain time).
+          ``messages / send_rate`` seconds plus drain time);
+        - ``"aio"``: a :class:`~repro.des.measurement.MeasurementResult`
+          from the asyncio service runtime (:mod:`repro.aio`) — the
+          same streamed wall-clock experiment as ``"live"``, but
+          thousands of nodes per process on one event loop.
 
         ``workers`` fans Monte-Carlo shards over the process-wide
         persistent pool (:mod:`repro.sim.executor`) — spawned on first
@@ -155,68 +186,98 @@ class Experiment:
         values, only wall-clock.  ``tracer`` (a
         :class:`repro.obs.Tracer`) attaches the unified observability
         layer on every engine; pass ``Tracer(..., thread_safe=True)``
-        for ``"live"``.  Every result class exposes the same versioned
-        ``to_dict()`` envelope.
+        for ``"live"`` and ``"aio"``.  Every result class exposes the
+        same versioned ``to_dict()`` envelope.
+
+        Dispatch goes through the declared engine registry
+        (:mod:`repro.api.engines`): the spec's capability declaration is
+        checked first, so asking a stack for something it can't do
+        (churn on ``"live"``, a mega-scale group on ``"fast"``) raises
+        one uniform :class:`~repro.api.engines.EngineCapabilityError`
+        naming the engines that *can*.
         """
-        if engine == "exact":
-            if self.runs is None:
-                from repro.sim.engine import run_exact
+        from repro.api.engines import get_engine
 
-                return run_exact(self.scenario(), seed=seed, tracer=tracer)
-            from repro.sim.runner import monte_carlo
-
-            return monte_carlo(
-                self.scenario(), self.runs, seed=seed, engine="exact",
-                workers=workers, tracer=tracer,
-            )
-        if engine in ("fast", "mega"):
-            from repro.sim.runner import monte_carlo
-
-            return monte_carlo(
-                self.scenario(), self.runs, seed=seed, engine=engine,
-                workers=workers, tracer=tracer,
-            )
-        if engine == "des":
-            from repro.des.cluster import run_throughput_experiment
-
-            config = self.cluster_config()
-            if config.faults is not None and config.faults.has_churn:
-                from repro.des.churn import run_churn_experiment
-
-                return run_churn_experiment(config, seed=seed, tracer=tracer)
-            return run_throughput_experiment(config, seed=seed, tracer=tracer)
-        if engine == "live":
-            return self._run_live(seed=seed, tracer=tracer)
-        raise ValueError(
-            f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}"
+        return get_engine(engine).run(
+            self, seed=seed, workers=workers, tracer=tracer
         )
 
-    def _run_live(self, *, seed=None, tracer=None):
-        """Stream :attr:`messages` through a threaded cluster."""
-        import time
 
-        from repro.runtime.cluster import LiveCluster
+# -- built-in engine runners -------------------------------------------------
+#
+# Registered lazily by ``repro.api.engines._ensure_builtin`` as
+# ``"repro.api.experiment:run_<name>_engine"`` import strings.  Each is
+# a plain function ``(experiment, *, seed, workers, tracer) -> result``
+# — the same contract third-party stacks register with.
 
-        cluster = LiveCluster(self.live_config(), seed=seed, tracer=tracer)
-        interval_s = 1.0 / self.send_rate
-        cluster.start()
-        try:
-            last_id = None
-            for i in range(self.messages):
-                last_id = cluster.multicast(0, f"msg-{i}".encode())
-                if i + 1 < self.messages:
-                    time.sleep(interval_s)
-            # Wait for the stream's tail to spread before tearing down;
-            # a few round durations is the live analogue of the DES
-            # drain window.
-            if last_id is not None:
-                cluster.await_delivery(
-                    last_id,
-                    fraction=0.5,
-                    timeout_s=max(
-                        2.0, 10 * self.round_duration_ms / 1000.0
-                    ),
-                )
-        finally:
-            cluster.stop()
-        return cluster.result(self.send_rate, self.messages)
+
+def run_exact_engine(exp: Experiment, *, seed=None, workers=None, tracer=None):
+    """One object-level run, or a Monte-Carlo batch when ``runs`` is set."""
+    if exp.runs is None:
+        from repro.sim.engine import run_exact
+
+        return run_exact(exp.scenario(), seed=seed, tracer=tracer)
+    from repro.sim.runner import monte_carlo
+
+    return monte_carlo(
+        exp.scenario(), exp.runs, seed=seed, engine="exact",
+        workers=workers, tracer=tracer,
+    )
+
+
+def run_fast_engine(exp: Experiment, *, seed=None, workers=None, tracer=None):
+    from repro.sim.runner import monte_carlo
+
+    return monte_carlo(
+        exp.scenario(), exp.runs, seed=seed, engine="fast",
+        workers=workers, tracer=tracer,
+    )
+
+
+def run_mega_engine(exp: Experiment, *, seed=None, workers=None, tracer=None):
+    from repro.sim.runner import monte_carlo
+
+    return monte_carlo(
+        exp.scenario(), exp.runs, seed=seed, engine="mega",
+        workers=workers, tracer=tracer,
+    )
+
+
+def run_des_engine(exp: Experiment, *, seed=None, workers=None, tracer=None):
+    from repro.des.cluster import run_throughput_experiment
+
+    config = exp.cluster_config()
+    if config.faults is not None and config.faults.has_churn:
+        from repro.des.churn import run_churn_experiment
+
+        return run_churn_experiment(config, seed=seed, tracer=tracer)
+    return run_throughput_experiment(config, seed=seed, tracer=tracer)
+
+
+def run_live_engine(exp: Experiment, *, seed=None, workers=None, tracer=None):
+    """Stream ``exp.messages`` through a threaded cluster."""
+    import time
+
+    from repro.runtime.cluster import LiveCluster
+
+    cluster = LiveCluster(exp.live_config(), seed=seed, tracer=tracer)
+    interval_s = 1.0 / exp.send_rate
+    cluster.start()
+    try:
+        last_id = None
+        for i in range(exp.messages):
+            last_id = cluster.multicast(0, f"msg-{i}".encode())
+            if i + 1 < exp.messages:
+                time.sleep(interval_s)
+        # Wait for the stream's tail to spread before tearing down;
+        # a few round durations is the live analogue of the DES
+        # drain window.
+        if last_id is not None:
+            cluster.await_delivery(
+                last_id,
+                fraction=0.5,
+                timeout_s=max(2.0, 10 * exp.round_duration_ms / 1000.0),
+            )
+    finally:
+        cluster.stop()
+    return cluster.result(exp.send_rate, exp.messages)

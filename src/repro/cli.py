@@ -19,6 +19,9 @@ subcommands mirror the library's three evaluation stacks::
     # Replay a JSONL event trace recorded with --trace
     python -m repro trace run.jsonl
 
+    # Live asyncio gossip service with a JSONL-over-TCP control plane
+    python -m repro serve --port 7000 --start --protocol drum --n 2000
+
 ``--faults``, ``--profile``, and ``--trace`` are uniform across the
 execution subcommands (where the stack supports them).  Each subcommand
 prints a compact table; ``--json`` emits machine-readable results
@@ -494,6 +497,52 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import socket
+
+    from repro.aio.service import GossipService
+
+    service = GossipService(host=args.host, port=args.port)
+    service.start()
+    print(f"gossip service listening on {service.host}:{service.port}")
+    if args.start:
+        # Boot the cluster through the control socket a client would
+        # use, so the flag exercises the public path end to end.
+        request = {
+            "op": "start",
+            "protocol": args.protocol,
+            "n": args.n,
+            "loss": args.loss,
+            "round_duration_ms": args.round_ms,
+        }
+        if args.seed is not None:
+            request["seed"] = args.seed
+        with socket.create_connection((service.host, service.port)) as sock:
+            sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            reply = json.loads(sock.makefile(encoding="utf-8").readline())
+        if not reply.get("ok"):
+            print(
+                f"cluster start failed: {reply.get('error')}", file=sys.stderr
+            )
+            service.stop()
+            return 1
+        print(f"cluster running: protocol={args.protocol} n={args.n}")
+    print(
+        "control plane: one JSON request per line, e.g.\n"
+        f"  echo '{{\"op\": \"status\"}}' | nc {service.host} {service.port}\n"
+        "ops: ping start status multicast inject metrics stream stop "
+        "shutdown (Ctrl-C also exits)"
+    )
+    try:
+        while not service.wait(timeout_s=0.5):
+            pass
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -629,6 +678,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full summary as JSON instead of tables",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the live asyncio gossip service "
+             "(JSONL-over-TCP control plane)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind the control socket on",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="control-plane TCP port (default: 0 = pick a free port)",
+    )
+    p_serve.add_argument(
+        "--start", action="store_true",
+        help="also start a cluster immediately from --protocol/--n/"
+             "--loss/--round-ms/--seed (otherwise send a "
+             "{\"op\": \"start\"} request later)",
+    )
+    p_serve.add_argument(
+        "--protocol", default="drum", choices=PROTOCOL_CHOICES,
+        help="protocol for --start (default: drum)",
+    )
+    p_serve.add_argument(
+        "--n", type=int, default=120, help="group size for --start"
+    )
+    p_serve.add_argument(
+        "--loss", type=float, default=0.01,
+        help="packet-loss probability for --start",
+    )
+    p_serve.add_argument(
+        "--round-ms", type=float, default=200.0,
+        help="gossip round duration for --start (milliseconds)",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=None, help="seed for --start"
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

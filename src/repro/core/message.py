@@ -16,12 +16,39 @@ from repro.crypto.certificates import Certificate
 from repro.crypto.encryption import SealedEnvelope
 from repro.crypto.signatures import Signature
 
-_msg_ids = itertools.count()
+class MessageIdFactory:
+    """Mints (source, serial) message ids from a private serial counter.
+
+    Each cluster/run owns one factory, so the serial stream always
+    starts at 0 for that run — repeated seeded DES runs mint identical
+    ids and their result envelopes compare byte-identical without any
+    serial canonicalisation.  (A process-global counter would leak the
+    history of *prior* in-process runs into the serials.)
+
+    ``next(itertools.count())`` is atomic under the GIL, so one factory
+    may be shared by the threaded and asyncio runtimes without a lock.
+    """
+
+    __slots__ = ("_serials",)
+
+    def __init__(self) -> None:
+        self._serials = itertools.count()
+
+    def fresh(self, source: int) -> Tuple[int, int]:
+        """Mint the next (source, serial) id."""
+        return (source, next(self._serials))
+
+
+#: Module-level fallback factory for nodes constructed without a
+#: cluster (direct :class:`~repro.des.node.GossipNode` use, tests).
+#: Ids from it are only unique per process — cluster runners must pass
+#: their own :class:`MessageIdFactory` for reproducible serials.
+_default_ids = MessageIdFactory()
 
 
 def fresh_message_id(source: int) -> Tuple[int, int]:
-    """Mint a globally unique (source, serial) message id."""
-    return (source, next(_msg_ids))
+    """Mint a process-unique (source, serial) id from the default factory."""
+    return _default_ids.fresh(source)
 
 
 @dataclass(frozen=True, slots=True)

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.message import MessageIdFactory
 from repro.crypto.ca import CertificationAuthority
 from repro.crypto.keys import KeyPair
 from repro.crypto.signatures import SignatureRegistry
@@ -64,6 +65,7 @@ class MemberNode:
         on_membership=None,
         registry: Optional[SignatureRegistry] = None,
         failure_timeout_rounds: float = 10.0,
+        id_factory=None,
     ):
         self.env = env
         self.pid = pid
@@ -76,6 +78,7 @@ class MemberNode:
             env, pid, config, members=[],
             seed=seed, on_deliver=self._deliver,
             registry=registry,
+            id_factory=id_factory,
         )
         self.membership = DynamicMembership(
             pid,
@@ -192,6 +195,7 @@ class ChurnExperiment:
             kind=protocol, round_duration_ms=round_duration_ms
         )
         self.ca = CertificationAuthority(validity_period=3600.0)
+        self.msg_ids = MessageIdFactory()
         self.nodes: Dict[int, MemberNode] = {}
         self.delivered: Dict[int, Set[Tuple[int, int]]] = {}
         self.joined: List[int] = []
@@ -225,6 +229,7 @@ class ChurnExperiment:
             self.ca,
             seed=self._seeds.next_seed(),
             on_deliver=self._on_data,
+            id_factory=self.msg_ids,
         )
         event = member.join_group()
         self.nodes[pid] = member
@@ -329,6 +334,9 @@ class _ScheduledChurnCluster:
         #: membership change under test (expiry is exercised separately).
         self.ca = CertificationAuthority(validity_period=1e9)
         self.registry = SignatureRegistry()
+        #: Serials scoped to the run (see MessageIdFactory): repeated
+        #: seeded churn runs mint byte-identical message ids.
+        self.msg_ids = MessageIdFactory()
         self.proto_cfg = config.protocol_config()
         self._fd_rounds = float(FD_TIMEOUT_ROUNDS)
 
@@ -425,6 +433,7 @@ class _ScheduledChurnCluster:
             on_membership=self._on_membership,
             registry=self.registry,
             failure_timeout_rounds=self._fd_rounds,
+            id_factory=self.msg_ids,
         )
 
     def _share_keys(self) -> None:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.adversary.attacks import AttackSpec
 from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.message import MessageIdFactory
 from repro.des.attacker import AttackerProcess
 from repro.des.environment import SimEnvironment
 from repro.des.measurement import DeliveryRecord, MeasurementResult
@@ -178,6 +179,9 @@ class _Cluster:
         #: One signature trust domain per cluster: the bindings die with
         #: the run instead of accumulating in the module-level registry.
         self.registry = SignatureRegistry()
+        #: Serial counter scoped to this cluster: repeated seeded runs
+        #: mint identical message ids, so envelopes compare byte-equal.
+        self.msg_ids = MessageIdFactory()
         self.nodes: Dict[int, GossipNode] = {}
         for pid in config.correct_ids():
             self.nodes[pid] = GossipNode(
@@ -189,6 +193,7 @@ class _Cluster:
                 on_deliver=self._record_delivery,
                 ttl_policy=lambda m: self.ttl_overrides.get(m.msg_id),
                 registry=self.registry,
+                id_factory=self.msg_ids,
             )
         keys = {pid: node.keys.public for pid, node in self.nodes.items()}
         for node in self.nodes.values():

@@ -32,12 +32,13 @@ from repro.core.buffer import MessageBuffer
 from repro.core.config import ProtocolConfig, ProtocolKind
 from repro.core.message import (
     DataMessage,
+    MessageIdFactory,
     PullReply,
     PullRequest,
     PushData,
     PushOffer,
     PushReply,
-    fresh_message_id,
+    _default_ids,
 )
 from repro.core.ports import RandomPortAllocator
 from repro.core.views import select_disjoint_views
@@ -78,6 +79,7 @@ class GossipNode:
         data_bound: int = DEFAULT_DATA_BOUND,
         ttl_policy=None,
         registry: Optional[SignatureRegistry] = None,
+        id_factory: Optional[MessageIdFactory] = None,
     ):
         """``ttl_policy(message) -> Optional[int]`` may override the
         buffer lifetime of individual messages (e.g. a tracked message
@@ -86,11 +88,16 @@ class GossipNode:
         ``registry`` scopes signature bindings to this cluster/run; all
         nodes of one group must share it for cross-node verification to
         succeed.  ``None`` falls back to the bounded module default.
+
+        ``id_factory`` scopes message serials to this cluster/run so
+        seeded runs mint identical ids; ``None`` falls back to the
+        process-global default factory.
         """
         self.env = env
         self.pid = pid
         self.config = config
         self.members = list(members)
+        self.id_factory = id_factory if id_factory is not None else _default_ids
         self.rng = derive_rng(seed)
         self.keys = KeyPair(owner=pid)
         self.peer_keys: Dict[int, PublicKey] = {}
@@ -149,9 +156,17 @@ class GossipNode:
             )
         return ResourceBounds(bounds)
 
-    def learn_keys(self, keys: Dict[int, PublicKey]) -> None:
-        """Install the other members' public keys."""
-        self.peer_keys = dict(keys)
+    def learn_keys(
+        self, keys: Dict[int, PublicKey], *, copy: bool = True
+    ) -> None:
+        """Install the other members' public keys.
+
+        ``copy=False`` adopts ``keys`` as a shared reference instead of
+        copying — the asyncio runtime hands one key directory to
+        thousands of nodes, where per-node copies would be O(n²) dict
+        entries.  Callers using it must not mutate per-node.
+        """
+        self.peer_keys = dict(keys) if copy else keys
 
     @property
     def uses_push(self) -> bool:
@@ -215,7 +230,7 @@ class GossipNode:
         "immediately increases the round counter to 1", Section 8.1).
         """
         message = DataMessage(
-            msg_id=fresh_message_id(self.pid),
+            msg_id=self.id_factory.fresh(self.pid),
             source=self.pid,
             payload=payload,
             round_counter=1,

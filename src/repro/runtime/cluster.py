@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.adversary.attacks import AttackSpec, PortLoad
 from repro.core.config import ProtocolConfig, ProtocolKind
+from repro.core.message import MessageIdFactory
 from repro.crypto.signatures import SignatureRegistry
 from repro.des.attacker import FabricatedPayload
 from repro.des.measurement import DeliveryRecord, MeasurementResult
@@ -77,15 +78,13 @@ class LiveClusterConfig:
                 object.__setattr__(self, "faults", None)
             else:
                 if self.faults.has_churn:
-                    raise ValueError(
-                        "the live runtime cannot honour churn tokens "
-                        "(join/leave/expel): it runs a fixed membership "
-                        "with no certification authority.  Drop the "
-                        "churn tokens from the fault spec "
-                        f"({self.faults.describe()!r}) or run the "
-                        "scenario on the exact/fast/mega/des engines, "
-                        "which realise dynamic membership."
-                    )
+                    # Capability refusals come from the engine registry
+                    # so every stack phrases them identically and names
+                    # the engines that *can* (lazy import: the registry
+                    # imports this module to register the live runner).
+                    from repro.api.engines import churn_refusal
+
+                    raise ValueError(churn_refusal("live", self.faults))
                 self.faults.validate_for(
                     n=self.n,
                     num_alive_correct=self.num_correct,
@@ -175,6 +174,9 @@ class LiveCluster:
         members = list(range(config.n))
         #: One signature trust domain per cluster (see des/cluster.py).
         self.registry = SignatureRegistry()
+        #: Cluster-scoped serial counter — node threads share it safely
+        #: (``next(itertools.count())`` is atomic under the GIL).
+        self.msg_ids = MessageIdFactory()
         self.envs: Dict[int, RealTimeEnvironment] = {}
         self.nodes: Dict[int, GossipNode] = {}
         for pid in config.correct_ids():
@@ -195,6 +197,7 @@ class LiveCluster:
                 seed=seeds.next_seed(),
                 on_deliver=self._record,
                 registry=self.registry,
+                id_factory=self.msg_ids,
             )
         keys = {pid: node.keys.public for pid, node in self.nodes.items()}
         for node in self.nodes.values():

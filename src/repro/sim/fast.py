@@ -204,12 +204,18 @@ def run_fast(
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
     if scenario.n > FAST_MAX_N:
+        # The refusal text comes from the engine registry so it names
+        # whichever registered engines actually scale past this limit
+        # (lazy import: the registry imports this module's FAST_MAX_N).
+        from repro.api.engines import group_size_refusal
+
         raise ValueError(
-            f"n={scenario.n} exceeds the fast engine's dense-layout limit "
-            f"of {FAST_MAX_N}: its per-round view matrices would need "
-            f"multi-GB allocations at this size; run mega-scale groups "
-            f'with engine="mega" (repro.sim.mega), which packs per-node '
-            f"state into bitmaps and streams the node axis"
+            group_size_refusal(
+                "fast",
+                scenario.n,
+                detail="its per-round view matrices would need multi-GB "
+                "allocations at this size",
+            )
         )
     # Resolve the fault plan up front (seedless): churn plans run on a
     # dedicated loop whose state spans the extended id universe.
@@ -574,9 +580,14 @@ def _run_fast_churn(
     n = scenario.n
     total_n = schedule.total_n
     if total_n > FAST_MAX_N:
+        from repro.api.engines import group_size_refusal
+
         raise ValueError(
-            f"churn plan grows the group to {total_n} ids, over the fast "
-            f'engine\'s dense-layout limit of {FAST_MAX_N}; use engine="mega"'
+            group_size_refusal(
+                "fast",
+                total_n,
+                detail="the churn plan grows the group to this many ids",
+            )
         )
     cfg = scenario.protocol_config()
     loss = scenario.loss

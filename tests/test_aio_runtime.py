@@ -1,0 +1,262 @@
+"""The asyncio cluster runtime (`repro.aio`)."""
+
+import asyncio
+
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.aio import AioCluster, AioClusterConfig, run_aio_experiment
+from repro.api import Experiment, result_from_dict
+from repro.des.measurement import MeasurementResult
+from repro.obs import MemorySink, Tracer
+
+# Small, quick wall-clock settings shared by most tests.
+QUICK = dict(round_duration_ms=60.0, send_rate=100.0, messages=3)
+
+
+class TestAioClusterConfig:
+    def test_layout_mirrors_cluster_config(self):
+        cfg = AioClusterConfig(n=40, malicious_fraction=0.1)
+        assert cfg.num_malicious == 4
+        assert cfg.num_correct == 36
+        assert cfg.source == 0
+        assert cfg.source not in cfg.receiver_ids()
+        assert len(cfg.receiver_ids()) == 35
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            AioClusterConfig(n=8, transport="carrier-pigeon")
+
+    def test_churn_tokens_refused_with_registry_message(self):
+        with pytest.raises(ValueError, match=r"join@3:0\.2"):
+            AioClusterConfig(n=16, faults="join@3:0.2")
+
+    def test_group_size_ceiling_enforced(self):
+        from repro.aio.engine import AIO_MAX_N
+
+        with pytest.raises(ValueError, match="group-size limit"):
+            AioClusterConfig(n=AIO_MAX_N + 1)
+
+    def test_attack_too_wide_rejected(self):
+        with pytest.raises(ValueError, match="attack targets"):
+            AioClusterConfig(
+                n=10, malicious_fraction=0.5,
+                attack=AttackSpec(alpha=0.9, x=8),
+            )
+
+    def test_empty_fault_plan_normalised_to_none(self):
+        assert AioClusterConfig(n=8, faults="none").faults is None
+
+
+class TestRunAioExperiment:
+    def test_stream_delivers_and_packages_measurement(self):
+        result = run_aio_experiment(
+            AioClusterConfig(n=12, **QUICK), seed=1
+        )
+        assert isinstance(result, MeasurementResult)
+        assert result.n == 12
+        assert result.messages_sent == 3
+        assert result.deliveries
+        # Every receiver is correct, so a quiet loopback run delivers
+        # the stream essentially everywhere.
+        assert result.residual_reliability() > 0.5
+
+    def test_envelope_round_trips(self):
+        result = run_aio_experiment(
+            AioClusterConfig(n=8, **QUICK), seed=2
+        )
+        env = result.to_dict()
+        assert env["schema"] == "repro.result"
+        clone = result_from_dict(env)
+        assert clone.to_dict() == env
+
+    def test_experiment_dispatches_through_registry(self):
+        result = Experiment(
+            n=10, loss=0.0, round_duration_ms=60.0,
+            send_rate=100.0, messages=3,
+        ).run("aio", seed=3)
+        assert isinstance(result, MeasurementResult)
+        assert result.deliveries
+
+    def test_tracer_events_reconcile_with_measurement(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, thread_safe=True)
+        result = run_aio_experiment(
+            AioClusterConfig(n=10, **QUICK), seed=4, tracer=tracer
+        )
+        assert tracer.counters.reconcile_measurement(result) == []
+        events = sink.events
+        starts = [e for e in events if e["ev"] == "run_start"]
+        assert len(starts) == 1
+        assert starts[0]["engine"] == "aio"
+        assert starts[0]["protocol"] == "drum"
+        assert starts[0]["n"] == 10
+        delivered = [e for e in events if e["ev"] == "delivered"]
+        assert delivered
+        # Continuous-time stack: wall-clock t stamps, no round context.
+        assert all("t" in e for e in delivered)
+        assert all("round" not in e for e in delivered)
+
+    def test_crash_faults_limit_reachable_set(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, thread_safe=True)
+        result = run_aio_experiment(
+            AioClusterConfig(
+                n=8, faults="crash@1-40:0.25", **QUICK
+            ),
+            seed=5,
+            tracer=tracer,
+        )
+        assert result.faults == "crash@1-40:0.25"
+        assert result.reachable_receivers is not None
+        assert len(result.reachable_receivers) < len(
+            result.correct_receivers
+        )
+        assert any(e["ev"] == "crash" for e in sink.events)
+
+    def test_attacked_stream_still_delivers_on_drum(self):
+        result = run_aio_experiment(
+            AioClusterConfig(
+                n=16, malicious_fraction=0.125,
+                attack=AttackSpec(alpha=0.25, x=8.0),
+                drain_rounds=6.0,
+                **QUICK,
+            ),
+            seed=6,
+        )
+        assert result.deliveries
+        assert result.residual_reliability() > 0.5
+
+
+class TestAioClusterLifecycle:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_await_delivery_reaches_whole_group(self):
+        async def go():
+            cluster = AioCluster(
+                AioClusterConfig(n=8, round_duration_ms=50.0), seed=7
+            )
+            await cluster.start()
+            try:
+                mid = cluster.multicast(0, b"payload")
+                ok = await cluster.await_delivery(
+                    mid, fraction=1.0, timeout_s=10.0
+                )
+            finally:
+                await cluster.stop()
+            assert ok
+            assert cluster.delivered_counts()[mid] == 8
+            return cluster
+
+        self.run(go())
+
+    def test_stop_is_idempotent(self):
+        async def go():
+            cluster = AioCluster(AioClusterConfig(n=4), seed=8)
+            await cluster.start()
+            await cluster.stop()
+            await cluster.stop()
+
+        self.run(go())
+
+    def test_node_error_watchdog_surfaces_in_await(self):
+        async def go():
+            cluster = AioCluster(AioClusterConfig(n=4), seed=9)
+            await cluster.start()
+            try:
+                cluster._record_node_error(2, RuntimeError("boom"))
+                with pytest.raises(RuntimeError, match="node 2"):
+                    await cluster.await_delivery((0, 0), timeout_s=1.0)
+            finally:
+                await cluster.stop()
+
+        self.run(go())
+
+    def test_inject_faults_mid_run(self):
+        async def go():
+            cluster = AioCluster(
+                AioClusterConfig(n=8, round_duration_ms=50.0), seed=10
+            )
+            await cluster.start()
+            try:
+                cluster.inject_faults("crash@1-100:0.25")
+                assert cluster.config.faults is not None
+                assert cluster.config.faults.describe() == "crash@1-100:0.25"
+                with pytest.raises(RuntimeError, match="already installed"):
+                    cluster.inject_faults("loss:0.1")
+                with pytest.raises(ValueError, match="churn"):
+                    cluster.inject_faults("join@3:0.2")
+                mid = cluster.multicast(0, b"under-faults")
+                await cluster.await_delivery(
+                    mid, fraction=0.5, timeout_s=10.0
+                )
+            finally:
+                await cluster.stop()
+            result = cluster.result(10.0, 1)
+            assert result.faults == "crash@1-100:0.25"
+            assert result.reachable_receivers is not None
+
+        self.run(go())
+
+    def test_inject_attack_mid_run(self):
+        async def go():
+            cluster = AioCluster(
+                AioClusterConfig(
+                    n=12, malicious_fraction=0.25, round_duration_ms=50.0
+                ),
+                seed=11,
+            )
+            await cluster.start()
+            try:
+                attacker = cluster.inject_attack(AttackSpec(alpha=0.25, x=8))
+                assert attacker.running
+                assert cluster.attackers == [attacker]
+                mid = cluster.multicast(0, b"under-attack")
+                ok = await cluster.await_delivery(
+                    mid, fraction=0.5, timeout_s=10.0
+                )
+                assert ok
+            finally:
+                await cluster.stop()
+            assert not attacker.running
+
+        self.run(go())
+
+    def test_udp_transport_delivers(self):
+        async def go():
+            cluster = AioCluster(
+                AioClusterConfig(
+                    n=5, transport="udp", round_duration_ms=50.0
+                ),
+                seed=12,
+            )
+            await cluster.start()
+            try:
+                mid = cluster.multicast(0, b"over-udp")
+                ok = await cluster.await_delivery(
+                    mid, fraction=1.0, timeout_s=10.0
+                )
+                assert ok
+            finally:
+                await cluster.stop()
+
+        self.run(go())
+
+
+class TestSerialScoping:
+    def test_message_ids_restart_per_cluster(self):
+        """Two seeded runs mint identical (source, serial) ids."""
+
+        async def first_ids():
+            cluster = AioCluster(AioClusterConfig(n=4), seed=13)
+            await cluster.start()
+            try:
+                ids = [cluster.multicast(0, b"x") for _ in range(3)]
+            finally:
+                await cluster.stop()
+            return ids
+
+        a = asyncio.run(first_ids())
+        b = asyncio.run(first_ids())
+        assert a == b == [(0, 0), (0, 1), (0, 2)]

@@ -1,0 +1,238 @@
+"""The gossip service control plane (`repro.aio.service`)."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.aio.service import EventStreamSink, GossipService
+
+
+class TestEventStreamSink:
+    def test_subscribers_see_events_oldest_first(self):
+        sink = EventStreamSink()
+        sub = sink.subscribe()
+        sink.write({"ev": "a"})
+        sink.write({"ev": "b"})
+        assert sink.drain(sub) == [{"ev": "a"}, {"ev": "b"}]
+        assert sink.drain(sub) == []
+        assert sink.written == 2
+
+    def test_slow_subscriber_loses_oldest_and_counts_drops(self):
+        sink = EventStreamSink()
+        sub = sink.subscribe(maxlen=3)
+        for i in range(10):
+            sink.write({"ev": "e", "i": i})
+        assert sink.dropped(sub) == 7
+        # The ring kept the newest three.
+        assert [e["i"] for e in sink.drain(sub)] == [7, 8, 9]
+        # Draining resets the pressure but not the historical count.
+        sink.write({"ev": "e", "i": 10})
+        assert sink.dropped(sub) == 7
+
+    def test_replay_seeds_late_subscriber_with_backlog(self):
+        sink = EventStreamSink()
+        sink.write({"ev": "early"})
+        live_only = sink.subscribe()
+        replayer = sink.subscribe(replay=True)
+        assert sink.drain(live_only) == []
+        assert sink.drain(replayer) == [{"ev": "early"}]
+
+    def test_backlog_is_bounded(self):
+        sink = EventStreamSink(maxlen=4)
+        for i in range(10):
+            sink.write({"i": i})
+        sub = sink.subscribe(replay=True)
+        assert [e["i"] for e in sink.drain(sub)] == [6, 7, 8, 9]
+
+    def test_unsubscribed_consumer_stops_accumulating(self):
+        sink = EventStreamSink()
+        sub = sink.subscribe()
+        sink.unsubscribe(sub)
+        sink.write({"ev": "a"})
+        assert sink.drain(sub) == []
+        assert sink.dropped(sub) == 0
+
+    def test_invalid_maxlen_rejected(self):
+        with pytest.raises(ValueError, match="maxlen"):
+            EventStreamSink(maxlen=0)
+
+    def test_concurrent_writers_never_lose_counts(self):
+        """Emission is called from loop + service threads; totals must add up."""
+        sink = EventStreamSink(maxlen=100_000)
+        sub = sink.subscribe()
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    sink.write({"ev": "e"}) for _ in range(500)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sink.written == 4000
+        assert len(sink.drain(sub)) + sink.dropped(sub) == 4000
+
+
+@pytest.fixture()
+def service():
+    svc = GossipService()
+    svc.start()
+    yield svc
+    svc.stop()
+
+
+def rpc(service, *requests):
+    """Send JSONL requests on one connection; returns the responses."""
+    with socket.create_connection(
+        (service.host, service.port), timeout=15
+    ) as sock:
+        stream = sock.makefile("rw", encoding="utf-8")
+        replies = []
+        for request in requests:
+            stream.write(json.dumps(request) + "\n")
+            stream.flush()
+            replies.append(json.loads(stream.readline()))
+        return replies if len(replies) > 1 else replies[0]
+
+
+class TestGossipService:
+    def test_binds_an_ephemeral_port(self, service):
+        assert service.port != 0
+        assert rpc(service, {"op": "ping"}) == {
+            "ok": True, "pong": True, "engine": "aio",
+        }
+
+    def test_unknown_op_and_bad_json_report_errors(self, service):
+        reply = rpc(service, {"op": "frobnicate"})
+        assert reply["ok"] is False
+        assert "unknown op" in reply["error"]
+        with socket.create_connection(
+            (service.host, service.port), timeout=15
+        ) as sock:
+            stream = sock.makefile("rw", encoding="utf-8")
+            stream.write("not json\n")
+            stream.flush()
+            reply = json.loads(stream.readline())
+        assert reply["ok"] is False
+
+    def test_ops_require_a_cluster(self, service):
+        reply = rpc(service, {"op": "multicast", "payload": "x"})
+        assert reply["ok"] is False
+        assert "op=start" in reply["error"]
+
+    def test_full_control_plane_flow(self, service):
+        start = rpc(
+            service,
+            {
+                "op": "start", "n": 10, "protocol": "drum",
+                "round_duration_ms": 60.0, "loss": 0.0, "seed": 21,
+            },
+        )
+        assert start == {"ok": True, "n": 10, "protocol": "drum"}
+        # Double start is refused until the first cluster stops.
+        again = rpc(service, {"op": "start", "n": 4})
+        assert again["ok"] is False and "already running" in again["error"]
+
+        status = rpc(service, {"op": "status"})
+        assert status["running"] is True and status["n"] == 10
+
+        sent = rpc(
+            service,
+            {
+                "op": "multicast", "payload": "hello",
+                "await_fraction": 1.0, "timeout_s": 15.0,
+            },
+        )
+        assert sent["ok"] is True and sent["delivered"] is True
+
+        injected = rpc(
+            service,
+            {
+                "op": "inject", "faults": "crash@2-50:0.2",
+                "attack": {"alpha": 0.2, "x": 8},
+            },
+        )
+        assert injected["ok"] is True
+        assert injected["injected"]["faults"] == "crash@2-50:0.2"
+        assert injected["injected"]["attack"]["victims"] == 2
+        status = rpc(service, {"op": "status"})
+        assert status["attackers"] == 1
+        assert status["faults"] == "crash@2-50:0.2"
+
+        stopped = rpc(service, {"op": "stop"})
+        assert stopped["ok"] is True and stopped["deliveries"] > 0
+        assert rpc(service, {"op": "status"})["running"] is False
+
+    def test_metrics_exposes_prometheus_counters(self, service):
+        """Satellite check: the obs counters are scrape-ready over TCP."""
+        rpc(
+            service,
+            {
+                "op": "start", "n": 8, "round_duration_ms": 60.0,
+                "loss": 0.0, "seed": 22,
+            },
+        )
+        rpc(
+            service,
+            {
+                "op": "multicast", "payload": "m",
+                "await_fraction": 1.0, "timeout_s": 15.0,
+            },
+        )
+        reply = rpc(service, {"op": "metrics"})
+        assert reply["ok"] is True
+        exposition = reply["exposition"]
+        assert "# TYPE repro_events_total counter" in exposition
+        assert 'repro_events_total{type="delivered"}' in exposition
+        rpc(service, {"op": "stop"})
+
+    def test_stream_replays_history_and_reports_drops(self, service):
+        rpc(
+            service,
+            {
+                "op": "start", "n": 6, "round_duration_ms": 60.0,
+                "loss": 0.0, "seed": 23,
+            },
+        )
+        rpc(
+            service,
+            {
+                "op": "multicast", "payload": "m",
+                "await_fraction": 1.0, "timeout_s": 15.0,
+            },
+        )
+        with socket.create_connection(
+            (service.host, service.port), timeout=15
+        ) as sock:
+            stream = sock.makefile("rw", encoding="utf-8")
+            stream.write(json.dumps({"op": "stream", "max_events": 5}) + "\n")
+            stream.flush()
+            header = json.loads(stream.readline())
+            assert header == {"ok": True, "streaming": True}
+            events = [json.loads(stream.readline()) for _ in range(5)]
+            tail = json.loads(stream.readline())
+        # Replay: the run_start emitted before we subscribed leads.
+        assert events[0]["ev"] == "run_start"
+        assert events[0]["engine"] == "aio"
+        assert tail["ev"] == "stream_end"
+        assert tail["sent"] == 5
+        assert tail["dropped"] == 0
+        rpc(service, {"op": "stop"})
+
+    def test_start_twice_rejected_then_restart_after_stop(self, service):
+        assert rpc(service, {"op": "start", "n": 4, "seed": 1})["ok"]
+        assert rpc(service, {"op": "stop"})["ok"]
+        assert rpc(service, {"op": "start", "n": 4, "seed": 2})["ok"]
+        assert rpc(service, {"op": "stop"})["ok"]
+
+    def test_stop_tears_down_running_cluster(self):
+        svc = GossipService()
+        svc.start()
+        rpc(svc, {"op": "start", "n": 4, "seed": 5})
+        svc.stop()  # must not hang or leak the cluster
+        assert svc.cluster is None

@@ -1,0 +1,158 @@
+"""The declared engine registry behind ``Experiment.run``."""
+
+import pytest
+
+from repro.api import Experiment, engines
+from repro.api.engines import (
+    EngineCapabilities,
+    EngineCapabilityError,
+    EngineSpec,
+    capability_table,
+    churn_refusal,
+    get_engine,
+    group_size_refusal,
+)
+from repro.faults import FaultPlan
+from repro.sim.fast import FAST_MAX_N
+
+
+class TestRegistry:
+    def test_all_six_stacks_registered_in_order(self):
+        assert engines.engines() == (
+            "exact", "fast", "mega", "des", "live", "aio",
+        )
+
+    def test_unknown_engine_uniform_error(self):
+        with pytest.raises(ValueError, match="unknown engine 'quantum'"):
+            get_engine("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_engine("exact")
+        with pytest.raises(ValueError, match="already registered"):
+            engines.register(spec)
+        # replace_existing is the explicit override path.
+        assert engines.register(spec, replace_existing=True) is spec
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            engines.register(EngineSpec(name="", runner=lambda e, **kw: None))
+
+    def test_third_party_engine_registers_and_runs(self):
+        seen = {}
+
+        def runner(exp, *, seed=None, workers=None, tracer=None):
+            seen["exp"] = exp
+            return "ran"
+
+        engines.register(
+            EngineSpec(
+                name="teststack",
+                runner=runner,
+                capabilities=EngineCapabilities(faults=False),
+            )
+        )
+        try:
+            assert "teststack" in engines.engines()
+            assert Experiment(n=8).run("teststack") == "ran"
+            assert seen["exp"].n == 8
+        finally:
+            engines.unregister("teststack")
+        assert "teststack" not in engines.engines()
+
+    def test_lazy_runner_string_resolves_on_first_use(self):
+        spec = EngineSpec(
+            name="lazy",
+            runner="repro.api.experiment:run_exact_engine",
+        )
+        from repro.api.experiment import run_exact_engine
+
+        assert spec.resolve_runner() is run_exact_engine
+
+    def test_malformed_lazy_runner_rejected(self):
+        spec = EngineSpec(name="bad", runner="no.colon.here")
+        with pytest.raises(ValueError, match="module:attribute"):
+            spec.resolve_runner()
+
+    def test_determinism_class_validated(self):
+        with pytest.raises(ValueError, match="determinism"):
+            EngineCapabilities(determinism="vibes")
+
+    def test_capability_table_covers_every_engine(self):
+        rows = {row["engine"]: row for row in capability_table()}
+        assert set(rows) == set(engines.engines())
+        assert rows["fast"]["max_n"] == FAST_MAX_N
+        assert rows["live"]["determinism"] == "wallclock"
+        assert rows["aio"]["continuous"] is True
+        assert rows["des"]["churn"] is True
+        assert not rows["live"]["churn"]
+        assert not rows["aio"]["churn"]
+
+    def test_legacy_engines_attribute_tracks_registry(self):
+        import repro.api.experiment as mod
+
+        assert mod.ENGINES == engines.engines()
+
+
+class TestCapabilityChecks:
+    def test_plan_on_faultless_engine_refused(self):
+        engines.register(
+            EngineSpec(
+                name="nofaults",
+                runner=lambda e, **kw: None,
+                capabilities=EngineCapabilities(faults=False),
+            )
+        )
+        try:
+            with pytest.raises(
+                EngineCapabilityError, match="does not honour fault plans"
+            ):
+                Experiment(n=8, faults="loss:0.1").run("nofaults")
+        finally:
+            engines.unregister("nofaults")
+
+    def test_live_churn_refusal_is_the_registry_message(self):
+        plan = FaultPlan.parse("join@3:0.2")
+        expected = churn_refusal("live", plan)
+        with pytest.raises(EngineCapabilityError) as exc:
+            Experiment(n=16, faults="join@3:0.2").run("live", seed=1)
+        assert str(exc.value) == expected
+
+    def test_churn_refusal_names_capable_engines(self):
+        message = churn_refusal("aio", FaultPlan.parse("leave@4:0.1"))
+        assert "churn tokens (join/leave/expel)" in message
+        for capable in ("exact", "fast", "mega", "des"):
+            assert f'engine="{capable}"' in message
+        assert 'engine="live"' not in message
+        assert 'engine="aio"' not in message
+
+    def test_fast_group_size_refusal_names_roomier_engines(self):
+        with pytest.raises(EngineCapabilityError) as exc:
+            Experiment(n=FAST_MAX_N + 1, runs=1).run("fast")
+        message = str(exc.value)
+        assert f"n={FAST_MAX_N + 1}" in message
+        assert 'engine="mega"' in message
+
+    def test_group_size_refusal_helper_matches_config_guard(self):
+        from repro.sim.scenario import Scenario
+
+        expected = group_size_refusal(
+            "fast", FAST_MAX_N + 1,
+            detail="its per-round view matrices would need multi-GB "
+                   "allocations at this size",
+        )
+        from repro.sim.fast import run_fast
+
+        with pytest.raises(ValueError) as exc:
+            run_fast(Scenario(n=FAST_MAX_N + 1), runs=1, seed=1)
+        assert str(exc.value) == expected
+
+    def test_aio_group_size_ceiling_checked_before_running(self):
+        from repro.aio.engine import AIO_MAX_N
+
+        with pytest.raises(EngineCapabilityError, match="group-size limit"):
+            Experiment(n=AIO_MAX_N + 1).run("aio")
+
+    def test_empty_plan_passes_every_engine_check(self):
+        exp = Experiment(n=8, faults=FaultPlan.parse(""))
+        for name in engines.engines():
+            get_engine(name).check(exp)  # must not raise

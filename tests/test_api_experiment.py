@@ -133,6 +133,22 @@ class TestLegacyReexports:
         assert ClusterConfig(n=8).n == 8
         assert LiveClusterConfig(n=8).n == 8
 
+    def test_legacy_config_imports_warn(self):
+        import repro.api as api
+
+        with pytest.warns(DeprecationWarning, match="Experiment"):
+            api.ClusterConfig
+        with pytest.warns(DeprecationWarning, match='engine="live"'):
+            api.LiveClusterConfig
+
+    def test_home_module_imports_do_not_warn(self):
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error", DeprecationWarning)
+            from repro.des.cluster import ClusterConfig  # noqa: F401
+            from repro.runtime.cluster import LiveClusterConfig  # noqa: F401
+
     def test_legacy_docstrings_point_to_experiment(self):
         from repro.des.cluster import ClusterConfig
         from repro.runtime.cluster import LiveClusterConfig

@@ -189,3 +189,62 @@ class TestSweep:
     def test_bad_values_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--protocols", "drum", "--values", "0,zap"])
+
+
+class TestServe:
+    def test_parser_accepts_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--port", "7100", "--start",
+            "--protocol", "pull", "--n", "64", "--seed", "9",
+        ])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.port == 7100
+        assert args.start is True
+        assert args.protocol == "pull"
+        assert args.n == 64
+
+    def test_serve_runs_until_remote_shutdown(self, monkeypatch, capsys):
+        """Drive the real service: autostart, then shut down over TCP."""
+        import json as json_mod
+        import socket
+        import threading
+        import time
+
+        from repro.aio.service import GossipService
+
+        def rpc(service, request):
+            with socket.create_connection(
+                (service.host, service.port), timeout=15
+            ) as sock:
+                sock.sendall((json_mod.dumps(request) + "\n").encode())
+                return json_mod.loads(sock.makefile().readline())
+
+        def shutdown_when_up(service):
+            # Wait for the autostarted cluster, then pull the plug.
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                if rpc(service, {"op": "status"}).get("running"):
+                    break
+                time.sleep(0.05)
+            rpc(service, {"op": "shutdown"})
+
+        class NotifyingService(GossipService):
+            def start(self, timeout_s=10.0):
+                super().start(timeout_s)
+                threading.Thread(
+                    target=shutdown_when_up, args=(self,), daemon=True
+                ).start()
+
+        monkeypatch.setattr(
+            "repro.aio.service.GossipService", NotifyingService
+        )
+        code = main([
+            "serve", "--start", "--n", "8", "--seed", "2",
+            "--round-ms", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gossip service listening on" in out
+        assert "cluster running: protocol=drum n=8" in out
